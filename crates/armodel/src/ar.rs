@@ -1,0 +1,201 @@
+//! Batch AR(k) model fitting via least squares (§2.2).
+
+use elink_linalg::cholesky::CholeskyFactor;
+use elink_linalg::lu::lu_solve;
+use elink_linalg::Matrix;
+use elink_metric::Feature;
+
+/// An order-`k` auto-regressive model
+/// `x_t = α₁ x_{t-1} + … + α_k x_{t-k} + ε_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArModel {
+    coefficients: Vec<f64>,
+    /// Estimated white-noise variance of the residuals.
+    noise_variance: f64,
+}
+
+impl ArModel {
+    /// Fits an AR(`order`) model to `series` by minimizing least-squares
+    /// error, i.e. solving the normal equations `(X Xᵀ) α = X y` (§2.2).
+    ///
+    /// A tiny ridge (`1e-9` on the diagonal) keeps the normal equations
+    /// solvable for degenerate series (e.g. constant data). Returns `None`
+    /// when the series is shorter than `order + 1` (no equations at all).
+    ///
+    /// ```
+    /// // A noiseless AR(1) series with coefficient 0.9.
+    /// let series: Vec<f64> = (0..40).map(|t| 0.9_f64.powi(t)).collect();
+    /// let model = elink_armodel::ArModel::fit(&series, 1).unwrap();
+    /// assert!((model.coefficients()[0] - 0.9).abs() < 1e-6);
+    /// ```
+    pub fn fit(series: &[f64], order: usize) -> Option<ArModel> {
+        assert!(order >= 1, "AR order must be at least 1");
+        if series.len() < order + 1 {
+            return None;
+        }
+        let m = series.len() - order;
+        // Accumulate A = Σ r rᵀ and b = Σ r y directly (avoids materializing
+        // the m × k design matrix).
+        let mut a = Matrix::zeros(order, order);
+        let mut b = vec![0.0; order];
+        for t in order..series.len() {
+            let y = series[t];
+            // Regressor r = (x_{t-1}, …, x_{t-k}).
+            for i in 0..order {
+                let ri = series[t - 1 - i];
+                b[i] += ri * y;
+                for j in 0..order {
+                    a[(i, j)] += ri * series[t - 1 - j];
+                }
+            }
+        }
+        for i in 0..order {
+            a[(i, i)] += 1e-9;
+        }
+        // Cholesky is the fast path (A is SPD up to degeneracy); LU with
+        // pivoting is the fallback.
+        let coefficients = match CholeskyFactor::factorize(&a) {
+            Ok(f) => f.solve(&b).ok()?,
+            Err(_) => lu_solve(&a, &b).ok()?,
+        };
+        // Residual variance.
+        let mut ss = 0.0;
+        for t in order..series.len() {
+            let pred: f64 = (0..order).map(|i| coefficients[i] * series[t - 1 - i]).sum();
+            let e = series[t] - pred;
+            ss += e * e;
+        }
+        Some(ArModel {
+            coefficients,
+            noise_variance: ss / m as f64,
+        })
+    }
+
+    /// Creates a model from explicit coefficients (used by generators).
+    pub fn from_coefficients(coefficients: Vec<f64>, noise_variance: f64) -> ArModel {
+        ArModel {
+            coefficients,
+            noise_variance,
+        }
+    }
+
+    /// The model order k.
+    pub fn order(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The AR coefficients `(α₁, …, α_k)`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Estimated residual variance.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// One-step-ahead prediction given the most recent `k` values ordered
+    /// newest first: `history\[0\] = x_{t-1}`.
+    pub fn predict(&self, history: &[f64]) -> f64 {
+        assert!(history.len() >= self.order(), "insufficient history");
+        self.coefficients
+            .iter()
+            .zip(history)
+            .map(|(a, x)| a * x)
+            .sum()
+    }
+
+    /// The clustering feature: the coefficient vector (§2.2).
+    pub fn feature(&self) -> Feature {
+        Feature::new(self.coefficients.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates a noiseless AR series from given coefficients.
+    fn synth(coeffs: &[f64], n: usize, seed_vals: &[f64]) -> Vec<f64> {
+        let k = coeffs.len();
+        let mut xs = seed_vals.to_vec();
+        assert!(xs.len() >= k);
+        while xs.len() < n {
+            let t = xs.len();
+            let x: f64 = (0..k).map(|i| coeffs[i] * xs[t - 1 - i]).sum();
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn recovers_ar1_exactly_without_noise() {
+        let xs = synth(&[0.9], 50, &[1.0]);
+        let m = ArModel::fit(&xs, 1).unwrap();
+        assert!((m.coefficients()[0] - 0.9).abs() < 1e-6);
+        assert!(m.noise_variance() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_ar2_exactly_without_noise() {
+        let xs = synth(&[0.5, 0.3], 80, &[1.0, 2.0]);
+        let m = ArModel::fit(&xs, 2).unwrap();
+        assert!((m.coefficients()[0] - 0.5).abs() < 1e-5);
+        assert!((m.coefficients()[1] - 0.3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recovers_ar1_with_noise_approximately() {
+        // Deterministic pseudo-noise keeps the test reproducible.
+        let mut xs = vec![1.0];
+        let mut state = 12345u64;
+        for _ in 1..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            let prev = *xs.last().unwrap();
+            xs.push(0.7 * prev + 0.1 * noise);
+        }
+        let m = ArModel::fit(&xs, 1).unwrap();
+        assert!(
+            (m.coefficients()[0] - 0.7).abs() < 0.05,
+            "estimated {}",
+            m.coefficients()[0]
+        );
+        assert!(m.noise_variance() > 0.0);
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(ArModel::fit(&[1.0, 2.0], 2).is_none());
+        assert!(ArModel::fit(&[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn constant_series_is_fit() {
+        // Degenerate (rank-1) normal equations still solve via the ridge.
+        let xs = vec![5.0; 30];
+        let m = ArModel::fit(&xs, 2).unwrap();
+        let pred = m.predict(&[5.0, 5.0]);
+        assert!((pred - 5.0).abs() < 1e-3, "prediction {pred}");
+    }
+
+    #[test]
+    fn predict_uses_newest_first_ordering() {
+        let m = ArModel::from_coefficients(vec![1.0, 0.0], 0.0);
+        // x_t = 1.0 * x_{t-1}; history = [x_{t-1}, x_{t-2}].
+        assert_eq!(m.predict(&[3.0, 7.0]), 3.0);
+    }
+
+    #[test]
+    fn feature_exposes_coefficients() {
+        let m = ArModel::from_coefficients(vec![0.5, 0.25], 0.1);
+        assert_eq!(m.feature().components(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient history")]
+    fn predict_panics_on_short_history() {
+        let m = ArModel::from_coefficients(vec![0.5, 0.25], 0.0);
+        let _ = m.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! ARMA(p, q) estimation via the Hannan–Rissanen two-stage procedure.
+//!
+//! §2.2 frames the node models inside "the general ARIMA model \[which\]
+//! captures the seasonal moving averages (MA) along with the daily up and
+//! down trends (AR)". The experiments only exercise pure AR features, but a
+//! production modelling layer needs the MA side too:
+//!
+//! ```text
+//! x_t = α₁ x_{t-1} + … + α_p x_{t-p} + ε_t + θ₁ ε_{t-1} + … + θ_q ε_{t-q}
+//! ```
+//!
+//! Hannan–Rissanen: (1) fit a long AR(m) model (m ≫ p+q) and take its
+//! residuals as proxies for the unobservable innovations ε; (2) regress
+//! `x_t` jointly on `p` lags of `x` and `q` lags of the proxy innovations.
+//! Both stages are linear least squares, reusing the workspace's solvers.
+
+use crate::ar::ArModel;
+use elink_linalg::cholesky::CholeskyFactor;
+use elink_linalg::lu::lu_solve;
+use elink_linalg::Matrix;
+use elink_metric::Feature;
+
+/// An estimated ARMA(p, q) model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmaModel {
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+    noise_variance: f64,
+}
+
+impl ArmaModel {
+    /// Fits an ARMA(`p`, `q`) model with Hannan–Rissanen.
+    ///
+    /// The stage-1 AR order is `m = max(2(p+q), 8)`, clamped to what the
+    /// series length permits. Returns `None` when the series is too short
+    /// (fewer than `m + max(p, q) + p + q + 1` points) or degenerate.
+    pub fn fit(series: &[f64], p: usize, q: usize) -> Option<ArmaModel> {
+        assert!(p >= 1 || q >= 1, "ARMA needs at least one AR or MA term");
+        let m = (2 * (p + q)).max(8);
+        if series.len() < m + p.max(q) + p + q + 2 {
+            return None;
+        }
+        // Stage 1: long AR to estimate innovations.
+        let long_ar = ArModel::fit(series, m)?;
+        let mut resid = vec![0.0; series.len()];
+        for t in m..series.len() {
+            let pred: f64 = (0..m)
+                .map(|i| long_ar.coefficients()[i] * series[t - 1 - i])
+                .sum();
+            resid[t] = series[t] - pred;
+        }
+        // Stage 2: regress x_t on p lags of x and q lags of resid, over the
+        // region where all regressors are defined (t ≥ m + max(p, q)).
+        let start = m + p.max(q);
+        let dim = p + q;
+        let mut gram = Matrix::zeros(dim, dim);
+        let mut b = vec![0.0; dim];
+        let mut rows = 0usize;
+        let mut reg = vec![0.0; dim];
+        for t in start..series.len() {
+            for (i, r) in reg.iter_mut().take(p).enumerate() {
+                *r = series[t - 1 - i];
+            }
+            for (j, r) in reg.iter_mut().skip(p).take(q).enumerate() {
+                *r = resid[t - 1 - j];
+            }
+            let y = series[t];
+            for i in 0..dim {
+                b[i] += reg[i] * y;
+                for j in 0..dim {
+                    gram[(i, j)] += reg[i] * reg[j];
+                }
+            }
+            rows += 1;
+        }
+        if rows < dim {
+            return None;
+        }
+        for i in 0..dim {
+            gram[(i, i)] += 1e-9;
+        }
+        let coeffs = match CholeskyFactor::factorize(&gram) {
+            Ok(f) => f.solve(&b).ok()?,
+            Err(_) => lu_solve(&gram, &b).ok()?,
+        };
+        let (ar, ma) = coeffs.split_at(p);
+        // Residual variance of the stage-2 fit.
+        let mut ss = 0.0;
+        for t in start..series.len() {
+            let mut pred = 0.0;
+            for (i, &a) in ar.iter().enumerate() {
+                pred += a * series[t - 1 - i];
+            }
+            for (j, &th) in ma.iter().enumerate() {
+                pred += th * resid[t - 1 - j];
+            }
+            let e = series[t] - pred;
+            ss += e * e;
+        }
+        Some(ArmaModel {
+            ar: ar.to_vec(),
+            ma: ma.to_vec(),
+            noise_variance: ss / rows as f64,
+        })
+    }
+
+    /// AR coefficients `(α₁, …, α_p)`.
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// MA coefficients `(θ₁, …, θ_q)`.
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// Estimated innovation variance.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// The clustering feature: AR coefficients followed by MA coefficients
+    /// (the natural extension of §2.2's coefficient features).
+    pub fn feature(&self) -> Feature {
+        let mut c = self.ar.clone();
+        c.extend_from_slice(&self.ma);
+        Feature::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates an ARMA series with LCG innovations.
+    fn synth_arma(ar: &[f64], ma: &[f64], n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut noise = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let p = ar.len();
+        let q = ma.len();
+        let mut xs = vec![0.0; p.max(1)];
+        let mut eps = vec![0.0; q.max(1).max(xs.len())];
+        while xs.len() < n {
+            let t = xs.len();
+            let e = noise();
+            let mut x = e;
+            for (i, &a) in ar.iter().enumerate() {
+                x += a * xs[t - 1 - i];
+            }
+            for (j, &th) in ma.iter().enumerate() {
+                if t > j {
+                    x += th * eps[eps.len() - 1 - j];
+                }
+            }
+            xs.push(x);
+            eps.push(e);
+        }
+        xs
+    }
+
+    #[test]
+    fn recovers_arma_1_1() {
+        let xs = synth_arma(&[0.6], &[0.4], 40_000, 42);
+        let m = ArmaModel::fit(&xs, 1, 1).unwrap();
+        assert!(
+            (m.ar_coefficients()[0] - 0.6).abs() < 0.05,
+            "ar {:?}",
+            m.ar_coefficients()
+        );
+        assert!(
+            (m.ma_coefficients()[0] - 0.4).abs() < 0.08,
+            "ma {:?}",
+            m.ma_coefficients()
+        );
+    }
+
+    #[test]
+    fn recovers_pure_ar_with_zero_ma() {
+        let xs = synth_arma(&[0.7, 0.2], &[], 30_000, 7);
+        let m = ArmaModel::fit(&xs, 2, 1).unwrap();
+        assert!((m.ar_coefficients()[0] - 0.7).abs() < 0.06);
+        assert!((m.ar_coefficients()[1] - 0.2).abs() < 0.06);
+        assert!(m.ma_coefficients()[0].abs() < 0.1, "spurious MA term");
+    }
+
+    #[test]
+    fn agrees_with_ar_model_on_pure_ar() {
+        let xs = synth_arma(&[0.5], &[], 20_000, 9);
+        let arma = ArmaModel::fit(&xs, 1, 1).unwrap();
+        let ar = ArModel::fit(&xs, 1).unwrap();
+        assert!(
+            (arma.ar_coefficients()[0] - ar.coefficients()[0]).abs() < 0.05,
+            "arma {} vs ar {}",
+            arma.ar_coefficients()[0],
+            ar.coefficients()[0]
+        );
+    }
+
+    #[test]
+    fn feature_concatenates_ar_and_ma() {
+        let xs = synth_arma(&[0.5], &[0.3], 20_000, 3);
+        let m = ArmaModel::fit(&xs, 1, 1).unwrap();
+        let f = m.feature();
+        assert_eq!(f.dim(), 2);
+        assert_eq!(f.components()[0], m.ar_coefficients()[0]);
+        assert_eq!(f.components()[1], m.ma_coefficients()[0]);
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert!(ArmaModel::fit(&[1.0; 10], 1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_orders_panic() {
+        let _ = ArmaModel::fit(&[1.0; 100], 0, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Auto-regressive data models at sensor nodes (§2.2 and Appendix A).
+//!
+//! Each node regresses its raw time series into an AR(k) model; the model
+//! coefficients form the node's clustering *feature*. This crate provides:
+//!
+//! * [`ArModel`] — batch least-squares fitting of AR(k) coefficients by
+//!   solving the normal equations `X Xᵀ α = X y` (§2.2).
+//! * [`RlsState`] — exact recursive least-squares online updates using the
+//!   Sherman–Morrison identities of Appendix A (equations 6–8), so a node
+//!   never refits from scratch when a measurement arrives.
+//! * [`ArmaModel`] — ARMA(p, q) estimation (Hannan–Rissanen) for the MA
+//!   side of §2.2's "general ARIMA model".
+//! * [`TaoModel`] — the composite seasonal model used for the Tao data
+//!   (§8.1): an AR(1) within-day coefficient updated per measurement plus an
+//!   AR(3) over daily means updated once per day; its feature is the
+//!   4-vector `(α₁, β₁, β₂, β₃)` with distance weights `(0.5, 0.3, 0.2,
+//!   0.1)`.
+
+pub mod ar;
+pub mod arma;
+pub mod rls;
+pub mod tao;
+
+pub use ar::ArModel;
+pub use arma::ArmaModel;
+pub use rls::RlsState;
+pub use tao::TaoModel;

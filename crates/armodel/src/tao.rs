@@ -1,0 +1,188 @@
+//! The composite Tao model of §8.1.
+//!
+//! "The temperatures within a day follow regular upward and downward trends,
+//! i.e., AR(1), whereas the daily variations in mean were observed to follow
+//! an AR(3). Hence, the temperature at every node is modelled as
+//! `x_t = α₁ x_{t-1} + β₁ μ_{T-1} + β₂ μ_{T-2} + β₃ μ_{T-3} + ε_t`.
+//! Coefficient α₁ is updated for every measurement whereas β's are updated
+//! every day."
+//!
+//! A node's clustering feature is `(α₁, β₁, β₂, β₃)`, compared under the
+//! weighted Euclidean metric with weights `(0.5, 0.3, 0.2, 0.1)`.
+
+use crate::rls::RlsState;
+use elink_metric::Feature;
+
+/// Per-node Tao model state: an online AR(1) on raw measurements plus an
+/// AR(3) on daily means, refreshed once per day.
+#[derive(Debug, Clone)]
+pub struct TaoModel {
+    /// Online AR(1) state for the within-day coefficient α₁ (updated per
+    /// measurement, eq. 6–8).
+    alpha: RlsState,
+    /// Online AR(3) state over daily means for (β₁, β₂, β₃).
+    beta: RlsState,
+    /// Most recent raw value (the AR(1) regressor).
+    last_value: Option<f64>,
+    /// Trailing daily means, newest last.
+    daily_means: Vec<f64>,
+    /// Accumulator for the current day.
+    day_sum: f64,
+    day_count: usize,
+    /// Measurements per day (e.g. 144 for 10-minute data).
+    day_len: usize,
+}
+
+impl TaoModel {
+    /// Creates a model and warm-starts it by replaying `training` (e.g. "the
+    /// previous month's data", §8.1).
+    ///
+    /// # Panics
+    /// Panics if `day_len == 0`.
+    pub fn train(training: &[f64], day_len: usize) -> TaoModel {
+        assert!(day_len > 0, "day length must be positive");
+        let mut model = TaoModel {
+            alpha: RlsState::new(1, 1e6),
+            beta: RlsState::new(3, 1e6),
+            last_value: None,
+            daily_means: Vec::new(),
+            day_sum: 0.0,
+            day_count: 0,
+            day_len,
+        };
+        for &x in training {
+            model.observe(x);
+        }
+        model
+    }
+
+    /// Absorbs one measurement: updates α₁ immediately and the β's when a
+    /// day boundary is crossed.
+    pub fn observe(&mut self, x: f64) {
+        if let Some(prev) = self.last_value {
+            self.alpha.update(&[prev], x);
+        }
+        self.last_value = Some(x);
+        self.day_sum += x;
+        self.day_count += 1;
+        if self.day_count == self.day_len {
+            let mean = self.day_sum / self.day_len as f64;
+            self.day_sum = 0.0;
+            self.day_count = 0;
+            // AR(3) over daily means: regress today's mean on the previous
+            // three (newest first), once at least 3 history points exist.
+            if self.daily_means.len() >= 3 {
+                let n = self.daily_means.len();
+                let regressor = [
+                    self.daily_means[n - 1],
+                    self.daily_means[n - 2],
+                    self.daily_means[n - 3],
+                ];
+                self.beta.update(&regressor, mean);
+            }
+            self.daily_means.push(mean);
+        }
+    }
+
+    /// Current α₁ estimate.
+    pub fn alpha1(&self) -> f64 {
+        self.alpha.coefficients()[0]
+    }
+
+    /// Current (β₁, β₂, β₃) estimates.
+    pub fn betas(&self) -> &[f64] {
+        self.beta.coefficients()
+    }
+
+    /// Number of completed days.
+    pub fn days_completed(&self) -> usize {
+        self.daily_means.len()
+    }
+
+    /// The clustering feature `(α₁, β₁, β₂, β₃)`.
+    pub fn feature(&self) -> Feature {
+        let b = self.beta.coefficients();
+        Feature::new(vec![self.alpha1(), b[0], b[1], b[2]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a deterministic diurnal series: sinusoid within the day plus a
+    /// slowly drifting daily baseline.
+    fn diurnal_series(days: usize, day_len: usize, base: f64, amp: f64) -> Vec<f64> {
+        let mut xs = Vec::with_capacity(days * day_len);
+        for d in 0..days {
+            let daily_base = base + 0.05 * d as f64;
+            for s in 0..day_len {
+                let phase = 2.0 * std::f64::consts::PI * s as f64 / day_len as f64;
+                xs.push(daily_base + amp * phase.sin());
+            }
+        }
+        xs
+    }
+
+    #[test]
+    fn training_completes_days() {
+        let xs = diurnal_series(10, 24, 25.0, 1.0);
+        let m = TaoModel::train(&xs, 24);
+        assert_eq!(m.days_completed(), 10);
+    }
+
+    #[test]
+    fn alpha_close_to_one_for_smooth_series() {
+        // A smooth diurnal series is strongly autocorrelated at lag 1.
+        let xs = diurnal_series(5, 144, 25.0, 1.0);
+        let m = TaoModel::train(&xs, 144);
+        assert!(
+            (m.alpha1() - 1.0).abs() < 0.05,
+            "alpha1 = {} not near 1",
+            m.alpha1()
+        );
+    }
+
+    #[test]
+    fn feature_has_four_components() {
+        let xs = diurnal_series(8, 24, 25.0, 0.5);
+        let m = TaoModel::train(&xs, 24);
+        assert_eq!(m.feature().dim(), 4);
+        assert_eq!(m.feature().components()[0], m.alpha1());
+    }
+
+    #[test]
+    fn betas_update_only_on_day_boundaries() {
+        let xs = diurnal_series(6, 24, 25.0, 0.5);
+        let mut m = TaoModel::train(&xs, 24);
+        let betas_before = m.betas().to_vec();
+        // Mid-day observations must not touch the betas.
+        for _ in 0..10 {
+            m.observe(25.0);
+        }
+        assert_eq!(m.betas(), betas_before.as_slice());
+        // Completing the day updates them.
+        for _ in 10..24 {
+            m.observe(28.0);
+        }
+        assert_ne!(m.betas(), betas_before.as_slice());
+    }
+
+    #[test]
+    fn similar_series_produce_close_features() {
+        let a = TaoModel::train(&diurnal_series(10, 24, 25.0, 1.0), 24);
+        let b = TaoModel::train(&diurnal_series(10, 24, 25.1, 1.0), 24);
+        let c = TaoModel::train(&diurnal_series(10, 24, 10.0, 4.0), 24);
+        let m = elink_metric::WeightedEuclidean::tao();
+        use elink_metric::Metric;
+        let d_ab = m.distance(&a.feature(), &b.feature());
+        let d_ac = m.distance(&a.feature(), &c.feature());
+        assert!(d_ab < d_ac, "similar pair {d_ab} vs dissimilar {d_ac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "day length")]
+    fn zero_day_len_panics() {
+        let _ = TaoModel::train(&[1.0], 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Centralized base-station schemes (§8.3, §8.5).
+//!
+//! Two streaming variants feed a base station:
+//!
+//! * **raw** — every new measurement is forwarded (one data value over
+//!   `hops(node, base)`); the paper's upper baseline in Fig 12;
+//! * **model** — a node sends its model coefficients only when they drift
+//!   beyond the slack Δ since the last transmission (the \[25\]-style
+//!   adaptive-precision filter the paper adopts).
+//!
+//! Clustering quality for the centralized algorithm comes from the spectral
+//! decomposition at the base ([`elink_spectral`]); shipping features there
+//! for the initial clustering is also charged.
+
+use elink_metric::{Feature, Metric};
+use elink_netsim::MessageStats;
+use elink_spectral::{SpectralClusterer, SpectralConfig, SpectralResult};
+use elink_topology::{NodeId, Topology};
+
+/// Streaming-update cost simulator for the centralized scheme.
+pub struct CentralizedUpdateSim {
+    /// Hop count from every node to the base station.
+    hops_to_base: Vec<u32>,
+    /// Slack Δ: coefficients are retransmitted when they drift beyond Δ.
+    slack: f64,
+    /// Feature last transmitted per node (the base station's view).
+    last_sent: Vec<Feature>,
+    stats: MessageStats,
+}
+
+impl CentralizedUpdateSim {
+    /// Creates the simulator. The base station is the node nearest the
+    /// deployment center (any fixed choice works; the paper does not pin
+    /// one). The initial features are shipped to the base up front.
+    pub fn new(topology: &Topology, initial_features: Vec<Feature>, slack: f64) -> Self {
+        let base = topology.nearest_node(&topology.extent().center());
+        let hops_to_base = topology.graph().bfs_hops(base);
+        let mut stats = MessageStats::new();
+        for (v, f) in initial_features.iter().enumerate() {
+            stats.record("central_init", hops_to_base[v] as u64, f.scalar_cost());
+        }
+        CentralizedUpdateSim {
+            hops_to_base,
+            slack,
+            last_sent: initial_features,
+            stats,
+        }
+    }
+
+    /// The base station node id is implied by construction; expose the hop
+    /// count for a node (useful in tests).
+    pub fn hops_to_base(&self, node: NodeId) -> u32 {
+        self.hops_to_base[node]
+    }
+
+    /// Accumulated message statistics.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// A raw measurement arrived at `node` (the no-model baseline): always
+    /// forwarded, one data value over the path.
+    pub fn raw_measurement(&mut self, node: NodeId) {
+        self.stats
+            .record("central_raw", self.hops_to_base[node] as u64, 1);
+    }
+
+    /// The model at `node` was updated to `new_feature`; transmit iff the
+    /// drift since the last transmission exceeds Δ. Returns whether a
+    /// transmission happened.
+    pub fn model_update(&mut self, node: NodeId, new_feature: Feature, metric: &dyn Metric) -> bool {
+        let drift = metric.distance(&self.last_sent[node], &new_feature);
+        if drift <= self.slack {
+            return false;
+        }
+        self.stats.record(
+            "central_model",
+            self.hops_to_base[node] as u64,
+            new_feature.scalar_cost(),
+        );
+        self.last_sent[node] = new_feature;
+        true
+    }
+}
+
+/// Centralized clustering quality: spectral decomposition at the base
+/// station over the collected features (§8.3).
+pub struct CentralizedClustering {
+    clusterer: SpectralClusterer,
+}
+
+impl CentralizedClustering {
+    /// Builds the spectral embedding once (reused across δ values).
+    pub fn new(
+        topology: &Topology,
+        features: &[Feature],
+        metric: std::sync::Arc<dyn Metric>,
+        config: SpectralConfig,
+    ) -> Self {
+        CentralizedClustering {
+            clusterer: SpectralClusterer::new(topology, features, metric, config),
+        }
+    }
+
+    /// Smallest-k spectral δ-clustering (see [`elink_spectral`]).
+    pub fn cluster_for_delta(&self, delta: f64) -> SpectralResult {
+        self.clusterer.cluster_for_delta(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_metric::Absolute;
+    use elink_topology::Topology;
+
+    fn sim(slack: f64) -> CentralizedUpdateSim {
+        let topo = Topology::grid(3, 3);
+        let features = (0..9).map(|_| Feature::scalar(10.0)).collect();
+        CentralizedUpdateSim::new(&topo, features, slack)
+    }
+
+    #[test]
+    fn base_station_is_grid_center() {
+        let s = sim(1.0);
+        // Node 4 is the center of a 3×3 grid.
+        assert_eq!(s.hops_to_base(4), 0);
+        assert_eq!(s.hops_to_base(0), 2);
+    }
+
+    #[test]
+    fn init_cost_charges_feature_shipping() {
+        let s = sim(1.0);
+        // Σ hops over 3×3 grid from center: 4 edges at 1 hop, 4 corners at 2.
+        assert_eq!(s.stats().kind("central_init").cost, 4 + 8);
+    }
+
+    #[test]
+    fn raw_measurements_always_cost() {
+        let mut s = sim(1.0);
+        s.raw_measurement(0);
+        s.raw_measurement(0);
+        assert_eq!(s.stats().kind("central_raw").cost, 4);
+    }
+
+    #[test]
+    fn model_updates_respect_slack() {
+        let mut s = sim(1.0);
+        assert!(!s.model_update(0, Feature::scalar(10.5), &Absolute));
+        assert_eq!(s.stats().kind("central_model").cost, 0);
+        assert!(s.model_update(0, Feature::scalar(12.0), &Absolute));
+        assert_eq!(s.stats().kind("central_model").cost, 2);
+        // Drift resets to the transmitted value.
+        assert!(!s.model_update(0, Feature::scalar(12.9), &Absolute));
+    }
+
+    #[test]
+    fn larger_slack_sends_less() {
+        let stream: Vec<f64> = (0..100).map(|i| 10.0 + (i as f64 * 0.31).sin() * 2.0).collect();
+        let mut tight = sim(0.1);
+        let mut loose = sim(1.5);
+        for &x in &stream {
+            tight.model_update(3, Feature::scalar(x), &Absolute);
+            loose.model_update(3, Feature::scalar(x), &Absolute);
+        }
+        assert!(loose.stats().kind("central_model").cost < tight.stats().kind("central_model").cost);
+    }
+
+    #[test]
+    fn centralized_clustering_wraps_spectral() {
+        let topo = Topology::grid(2, 4);
+        let features: Vec<Feature> = (0..8)
+            .map(|v| Feature::scalar(if v % 4 < 2 { 0.0 } else { 10.0 }))
+            .collect();
+        let cc = CentralizedClustering::new(
+            &topo,
+            &features,
+            std::sync::Arc::new(Absolute),
+            Default::default(),
+        );
+        assert_eq!(cc.cluster_for_delta(1.0).cluster_count, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! k-medoids (PAM-style) clustering and the §9 communication argument.
+//!
+//! §9: "distributed k-medoids would be communication intensive because in
+//! every iteration, all the medoids would have to be broadcast throughout
+//! the network so that every node computes its closest medoid." This module
+//! implements the algorithm (BUILD seeding + SWAP refinement on the feature
+//! metric) and the §9 cost model, so the claim can be quantified against
+//! ELink (`ext_kmedoids` in the experiments crate).
+//!
+//! k-medoids partitions by feature similarity alone; to compare against
+//! δ-clusterings, [`kmedoids_delta_clustering`] runs the paper-style
+//! acceptance loop — smallest `k` whose medoid clusters satisfy the
+//! δ-condition — and then splits clusters into connected components, like
+//! the centralized spectral baseline.
+
+use elink_metric::{Feature, Metric};
+use elink_netsim::MessageStats;
+use elink_topology::Topology;
+
+/// Result of one k-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Medoid indices (into the feature slice).
+    pub medoids: Vec<usize>,
+    /// Cluster index per point (position into `medoids`).
+    pub assignment: Vec<usize>,
+    /// Sum of distances to assigned medoids.
+    pub cost: f64,
+    /// SWAP iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs PAM: greedy BUILD seeding, then first-improvement SWAP until no
+/// swap improves the configuration (or `max_iters` is hit).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn kmedoids(
+    features: &[Feature],
+    metric: &dyn Metric,
+    k: usize,
+    max_iters: usize,
+) -> KMedoidsResult {
+    let n = features.len();
+    assert!(k >= 1 && k <= n, "k out of range");
+    let d = |a: usize, b: usize| metric.distance(&features[a], &features[b]);
+
+    // BUILD: first medoid minimizes total distance; each next greedily
+    // maximizes cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|x| d(a, x)).sum();
+            let cb: f64 = (0..n).map(|x| d(b, x)).sum();
+            ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+        })
+        .expect("non-empty");
+    medoids.push(first);
+    let mut nearest: Vec<f64> = (0..n).map(|x| d(first, x)).collect();
+    while medoids.len() < k {
+        let cand = (0..n)
+            .filter(|c| !medoids.contains(c))
+            .max_by(|&a, &b| {
+                let ga: f64 = (0..n).map(|x| (nearest[x] - d(a, x)).max(0.0)).sum();
+                let gb: f64 = (0..n).map(|x| (nearest[x] - d(b, x)).max(0.0)).sum();
+                ga.partial_cmp(&gb).unwrap().then(b.cmp(&a))
+            })
+            .expect("candidates remain");
+        medoids.push(cand);
+        for x in 0..n {
+            nearest[x] = nearest[x].min(d(cand, x));
+        }
+    }
+
+    // SWAP: first-improvement passes.
+    let total_cost = |medoids: &[usize]| -> f64 {
+        (0..n)
+            .map(|x| {
+                medoids
+                    .iter()
+                    .map(|&m| d(m, x))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    };
+    let mut cost = total_cost(&medoids);
+    let mut iterations = 0;
+    'outer: for _ in 0..max_iters {
+        iterations += 1;
+        for mi in 0..k {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let old = medoids[mi];
+                medoids[mi] = cand;
+                let new_cost = total_cost(&medoids);
+                if new_cost + 1e-12 < cost {
+                    cost = new_cost;
+                    continue 'outer;
+                }
+                medoids[mi] = old;
+            }
+        }
+        break;
+    }
+
+    let assignment = (0..n)
+        .map(|x| {
+            (0..k)
+                .min_by(|&a, &b| {
+                    d(medoids[a], x)
+                        .partial_cmp(&d(medoids[b], x))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                })
+                .unwrap()
+        })
+        .collect();
+    KMedoidsResult {
+        medoids,
+        assignment,
+        cost,
+        iterations,
+    }
+}
+
+/// The §9 communication model for a *distributed* k-medoids iteration:
+/// every medoid's feature is broadcast network-wide (one spanning-tree pass,
+/// `N − 1` edges × feature scalars per medoid), and every node reports its
+/// assignment one message up the collection tree.
+pub fn distributed_kmedoids_cost(
+    topology: &Topology,
+    feature_dim: u64,
+    k: usize,
+    iterations: usize,
+) -> MessageStats {
+    let n = topology.n() as u64;
+    let mut stats = MessageStats::new();
+    let edges = n.saturating_sub(1);
+    for _ in 0..iterations {
+        stats.record("kmedoid_bcast", edges * k as u64, feature_dim);
+        stats.record("kmedoid_report", edges, 1);
+    }
+    stats
+}
+
+/// δ-clustering via k-medoids: smallest `k ≤ max_k` whose clusters all
+/// satisfy the δ-condition, then connected-component splitting for
+/// Definition-1 validity. Returns `(valid cluster count, accepted k,
+/// iterations used across the search)`.
+pub fn kmedoids_delta_clustering(
+    topology: &Topology,
+    features: &[Feature],
+    metric: &dyn Metric,
+    delta: f64,
+    max_k: usize,
+) -> (usize, usize, usize) {
+    let n = features.len();
+    let max_k = max_k.min(n);
+    let mut total_iterations = 0;
+    for k in 1..=max_k {
+        let result = kmedoids(features, metric, k, 20);
+        total_iterations += result.iterations;
+        // δ-condition per cluster.
+        let mut ok = true;
+        'check: for c in 0..k {
+            let members: Vec<usize> = (0..n).filter(|&x| result.assignment[x] == c).collect();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    if metric.distance(&features[a], &features[b]) > delta {
+                        ok = false;
+                        break 'check;
+                    }
+                }
+            }
+        }
+        if ok {
+            // Connectivity split for a valid count.
+            let mut count = 0;
+            for c in 0..k {
+                let members: Vec<usize> =
+                    (0..n).filter(|&x| result.assignment[x] == c).collect();
+                if !members.is_empty() {
+                    count += topology.graph().induced_components(&members).len();
+                }
+            }
+            return (count, k, total_iterations);
+        }
+    }
+    // Give up at max_k: count components of the max_k clustering (may
+    // violate δ; callers treat this as "did not converge").
+    (usize::MAX, max_k, total_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_metric::Absolute;
+
+    fn scalar_features(vals: &[f64]) -> Vec<Feature> {
+        vals.iter().map(|&v| Feature::scalar(v)).collect()
+    }
+
+    #[test]
+    fn two_blobs_two_medoids() {
+        let f = scalar_features(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let r = kmedoids(&f, &Absolute, 2, 50);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        // Medoids sit inside the blobs.
+        assert!(f[r.medoids[0]].components()[0] < 1.0 || f[r.medoids[0]].components()[0] > 9.0);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let f = scalar_features(&[1.0, 5.0, 9.0]);
+        let r = kmedoids(&f, &Absolute, 3, 10);
+        assert!(r.cost < 1e-12);
+    }
+
+    #[test]
+    fn swap_improves_over_build() {
+        // A configuration where BUILD's greedy seed is improvable.
+        let f = scalar_features(&[0.0, 0.1, 0.2, 5.0, 5.1, 9.9, 10.0, 10.1]);
+        let r = kmedoids(&f, &Absolute, 3, 50);
+        // Optimal medoid cost: one per group => 0.2 + 0.1 + 0.2 = 0.5.
+        assert!(r.cost <= 0.5 + 1e-9, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn delta_search_finds_small_k() {
+        let topo = Topology::grid(1, 6);
+        let f = scalar_features(&[0.0, 0.2, 0.1, 9.0, 9.1, 9.2]);
+        let (count, k, _) = kmedoids_delta_clustering(&topo, &f, &Absolute, 1.0, 6);
+        assert_eq!(k, 2);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn connectivity_split_counts_components() {
+        // Same features at both ends of a path with a different middle:
+        // k = 2 satisfies δ but one medoid cluster is spatially split.
+        let topo = Topology::grid(1, 5);
+        let f = scalar_features(&[0.0, 0.1, 9.0, 0.1, 0.0]);
+        let (count, k, _) = kmedoids_delta_clustering(&topo, &f, &Absolute, 1.0, 5);
+        assert_eq!(k, 2);
+        assert_eq!(count, 3, "split cluster must count twice");
+    }
+
+    #[test]
+    fn cost_model_scales_with_k_and_iterations() {
+        let topo = Topology::grid(4, 4);
+        let one = distributed_kmedoids_cost(&topo, 4, 3, 1);
+        let many = distributed_kmedoids_cost(&topo, 4, 3, 5);
+        assert_eq!(many.total_cost(), 5 * one.total_cost());
+        let more_k = distributed_kmedoids_cost(&topo, 4, 6, 1);
+        assert!(more_k.total_cost() > one.total_cost());
+    }
+}

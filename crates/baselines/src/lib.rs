@@ -1,0 +1,44 @@
+//! The paper's comparison algorithms (§8.3).
+//!
+//! * [`spanning_forest`] — the two-phase greedy spanning-forest clustering:
+//!   cheap (O(N) messages) but sub-optimal quality.
+//! * [`hierarchical`] — distributed bottom-up merging of mutual best
+//!   candidates by fitness (merged covering radius); better quality than
+//!   the spanning forest but O(N²) communication.
+//! * [`centralized`] — the base-station schemes: raw-value streaming,
+//!   slack-filtered model-coefficient streaming, and spectral clustering at
+//!   the base (via [`elink_spectral`]).
+//! * [`optimal`] — exact minimum δ-clustering by exhaustive search over
+//!   connected δ-compact partitions (Theorem 1 makes this exponential; used
+//!   as a quality yardstick on small instances).
+//!
+//! The spanning-forest and hierarchical algorithms are deterministic
+//! round-structured protocols whose reported metrics are message counts and
+//! cluster quality (not latency), so they are implemented as algorithmic
+//! simulations with explicit per-message accounting over the communication
+//! graph — the same §8.2 cost model the netsim engine charges (see
+//! DESIGN.md).
+
+pub mod centralized;
+pub mod hierarchical;
+pub mod kmedoids;
+pub mod optimal;
+pub mod spanning_forest;
+pub mod spanning_forest_protocol;
+
+pub use centralized::{CentralizedClustering, CentralizedUpdateSim};
+pub use hierarchical::{hierarchical_clustering, hierarchical_clustering_with_routing};
+pub use kmedoids::{distributed_kmedoids_cost, kmedoids, kmedoids_delta_clustering};
+pub use optimal::optimal_cluster_count;
+pub use spanning_forest::spanning_forest_clustering;
+pub use spanning_forest_protocol::spanning_forest_protocol;
+
+/// Outcome shared by the distributed baselines: a valid clustering plus its
+/// message bill.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The resulting clustering.
+    pub clustering: elink_core::Clustering,
+    /// Message statistics under the §8.2 cost model.
+    pub stats: elink_netsim::MessageStats,
+}

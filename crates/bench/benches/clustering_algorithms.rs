@@ -1,0 +1,99 @@
+//! Head-to-head clustering benchmarks across network sizes.
+//!
+//! Times the wall-clock of each clustering algorithm (simulated protocols
+//! included) on the uncorrelated synthetic topology family — the runtime
+//! companion to Fig 13's message-cost scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elink_baselines::{hierarchical_clustering, spanning_forest_clustering};
+use elink_core::{run_explicit, run_implicit, run_unordered, ElinkConfig};
+use elink_datasets::SyntheticDataset;
+use elink_metric::Euclidean;
+use elink_netsim::{DelayModel, SimNetwork};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DELTA: f64 = 0.05;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+
+    for n in [100usize, 400] {
+        let data = SyntheticDataset::generate(n, 400, 7);
+        let features = data.features();
+        let network = SimNetwork::new(data.topology().clone());
+        let config = ElinkConfig::for_delta(DELTA);
+
+        group.bench_with_input(BenchmarkId::new("elink_implicit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(run_implicit(
+                    &network,
+                    &features,
+                    Arc::new(Euclidean),
+                    config,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("elink_explicit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(run_explicit(
+                    &network,
+                    &features,
+                    Arc::new(Euclidean),
+                    config,
+                    DelayModel::Sync,
+                    0,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("elink_explicit_async", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(run_explicit(
+                    &network,
+                    &features,
+                    Arc::new(Euclidean),
+                    config,
+                    DelayModel::Async { min: 1, max: 4 },
+                    0,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("elink_unordered", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(run_unordered(
+                    &network,
+                    &features,
+                    Arc::new(Euclidean),
+                    config,
+                    DelayModel::Sync,
+                    0,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spanning_forest", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(spanning_forest_clustering(
+                    data.topology(),
+                    &features,
+                    &Euclidean,
+                    DELTA,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(hierarchical_clustering(
+                    data.topology(),
+                    &features,
+                    &Euclidean,
+                    DELTA,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! One Criterion benchmark per paper figure/table.
+//!
+//! Each benchmark executes the corresponding experiment at its
+//! seconds-scale `quick()` preset, so `cargo bench -p elink-bench --bench
+//! figures` times every result-regeneration path end to end. The
+//! paper-scale numbers come from `cargo run -p elink-experiments --release
+//! --bin all` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig08_tao_quality", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig08::run(
+                elink_experiments::fig08::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig09_terrain_quality", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig09::run(
+                elink_experiments::fig09::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig10_update_cost_vs_slack", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig10::run(
+                elink_experiments::fig10::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig11_quality_vs_slack", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig11::run(
+                elink_experiments::fig11::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig12_cost_over_time", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig12::run(
+                elink_experiments::fig12::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig13_cost_vs_network_size", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig13::run(
+                elink_experiments::fig13::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig14_range_query_tao", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig14::run(
+                elink_experiments::fig14::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("fig15_range_query_synthetic", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::fig15::run(
+                elink_experiments::fig15::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("ext_path_queries", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::ext_path::run(
+                elink_experiments::ext_path::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("ext_theory_complexity", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::ext_theory::run(
+                elink_experiments::ext_theory::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("ext_repr_sampling", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::ext_repr::run(
+                elink_experiments::ext_repr::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("ext_stretch_routing", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::ext_stretch::run(
+                elink_experiments::ext_stretch::Params::quick(),
+            ))
+        })
+    });
+    group.bench_function("ext_ablation_switching", |b| {
+        b.iter(|| {
+            black_box(elink_experiments::ext_ablation::run(
+                elink_experiments::ext_ablation::Params::quick(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Query-processing benchmarks: index build, backbone build, range queries
+//! (clustered vs TAG), and path queries (clustered vs flooding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elink_core::{run_implicit, ElinkConfig};
+use elink_datasets::TerrainDataset;
+use elink_metric::{Absolute, Feature};
+use elink_netsim::SimNetwork;
+use elink_query::{
+    elink_path_query, elink_range_query, flooding_path_query, tag_range_query, Backbone,
+    DistributedIndex, TagTree,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DELTA: f64 = 300.0;
+
+fn bench_queries(c: &mut Criterion) {
+    let data = TerrainDataset::generate(300, 6, 0.55, 3);
+    let features = data.features();
+    let network = SimNetwork::new(data.topology().clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::new(Absolute),
+        ElinkConfig::for_delta(DELTA),
+    );
+    let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
+    let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+    let tag_tree = TagTree::build(data.topology());
+    let q = Feature::scalar(800.0);
+    let danger = Feature::scalar(175.0);
+
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(20);
+
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(DistributedIndex::build(&outcome.clustering, &features, &Absolute)))
+    });
+    group.bench_function("backbone_build", |b| {
+        b.iter(|| black_box(Backbone::build(&outcome.clustering, network.routing())))
+    });
+    group.bench_function("range_query_elink", |b| {
+        b.iter(|| {
+            black_box(elink_range_query(
+                &outcome.clustering,
+                &index,
+                &backbone,
+                &features,
+                &Absolute,
+                DELTA,
+                0,
+                &q,
+                150.0,
+            ))
+        })
+    });
+    group.bench_function("range_query_tag", |b| {
+        b.iter(|| black_box(tag_range_query(&tag_tree, &features, &Absolute, &q, 150.0)))
+    });
+    group.bench_function("path_query_elink", |b| {
+        b.iter(|| {
+            black_box(elink_path_query(
+                &outcome.clustering,
+                &index,
+                &backbone,
+                data.topology(),
+                &features,
+                &Absolute,
+                DELTA,
+                0,
+                299,
+                &danger,
+                200.0,
+            ))
+        })
+    });
+    group.bench_function("path_query_flooding", |b| {
+        b.iter(|| {
+            black_box(flooding_path_query(
+                data.topology(),
+                &features,
+                &Absolute,
+                0,
+                299,
+                &danger,
+                200.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

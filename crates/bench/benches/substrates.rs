@@ -1,0 +1,103 @@
+//! Substrate micro-benchmarks: event-loop throughput, routing-table build,
+//! quadtree decomposition, AR batch fit vs RLS updates, spectral embedding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elink_netsim::{Ctx, DelayModel, Protocol, SimNetwork, Simulator};
+use elink_topology::{QuadTree, RoutingTable, Topology};
+use std::hint::black_box;
+
+/// Flooding protocol used as the event-throughput workload.
+struct Flood {
+    seen: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if ctx.id() == 0 {
+            self.seen = true;
+            ctx.broadcast_neighbors(&(), "flood", 1);
+        }
+    }
+
+    fn on_message(&mut self, _from: usize, _msg: (), ctx: &mut Ctx<'_, ()>) {
+        if !self.seen {
+            self.seen = true;
+            ctx.broadcast_neighbors(&(), "flood", 1);
+        }
+    }
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    for side in [16usize, 32] {
+        let n = side * side;
+        let topo = Topology::grid(side, side);
+        group.bench_with_input(BenchmarkId::new("routing_table_build", n), &n, |b, _| {
+            b.iter(|| black_box(RoutingTable::build(topo.graph())))
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree_build", n), &n, |b, _| {
+            b.iter(|| black_box(QuadTree::build(&topo)))
+        });
+        let network = SimNetwork::new(topo.clone());
+        group.bench_with_input(BenchmarkId::new("sim_flood", n), &n, |b, _| {
+            b.iter(|| {
+                let nodes = (0..n).map(|_| Flood { seen: false }).collect();
+                let mut sim = Simulator::new(network.clone(), DelayModel::Sync, 0, nodes);
+                black_box(sim.run_to_completion())
+            })
+        });
+    }
+
+    // AR fitting: batch vs online.
+    let series: Vec<f64> = {
+        let mut xs = vec![1.0];
+        let mut state = 42u64;
+        for _ in 1..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            let prev = *xs.last().unwrap();
+            xs.push(0.7 * prev + 0.2 * noise);
+        }
+        xs
+    };
+    group.bench_function("ar3_batch_fit_5000", |b| {
+        b.iter(|| black_box(elink_armodel::ArModel::fit(&series, 3)))
+    });
+    group.bench_function("rls_stream_5000", |b| {
+        b.iter(|| {
+            let mut rls = elink_armodel::RlsState::new(3, 1e6);
+            for w in series.windows(4) {
+                rls.update(&[w[2], w[1], w[0]], w[3]);
+            }
+            black_box(rls.coefficients()[0])
+        })
+    });
+
+    // Spectral embedding on a mid-size terrain network (the centralized
+    // baseline's dominant cost).
+    let data = elink_datasets::TerrainDataset::generate(300, 6, 0.55, 1);
+    let features = data.features();
+    group.bench_function("spectral_embedding_300", |b| {
+        b.iter(|| {
+            black_box(elink_spectral::SpectralClusterer::new(
+                data.topology(),
+                &features,
+                std::sync::Arc::new(elink_metric::Absolute),
+                elink_spectral::SpectralConfig {
+                    max_k: 32,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

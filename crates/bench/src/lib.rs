@@ -1,0 +1,10 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `figures` — one Criterion benchmark per paper figure (quick presets of
+//!   the `elink-experiments` harness).
+//! * `clustering_algorithms` — head-to-head clustering benchmarks (ELink
+//!   implicit/explicit/unordered, spanning forest, hierarchical) across
+//!   network sizes.
+//! * `query_processing` — range/path query and index-build benchmarks.
+//! * `substrates` — simulator event throughput, routing-table builds,
+//!   AR/RLS fitting, spectral embedding.

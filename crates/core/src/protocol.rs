@@ -1,0 +1,566 @@
+//! The ELink node protocol (Figs 16–18).
+//!
+//! One [`ElinkNode`] instance runs at every sensor. Three signalling modes
+//! share the same expansion rule (Fig 16):
+//!
+//! * [`SignalMode::Implicit`] (§4, Fig 17): each node arms a timer at
+//!   `T = Σ_{j<l} t_j` for its (shallowest) sentinel level `l` and runs
+//!   ELink when it expires. Correct on synchronous networks.
+//! * [`SignalMode::Explicit`] (§5, Fig 18): `ack1` registers cluster-tree
+//!   children, `ack2` waves report subtree completion, `phase 1` ascends the
+//!   quadtree to the root, `phase 2` descends, and `start` triggers the next
+//!   sentinel level. Correct on asynchronous networks.
+//! * [`SignalMode::Unordered`] (§5, closing remark): every sentinel starts
+//!   at once — the `O(√N)`-time ablation whose quality suffers from
+//!   contention. The same-level switch restriction is lifted because levels
+//!   are meaningless when everything runs concurrently.
+//!
+//! Cluster switching implements Fig 16's printed condition: a clustered
+//! node switches only to a same-level sentinel with
+//! `d(F_rj, F_i) < d(F_ri, F_i) + φ` (a φ-tolerance, which is what lets
+//! freshly self-rooted sentinels dissolve into neighbor clusters — the
+//! "fewer than five clusters" case of §3.2), at most `c` times, and never
+//! back into a cluster it has left (see DESIGN.md for the rationale).
+
+use crate::config::ElinkConfig;
+use crate::quadinfo::QuadInfo;
+use elink_metric::{Feature, Metric};
+use elink_netsim::{Ctx, Protocol};
+use elink_topology::{CellId, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Messages exchanged by ELink.
+#[derive(Debug, Clone)]
+pub enum ElinkMsg {
+    /// Cluster expansion (Fig 16): carries the root feature, root id and the
+    /// sentinel level that grew the cluster.
+    Expand {
+        /// Cluster root id.
+        root: NodeId,
+        /// Root feature `F_r` (payload: `dim` scalars).
+        root_feature: Feature,
+        /// Sentinel level `n` of the cluster root.
+        level: usize,
+    },
+    /// Explicit mode: "I joined your cluster as your child" (Fig 18).
+    Ack1 {
+        /// Root of the cluster joined.
+        root: NodeId,
+    },
+    /// Explicit mode: "the cluster subtree under me is fully expanded".
+    Ack2 {
+        /// Root of the cluster.
+        root: NodeId,
+    },
+    /// Explicit mode: quadtree up-sweep announcing completion of level
+    /// `level`. Addressed to the leader of `cell`.
+    Phase1 {
+        /// The receiving leader's cell.
+        cell: CellId,
+        /// The sentinel level that completed.
+        level: usize,
+    },
+    /// Explicit mode: quadtree down-sweep after the root learned that level
+    /// `level` completed.
+    Phase2 {
+        /// The receiving leader's cell.
+        cell: CellId,
+        /// The completed level.
+        level: usize,
+        /// Hop count accumulated since the root issued the wave — the
+        /// bounded-delay start-alignment hint (see [`ElinkMsg::Start`]).
+        elapsed: u64,
+    },
+    /// Explicit mode: "begin ELink for your cell" (sent to the next level's
+    /// sentinels).
+    ///
+    /// Carries the hops accumulated since the quadtree root released the
+    /// level: a sentinel delays its expansion by the residual of a fixed
+    /// per-level budget so that all same-level sentinels begin (nearly)
+    /// simultaneously. Without this Awerbuch-style synchronization hint
+    /// (\[4\], which the paper's explicit technique builds on), early `start`
+    /// arrivals give some sentinels a multi-hop head start and the output
+    /// diverges from the implicit variant on irregular topologies.
+    Start {
+        /// The receiving leader's cell.
+        cell: CellId,
+        /// Accumulated hops since the wave was released.
+        elapsed: u64,
+    },
+}
+
+/// Signalling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalMode {
+    /// Timer-scheduled levels (synchronous networks, §4).
+    Implicit,
+    /// Message-synchronized levels (asynchronous networks, §5).
+    Explicit,
+    /// All sentinels at once (§5 ablation).
+    Unordered,
+}
+
+/// Timer ids: `SCHEDULE` starts ELink in implicit/unordered mode;
+/// `START_BASE + cell` delays an aligned explicit start for one led cell;
+/// `LEAF_BASE + root` is the per-cluster leaf-detection timeout. Cell ids
+/// and node ids are both bounded by 2³² in practice, so the ranges are
+/// disjoint.
+const TIMER_SCHEDULE: u64 = 0;
+const TIMER_START_BASE: u64 = 1 << 40;
+const TIMER_LEAF_BASE: u64 = 1;
+
+/// Per-cluster bookkeeping for the explicit completion waves.
+#[derive(Debug, Clone)]
+struct Subtree {
+    /// Cluster-tree parent at join time (`None` when this node rooted the
+    /// cluster itself).
+    parent: Option<NodeId>,
+    /// Outstanding `ack2`s from children recruited by this node.
+    pending_children: usize,
+    /// Whether the leaf-detection timeout has expired (no more `ack1`s can
+    /// arrive).
+    wait_done: bool,
+    /// Whether completion has already been reported upward.
+    acked: bool,
+    /// For self-rooted clusters: the quadtree cell whose `start` triggered
+    /// the expansion (drives the `phase 1` report on completion).
+    sentinel_cell: Option<CellId>,
+}
+
+/// The ELink protocol state at one node.
+pub struct ElinkNode {
+    feature: Feature,
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    mode: SignalMode,
+    quad: Arc<QuadInfo>,
+    n: usize,
+
+    /// Whether this node has been clustered (Fig 16 `clustered`).
+    pub clustered: bool,
+    /// Current cluster root (valid when `clustered`).
+    pub root: NodeId,
+    /// Current root feature `F_{r_i}`.
+    pub root_feature: Feature,
+    /// Level `m` of the sentinel that clustered this node.
+    pub joined_level: usize,
+    /// Cluster-tree parent `p` (self for roots).
+    pub parent: NodeId,
+    /// Remaining cluster switches (Fig 16 `counter`).
+    pub switches_left: u32,
+
+    subtrees: HashMap<NodeId, Subtree>,
+    phase1_pending: HashMap<(CellId, usize), usize>,
+    /// Roots of every cluster this node has ever joined. A node never
+    /// re-joins a cluster it left: distances to roots are fixed, so a
+    /// re-join can never be a quality gain, and (in explicit mode) it would
+    /// corrupt the per-cluster `ack` bookkeeping — the Fig 16 `+φ`
+    /// tolerance otherwise allows A→B→A oscillation, deadlocking the
+    /// completion wave.
+    ever_joined: std::collections::HashSet<NodeId>,
+    /// Introspection: simulated times at which this node's ELink procedure
+    /// was invoked, with the level it was invoked for.
+    pub elink_invocations: Vec<(u64, usize)>,
+}
+
+impl ElinkNode {
+    /// Creates the protocol instance for one node.
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        feature: Feature,
+        metric: Arc<dyn Metric>,
+        config: ElinkConfig,
+        mode: SignalMode,
+        quad: Arc<QuadInfo>,
+    ) -> ElinkNode {
+        let root_feature = feature.clone();
+        ElinkNode {
+            feature,
+            metric,
+            config,
+            mode,
+            quad,
+            n,
+            clustered: false,
+            root: id,
+            root_feature,
+            joined_level: 0,
+            parent: id,
+            switches_left: config.max_switches,
+            subtrees: HashMap::new(),
+            phase1_pending: HashMap::new(),
+            ever_joined: std::collections::HashSet::new(),
+            elink_invocations: Vec::new(),
+        }
+    }
+
+    /// This node's feature.
+    pub fn feature(&self) -> &Feature {
+        &self.feature
+    }
+
+    /// Extraction hook: `(root, root_feature)`; unclustered nodes (possible
+    /// only if a run was truncated) report themselves as singleton roots.
+    pub fn cluster_state(&self, id: NodeId) -> (NodeId, Feature) {
+        if self.clustered {
+            (self.root, self.root_feature.clone())
+        } else {
+            (id, self.feature.clone())
+        }
+    }
+
+    /// Conservative leaf-detection timeout: an `ack1` takes at most two hop
+    /// delays (expand out, ack back) plus slack.
+    fn leaf_timeout(&self, ctx: &Ctx<'_, ElinkMsg>) -> u64 {
+        2 * ctx.delay_model().max_hop_delay() + 2
+    }
+
+    /// The ELink procedure of Fig 16: invoked on a sentinel when signalled.
+    fn elink_start(
+        &mut self,
+        level: usize,
+        sentinel_cell: Option<CellId>,
+        ctx: &mut Ctx<'_, ElinkMsg>,
+    ) {
+        self.elink_invocations.push((ctx.now(), level));
+        if self.clustered {
+            // Fig 16: "if (¬clustered)" — nothing to expand. In explicit
+            // mode the synchronization must still observe this sentinel as
+            // complete.
+            if let Some(cell) = sentinel_cell {
+                self.sentinel_complete(cell, ctx);
+            }
+            return;
+        }
+        let id = ctx.id();
+        self.clustered = true;
+        self.root = id;
+        self.root_feature = self.feature.clone();
+        self.joined_level = level;
+        self.parent = id;
+        self.ever_joined.insert(id);
+        self.subtrees.insert(
+            id,
+            Subtree {
+                parent: None,
+                pending_children: 0,
+                wait_done: false,
+                acked: false,
+                sentinel_cell,
+            },
+        );
+        let msg = ElinkMsg::Expand {
+            root: id,
+            root_feature: self.feature.clone(),
+            level,
+        };
+        let scalars = self.feature.scalar_cost();
+        ctx.broadcast_neighbors(&msg, "expand", scalars);
+        if self.mode == SignalMode::Explicit {
+            let timeout = self.leaf_timeout(ctx);
+            ctx.set_timer(timeout, TIMER_LEAF_BASE + id as u64);
+        }
+    }
+
+    /// Handles an incoming `expand` (the join/switch rule of Fig 16).
+    fn on_expand(
+        &mut self,
+        from: NodeId,
+        root: NodeId,
+        root_feature: Feature,
+        level: usize,
+        ctx: &mut Ctx<'_, ElinkMsg>,
+    ) {
+        if (self.clustered && self.root == root) || self.ever_joined.contains(&root) {
+            return; // current or former member; re-joining gains nothing
+        }
+        let d_new = self.metric.distance(&root_feature, &self.feature);
+        if d_new > self.config.admission_radius() {
+            return;
+        }
+        let join = if !self.clustered {
+            true
+        } else {
+            // Switch rule (Fig 16): same sentinel level (unless unordered),
+            // `d(F_rj, F_i) < d(F_ri, F_i) + φ`, and switch budget left. The
+            // `+φ` tolerance is what lets a freshly self-rooted sentinel
+            // (root distance 0) dissolve into a same-level neighbor cluster
+            // — the mechanism behind "this handles the case when the number
+            // of clusters should be less than 5" (§3.2). The same-level
+            // rule protects clusters grown from lower levels.
+            let d_cur = self.metric.distance(&self.root_feature, &self.feature);
+            let level_ok = self.mode == SignalMode::Unordered || level == self.joined_level;
+            level_ok && d_new < d_cur + self.config.phi && self.switches_left > 0
+        };
+        if !join {
+            return;
+        }
+        if self.clustered {
+            self.switches_left -= 1;
+        }
+        self.clustered = true;
+        self.root = root;
+        self.root_feature = root_feature.clone();
+        self.joined_level = level;
+        self.parent = from;
+        self.ever_joined.insert(root);
+
+        if self.mode == SignalMode::Explicit {
+            ctx.send(from, ElinkMsg::Ack1 { root }, "ack1", 1);
+            self.subtrees.insert(
+                root,
+                Subtree {
+                    parent: Some(from),
+                    pending_children: 0,
+                    wait_done: false,
+                    acked: false,
+                    sentinel_cell: None,
+                },
+            );
+            let timeout = self.leaf_timeout(ctx);
+            ctx.set_timer(timeout, TIMER_LEAF_BASE + root as u64);
+        }
+        let msg = ElinkMsg::Expand {
+            root,
+            root_feature,
+            level,
+        };
+        let scalars = self.root_feature.scalar_cost();
+        ctx.broadcast_neighbors(&msg, "expand", scalars);
+    }
+
+    /// Completion check for the `ack2` wave of one cluster.
+    fn check_completion(&mut self, root: NodeId, ctx: &mut Ctx<'_, ElinkMsg>) {
+        let Some(sub) = self.subtrees.get_mut(&root) else {
+            return;
+        };
+        if sub.acked || !sub.wait_done || sub.pending_children > 0 {
+            return;
+        }
+        sub.acked = true;
+        match sub.parent {
+            Some(p) => ctx.send(p, ElinkMsg::Ack2 { root }, "ack2", 1),
+            None => {
+                // This node rooted the cluster: the entire expansion is
+                // complete (Fig 18) — report through the quadtree.
+                if let Some(cell) = sub.sentinel_cell {
+                    self.sentinel_complete(cell, ctx);
+                }
+            }
+        }
+    }
+
+    /// A sentinel's expansion for `cell` is complete: feed the quadtree
+    /// synchronization (Fig 18 `phase 1`), or start the next level directly
+    /// when this is the root cell.
+    fn sentinel_complete(&mut self, cell: CellId, ctx: &mut Ctx<'_, ElinkMsg>) {
+        let led = self
+            .quad
+            .led_cell(ctx.id(), cell)
+            .expect("sentinel_complete on a cell this node does not lead")
+            .clone();
+        match (led.parent_cell, led.parent_leader) {
+            (Some(pcell), Some(pleader)) => {
+                ctx.unicast(
+                    pleader,
+                    ElinkMsg::Phase1 {
+                        cell: pcell,
+                        level: led.level,
+                    },
+                    "phase1",
+                    1,
+                );
+            }
+            _ => {
+                // Root cell (S_0): level 0 is done — start S_1 directly
+                // (the wave's elapsed counter begins here).
+                self.start_children(&led, 0, ctx);
+            }
+        }
+    }
+
+    fn start_children(&mut self, led: &crate::quadinfo::LedCell, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+        for &(child_cell, child_leader) in &led.children {
+            if child_leader == ctx.id() {
+                // Leading both the cell and one child: handle locally.
+                self.handle_start(child_cell, elapsed, ctx);
+            } else {
+                let hops = ctx.hops_to(child_leader).unwrap_or(0) as u64;
+                ctx.unicast(
+                    child_leader,
+                    ElinkMsg::Start {
+                        cell: child_cell,
+                        elapsed: elapsed + hops,
+                    },
+                    "start",
+                    1,
+                );
+            }
+        }
+    }
+
+    /// Start-alignment budget: an upper bound (in hops) on the phase-2 +
+    /// start cascade from the quadtree root to any sentinel — `Σ κ/2^m < 2κ`
+    /// (§5's timing analysis).
+    fn start_budget(&self) -> u64 {
+        (4.0 * self.config.kappa(self.n)).ceil() as u64
+    }
+
+    /// Receives an (aligned) start for a led cell: waits out the residual
+    /// per-level budget, then runs ELink. On synchronous networks every
+    /// same-level sentinel therefore begins at the same tick, matching the
+    /// implicit schedule (§8.4: both variants output the same clusters).
+    fn handle_start(&mut self, cell: CellId, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+        let budget = self.start_budget();
+        let wait = budget.saturating_sub(elapsed) * ctx.delay_model().max_hop_delay();
+        ctx.set_timer(wait, TIMER_START_BASE + cell as u64);
+    }
+
+    /// Fan-in of `phase 1` messages at an intermediate (or root) cell.
+    fn on_phase1(&mut self, cell: CellId, level: usize, ctx: &mut Ctx<'_, ElinkMsg>) {
+        let led = self
+            .quad
+            .led_cell(ctx.id(), cell)
+            .expect("phase1 addressed to non-leader")
+            .clone();
+        let key = (cell, level);
+        let fanin = led.phase1_fanin(level, &self.quad);
+        let pending = self.phase1_pending.entry(key).or_insert(fanin);
+        debug_assert!(*pending > 0, "phase1 overflow at cell {cell}");
+        *pending -= 1;
+        if *pending > 0 {
+            return;
+        }
+        self.phase1_pending.remove(&key);
+        match (led.parent_cell, led.parent_leader) {
+            (Some(pcell), Some(pleader)) => {
+                ctx.unicast(
+                    pleader,
+                    ElinkMsg::Phase1 { cell: pcell, level },
+                    "phase1",
+                    1,
+                );
+            }
+            _ => {
+                // Quadtree root: all of S_level finished — phase 2 down.
+                self.on_phase2(cell, level, 0, ctx);
+            }
+        }
+    }
+
+    /// `phase 2` down-sweep (Fig 18), threading the alignment counter.
+    fn on_phase2(&mut self, cell: CellId, level: usize, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+        let led = self
+            .quad
+            .led_cell(ctx.id(), cell)
+            .expect("phase2 addressed to non-leader")
+            .clone();
+        if led.level == level {
+            // Instruct the children (the S_{level+1} sentinels) to start.
+            self.start_children(&led, elapsed, ctx);
+            return;
+        }
+        for &(child_cell, child_leader) in &led.children {
+            // Only branches that actually contain level-`level` cells
+            // participate in the wave.
+            if self.quad.subtree_max_level[child_cell] < level {
+                continue;
+            }
+            if child_leader == ctx.id() {
+                self.on_phase2(child_cell, level, elapsed, ctx);
+            } else {
+                let hops = ctx.hops_to(child_leader).unwrap_or(0) as u64;
+                ctx.unicast(
+                    child_leader,
+                    ElinkMsg::Phase2 {
+                        cell: child_cell,
+                        level,
+                        elapsed: elapsed + hops,
+                    },
+                    "phase2",
+                    1,
+                );
+            }
+        }
+    }
+}
+
+impl Protocol for ElinkNode {
+    type Msg = ElinkMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ElinkMsg>) {
+        match self.mode {
+            SignalMode::Implicit => {
+                let level = self.quad.sentinel_level[ctx.id()];
+                let start = self.config.schedule_start(self.n, level).ceil() as u64;
+                ctx.set_timer(start, TIMER_SCHEDULE);
+            }
+            SignalMode::Unordered => {
+                ctx.set_timer(0, TIMER_SCHEDULE);
+            }
+            SignalMode::Explicit => {
+                if ctx.id() == self.quad.root_leader {
+                    // The S_0 sentinel needs no alignment: it is the only
+                    // member of its level.
+                    let root_cell = self.quad.root_cell;
+                    let root_level = 0;
+                    self.elink_start(root_level, Some(root_cell), ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+        if timer >= TIMER_START_BASE {
+            let cell = (timer - TIMER_START_BASE) as CellId;
+            let level = self
+                .quad
+                .led_cell(ctx.id(), cell)
+                .expect("start timer for a cell this node does not lead")
+                .level;
+            self.elink_start(level, Some(cell), ctx);
+            return;
+        }
+        if timer == TIMER_SCHEDULE {
+            // Unordered mode flattens all levels to 0 so the same-level
+            // switch rule never blocks (levels are concurrent anyway).
+            let level = match self.mode {
+                SignalMode::Unordered => 0,
+                _ => self.quad.sentinel_level[ctx.id()],
+            };
+            self.elink_start(level, None, ctx);
+        } else {
+            let root = (timer - TIMER_LEAF_BASE) as NodeId;
+            if let Some(sub) = self.subtrees.get_mut(&root) {
+                sub.wait_done = true;
+            }
+            self.check_completion(root, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ElinkMsg, ctx: &mut Ctx<'_, ElinkMsg>) {
+        match msg {
+            ElinkMsg::Expand {
+                root,
+                root_feature,
+                level,
+            } => self.on_expand(from, root, root_feature, level, ctx),
+            ElinkMsg::Ack1 { root } => {
+                if let Some(sub) = self.subtrees.get_mut(&root) {
+                    sub.pending_children += 1;
+                }
+            }
+            ElinkMsg::Ack2 { root } => {
+                if let Some(sub) = self.subtrees.get_mut(&root) {
+                    sub.pending_children = sub.pending_children.saturating_sub(1);
+                }
+                self.check_completion(root, ctx);
+            }
+            ElinkMsg::Phase1 { cell, level } => self.on_phase1(cell, level, ctx),
+            ElinkMsg::Phase2 { cell, level, elapsed } => self.on_phase2(cell, level, elapsed, ctx),
+            ElinkMsg::Start { cell, elapsed } => self.handle_start(cell, elapsed, ctx),
+        }
+    }
+}

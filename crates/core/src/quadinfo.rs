@@ -1,0 +1,181 @@
+//! Per-node quadtree signalling information, precomputed from the
+//! [`elink_topology::QuadTree`].
+//!
+//! The protocols need, for every node, the cells it leads, each cell's
+//! level, the *leader of the parent cell* (its quad parent for `phase 1`
+//! messages), the leaders of child cells (`start` / `phase 2` targets) and
+//! — for correct `phase 1` fan-in over the pruned quadtree — how many child
+//! branches actually contain cells of a given level.
+
+use elink_topology::{CellId, NodeId, QuadTree, Topology};
+
+/// Signalling info for one quadtree cell, from its leader's perspective.
+#[derive(Debug, Clone)]
+pub struct LedCell {
+    /// The cell id (used to key synchronization messages).
+    pub cell: CellId,
+    /// The cell's quadtree level.
+    pub level: usize,
+    /// Parent cell id (`None` for the root cell).
+    pub parent_cell: Option<CellId>,
+    /// Leader of the parent cell (`None` for the root cell).
+    pub parent_leader: Option<NodeId>,
+    /// `(cell, leader)` of each non-empty child cell.
+    pub children: Vec<(CellId, NodeId)>,
+    /// Deepest level present in this cell's subtree (the cell's own level
+    /// for leaves).
+    pub subtree_max_level: usize,
+}
+
+impl LedCell {
+    /// Number of children whose subtree contains cells at `level` — the
+    /// `phase 1` fan-in count for that level.
+    pub fn phase1_fanin(&self, level: usize, quad: &QuadInfo) -> usize {
+        self.children
+            .iter()
+            .filter(|(c, _)| quad.subtree_max_level[*c] >= level)
+            .count()
+    }
+}
+
+/// Precomputed quadtree signalling structure.
+#[derive(Debug, Clone)]
+pub struct QuadInfo {
+    /// Cells each node leads (possibly several nested cells).
+    pub led_by_node: Vec<Vec<LedCell>>,
+    /// Shallowest level each node leads (its implicit-schedule level).
+    pub sentinel_level: Vec<usize>,
+    /// Deepest level per cell subtree, indexed by cell id.
+    pub subtree_max_level: Vec<usize>,
+    /// The quadtree depth α.
+    pub depth: usize,
+    /// Leader of the root cell (the `S_0` sentinel).
+    pub root_leader: NodeId,
+    /// Root cell id.
+    pub root_cell: CellId,
+}
+
+impl QuadInfo {
+    /// Builds signalling info from a topology's quadtree.
+    pub fn build(topology: &Topology) -> QuadInfo {
+        let qt = QuadTree::build(topology);
+        QuadInfo::from_quadtree(&qt, topology)
+    }
+
+    /// Builds signalling info from an existing quadtree.
+    pub fn from_quadtree(qt: &QuadTree, topology: &Topology) -> QuadInfo {
+        let n = topology.n();
+        // Subtree max level per cell (post-order accumulation; cells are
+        // created parent-before-children so a reverse scan suffices).
+        let cell_count = qt.cell_count();
+        let mut subtree_max_level = vec![0usize; cell_count];
+        for id in (0..cell_count).rev() {
+            let cell = qt.cell(id);
+            let mut max = cell.level;
+            for &ch in &cell.children {
+                max = max.max(subtree_max_level[ch]);
+            }
+            subtree_max_level[id] = max;
+        }
+
+        let mut led_by_node: Vec<Vec<LedCell>> = vec![Vec::new(); n];
+        let mut sentinel_level = vec![usize::MAX; n];
+        for (id, cell) in qt.iter_cells() {
+            let parent_leader = cell.parent.map(|p| qt.cell(p).leader);
+            let children = cell
+                .children
+                .iter()
+                .map(|&c| (c, qt.cell(c).leader))
+                .collect();
+            led_by_node[cell.leader].push(LedCell {
+                cell: id,
+                level: cell.level,
+                parent_cell: cell.parent,
+                parent_leader,
+                children,
+                subtree_max_level: subtree_max_level[id],
+            });
+            sentinel_level[cell.leader] = sentinel_level[cell.leader].min(cell.level);
+        }
+        // Duplicate positions can leave a node leading no cell; treat it as
+        // a deepest-level sentinel so it still gets scheduled.
+        let depth = qt.depth();
+        for lvl in sentinel_level.iter_mut() {
+            if *lvl == usize::MAX {
+                *lvl = depth;
+            }
+        }
+        QuadInfo {
+            led_by_node,
+            sentinel_level,
+            subtree_max_level,
+            depth,
+            root_leader: qt.cell(qt.root()).leader,
+            root_cell: qt.root(),
+        }
+    }
+
+    /// The led-cell record for `(node, cell)`, if any.
+    pub fn led_cell(&self, node: NodeId, cell: CellId) -> Option<&LedCell> {
+        self.led_by_node[node].iter().find(|lc| lc.cell == cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_topology::Topology;
+
+    #[test]
+    fn root_leader_leads_level_zero() {
+        let topo = Topology::grid(4, 4);
+        let q = QuadInfo::build(&topo);
+        assert_eq!(q.sentinel_level[q.root_leader], 0);
+        let led = q.led_cell(q.root_leader, q.root_cell).unwrap();
+        assert_eq!(led.level, 0);
+        assert!(led.parent_leader.is_none());
+    }
+
+    #[test]
+    fn every_node_has_a_sentinel_level() {
+        let topo = Topology::random_synthetic(70, 3);
+        let q = QuadInfo::build(&topo);
+        for v in 0..topo.n() {
+            assert!(q.sentinel_level[v] <= q.depth);
+        }
+    }
+
+    #[test]
+    fn subtree_max_level_reaches_leaves() {
+        let topo = Topology::grid(4, 4);
+        let q = QuadInfo::build(&topo);
+        // Root subtree must contain the deepest level.
+        assert_eq!(q.subtree_max_level[q.root_cell], q.depth);
+    }
+
+    #[test]
+    fn phase1_fanin_counts_only_deep_branches() {
+        let topo = Topology::grid(4, 4);
+        let q = QuadInfo::build(&topo);
+        let root_led = q.led_cell(q.root_leader, q.root_cell).unwrap();
+        // At level 1, every child branch participates (all are non-empty).
+        assert_eq!(root_led.phase1_fanin(1, &q), root_led.children.len());
+        // Above the maximum depth nothing participates.
+        assert_eq!(root_led.phase1_fanin(q.depth + 1, &q), 0);
+    }
+
+    #[test]
+    fn parent_leader_links_are_consistent() {
+        let topo = Topology::random_synthetic(50, 9);
+        let q = QuadInfo::build(&topo);
+        for node in 0..topo.n() {
+            for led in &q.led_by_node[node] {
+                for &(child_cell, child_leader) in &led.children {
+                    let child_led = q.led_cell(child_leader, child_cell).unwrap();
+                    assert_eq!(child_led.parent_leader, Some(node));
+                    assert_eq!(child_led.level, led.level + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! One-call runners for the three ELink variants.
+
+use crate::clustering::Clustering;
+use crate::config::ElinkConfig;
+use crate::protocol::{ElinkNode, SignalMode};
+use crate::quadinfo::QuadInfo;
+use elink_metric::{Feature, Metric};
+use elink_netsim::{DelayModel, MessageStats, SimNetwork, SimTime, Simulator};
+use std::sync::Arc;
+
+/// Result of an ELink run: the clustering, the message bill and the
+/// simulated completion time.
+#[derive(Debug, Clone)]
+pub struct ElinkOutcome {
+    /// The extracted (validated-shape) clustering.
+    pub clustering: Clustering,
+    /// Message statistics (per kind and total; §8.2 cost model).
+    pub stats: MessageStats,
+    /// Simulated time at which the protocol quiesced.
+    pub elapsed: SimTime,
+}
+
+fn run(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    mode: SignalMode,
+    delay: DelayModel,
+    seed: u64,
+) -> ElinkOutcome {
+    let topo = network.topology();
+    let n = topo.n();
+    assert_eq!(features.len(), n, "one feature per node");
+    let quad = Arc::new(QuadInfo::build(topo));
+    let nodes: Vec<ElinkNode> = (0..n)
+        .map(|id| {
+            ElinkNode::new(
+                id,
+                n,
+                features[id].clone(),
+                Arc::clone(&metric),
+                config,
+                mode,
+                Arc::clone(&quad),
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(network.clone(), delay, seed, nodes);
+    let elapsed = sim.run_to_completion();
+    let states: Vec<_> = sim
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(id, node)| node.cluster_state(id))
+        .collect();
+    let clustering = Clustering::from_node_states(&states, topo, metric.as_ref());
+    ElinkOutcome {
+        clustering,
+        stats: sim.stats().clone(),
+        elapsed,
+    }
+}
+
+/// Implicit-signalling ELink (§4) — synchronous networks only: level `l`
+/// sentinels start on timers at `Σ_{j<l} t_j`.
+///
+/// ```
+/// use elink_core::{run_implicit, ElinkConfig};
+/// use elink_metric::{Absolute, Feature};
+/// use elink_netsim::SimNetwork;
+/// use elink_topology::Topology;
+/// use std::sync::Arc;
+///
+/// let topology = Topology::grid(1, 8);
+/// // Two feature zones: west ~0, east ~50.
+/// let features: Vec<Feature> = (0..8)
+///     .map(|v| Feature::scalar(if v < 4 { 0.0 } else { 50.0 }))
+///     .collect();
+/// let network = SimNetwork::new(topology);
+/// let outcome = run_implicit(&network, &features, Arc::new(Absolute),
+///                            ElinkConfig::for_delta(5.0));
+/// assert_eq!(outcome.clustering.cluster_count(), 2);
+/// ```
+pub fn run_implicit(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+) -> ElinkOutcome {
+    run(
+        network,
+        features,
+        metric,
+        config,
+        SignalMode::Implicit,
+        DelayModel::Sync,
+        0,
+    )
+}
+
+/// Explicit-signalling ELink (§5) — works on synchronous *and* asynchronous
+/// networks; levels are ordered by `ack`/`phase`/`start` messages.
+pub fn run_explicit(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    delay: DelayModel,
+    seed: u64,
+) -> ElinkOutcome {
+    run(
+        network,
+        features,
+        metric,
+        config,
+        SignalMode::Explicit,
+        delay,
+        seed,
+    )
+}
+
+/// The §5 ablation: every sentinel expands at time 0 ("unordered
+/// expansion"), trading clustering quality for `O(√N)` completion time.
+pub fn run_unordered(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    delay: DelayModel,
+    seed: u64,
+) -> ElinkOutcome {
+    run(
+        network,
+        features,
+        metric,
+        config,
+        SignalMode::Unordered,
+        delay,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::validate_delta_clustering;
+    use elink_metric::Absolute;
+    use elink_topology::Topology;
+
+    /// 1×8 path with two obvious feature zones.
+    fn two_zone() -> (SimNetwork, Vec<Feature>) {
+        let topo = Topology::grid(1, 8);
+        let features: Vec<Feature> = (0..8)
+            .map(|v| Feature::scalar(if v < 4 { 0.0 } else { 100.0 }))
+            .collect();
+        (SimNetwork::new(topo), features)
+    }
+
+    #[test]
+    fn implicit_clusters_two_zones() {
+        let (net, features) = two_zone();
+        let outcome = run_implicit(&net, &features, Arc::new(Absolute), ElinkConfig::for_delta(10.0));
+        assert_eq!(outcome.clustering.cluster_count(), 2);
+        validate_delta_clustering(
+            &outcome.clustering,
+            net.topology(),
+            &features,
+            &Absolute,
+            10.0,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn explicit_matches_implicit_on_sync_network() {
+        // §8.4: "The Implicit and Explicit signalled ELink algorithms output
+        // the same clusters".
+        let (net, features) = two_zone();
+        let config = ElinkConfig::for_delta(10.0);
+        let a = run_implicit(&net, &features, Arc::new(Absolute), config);
+        let b = run_explicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            config,
+            DelayModel::Sync,
+            0,
+        );
+        assert_eq!(a.clustering.assignment, b.clustering.assignment);
+        // ... but the explicit variant pays synchronization messages.
+        assert!(b.stats.total_cost() > a.stats.total_cost());
+    }
+
+    #[test]
+    fn single_cluster_when_delta_huge() {
+        let (net, features) = two_zone();
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(1000.0),
+        );
+        assert_eq!(outcome.clustering.cluster_count(), 1);
+    }
+
+    #[test]
+    fn all_singletons_when_delta_tiny() {
+        let topo = Topology::grid(1, 5);
+        let features: Vec<Feature> =
+            (0..5).map(|v| Feature::scalar(v as f64 * 50.0)).collect();
+        let net = SimNetwork::new(topo);
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(1.0),
+        );
+        assert_eq!(outcome.clustering.cluster_count(), 5);
+    }
+
+    #[test]
+    fn explicit_works_on_async_network() {
+        let (net, features) = two_zone();
+        let outcome = run_explicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(10.0),
+            DelayModel::Async { min: 1, max: 4 },
+            7,
+        );
+        assert_eq!(outcome.clustering.cluster_count(), 2);
+        validate_delta_clustering(
+            &outcome.clustering,
+            net.topology(),
+            &features,
+            &Absolute,
+            10.0,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unordered_completes_and_validates() {
+        let (net, features) = two_zone();
+        let outcome = run_unordered(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(10.0),
+            DelayModel::Sync,
+            0,
+        );
+        validate_delta_clustering(
+            &outcome.clustering,
+            net.topology(),
+            &features,
+            &Absolute,
+            10.0,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the §6 maintenance state machine: arbitrary update
+//! streams (with interleaved failures) never corrupt the cluster state.
+
+use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_metric::{Absolute, Feature};
+use elink_netsim::SimNetwork;
+use elink_topology::Topology;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_sim(n: usize, topo_seed: u64, delta: f64, slack: f64) -> (MaintenanceSim, usize) {
+    let topology = Topology::random_synthetic(n, topo_seed);
+    let features: Vec<Feature> = (0..n)
+        .map(|v| {
+            let h = (v as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(topo_seed);
+            Feature::scalar(((h >> 11) as f64 / (1u64 << 53) as f64) * 100.0)
+        })
+        .collect();
+    let network = SimNetwork::new(topology.clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::new(Absolute),
+        ElinkConfig::for_delta(delta - 2.0 * slack),
+    );
+    let sim = MaintenanceSim::new(
+        &outcome.clustering,
+        Arc::new(topology),
+        Arc::new(Absolute),
+        features,
+        delta,
+        slack,
+    );
+    (sim, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random update streams: every node keeps a self-consistent root, the
+    /// message bill is monotone, and cluster counts stay in [1, n].
+    #[test]
+    fn random_streams_keep_state_consistent(
+        topo_seed in 0u64..200,
+        stream in proptest::collection::vec((0usize..30, 0.0f64..120.0), 1..80),
+        slack_frac in 0.0f64..0.45,
+    ) {
+        let n = 30;
+        let delta = 20.0;
+        let slack = slack_frac * delta;
+        let (mut sim, _) = build_sim(n, topo_seed, delta, slack);
+        let mut prev_cost = 0;
+        for (node, value) in stream {
+            sim.update(node, Feature::scalar(value));
+            let cost = sim.stats().total_cost();
+            prop_assert!(cost >= prev_cost, "message bill went backwards");
+            prev_cost = cost;
+            let k = sim.cluster_count();
+            prop_assert!((1..=n).contains(&k), "cluster count {k} out of range");
+            // Self-consistency: a node's root is its own root.
+            for v in 0..n {
+                let r = sim.root_of(v);
+                prop_assert_eq!(sim.root_of(r), r, "root of {} is not a fixpoint", v);
+            }
+        }
+    }
+
+    /// Interleaved failures: the surviving nodes always remain clustered
+    /// with self-consistent roots, and failed nodes stay out.
+    #[test]
+    fn failures_never_corrupt_state(
+        topo_seed in 0u64..100,
+        ops in proptest::collection::vec((0usize..25, 0.0f64..120.0, proptest::bool::weighted(0.15)), 1..60),
+    ) {
+        let n = 25;
+        let (mut sim, _) = build_sim(n, topo_seed, 20.0, 1.0);
+        for (node, value, fail) in ops {
+            if sim.is_failed(node) {
+                continue;
+            }
+            if fail {
+                sim.fail_node(node);
+            } else {
+                sim.update(node, Feature::scalar(value));
+            }
+            for v in 0..n {
+                if sim.is_failed(v) {
+                    continue;
+                }
+                let r = sim.root_of(v);
+                prop_assert!(!sim.is_failed(r) || r == v,
+                    "live node {} roots at failed node {}", v, r);
+            }
+        }
+    }
+}

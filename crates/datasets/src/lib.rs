@@ -1,0 +1,27 @@
+//! Data sets for the ELink experiments (§8.1).
+//!
+//! The paper evaluates on two real data sets (TAO sea-surface temperatures
+//! and Death Valley elevations) plus a synthetic one. The real data is not
+//! redistributable, so this crate generates **calibrated synthetic
+//! equivalents** that preserve the properties the experiments exercise (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`tao`] — spatially correlated *dynamic* data: a 6×9 grid of sea
+//!   surface temperature series with a zonal warm-pool/cold-tongue gradient,
+//!   diurnal cycles and AR(1) noise, calibrated to the paper's reported
+//!   statistics (range ≈ (19.57, 32.79), μ ≈ 25.61, σ ≈ 0.67).
+//! * [`terrain`] — spatially correlated *static* data: diamond–square
+//!   fractal terrain rescaled to the Death Valley altitude range
+//!   (175, 1996) m, sampled at 2500 random sensor positions.
+//! * [`synthetic`] — spatially *uncorrelated* dynamic data: per-node AR(1)
+//!   processes `x_t = α_i x_{t-1} + e_t` with `α_i ~ U(0.4, 0.8)` and
+//!   `e_t ~ U(0, 1)`, on random-uniform topologies of 100–800 nodes.
+
+pub mod noise;
+pub mod synthetic;
+pub mod tao;
+pub mod terrain;
+
+pub use synthetic::SyntheticDataset;
+pub use tao::{TaoDataset, TaoParams};
+pub use terrain::TerrainDataset;

@@ -1,0 +1,242 @@
+//! Death-Valley-like elevation data via diamond–square fractal terrain
+//! (§8.1, substitution).
+//!
+//! The paper scatters sensors over Death Valley and assigns each the local
+//! elevation as its (static, scalar) feature; results are averaged over 5
+//! random 2500-sensor topologies. Diamond–square terrain is self-similar
+//! and spatially autocorrelated — the same statistical class as real
+//! terrain — and is rescaled to the paper's altitude range (175, 1996) m.
+
+use crate::noise::normal;
+use elink_metric::{Absolute, Feature};
+use elink_topology::Topology;
+use rand::SeedableRng;
+
+/// A terrain data set: a random sensor topology whose node features are the
+/// terrain elevation at each sensor position.
+#[derive(Debug, Clone)]
+pub struct TerrainDataset {
+    topology: Topology,
+    elevations: Vec<f64>,
+}
+
+impl TerrainDataset {
+    /// The paper's preset: 2500 sensors; call with seeds 0..5 and average.
+    pub fn standard(seed: u64) -> TerrainDataset {
+        TerrainDataset::generate(2500, 7, 0.55, seed)
+    }
+
+    /// Generates terrain of resolution `(2^grid_pow + 1)²` with roughness
+    /// `h ∈ (0, 1)` (smaller = rougher) and scatters `n_sensors` over it.
+    pub fn generate(n_sensors: usize, grid_pow: u32, roughness: f64, seed: u64) -> TerrainDataset {
+        assert!(n_sensors >= 1);
+        assert!((0.0..=1.0).contains(&roughness));
+        let heightmap = diamond_square(grid_pow, roughness, seed);
+        let size = heightmap.len();
+
+        // Rescale to the Death Valley altitude range (175, 1996).
+        let (lo, hi) = (175.0, 1996.0);
+        let (min, max) = heightmap
+            .iter()
+            .flatten()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
+        let span = (max - min).max(1e-12);
+        let rescale = |v: f64| lo + (v - min) / span * (hi - lo);
+
+        // Scatter sensors uniformly; density matched to the synthetic preset
+        // so radio ranges stay realistic.
+        let density = 0.8;
+        let side = (n_sensors as f64 / density).sqrt();
+        let radio = (4.0 / (std::f64::consts::PI * density)).sqrt();
+        let topology = Topology::random_uniform(n_sensors, side, radio, seed);
+
+        // Bilinear interpolation of the heightmap at each sensor position.
+        let elevations = topology
+            .positions()
+            .iter()
+            .map(|p| {
+                let gx = (p.x / side) * (size - 1) as f64;
+                let gy = (p.y / side) * (size - 1) as f64;
+                let x0 = (gx.floor() as usize).min(size - 2);
+                let y0 = (gy.floor() as usize).min(size - 2);
+                let fx = (gx - x0 as f64).clamp(0.0, 1.0);
+                let fy = (gy - y0 as f64).clamp(0.0, 1.0);
+                let v00 = heightmap[y0][x0];
+                let v01 = heightmap[y0][x0 + 1];
+                let v10 = heightmap[y0 + 1][x0];
+                let v11 = heightmap[y0 + 1][x0 + 1];
+                let v = v00 * (1.0 - fx) * (1.0 - fy)
+                    + v01 * fx * (1.0 - fy)
+                    + v10 * (1.0 - fx) * fy
+                    + v11 * fx * fy;
+                rescale(v)
+            })
+            .collect();
+        TerrainDataset {
+            topology,
+            elevations,
+        }
+    }
+
+    /// The sensor topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Per-node elevations (the raw data).
+    pub fn elevations(&self) -> &[f64] {
+        &self.elevations
+    }
+
+    /// Per-node scalar features.
+    pub fn features(&self) -> Vec<Feature> {
+        self.elevations.iter().map(|&e| Feature::scalar(e)).collect()
+    }
+
+    /// The natural metric for scalar elevation features.
+    pub fn metric(&self) -> Absolute {
+        Absolute
+    }
+}
+
+/// Classic diamond–square mid-point displacement on a `(2^pow + 1)²` grid.
+fn diamond_square(pow: u32, roughness: f64, seed: u64) -> Vec<Vec<f64>> {
+    let size = (1usize << pow) + 1;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut map = vec![vec![0.0; size]; size];
+    // Random corners.
+    for (y, x) in [(0, 0), (0, size - 1), (size - 1, 0), (size - 1, size - 1)] {
+        map[y][x] = normal(&mut rng, 0.0, 1.0);
+    }
+    let mut step = size - 1;
+    let mut scale = 1.0;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step: centers of squares.
+        for y in (half..size).step_by(step) {
+            for x in (half..size).step_by(step) {
+                let avg = (map[y - half][x - half]
+                    + map[y - half][x + half]
+                    + map[y + half][x - half]
+                    + map[y + half][x + half])
+                    / 4.0;
+                map[y][x] = avg + normal(&mut rng, 0.0, scale);
+            }
+        }
+        // Square step: edge midpoints.
+        for y in (0..size).step_by(half) {
+            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            for x in (x_start..size).step_by(step) {
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                if y >= half {
+                    sum += map[y - half][x];
+                    count += 1.0;
+                }
+                if y + half < size {
+                    sum += map[y + half][x];
+                    count += 1.0;
+                }
+                if x >= half {
+                    sum += map[y][x - half];
+                    count += 1.0;
+                }
+                if x + half < size {
+                    sum += map[y][x + half];
+                    count += 1.0;
+                }
+                map[y][x] = sum / count + normal(&mut rng, 0.0, scale);
+            }
+        }
+        step = half;
+        scale *= roughness;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TerrainDataset {
+        TerrainDataset::generate(300, 6, 0.55, 3)
+    }
+
+    #[test]
+    fn elevations_in_death_valley_range() {
+        let d = small();
+        for &e in d.elevations() {
+            assert!((175.0..=1996.0).contains(&e), "elevation {e}");
+        }
+        // The full range should be (nearly) exercised somewhere on the map;
+        // sampled sensors should at least span most of it.
+        let min = d.elevations().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d
+            .elevations()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 800.0, "span {}", max - min);
+    }
+
+    #[test]
+    fn topology_is_connected_with_requested_size() {
+        let d = small();
+        assert_eq!(d.topology().n(), 300);
+        assert!(d.topology().graph().is_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.elevations(), b.elevations());
+        let c = TerrainDataset::generate(300, 6, 0.55, 4);
+        assert_ne!(a.elevations(), c.elevations());
+    }
+
+    #[test]
+    fn spatially_autocorrelated() {
+        // Communication-graph neighbors must be closer in elevation than
+        // random pairs, otherwise the clustering experiments degenerate.
+        let d = small();
+        let n = d.topology().n();
+        let g = d.topology().graph();
+        let e = d.elevations();
+        let mut neighbor_diffs = Vec::new();
+        for v in 0..n {
+            for &w in g.neighbors(v) {
+                if (w as usize) > v {
+                    neighbor_diffs.push((e[v] - e[w as usize]).abs());
+                }
+            }
+        }
+        let mut all_diffs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all_diffs.push((e[i] - e[j]).abs());
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mn = mean(&neighbor_diffs);
+        let ma = mean(&all_diffs);
+        assert!(mn < 0.6 * ma, "neighbor mean {mn} vs global mean {ma}");
+    }
+
+    #[test]
+    fn features_are_scalar() {
+        let d = small();
+        let f = d.features();
+        assert_eq!(f.len(), 300);
+        assert!(f.iter().all(|x| x.dim() == 1));
+    }
+
+    #[test]
+    fn heightmap_has_correct_size() {
+        let m = diamond_square(4, 0.5, 1);
+        assert_eq!(m.len(), 17);
+        assert!(m.iter().all(|row| row.len() == 17));
+    }
+}

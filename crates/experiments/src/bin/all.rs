@@ -1,0 +1,6 @@
+//! Regenerates every table/figure of the evaluation; writes results/*.csv.
+fn main() {
+    for table in elink_experiments::run_all() {
+        elink_experiments::common::emit(&table);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ext_ablation result; writes results/ext_ablation.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_ablation::run(Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ext_failure extension table; writes results/ext_failure.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_failure::run(Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ext_kmedoids extension table; writes results/ext_kmedoids.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_kmedoids::run(Default::default()));
+}

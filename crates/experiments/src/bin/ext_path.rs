@@ -1,0 +1,4 @@
+//! Regenerates the paper's ext_path result; writes results/ext_path.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_path::run(Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ext_repr extension table; writes results/ext_repr.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_repr::run(Default::default()));
+}

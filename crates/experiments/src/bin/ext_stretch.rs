@@ -1,0 +1,4 @@
+//! Regenerates the ext_stretch extension table; writes results/ext_stretch.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_stretch::run(Default::default()));
+}

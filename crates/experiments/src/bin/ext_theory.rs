@@ -1,0 +1,4 @@
+//! Regenerates the paper's ext_theory result; writes results/ext_theory.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_theory::run(Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig08 result; writes results/fig08.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig08::run(Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09 result; writes results/fig09.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig09::run(Default::default()));
+}

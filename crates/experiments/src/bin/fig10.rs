@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 result; writes results/fig10.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig10::run(Default::default()));
+}

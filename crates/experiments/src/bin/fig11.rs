@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 result; writes results/fig11.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig11::run(Default::default()));
+}

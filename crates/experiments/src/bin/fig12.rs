@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 result; writes results/fig12.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig12::run(Default::default()));
+}

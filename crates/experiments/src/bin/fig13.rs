@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 result; writes results/fig13.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig13::run(Default::default()));
+}

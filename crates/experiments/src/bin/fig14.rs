@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 result; writes results/fig14.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig14::run(Default::default()));
+}

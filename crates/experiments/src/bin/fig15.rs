@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 result; writes results/fig15.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::fig15::run(Default::default()));
+}

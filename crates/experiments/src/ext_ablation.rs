@@ -1,0 +1,146 @@
+//! Ext-A — ablations of ELink's design choices on the Tao data:
+//!
+//! * the switch budget `c` (Fig 16's `counter`; the paper recommends 3–5),
+//! * the switch tolerance φ (the experiments use 0.1 δ),
+//! * the unordered-expansion variant (§5's closing remark).
+//!
+//! Expected shape: `c = 0` (no switching) fragments more; moderate `c`
+//! recovers quality at modest extra message cost; the unordered variant is
+//! fast but clearly worse in quality than level-ordered expansion.
+
+use crate::common::{delta_quantiles, fmt, Table};
+use elink_core::{run_implicit, run_unordered, ElinkConfig};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_netsim::{DelayModel, SimNetwork};
+use std::sync::Arc;
+
+/// Parameters for the ablation table.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ as a quantile of pairwise feature distances.
+    pub delta_quantile: f64,
+    /// Switch budgets swept.
+    pub switch_budgets: Vec<u32>,
+    /// φ values swept, as fractions of δ.
+    pub phi_fractions: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantile: 0.5,
+            switch_budgets: vec![0, 1, 2, 4, 8],
+            phi_fractions: vec![0.0, 0.1, 0.3],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 8,
+            },
+            seed: 7,
+            delta_quantile: 0.5,
+            switch_budgets: vec![0, 4],
+            phi_fractions: vec![0.1],
+        }
+    }
+}
+
+/// Regenerates the ablation table.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let network = SimNetwork::new(data.topology().clone());
+
+    let mut rows = Vec::new();
+    for &c in &params.switch_budgets {
+        for &phi_frac in &params.phi_fractions {
+            let config = ElinkConfig {
+                max_switches: c,
+                phi: phi_frac * delta,
+                ..ElinkConfig::for_delta(delta)
+            };
+            let outcome = run_implicit(&network, &features, Arc::clone(&metric) as _, config);
+            rows.push(vec![
+                format!("ordered c={c} phi={phi_frac}delta"),
+                outcome.clustering.cluster_count().to_string(),
+                outcome.stats.total_cost().to_string(),
+                outcome.elapsed.to_string(),
+            ]);
+        }
+    }
+    // The §5 unordered ablation at the paper's default c and φ.
+    let unordered = run_unordered(
+        &network,
+        &features,
+        Arc::clone(&metric) as _,
+        ElinkConfig::for_delta(delta),
+        DelayModel::Sync,
+        0,
+    );
+    rows.push(vec![
+        "unordered c=4 phi=0.1delta".into(),
+        unordered.clustering.cluster_count().to_string(),
+        unordered.stats.total_cost().to_string(),
+        unordered.elapsed.to_string(),
+    ]);
+
+    Table {
+        id: "ext_ablation",
+        title: format!(
+            "ELink ablations on Tao data (delta = {}): switch budget, switch tolerance, unordered expansion",
+            fmt(delta)
+        ),
+        headers: vec![
+            "variant".into(),
+            "clusters".into(),
+            "message_cost".into(),
+            "time".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switching_improves_quality() {
+        let t = run(Params::quick());
+        // Row 0: c=0, row 1: c=4 (same φ).
+        let no_switch: usize = t.rows[0][1].parse().unwrap();
+        let with_switch: usize = t.rows[1][1].parse().unwrap();
+        assert!(
+            with_switch <= no_switch,
+            "switching degraded quality: {with_switch} > {no_switch}"
+        );
+    }
+
+    #[test]
+    fn unordered_is_faster_but_not_better() {
+        let t = run(Params::quick());
+        let ordered_time: u64 = t.rows[1][3].parse().unwrap();
+        let last = t.rows.last().unwrap();
+        let unordered_clusters: usize = last[1].parse().unwrap();
+        let unordered_time: u64 = last[3].parse().unwrap();
+        let ordered_clusters: usize = t.rows[1][1].parse().unwrap();
+        assert!(unordered_time < ordered_time);
+        assert!(unordered_clusters >= ordered_clusters);
+    }
+}

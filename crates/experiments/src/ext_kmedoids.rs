@@ -1,0 +1,140 @@
+//! Ext-K — quantifying §9's k-medoids argument.
+//!
+//! "Distributed k-medoids would be communication intensive because in every
+//! iteration, all the medoids would have to be broadcast throughout the
+//! network so that every node computes its closest medoid." The experiment
+//! runs the PAM acceptance loop (smallest k satisfying δ) on the Tao data,
+//! charges the §9 broadcast model for the iterations actually used, and
+//! compares against ELink's one-shot clustering bill.
+
+use crate::common::{delta_quantiles, fmt, Table};
+use elink_baselines::{distributed_kmedoids_cost, kmedoids_delta_clustering};
+use elink_core::{run_implicit, ElinkConfig};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_netsim::SimNetwork;
+use std::sync::Arc;
+
+/// Parameters for the k-medoids comparison.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ sweep as quantiles of pairwise feature distances.
+    pub delta_quantiles: Vec<f64>,
+    /// Upper bound on the k search.
+    pub max_k: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantiles: vec![0.4, 0.6, 0.8],
+            max_k: 40,
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 8,
+            },
+            seed: 7,
+            delta_quantiles: vec![0.5, 0.8],
+            max_k: 30,
+        }
+    }
+}
+
+/// Regenerates the k-medoids comparison table.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
+    let network = SimNetwork::new(data.topology().clone());
+    let dim = features[0].scalar_cost();
+
+    let mut rows = Vec::new();
+    for (q, &delta) in params.delta_quantiles.iter().zip(&deltas) {
+        let elink = run_implicit(
+            &network,
+            &features,
+            Arc::clone(&metric) as _,
+            ElinkConfig::for_delta(delta),
+        );
+        let (km_count, km_k, km_iters) = kmedoids_delta_clustering(
+            data.topology(),
+            &features,
+            metric.as_ref(),
+            delta,
+            params.max_k,
+        );
+        let km_cost =
+            distributed_kmedoids_cost(data.topology(), dim, km_k, km_iters).total_cost();
+        let (count_str, ratio_str) = if km_count == usize::MAX {
+            ("no_k".to_string(), "-".to_string())
+        } else {
+            (
+                km_count.to_string(),
+                fmt(km_cost as f64 / elink.stats.total_cost().max(1) as f64),
+            )
+        };
+        rows.push(vec![
+            fmt(*q),
+            fmt(delta),
+            elink.clustering.cluster_count().to_string(),
+            elink.stats.total_cost().to_string(),
+            count_str,
+            km_k.to_string(),
+            km_iters.to_string(),
+            km_cost.to_string(),
+            ratio_str,
+        ]);
+    }
+    Table {
+        id: "ext_kmedoids",
+        title: "Distributed k-medoids (section 9 cost model) vs ELink on Tao data".into(),
+        headers: vec![
+            "delta_quantile".into(),
+            "delta".into(),
+            "elink_clusters".into(),
+            "elink_cost".into(),
+            "kmedoids_clusters".into(),
+            "kmedoids_k".into(),
+            "kmedoids_iterations".into(),
+            "kmedoids_cost".into(),
+            "kmedoids_over_elink".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmedoids_is_communication_intensive() {
+        let t = run(Params::quick());
+        for row in &t.rows {
+            if row[8] == "-" {
+                continue;
+            }
+            let ratio: f64 = row[8].parse().unwrap();
+            assert!(
+                ratio > 2.0,
+                "expected k-medoids to cost multiples of ELink, got {ratio}x"
+            );
+        }
+    }
+}

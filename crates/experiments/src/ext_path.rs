@@ -1,0 +1,187 @@
+//! Ext-P — path-query costs (§7.3; the paper defers the measurements to its
+//! full version \[21\], so this is our reproduction of that deferred
+//! experiment).
+//!
+//! Scenario: a contaminant sits at the valley floor (danger feature = the
+//! minimum elevation); a mission must route from a source to a destination
+//! keeping elevation at least γ above the floor. ELink's cluster-level
+//! safe/unsafe classification plus index refinement is compared against
+//! flooding BFS; both must agree on path existence.
+
+use crate::common::{fmt, Table};
+use elink_core::{run_implicit, ElinkConfig};
+use elink_datasets::TerrainDataset;
+use elink_metric::{Absolute, Feature};
+use elink_netsim::SimNetwork;
+use elink_query::{elink_path_query, flooding_path_query, Backbone, DistributedIndex};
+use std::sync::Arc;
+
+/// Parameters for the path-query experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Sensors per topology.
+    pub n_sensors: usize,
+    /// Topology seeds averaged.
+    pub seeds: u64,
+    /// δ in elevation metres for the clustering.
+    pub delta: f64,
+    /// Safety margins γ swept (metres above the valley floor).
+    pub gammas: Vec<f64>,
+    /// Source/destination pairs sampled per topology.
+    pub query_pairs: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n_sensors: 600,
+            seeds: 3,
+            delta: 250.0,
+            gammas: vec![100.0, 250.0, 400.0, 600.0, 800.0],
+            query_pairs: 20,
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            n_sensors: 150,
+            seeds: 1,
+            delta: 250.0,
+            gammas: vec![200.0, 600.0],
+            query_pairs: 5,
+        }
+    }
+}
+
+/// Regenerates the path-query table.
+pub fn run(params: Params) -> Table {
+    let mut rows = Vec::new();
+    for &gamma in &params.gammas {
+        let mut elink_cost = 0u64;
+        let mut flood_cost = 0u64;
+        let mut queries = 0u64;
+        let mut found = 0u64;
+        for seed in 0..params.seeds {
+            let data = TerrainDataset::generate(params.n_sensors, 6, 0.55, seed);
+            let features = data.features();
+            let n = features.len();
+            let network = SimNetwork::new(data.topology().clone());
+            let outcome = run_implicit(
+                &network,
+                &features,
+                Arc::new(Absolute),
+                ElinkConfig::for_delta(params.delta),
+            );
+            let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
+            let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+            let floor = data
+                .elevations()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let danger = Feature::scalar(floor);
+            // Mission sources/destinations are themselves safe locations
+            // (the rescue scenario of §7.3); sample pairs deterministically
+            // from the safe set.
+            let safe_nodes: Vec<usize> = (0..n)
+                .filter(|&v| data.elevations()[v] - floor >= gamma)
+                .collect();
+            if safe_nodes.len() < 2 {
+                continue;
+            }
+            let m = safe_nodes.len();
+            for qi in 0..params.query_pairs {
+                let src = safe_nodes[(qi * 7919) % m];
+                let dst = safe_nodes[(qi * 104729 + m / 2) % m];
+                let e = elink_path_query(
+                    &outcome.clustering,
+                    &index,
+                    &backbone,
+                    data.topology(),
+                    &features,
+                    &Absolute,
+                    params.delta,
+                    src,
+                    dst,
+                    &danger,
+                    gamma,
+                );
+                let b = flooding_path_query(
+                    data.topology(),
+                    &features,
+                    &Absolute,
+                    src,
+                    dst,
+                    &danger,
+                    gamma,
+                );
+                assert_eq!(
+                    e.path.is_some(),
+                    b.path.is_some(),
+                    "existence disagreement at γ = {gamma}"
+                );
+                elink_cost += e.stats.total_cost();
+                flood_cost += b.stats.total_cost();
+                queries += 1;
+                if e.path.is_some() {
+                    found += 1;
+                }
+            }
+        }
+        if queries == 0 {
+            rows.push(vec![fmt(gamma), "0".into(), "0".into(), "0".into(), "0".into()]);
+            continue;
+        }
+        let e_avg = elink_cost as f64 / queries as f64;
+        let f_avg = flood_cost as f64 / queries as f64;
+        rows.push(vec![
+            fmt(gamma),
+            fmt(e_avg),
+            fmt(f_avg),
+            fmt(f_avg / e_avg.max(1.0)),
+            fmt(found as f64 / queries as f64),
+        ]);
+    }
+    Table {
+        id: "ext_path",
+        title: format!(
+            "Average path-query cost vs safety margin, terrain ({} sensors, delta = {})",
+            params.n_sensors, params.delta
+        ),
+        headers: vec![
+            "gamma_m".into(),
+            "elink_cost".into(),
+            "flooding_cost".into(),
+            "flooding_over_elink".into(),
+            "path_found_rate".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_and_positive_costs() {
+        let t = run(Params::quick());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let e: f64 = row[1].parse().unwrap();
+            let f: f64 = row[2].parse().unwrap();
+            assert!(e > 0.0 && f > 0.0);
+        }
+    }
+
+    #[test]
+    fn found_rate_decreases_with_gamma() {
+        let t = run(Params::quick());
+        let lo: f64 = t.rows[0][4].parse().unwrap();
+        let hi: f64 = t.rows[1][4].parse().unwrap();
+        assert!(hi <= lo, "stricter margin found more paths: {hi} > {lo}");
+    }
+}

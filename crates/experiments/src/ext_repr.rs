@@ -1,0 +1,128 @@
+//! Ext-R — representative sampling (§1's motivation): instead of gathering
+//! data from every node, sample only the cluster representatives and
+//! approximate each node by its root's feature.
+//!
+//! The table sweeps δ on the Tao data and reports the acquisition-saving
+//! factor `N / #clusters` against the representation error, checking the
+//! theoretical guarantee that for an ideal ELink clustering every node's
+//! feature is within δ/2 of its representative's.
+
+use crate::common::{delta_quantiles, fmt, Table};
+use elink_core::{run_implicit, ElinkConfig};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_netsim::SimNetwork;
+use std::sync::Arc;
+
+/// Parameters for the representative-sampling experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ sweep as quantiles of pairwise feature distances.
+    pub delta_quantiles: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantiles: vec![0.2, 0.4, 0.6, 0.8],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 8,
+            },
+            seed: 7,
+            delta_quantiles: vec![0.3, 0.7],
+        }
+    }
+}
+
+/// Regenerates the representative-sampling table.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
+    let network = SimNetwork::new(data.topology().clone());
+
+    let mut rows = Vec::new();
+    for (q, &delta) in params.delta_quantiles.iter().zip(&deltas) {
+        let outcome = run_implicit(
+            &network,
+            &features,
+            Arc::clone(&metric) as _,
+            ElinkConfig::for_delta(delta),
+        );
+        let clustering = &outcome.clustering;
+        let errors = clustering.representation_errors(&features, metric.as_ref());
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        let max_err = errors.iter().cloned().fold(0.0_f64, f64::max);
+        rows.push(vec![
+            fmt(*q),
+            fmt(delta),
+            clustering.cluster_count().to_string(),
+            fmt(clustering.acquisition_saving()),
+            fmt(mean_err),
+            fmt(max_err),
+            fmt(delta / 2.0),
+        ]);
+    }
+    Table {
+        id: "ext_repr",
+        title: "Representative sampling on Tao data: acquisition saving vs representation error"
+            .into(),
+        headers: vec![
+            "delta_quantile".into(),
+            "delta".into(),
+            "clusters".into(),
+            "acquisition_saving_x".into(),
+            "mean_repr_error".into(),
+            "max_repr_error".into(),
+            "delta_over_2_bound".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_respect_half_delta_bound() {
+        let t = run(Params::quick());
+        for row in &t.rows {
+            let max_err: f64 = row[5].parse().unwrap();
+            let bound: f64 = row[6].parse().unwrap();
+            // ELink admission guarantees d(F_i, F_root) ≤ δ/2; allow a
+            // little slack for switch-repaired clusters (root replacement
+            // can double the bound in the worst case).
+            assert!(
+                max_err <= 2.0 * bound + 1e-9,
+                "max error {max_err} above repaired bound {}",
+                2.0 * bound
+            );
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_delta() {
+        let t = run(Params::quick());
+        let lo: f64 = t.rows[0][3].parse().unwrap();
+        let hi: f64 = t.rows[1][3].parse().unwrap();
+        assert!(hi >= lo, "saving fell as δ grew: {hi} < {lo}");
+    }
+}

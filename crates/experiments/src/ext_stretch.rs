@@ -1,0 +1,99 @@
+//! Ext-S — empirical validation of the stretch-factor assumption (§4).
+//!
+//! The implicit schedule sizes its timers with `κ = (1+γ)√(N/2)` and the
+//! paper assumes γ ≈ 0.2–0.4 (citing \[18\]). This experiment measures the
+//! realized greedy-geographic-routing stretch on the synthetic topology
+//! family and reports it next to the assumed band, plus the void-fallback
+//! rate.
+
+use crate::common::{fmt, Table};
+use elink_topology::{measure_stretch, RoutingTable, Topology};
+
+/// Parameters for the stretch experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Network sizes.
+    pub sizes: Vec<usize>,
+    /// Seeds per size.
+    pub seeds: u64,
+    /// Node pairs sampled per topology.
+    pub pairs: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            sizes: vec![100, 200, 400, 800],
+            seeds: 3,
+            pairs: 200,
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            sizes: vec![100, 200],
+            seeds: 1,
+            pairs: 60,
+        }
+    }
+}
+
+/// Regenerates the stretch table.
+pub fn run(params: Params) -> Table {
+    let mut rows = Vec::new();
+    for &n in &params.sizes {
+        let mut mean = 0.0;
+        let mut max = 0.0_f64;
+        let mut fallback = 0.0;
+        for seed in 0..params.seeds {
+            let topo = Topology::random_synthetic(n, seed);
+            let rt = RoutingTable::build(topo.graph());
+            let stats = measure_stretch(&topo, &rt, params.pairs);
+            mean += stats.mean_stretch;
+            max = max.max(stats.max_stretch);
+            fallback += stats.fallback_rate;
+        }
+        mean /= params.seeds as f64;
+        fallback /= params.seeds as f64;
+        rows.push(vec![
+            n.to_string(),
+            fmt(mean),
+            fmt(max),
+            fmt(fallback),
+            "0.2-0.4".into(),
+        ]);
+    }
+    Table {
+        id: "ext_stretch",
+        title: "Greedy geographic routing stretch vs the paper's gamma assumption (section 4)"
+            .into(),
+        headers: vec![
+            "n".into(),
+            "mean_stretch".into(),
+            "max_stretch".into(),
+            "void_fallback_rate".into(),
+            "paper_gamma_band".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_within_reasonable_band() {
+        let t = run(Params::quick());
+        for row in &t.rows {
+            let mean: f64 = row[1].parse().unwrap();
+            assert!(
+                (0.0..0.6).contains(&mean),
+                "mean stretch {mean} far outside the assumed band"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Ext-T — empirical check of Theorems 2 & 3: both ELink variants complete
+//! in `O(√N log N)` simulated time with `O(N)` message cost.
+//!
+//! The table reports, per grid size, the raw time/cost plus the normalized
+//! columns `cost / N` and `time / (√N log₂ N)`; the theorems predict both
+//! normalized columns stay bounded as N grows.
+
+use crate::common::{fmt, Table};
+use elink_core::{run_explicit, run_implicit, ElinkConfig};
+use elink_metric::{Absolute, Feature};
+use elink_netsim::{DelayModel, SimNetwork};
+use elink_topology::Topology;
+use std::sync::Arc;
+
+/// Parameters for the theory-check experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Grid side lengths (N = side²).
+    pub sides: Vec<usize>,
+    /// δ for the smooth diagonal feature field.
+    pub delta: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            sides: vec![8, 16, 32, 64],
+            delta: 3.0,
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            sides: vec![8, 16],
+            delta: 3.0,
+        }
+    }
+}
+
+/// Regenerates the theory table.
+pub fn run(params: Params) -> Table {
+    let mut rows = Vec::new();
+    for &side in &params.sides {
+        let topo = Topology::grid(side, side);
+        let n = topo.n();
+        // Smooth diagonal feature field (clusters form but stay non-trivial).
+        let features: Vec<Feature> = (0..n)
+            .map(|v| {
+                let r = (v / side) as f64;
+                let c = (v % side) as f64;
+                Feature::scalar(((r + c) / (2.0 * side as f64) * 10.0).floor())
+            })
+            .collect();
+        let network = SimNetwork::new(topo);
+        let config = ElinkConfig::for_delta(params.delta);
+        let imp = run_implicit(&network, &features, Arc::new(Absolute), config);
+        let exp = run_explicit(
+            &network,
+            &features,
+            Arc::new(Absolute),
+            config,
+            DelayModel::Sync,
+            0,
+        );
+        let bound = (n as f64).sqrt() * (n as f64).log2();
+        rows.push(vec![
+            n.to_string(),
+            imp.stats.total_cost().to_string(),
+            fmt(imp.stats.total_cost() as f64 / n as f64),
+            imp.elapsed.to_string(),
+            fmt(imp.elapsed as f64 / bound),
+            exp.stats.total_cost().to_string(),
+            fmt(exp.stats.total_cost() as f64 / n as f64),
+            exp.elapsed.to_string(),
+            fmt(exp.elapsed as f64 / bound),
+        ]);
+    }
+    Table {
+        id: "ext_theory",
+        title: "Theorem 2/3 empirics: messages O(N), time O(sqrt(N) log N), grid networks".into(),
+        headers: vec![
+            "n".into(),
+            "imp_cost".into(),
+            "imp_cost_per_n".into(),
+            "imp_time".into(),
+            "imp_time_norm".into(),
+            "exp_cost".into(),
+            "exp_cost_per_n".into(),
+            "exp_time".into(),
+            "exp_time_norm".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_columns_stay_bounded() {
+        let t = run(Params {
+            sides: vec![8, 16, 32],
+            delta: 3.0,
+        });
+        // cost/N and time/(√N log N) must not keep growing: allow a 2×
+        // envelope between the first and last sizes.
+        for col in [2usize, 4, 6, 8] {
+            let first: f64 = t.rows[0][col].parse().unwrap();
+            let last: f64 = t.rows[t.rows.len() - 1][col].parse().unwrap();
+            assert!(
+                last <= 2.0 * first.max(0.5),
+                "column {col} grew from {first} to {last}"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig 8 — clustering quality (number of clusters) vs δ on the Tao data.
+//!
+//! Expected shape (§8.4): ELink ≈ Centralized (spectral), both better
+//! (fewer clusters) than Hierarchical, which beats Spanning Forest; quality
+//! improves (count drops) as δ grows.
+
+use crate::common::{delta_quantiles, fmt, SuiteBench, Table};
+use elink_datasets::{TaoDataset, TaoParams};
+use std::sync::Arc;
+
+/// Parameters for the Fig 8 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ sweep, as quantiles of the pairwise feature-distance distribution.
+    pub delta_quantiles: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantiles: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset for benches.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 10,
+            },
+            seed: 7,
+            delta_quantiles: vec![0.3, 0.6],
+        }
+    }
+}
+
+/// Regenerates Fig 8.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
+    let bench = SuiteBench::new(data.topology().clone(), features, metric);
+
+    let mut rows = Vec::new();
+    for (q, delta) in params.delta_quantiles.iter().zip(&deltas) {
+        let suite = bench.run_all(*delta);
+        let get = |name: &str| {
+            suite
+                .iter()
+                .find(|r| r.algorithm == name)
+                .map(|r| r.clusters.to_string())
+                .unwrap_or_default()
+        };
+        rows.push(vec![
+            fmt(*q),
+            fmt(*delta),
+            get("elink_implicit"),
+            get("elink_explicit"),
+            get("centralized"),
+            get("hierarchical"),
+            get("spanning_forest"),
+        ]);
+    }
+    Table {
+        id: "fig08",
+        title: "Clustering quality vs delta, Tao data (number of clusters; lower is better)"
+            .into(),
+        headers: vec![
+            "delta_quantile".into(),
+            "delta".into(),
+            "elink_implicit".into(),
+            "elink_explicit".into(),
+            "centralized_spectral".into(),
+            "hierarchical".into(),
+            "spanning_forest".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_expected_shape() {
+        let t = run(Params::quick());
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.headers.len(), 7);
+        // Quality must not degrade as δ grows, per algorithm.
+        for col in 2..7 {
+            let lo: usize = t.rows[0][col].parse().unwrap();
+            let hi: usize = t.rows[1][col].parse().unwrap();
+            assert!(hi <= lo, "column {col}: {hi} > {lo} as δ grew");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig 10 — update-handling cost vs slack Δ: ELink maintenance (§6) vs the
+//! centralized coefficient-streaming scheme.
+//!
+//! Expected shape: ELink's cost is roughly an order of magnitude below the
+//! centralized scheme at every slack, because conditions A₂/A₃ prune
+//! locally using the cached root feature, which the centralized scheme
+//! cannot do (§8.5); both costs fall as Δ grows.
+
+use crate::common::{delta_quantiles, fmt, Table};
+// (TaoModel is used indirectly through TaoDataset::train_models.)
+use elink_baselines::CentralizedUpdateSim;
+use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_metric::Feature;
+use elink_netsim::SimNetwork;
+use std::sync::Arc;
+
+/// Parameters for the Fig 10 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ as a quantile of pairwise feature distances.
+    pub delta_quantile: f64,
+    /// Slack sweep as fractions of δ (each must satisfy 2Δ < δ).
+    pub slack_fractions: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantile: 0.5,
+            slack_fractions: vec![0.025, 0.05, 0.1, 0.2, 0.3, 0.4],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 8,
+            },
+            seed: 7,
+            delta_quantile: 0.5,
+            slack_fractions: vec![0.05, 0.2],
+        }
+    }
+}
+
+/// Replays the evaluation month through per-node `TaoModel`s in global
+/// time order, invoking `f(node, feature)` after every measurement.
+pub(crate) fn stream_tao(data: &TaoDataset, mut f: impl FnMut(usize, &Feature)) {
+    let mut models = data.train_models();
+    let steps = data.evaluation()[0].len();
+    for t in 0..steps {
+        for (node, model) in models.iter_mut().enumerate() {
+            model.observe(data.evaluation()[node][t]);
+            f(node, &model.feature());
+        }
+    }
+}
+
+/// Regenerates Fig 10.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let network = SimNetwork::new(data.topology().clone());
+    let topology = Arc::new(data.topology().clone());
+
+    let mut rows = Vec::new();
+    for &frac in &params.slack_fractions {
+        let slack = frac * delta;
+        assert!(2.0 * slack < delta, "slack fraction {frac} too large");
+        // Initial clustering at δ − 2Δ (§6).
+        let outcome = run_implicit(
+            &network,
+            &features,
+            Arc::clone(&metric) as _,
+            ElinkConfig::for_delta(delta - 2.0 * slack),
+        );
+        let mut maint = MaintenanceSim::new(
+            &outcome.clustering,
+            Arc::clone(&topology),
+            Arc::clone(&metric) as _,
+            features.clone(),
+            delta,
+            slack,
+        );
+        let mut central = CentralizedUpdateSim::new(data.topology(), features.clone(), slack);
+        stream_tao(&data, |node, feature| {
+            maint.update(node, feature.clone());
+            central.model_update(node, feature.clone(), metric.as_ref());
+        });
+        let elink_cost = maint.stats().total_cost();
+        // Fig 10 compares *update* costs; the centralized initial shipping
+        // is excluded (it is part of the clustering bill in Fig 12/13).
+        let central_cost = central.stats().kind("central_model").cost;
+        let ratio = central_cost as f64 / elink_cost.max(1) as f64;
+        rows.push(vec![
+            fmt(frac),
+            fmt(slack),
+            elink_cost.to_string(),
+            central_cost.to_string(),
+            fmt(ratio),
+        ]);
+    }
+    Table {
+        id: "fig10",
+        title: format!("Update cost vs slack, Tao stream (delta = {})", fmt(delta)),
+        headers: vec![
+            "slack_fraction".into(),
+            "slack".into(),
+            "elink_update_cost".into(),
+            "centralized_update_cost".into(),
+            "centralized_over_elink".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elink_updates_beat_centralized() {
+        let t = run(Params::quick());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio > 1.0, "ELink not cheaper: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn costs_fall_with_slack() {
+        let t = run(Params::quick());
+        let e0: u64 = t.rows[0][2].parse().unwrap();
+        let e1: u64 = t.rows[1][2].parse().unwrap();
+        let c0: u64 = t.rows[0][3].parse().unwrap();
+        let c1: u64 = t.rows[1][3].parse().unwrap();
+        assert!(e1 <= e0, "elink {e1} > {e0}");
+        assert!(c1 <= c0, "centralized {c1} > {c0}");
+    }
+}

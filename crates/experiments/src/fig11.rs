@@ -1,0 +1,145 @@
+//! Fig 11 — clustering quality vs slack Δ.
+//!
+//! "As the slack is increased (effectively reducing the δ parameter), the
+//! quality of clustering decreases for all the algorithms" (§8.5): every
+//! algorithm clusters at the reduced threshold δ − 2Δ, so cluster counts
+//! rise with Δ. The table also reports ELink's maintained cluster count
+//! after streaming the evaluation month through the §6 update protocol.
+
+use crate::common::{delta_quantiles, fmt, SuiteBench, Table};
+use crate::fig10::stream_tao;
+use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_netsim::SimNetwork;
+use std::sync::Arc;
+
+/// Parameters for the Fig 11 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ as a quantile of pairwise feature distances.
+    pub delta_quantile: f64,
+    /// Slack sweep as fractions of δ.
+    pub slack_fractions: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantile: 0.6,
+            slack_fractions: vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.4],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 8,
+            },
+            seed: 7,
+            delta_quantile: 0.6,
+            slack_fractions: vec![0.0, 0.3],
+        }
+    }
+}
+
+/// Regenerates Fig 11.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let bench = SuiteBench::new(data.topology().clone(), features.clone(), Arc::clone(&metric) as _);
+    let network = SimNetwork::new(data.topology().clone());
+    let topology = Arc::new(data.topology().clone());
+
+    let mut rows = Vec::new();
+    for &frac in &params.slack_fractions {
+        let slack = frac * delta;
+        assert!(2.0 * slack < delta, "slack fraction {frac} too large");
+        let effective = delta - 2.0 * slack;
+        let suite = bench.run_all(effective);
+        let get = |name: &str| {
+            suite
+                .iter()
+                .find(|r| r.algorithm == name)
+                .map(|r| r.clusters.to_string())
+                .unwrap_or_default()
+        };
+        // ELink maintained count after the evaluation stream.
+        let outcome = run_implicit(
+            &network,
+            &features,
+            Arc::clone(&metric) as _,
+            ElinkConfig::for_delta(effective),
+        );
+        let mut maint = MaintenanceSim::new(
+            &outcome.clustering,
+            Arc::clone(&topology),
+            Arc::clone(&metric) as _,
+            features.clone(),
+            delta,
+            slack,
+        );
+        stream_tao(&data, |node, feature| {
+            maint.update(node, feature.clone());
+        });
+        rows.push(vec![
+            fmt(frac),
+            fmt(effective),
+            get("elink_implicit"),
+            get("centralized"),
+            get("hierarchical"),
+            get("spanning_forest"),
+            maint.cluster_count().to_string(),
+        ]);
+    }
+    Table {
+        id: "fig11",
+        title: format!(
+            "Clustering quality vs slack, Tao data (delta = {}; algorithms run at delta - 2*slack)",
+            fmt(delta)
+        ),
+        headers: vec![
+            "slack_fraction".into(),
+            "effective_delta".into(),
+            "elink_implicit".into(),
+            "centralized_spectral".into(),
+            "hierarchical".into(),
+            "spanning_forest".into(),
+            "elink_after_stream".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_degrades_with_slack() {
+        let t = run(Params::quick());
+        assert_eq!(t.rows.len(), 2);
+        // More slack (row 1) => no fewer clusters than row 0, per algorithm.
+        for col in 2..6 {
+            let tight: usize = t.rows[0][col].parse().unwrap();
+            let loose: usize = t.rows[1][col].parse().unwrap();
+            assert!(
+                loose >= tight,
+                "column {col}: {loose} < {tight} despite more slack"
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Fig 12 — scalability with time on the Tao stream (the paper plots this
+//! in log scale).
+//!
+//! Expected shape: raw-value centralized streaming is an order of magnitude
+//! above model-coefficient centralized streaming, which in turn is an order
+//! of magnitude above the in-network schemes; the explicit ELink line sits
+//! slightly above the implicit one (synchronization overhead); all
+//! distributed lines are dominated by their one-off clustering cost and
+//! grow slowly afterwards.
+
+use crate::common::{delta_quantiles, fmt, Table};
+use elink_baselines::{
+    hierarchical_clustering, spanning_forest_clustering, CentralizedUpdateSim,
+};
+use elink_core::{run_explicit, run_implicit, Clustering, ElinkConfig, MaintenanceSim};
+use elink_datasets::{TaoDataset, TaoParams};
+use elink_netsim::{DelayModel, SimNetwork};
+use std::sync::Arc;
+
+/// Parameters for the Fig 12 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Tao generation parameters.
+    pub tao: TaoParams,
+    /// Data seed.
+    pub seed: u64,
+    /// δ as a quantile of pairwise feature distances.
+    pub delta_quantile: f64,
+    /// Maintenance slack as a fraction of δ.
+    pub slack_fraction: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tao: TaoParams::default(),
+            seed: 7,
+            delta_quantile: 0.5,
+            slack_fraction: 0.05,
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            tao: TaoParams {
+                rows: 6,
+                cols: 9,
+                day_len: 24,
+                days: 6,
+            },
+            seed: 7,
+            delta_quantile: 0.5,
+            slack_fraction: 0.05,
+        }
+    }
+}
+
+/// Regenerates Fig 12: cumulative message cost per scheme, sampled daily.
+pub fn run(params: Params) -> Table {
+    let data = TaoDataset::generate(params.tao, params.seed);
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let slack = params.slack_fraction * delta;
+    let effective = delta - 2.0 * slack;
+    let topology = Arc::new(data.topology().clone());
+    let network = SimNetwork::new(data.topology().clone());
+
+    // Initial clustering costs (t = 0 intercepts).
+    let elink_imp = run_implicit(
+        &network,
+        &features,
+        Arc::clone(&metric) as _,
+        ElinkConfig::for_delta(effective),
+    );
+    let elink_exp = run_explicit(
+        &network,
+        &features,
+        Arc::clone(&metric) as _,
+        ElinkConfig::for_delta(effective),
+        DelayModel::Sync,
+        0,
+    );
+    let sf = spanning_forest_clustering(data.topology(), &features, metric.as_ref(), effective);
+    let hier = hierarchical_clustering(data.topology(), &features, metric.as_ref(), effective);
+
+    // Maintenance state per in-network scheme (each maintains its own
+    // cluster trees under the same §6 protocol).
+    let make_maint = |clustering: &Clustering| {
+        MaintenanceSim::new(
+            clustering,
+            Arc::clone(&topology),
+            Arc::clone(&metric) as _,
+            features.clone(),
+            delta,
+            slack,
+        )
+    };
+    let mut maints = [
+        make_maint(&elink_imp.clustering),
+        make_maint(&elink_exp.clustering),
+        make_maint(&sf.clustering),
+        make_maint(&hier.clustering),
+    ];
+    let init_costs = [
+        elink_imp.stats.total_cost(),
+        elink_exp.stats.total_cost(),
+        sf.stats.total_cost(),
+        hier.stats.total_cost(),
+    ];
+    // Centralized schemes share one sim: raw and model kinds are tracked
+    // separately; the model variant carries the init shipping.
+    let mut central = CentralizedUpdateSim::new(data.topology(), features.clone(), slack);
+    let central_init = central.stats().kind("central_init").cost;
+
+    // Stream the evaluation month, sampling at each day boundary.
+    let mut models = data.train_models();
+    let day_len = data.day_len();
+    let days = data.evaluation()[0].len() / day_len;
+    let mut rows = Vec::new();
+    for day in 0..days {
+        for s in 0..day_len {
+            let t = day * day_len + s;
+            for (node, model) in models.iter_mut().enumerate() {
+                model.observe(data.evaluation()[node][t]);
+                let f = model.feature();
+                central.raw_measurement(node);
+                central.model_update(node, f.clone(), metric.as_ref());
+                for m in maints.iter_mut() {
+                    m.update(node, f.clone());
+                }
+            }
+        }
+        rows.push(vec![
+            (day + 1).to_string(),
+            central.stats().kind("central_raw").cost.to_string(),
+            (central_init + central.stats().kind("central_model").cost).to_string(),
+            (init_costs[0] + maints[0].stats().total_cost()).to_string(),
+            (init_costs[1] + maints[1].stats().total_cost()).to_string(),
+            (init_costs[2] + maints[2].stats().total_cost()).to_string(),
+            (init_costs[3] + maints[3].stats().total_cost()).to_string(),
+        ]);
+    }
+    Table {
+        id: "fig12",
+        title: format!(
+            "Cumulative message cost over time, Tao stream (delta = {}, slack = {})",
+            fmt(delta),
+            fmt(slack)
+        ),
+        headers: vec![
+            "day".into(),
+            "centralized_raw".into(),
+            "centralized_model".into(),
+            "elink_implicit".into(),
+            "elink_explicit".into(),
+            "spanning_forest".into(),
+            "hierarchical".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let t = run(Params::quick());
+        let last = t.rows.last().unwrap();
+        let raw: u64 = last[1].parse().unwrap();
+        let model: u64 = last[2].parse().unwrap();
+        let elink: u64 = last[3].parse().unwrap();
+        // Fig 12's two order-of-magnitude gaps. The quick preset streams
+        // only a few short days, so the one-off clustering cost still
+        // dominates the in-network line; we require the full ordering but
+        // a hard factor only on the raw/model gap (the full run shows both
+        // gaps at Tao scale — see EXPERIMENTS.md).
+        assert!(raw > 3 * model, "raw {raw} vs model {model}");
+        assert!(model > elink, "model {model} vs elink {elink}");
+    }
+
+    #[test]
+    fn cumulative_costs_are_monotone() {
+        let t = run(Params::quick());
+        for col in 1..7 {
+            let mut prev = 0u64;
+            for row in &t.rows {
+                let v: u64 = row[col].parse().unwrap();
+                assert!(v >= prev, "column {col} decreased");
+                prev = v;
+            }
+        }
+    }
+}

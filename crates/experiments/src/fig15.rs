@@ -1,0 +1,104 @@
+//! Fig 15 — average range-query cost vs radius on the uncorrelated
+//! synthetic data.
+//!
+//! Expected shape: "there were less communication benefits for the
+//! synthetic data set … because the data was not spatially correlated"
+//! (§8.6) — the ELink-over-TAG advantage shrinks relative to Fig 14.
+
+use crate::common::{delta_quantiles, fmt, Table};
+use crate::fig14::range_query_table;
+use elink_datasets::SyntheticDataset;
+use elink_metric::{Euclidean, Metric};
+use std::sync::Arc;
+
+/// Parameters for the Fig 15 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Network size.
+    pub n: usize,
+    /// Measurements per node for feature fitting.
+    pub steps: usize,
+    /// Data seed.
+    pub seed: u64,
+    /// δ as a quantile of pairwise feature distances.
+    pub delta_quantile: f64,
+    /// Radii as fractions of δ ("(0.3δ, 0.7δ) for the synthetic data").
+    pub radius_fractions: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 400,
+            steps: 2000,
+            seed: 11,
+            delta_quantile: 0.5,
+            radius_fractions: vec![0.3, 0.4, 0.5, 0.6, 0.7],
+        }
+    }
+}
+
+impl Params {
+    /// Seconds-scale preset.
+    pub fn quick() -> Params {
+        Params {
+            n: 100,
+            steps: 400,
+            seed: 11,
+            delta_quantile: 0.5,
+            radius_fractions: vec![0.3, 0.7],
+        }
+    }
+}
+
+/// Regenerates Fig 15.
+pub fn run(params: Params) -> Table {
+    let data = SyntheticDataset::generate(params.n, params.steps, params.seed);
+    let features = data.features();
+    let metric: Arc<dyn Metric> = Arc::new(Euclidean);
+    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    range_query_table(
+        "fig15",
+        format!(
+            "Average range-query cost vs radius, synthetic data (n = {}, delta = {})",
+            params.n,
+            fmt(delta)
+        ),
+        data.topology(),
+        features,
+        metric,
+        delta,
+        &params.radius_fractions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    #[test]
+    fn runs_and_costs_positive() {
+        let t = run(Params::quick());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            for col in 2..6 {
+                let v: f64 = row[col].parse().unwrap();
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn elink_no_worse_than_tag() {
+        // Even without spatial correlation the clustered query should not
+        // lose to TAG's fixed full-tree bill (the §8.6 point is that the
+        // *margin* shrinks; EXPERIMENTS.md compares the margins of the
+        // paper-scale Fig 14 and Fig 15 runs).
+        let t = run(Params::quick());
+        for row in &t.rows {
+            let elink: f64 = row[2].parse().unwrap();
+            let tag: f64 = row[5].parse().unwrap();
+            assert!(elink <= tag * 1.1, "elink {elink} vs tag {tag}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment harness: one module per figure of the paper's evaluation
+//! (§8), plus the extensions listed in DESIGN.md.
+//!
+//! Every module exposes a `Params` struct with two presets — `Default`
+//! (paper scale) and `quick()` (seconds-scale, used by the Criterion
+//! benches) — and a `run(params) -> Table` function that regenerates the
+//! figure's data. Binaries (`cargo run -p elink-experiments --release
+//! --bin figNN`) print the table as markdown and write `results/figNN.csv`;
+//! `--bin all` regenerates everything.
+//!
+//! | binary | paper result |
+//! |--------|--------------|
+//! | `fig08` | clustering quality vs δ, Tao data |
+//! | `fig09` | clustering quality vs δ, Death Valley terrain |
+//! | `fig10` | update cost vs slack (ELink vs centralized) |
+//! | `fig11` | clustering quality vs slack |
+//! | `fig12` | cumulative message cost over time, Tao stream |
+//! | `fig13` | clustering cost vs network size, synthetic |
+//! | `fig14` | range-query cost vs radius, Tao |
+//! | `fig15` | range-query cost vs radius, synthetic |
+//! | `ext_path` | path-query cost (deferred to \[21\] in the paper) |
+//! | `ext_theory` | Theorem 2/3 growth empirics |
+//! | `ext_ablation` | switching budget c and threshold φ ablations |
+//! | `ext_repr` | representative sampling: acquisition saving vs error |
+//! | `ext_stretch` | greedy geographic routing stretch (the §4 γ band) |
+//! | `ext_kmedoids` | §9's distributed k-medoids communication argument |
+//! | `ext_failure` | node-failure robustness during maintenance (§1) |
+
+pub mod common;
+pub mod csv_io;
+pub mod svg;
+pub mod ext_ablation;
+pub mod ext_failure;
+pub mod ext_kmedoids;
+pub mod ext_path;
+pub mod ext_repr;
+pub mod ext_stretch;
+pub mod ext_theory;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+
+pub use common::Table;
+
+/// Runs every experiment at paper scale, returning the tables in figure
+/// order. Used by the `all` binary.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        fig08::run(Default::default()),
+        fig09::run(Default::default()),
+        fig10::run(Default::default()),
+        fig11::run(Default::default()),
+        fig12::run(Default::default()),
+        fig13::run(Default::default()),
+        fig14::run(Default::default()),
+        fig15::run(Default::default()),
+        ext_path::run(Default::default()),
+        ext_theory::run(Default::default()),
+        ext_ablation::run(Default::default()),
+        ext_repr::run(Default::default()),
+        ext_stretch::run(Default::default()),
+        ext_kmedoids::run(Default::default()),
+        ext_failure::run(Default::default()),
+    ]
+}

@@ -1,0 +1,191 @@
+//! SVG rendering of clusterings — figure-style artifacts in the spirit of
+//! the paper's heat maps (Fig 1) and cluster diagrams (Figs 3–5).
+//!
+//! `--bin render_map` writes `results/map_tao.svg` and
+//! `results/map_terrain.svg`: nodes colored by cluster, communication edges
+//! in light grey, cluster-tree edges solid, and cluster roots ringed.
+
+use elink_core::Clustering;
+use elink_topology::Topology;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Canvas width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Node circle radius in pixels.
+    pub node_radius: f64,
+    /// Whether to draw communication-graph edges.
+    pub draw_comm_edges: bool,
+    /// Whether to draw cluster-tree edges.
+    pub draw_tree_edges: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 640.0,
+            node_radius: 5.0,
+            draw_comm_edges: true,
+            draw_tree_edges: true,
+        }
+    }
+}
+
+/// Distinguishable cluster colors (cycled for > 12 clusters).
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
+];
+
+/// Renders a clustering over its topology as an SVG document.
+pub fn render_clustering(
+    clustering: &Clustering,
+    topology: &Topology,
+    options: SvgOptions,
+) -> String {
+    let extent = topology.extent();
+    let span_x = extent.width().max(1e-9);
+    let span_y = extent.height().max(1e-9);
+    let pad = options.node_radius * 2.0 + 2.0;
+    let scale = (options.width - 2.0 * pad) / span_x;
+    let height = span_y * scale + 2.0 * pad;
+    let sx = |x: f64| (x - extent.min_x) * scale + pad;
+    // SVG y grows downward; flip so north stays up.
+    let sy = |y: f64| height - ((y - extent.min_y) * scale + pad);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        options.width, height, options.width, height
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    if options.draw_comm_edges {
+        let _ = writeln!(svg, r##"<g stroke="#dddddd" stroke-width="1">"##);
+        let g = topology.graph();
+        for v in 0..topology.n() {
+            for &w in g.neighbors(v) {
+                let w = w as usize;
+                if w > v {
+                    let (a, b) = (topology.position(v), topology.position(w));
+                    let _ = writeln!(
+                        svg,
+                        r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+                        sx(a.x),
+                        sy(a.y),
+                        sx(b.x),
+                        sy(b.y)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    if options.draw_tree_edges {
+        let _ = writeln!(svg, r#"<g stroke-width="1.6">"#);
+        for v in 0..clustering.n() {
+            if let Some(p) = clustering.tree_parent[v] {
+                let color = PALETTE[clustering.cluster_of(v) % PALETTE.len()];
+                let (a, b) = (topology.position(v), topology.position(p));
+                let _ = writeln!(
+                    svg,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}"/>"#,
+                    sx(a.x),
+                    sy(a.y),
+                    sx(b.x),
+                    sy(b.y)
+                );
+            }
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    for v in 0..clustering.n() {
+        let p = topology.position(v);
+        let cluster = clustering.cluster_of(v);
+        let color = PALETTE[cluster % PALETTE.len()];
+        let is_root = clustering.root_of(v) == v;
+        let stroke = if is_root { "black" } else { "none" };
+        let stroke_w = if is_root { 2.0 } else { 0.0 };
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{color}" stroke="{stroke}" stroke-width="{stroke_w}"><title>node {v}, cluster {cluster}</title></circle>"#,
+            sx(p.x),
+            sy(p.y),
+            options.node_radius
+        );
+    }
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_core::{run_implicit, ElinkConfig};
+    use elink_metric::{Absolute, Feature};
+    use elink_netsim::SimNetwork;
+    use std::sync::Arc;
+
+    fn sample() -> (Clustering, Topology) {
+        let topology = Topology::grid(3, 4);
+        let features: Vec<Feature> = (0..12)
+            .map(|v| Feature::scalar(if v % 4 < 2 { 0.0 } else { 40.0 }))
+            .collect();
+        let network = SimNetwork::new(topology.clone());
+        let outcome = run_implicit(
+            &network,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(5.0),
+        );
+        (outcome.clustering, topology)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let (clustering, topology) = sample();
+        let svg = render_clustering(&clustering, &topology, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per node.
+        assert_eq!(svg.matches("<circle").count(), 12);
+        // Roots are ringed.
+        assert_eq!(
+            svg.matches(r#"stroke="black""#).count(),
+            clustering.cluster_count()
+        );
+    }
+
+    #[test]
+    fn respects_edge_toggles() {
+        let (clustering, topology) = sample();
+        let bare = render_clustering(
+            &clustering,
+            &topology,
+            SvgOptions {
+                draw_comm_edges: false,
+                draw_tree_edges: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(bare.matches("<line").count(), 0);
+        let full = render_clustering(&clustering, &topology, SvgOptions::default());
+        assert!(full.matches("<line").count() > 0);
+    }
+
+    #[test]
+    fn coordinates_stay_on_canvas() {
+        let (clustering, topology) = sample();
+        let opts = SvgOptions::default();
+        let svg = render_clustering(&clustering, &topology, opts);
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!(x >= 0.0 && x <= opts.width, "cx {x} off canvas");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! The AR normal equations `X Xᵀ α = X y` have an SPD left-hand side whenever
+//! the regressors are not degenerate, so Cholesky is the natural (and
+//! cheaper) solver; LU remains as the fallback for general systems.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive pivot
+    /// appears (which also catches asymmetric inputs in practice).
+    pub fn factorize(a: &Matrix) -> Result<CholeskyFactor> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Cholesky requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Solves `A x = b` via forward/back substitution on `L`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Cholesky solve: rhs length != n",
+            });
+        }
+        // L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for j in 0..i {
+                let sub = self.l[(i, j)] * y[j];
+                y[i] -= sub;
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        let mut x = y;
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let sub = self.l[(j, i)] * x[j];
+                x[i] -= sub;
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Borrows the lower-triangular factor.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// One-shot convenience: solve an SPD system `A x = b`.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    CholeskyFactor::factorize(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizes_known_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let f = CholeskyFactor::factorize(&a).unwrap();
+        let l = f.lower();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
+        let b = [1.0, -2.0, 3.0];
+        let x_chol = cholesky_solve(&a, &b).unwrap();
+        let x_lu = crate::lu::lu_solve(&a, &b).unwrap();
+        for (c, l) in x_chol.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            CholeskyFactor::factorize(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(CholeskyFactor::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn l_lt_reconstructs_a() {
+        let a = Matrix::from_rows(&[&[5.0, 1.0, 0.5], &[1.0, 4.0, 1.5], &[0.5, 1.5, 3.0]]);
+        let f = CholeskyFactor::factorize(&a).unwrap();
+        let rec = f.lower().matmul(&f.lower().transpose()).unwrap();
+        assert!(rec.sub(&a).unwrap().frobenius_norm() < 1e-10);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dense symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by the centralized spectral-clustering baseline (§8.3) for networks
+//! small enough that a full `O(n³)` decomposition is practical (the Tao grid,
+//! the synthetic networks up to 800 nodes). Larger networks use
+//! [`crate::sparse::top_eigenvectors`].
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in **descending** order.
+    pub values: Vec<f64>,
+    /// `eigenvectors.row(i)` is not the eigenvector — column `j` of this
+    /// matrix is the unit eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Returns eigenvector `j` as an owned column vector.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        (0..self.vectors.rows()).map(|i| self.vectors[(i, j)]).collect()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Sweeps over all off-diagonal pairs applying Givens rotations until the
+/// off-diagonal Frobenius norm falls below `tol` (relative to the matrix
+/// norm), or errors with [`LinalgError::NoConvergence`] after `max_sweeps`.
+pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<EigenDecomposition> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "eigendecomposition requires a square matrix",
+        });
+    }
+    if !a.is_symmetric(1e-9 * (1.0 + a.frobenius_norm())) {
+        return Err(LinalgError::DimensionMismatch {
+            context: "jacobi_eigen requires a symmetric matrix",
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut q = Matrix::identity(n);
+    let norm = a.frobenius_norm().max(1e-300);
+
+    for sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if (2.0 * off).sqrt() <= tol * norm {
+            return Ok(sort_descending(m, q));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for qi in (p + 1)..n {
+                let apq = m[(p, qi)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(qi, qi)];
+                // Standard stable rotation angle computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, qi)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, qi)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(qi, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(qi, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the eigenvector rotation.
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkq = q[(k, qi)];
+                    q[(k, p)] = c * qkp - s * qkq;
+                    q[(k, qi)] = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: max_sweeps,
+    })
+}
+
+/// Sorts (eigenvalue, eigenvector-column) pairs by descending eigenvalue.
+fn sort_descending(m: Matrix, q: Matrix) -> EigenDecomposition {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| values_raw[b].partial_cmp(&values_raw[a]).unwrap());
+
+    let values = order.iter().map(|&i| values_raw[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = q[(row, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decompose(a: &Matrix) -> EigenDecomposition {
+        jacobi_eigen(a, 1e-12, 100).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = decompose(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = decompose(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v = e.vector(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.5],
+            &[-2.0, 0.0, 5.0, 1.0],
+            &[0.5, 1.5, 1.0, 2.0],
+        ]);
+        let e = decompose(&a);
+        // Rebuild A = V diag(λ) Vᵀ.
+        let n = 4;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(rec.sub(&a).unwrap().frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
+        let e = decompose(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.sub(&Matrix::identity(3)).unwrap().frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(jacobi_eigen(&a, 1e-10, 50).is_err());
+    }
+
+    #[test]
+    fn path_graph_laplacian_eigenvalues() {
+        // Laplacian of the path graph P3 has eigenvalues {0, 1, 3}.
+        let l = Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
+        let e = decompose(&l);
+        assert!((e.values[0] - 3.0).abs() < 1e-9);
+        assert!((e.values[1] - 1.0).abs() < 1e-9);
+        assert!(e.values[2].abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| {
+            let raw = Matrix::from_vec(n, n, data).unwrap();
+            let mut sym = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    sym[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
+                }
+            }
+            sym
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn jacobi_reconstructs(a in symmetric_matrix(5)) {
+            let e = jacobi_eigen(&a, 1e-12, 200).unwrap();
+            let n = a.rows();
+            let mut lam = Matrix::zeros(n, n);
+            for i in 0..n { lam[(i, i)] = e.values[i]; }
+            let rec = e.vectors.matmul(&lam).unwrap()
+                .matmul(&e.vectors.transpose()).unwrap();
+            prop_assert!(rec.sub(&a).unwrap().frobenius_norm() < 1e-6);
+            // Values must be sorted descending.
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! k-means clustering with k-means++ seeding (Lloyd's algorithm).
+//!
+//! This is the embedding-space clustering step of the Ng–Jordan–Weiss
+//! spectral algorithm used by the paper's centralized baseline (§8.3, \[22\]).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `assignment[i]` is the cluster index (`0..k`) of point `i`.
+    pub assignment: Vec<usize>,
+    /// `k × dim` matrix of final centroids.
+    pub centroids: Matrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs k-means on the rows of `points` (an `n × dim` matrix).
+///
+/// Seeding is k-means++; ties and randomness are controlled by `seed`, so
+/// repeated calls are reproducible. Empty clusters are re-seeded with the
+/// point farthest from its current centroid.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let n = points.rows();
+    let dim = points.cols();
+    assert!(k >= 1, "kmeans: k must be >= 1");
+    assert!(k <= n, "kmeans: k must be <= number of points");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut centroids = plus_plus_seeds(points, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let p = points.row(i);
+            let (best, _) = (0..k)
+                .map(|c| (c, sq_dist(p, centroids.row(c))))
+                .fold((0, f64::INFINITY), |acc, cur| if cur.1 < acc.1 { cur } else { acc });
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, &v) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fitting point.
+                let (far, _) = (0..n)
+                    .map(|i| (i, sq_dist(points.row(i), centroids.row(assignment[i]))))
+                    .fold((0, -1.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+                let src: Vec<f64> = points.row(far).to_vec();
+                centroids.row_mut(c).copy_from_slice(&src);
+                changed = true;
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let src: Vec<f64> = sums.row(c).iter().map(|&s| s * inv).collect();
+                centroids.row_mut(c).copy_from_slice(&src);
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(assignment[i])))
+        .sum();
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, each next centroid sampled with
+/// probability proportional to squared distance from the nearest chosen one.
+fn plus_plus_seeds(points: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    let n = points.rows();
+    let dim = points.cols();
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let row: Vec<f64> = points.row(pick).to_vec();
+        centroids.row_mut(c).copy_from_slice(&row);
+        for i in 0..n {
+            let d = sq_dist(points.row(i), centroids.row(c));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        // Two tight clusters around (0,0) and (10,10).
+        Matrix::from_rows(&[
+            &[0.0, 0.1],
+            &[0.1, -0.1],
+            &[-0.1, 0.0],
+            &[10.0, 10.1],
+            &[10.1, 9.9],
+            &[9.9, 10.0],
+        ])
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&two_blobs(), 2, 100, 3);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        assert!(r.inertia < 0.2);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = Matrix::from_rows(&[&[0.0], &[5.0], &[9.0]]);
+        let r = kmeans(&pts, 3, 50, 1);
+        assert!(r.inertia < 1e-12);
+        let mut sorted = r.assignment.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = Matrix::from_rows(&[&[0.0, 0.0], &[2.0, 4.0]]);
+        let r = kmeans(&pts, 1, 50, 5);
+        assert!((r.centroids[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((r.centroids[(0, 1)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 2, 100, 42);
+        let b = kmeans(&pts, 2, 100, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be <= number of points")]
+    fn panics_when_k_exceeds_n() {
+        let pts = Matrix::from_rows(&[&[0.0]]);
+        let _ = kmeans(&pts, 2, 10, 0);
+    }
+}

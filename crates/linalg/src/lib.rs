@@ -1,0 +1,70 @@
+//! Small, dependency-free dense and sparse linear algebra for the ELink
+//! reproduction.
+//!
+//! The paper needs linear algebra in three places:
+//!
+//! * **AR(k) model fitting** (§2.2, Appendix A): solving the normal equations
+//!   `X Xᵀ α = X y` — provided by [`Matrix`] together with [`lu::LuFactors`]
+//!   and [`cholesky`].
+//! * **Centralized spectral clustering** (§8.3): eigenvectors of a graph
+//!   Laplacian — dense [`eigen::jacobi_eigen`] for small problems and sparse
+//!   [`sparse::top_eigenvectors`] (block orthogonal iteration) for the
+//!   2500-node Death Valley networks, plus [`mod@kmeans`] for the embedding step.
+//! * **Feature arithmetic** throughout (vector helpers in [`vecops`]).
+//!
+//! Everything is implemented from scratch; no external BLAS.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod kmeans;
+pub mod lu;
+pub mod matrix;
+pub mod sparse;
+pub mod vecops;
+
+pub use cholesky::cholesky_solve;
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use kmeans::{kmeans, KMeansResult};
+pub use lu::LuFactors;
+pub use matrix::Matrix;
+pub use sparse::{top_eigenvectors, SymCsr};
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions do not match the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized/solved.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for fallible linear-algebra results.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,195 @@
+//! LU factorization with partial pivoting, used to solve the AR normal
+//! equations (§2.2) and to invert the small `P` matrices of the online RLS
+//! updates (Appendix A).
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Packed LU factors of a square matrix with partial pivoting: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (below diagonal, unit diagonal implied) and U (diagonal and
+    /// above) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of `LU` came from row `perm[i]` of `A`.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorizes a square matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot smaller than `1e-12`
+    /// (relative to the largest element) is encountered.
+    pub fn factorize(a: &Matrix) -> Result<LuFactors> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "LU requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let scale = lu
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, &x| m.max(x.abs()))
+            .max(1.0);
+
+        for col in 0..n {
+            // Partial pivoting: pick the largest magnitude entry in column.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, lu[(r, col)].abs()))
+                .fold((col, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            if pivot_val < 1e-12 * scale {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                perm.swap(pivot_row, col);
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                for j in (col + 1)..n {
+                    let sub = factor * lu[(col, j)];
+                    lu[(r, j)] -= sub;
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm })
+    }
+
+    /// Solves `A x = b` using the precomputed factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "LU solve: rhs length != n",
+            });
+        }
+        // Apply permutation, then forward substitution (L y = P b).
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for j in 0..i {
+                y[i] -= self.lu[(i, j)] * y[j];
+            }
+        }
+        // Back substitution (U x = y).
+        let mut x = y;
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let sub = self.lu[(i, j)] * x[j];
+                x[i] -= sub;
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column. Only sensible for the small matrices
+    /// used in AR fitting.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for (row, v) in x.into_iter().enumerate() {
+                inv[(row, col)] = v;
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot convenience: solve `A x = b`.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactors::factorize(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = lu_solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero pivot in (0,0) forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(LuFactors::factorize(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuFactors::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 1.0], &[2.0, 6.0, 0.5], &[1.0, 1.0, 3.0]]);
+        let inv = LuFactors::factorize(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let err = prod.sub(&Matrix::identity(3)).unwrap().frobenius_norm();
+        assert!(err < 1e-10, "A * A^-1 deviates from I by {err}");
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_len() {
+        let a = Matrix::identity(2);
+        let f = LuFactors::factorize(&a).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn well_conditioned_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+        // Diagonally dominant matrices are always invertible.
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+            for i in 0..n {
+                data[i * n + i] += (n as f64) + 1.0;
+            }
+            Matrix::from_vec(n, n, data).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn lu_solve_satisfies_system(
+            a in well_conditioned_matrix(4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4)
+        ) {
+            let x = lu_solve(&a, &b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (lhs, rhs) in ax.iter().zip(&b) {
+                prop_assert!((lhs - rhs).abs() < 1e-8);
+            }
+        }
+    }
+}

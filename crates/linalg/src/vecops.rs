@@ -1,0 +1,105 @@
+//! Small vector helpers shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (in debug builds) if lengths differ; in release the shorter length
+/// wins, so callers should uphold the invariant.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// `out += s * v` (axpy).
+#[inline]
+pub fn axpy(out: &mut [f64], s: f64, v: &[f64]) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o += s * x;
+    }
+}
+
+/// Normalizes `v` to unit length in place; leaves zero vectors untouched and
+/// returns the original norm.
+pub fn normalize_in_place(v: &mut [f64]) -> f64 {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+/// Arithmetic mean of a slice; 0.0 for empty input.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population variance of a slice; 0.0 for fewer than 2 samples.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sq_dist_works() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, 2.0, &[3.0, 4.0]);
+        assert_eq!(out, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_in_place(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+        let mut v = vec![0.0, 2.0];
+        assert_eq!(normalize_in_place(&mut v), 2.0);
+        assert_eq!(v, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

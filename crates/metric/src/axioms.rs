@@ -1,0 +1,183 @@
+//! Spot-checking of metric axioms over a finite sample of features.
+//!
+//! The paper *assumes* `d` is a metric (§2.1); every correctness property of
+//! ELink's δ/2 expansion and of the query pruning rules depends on it. This
+//! module lets tests (and users with custom metrics) verify the axioms on
+//! their actual feature population.
+
+use crate::{Feature, Metric};
+
+/// A violation of one of the metric axioms, with the witnessing indices into
+/// the checked feature slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation {
+    /// `d(a, a) != 0` or `d(a, b) < 0`.
+    Positivity { i: usize, j: usize, value: f64 },
+    /// `d(a, b) != d(b, a)`.
+    Symmetry { i: usize, j: usize, forward: f64, backward: f64 },
+    /// `d(a, c) > d(a, b) + d(b, c)`.
+    TriangleInequality {
+        i: usize,
+        j: usize,
+        k: usize,
+        direct: f64,
+        via: f64,
+    },
+}
+
+impl std::fmt::Display for MetricViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricViolation::Positivity { i, j, value } => {
+                write!(f, "positivity violated at ({i},{j}): d = {value}")
+            }
+            MetricViolation::Symmetry { i, j, forward, backward } => write!(
+                f,
+                "symmetry violated at ({i},{j}): {forward} vs {backward}"
+            ),
+            MetricViolation::TriangleInequality { i, j, k, direct, via } => write!(
+                f,
+                "triangle inequality violated: d({i},{k}) = {direct} > {via} = d({i},{j}) + d({j},{k})"
+            ),
+        }
+    }
+}
+
+/// Checks positivity, symmetry and the triangle inequality for every pair /
+/// triple in `features` (O(n³)); returns the first violation found.
+///
+/// `tol` absorbs floating-point noise: the triangle inequality is only
+/// reported when exceeded by more than `tol`.
+pub fn check_metric_axioms(
+    features: &[Feature],
+    metric: &dyn Metric,
+    tol: f64,
+) -> Result<(), MetricViolation> {
+    let n = features.len();
+    for i in 0..n {
+        for j in 0..n {
+            let d = metric.distance(&features[i], &features[j]);
+            if i == j && d.abs() > tol {
+                return Err(MetricViolation::Positivity { i, j, value: d });
+            }
+            if d < -tol {
+                return Err(MetricViolation::Positivity { i, j, value: d });
+            }
+            let back = metric.distance(&features[j], &features[i]);
+            if (d - back).abs() > tol {
+                return Err(MetricViolation::Symmetry {
+                    i,
+                    j,
+                    forward: d,
+                    backward: back,
+                });
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let direct = metric.distance(&features[i], &features[k]);
+                let via = metric.distance(&features[i], &features[j])
+                    + metric.distance(&features[j], &features[k]);
+                if direct > via + tol {
+                    return Err(MetricViolation::TriangleInequality { i, j, k, direct, via });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistanceMatrix, Euclidean, TableMetric, WeightedEuclidean};
+
+    fn sample_features() -> Vec<Feature> {
+        vec![
+            Feature::new(vec![0.0, 0.0, 1.0, 0.5]),
+            Feature::new(vec![1.0, -2.0, 0.25, 0.0]),
+            Feature::new(vec![-0.5, 0.5, 0.5, 0.5]),
+            Feature::new(vec![3.0, 3.0, 3.0, 3.0]),
+        ]
+    }
+
+    #[test]
+    fn euclidean_passes() {
+        assert_eq!(
+            check_metric_axioms(&sample_features(), &Euclidean, 1e-9),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn weighted_euclidean_passes() {
+        assert_eq!(
+            check_metric_axioms(&sample_features(), &WeightedEuclidean::tao(), 1e-9),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn theorem1_reduction_distances_form_a_metric() {
+        // The NP-hardness reduction assigns d = 1 on graph edges and d = 2
+        // otherwise; the paper notes this satisfies the metric axioms.
+        let mut t = DistanceMatrix::zeros(4);
+        for (i, j, v) in [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 2.0), (1, 2, 1.0), (1, 3, 2.0), (2, 3, 1.0)] {
+            t.set(i, j, v);
+        }
+        let feats: Vec<Feature> = (0..4).map(|i| Feature::scalar(i as f64)).collect();
+        assert_eq!(
+            check_metric_axioms(&feats, &TableMetric::new(t), 1e-12),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn detects_triangle_violation() {
+        let mut t = DistanceMatrix::zeros(3);
+        t.set(0, 1, 1.0);
+        t.set(1, 2, 1.0);
+        t.set(0, 2, 10.0); // 10 > 1 + 1
+        let feats: Vec<Feature> = (0..3).map(|i| Feature::scalar(i as f64)).collect();
+        let err = check_metric_axioms(&feats, &TableMetric::new(t), 1e-12).unwrap_err();
+        assert!(matches!(err, MetricViolation::TriangleInequality { .. }));
+    }
+
+    struct Asymmetric;
+    impl Metric for Asymmetric {
+        fn distance(&self, a: &Feature, b: &Feature) -> f64 {
+            // Deliberately broken: sign-dependent.
+            (a.components()[0] - b.components()[0]).max(0.0)
+        }
+    }
+
+    #[test]
+    fn detects_symmetry_violation() {
+        let feats = vec![Feature::scalar(0.0), Feature::scalar(1.0)];
+        let err = check_metric_axioms(&feats, &Asymmetric, 1e-12).unwrap_err();
+        assert!(matches!(err, MetricViolation::Symmetry { .. }));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::WeightedEuclidean;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn weighted_euclidean_is_always_a_metric(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 4), 3..6),
+            w in proptest::collection::vec(0.0f64..10.0, 4)
+        ) {
+            let feats: Vec<Feature> = raw.into_iter().map(Feature::new).collect();
+            let metric = WeightedEuclidean::new(w);
+            prop_assert_eq!(check_metric_axioms(&feats, &metric, 1e-6), Ok(()));
+        }
+    }
+}

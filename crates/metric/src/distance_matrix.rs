@@ -1,0 +1,144 @@
+//! Symmetric pairwise-distance matrices.
+//!
+//! Used for centralized baselines (the spectral algorithm needs all pairwise
+//! distances along communication edges) and for validating δ-compactness of
+//! clusterings in tests and experiments.
+
+use crate::{Feature, Metric};
+
+/// A symmetric `n × n` distance matrix stored as a packed upper triangle
+/// (diagonal excluded — it is always zero for a metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Packed upper triangle, row-major: entry (i, j) with i < j lives at
+    /// `i*n - i*(i+1)/2 + (j - i - 1)`.
+    packed: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates an all-zero distance matrix for `n` points.
+    pub fn zeros(n: usize) -> Self {
+        let len = n * n.saturating_sub(1) / 2;
+        DistanceMatrix {
+            n,
+            packed: vec![0.0; len],
+        }
+    }
+
+    /// Computes all pairwise distances between `features` under `metric`.
+    pub fn from_features(features: &[Feature], metric: &dyn Metric) -> Self {
+        let n = features.len();
+        let mut m = DistanceMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, metric.distance(&features[i], &features[j]));
+            }
+        }
+        m
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance between points `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => 0.0,
+            Ordering::Less => self.packed[self.idx(i, j)],
+            Ordering::Greater => self.packed[self.idx(j, i)],
+        }
+    }
+
+    /// Sets the symmetric entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i == j` (the diagonal is fixed at zero) or out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i != j, "cannot set the diagonal of a distance matrix");
+        assert!(i < self.n && j < self.n, "index out of range");
+        let idx = if i < j { self.idx(i, j) } else { self.idx(j, i) };
+        self.packed[idx] = value;
+    }
+
+    /// Maximum pairwise distance within a set of point indices (the set's
+    /// *diameter* in feature space). Returns 0.0 for sets of size < 2.
+    pub fn diameter_of(&self, members: &[usize]) -> f64 {
+        let mut max = 0.0_f64;
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                max = max.max(self.get(i, j));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Euclidean;
+
+    #[test]
+    fn symmetric_get_set() {
+        let mut m = DistanceMatrix::zeros(4);
+        m.set(1, 3, 7.5);
+        assert_eq!(m.get(1, 3), 7.5);
+        assert_eq!(m.get(3, 1), 7.5);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn set_diagonal_panics() {
+        DistanceMatrix::zeros(3).set(1, 1, 1.0);
+    }
+
+    #[test]
+    fn from_features_computes_all_pairs() {
+        let feats = vec![
+            Feature::new(vec![0.0, 0.0]),
+            Feature::new(vec![3.0, 4.0]),
+            Feature::new(vec![0.0, 1.0]),
+        ];
+        let m = DistanceMatrix::from_features(&feats, &Euclidean);
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((m.get(0, 2) - 1.0).abs() < 1e-12);
+        assert!((m.get(1, 2) - (9.0f64 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter() {
+        let mut m = DistanceMatrix::zeros(4);
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 5.0);
+        m.set(1, 2, 3.0);
+        m.set(2, 3, 10.0);
+        assert_eq!(m.diameter_of(&[0, 1, 2]), 5.0);
+        assert_eq!(m.diameter_of(&[0]), 0.0);
+        assert_eq!(m.diameter_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_fig3_distances() {
+        // Distance matrix from Fig 3b: nodes a..e with δ = 5; c–e = 6 > 5.
+        let names = ["a", "b", "c", "d", "e"];
+        let mut m = DistanceMatrix::zeros(5);
+        // A plausible completion of Fig 3b with c-e = 6 and c-d = 6.
+        m.set(2, 4, 6.0);
+        m.set(2, 3, 6.0);
+        m.set(0, 1, 2.0);
+        assert_eq!(m.get(4, 2), 6.0);
+        assert_eq!(names.len(), m.n());
+    }
+}

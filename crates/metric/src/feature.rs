@@ -1,0 +1,100 @@
+//! Node features: the model-coefficient vectors that clustering operates on.
+
+/// A feature vector at a sensor node — typically the coefficients of its AR
+/// model (§2.2). Small (order ≤ 4 in the paper's experiments), cloneable and
+/// comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    components: Vec<f64>,
+}
+
+impl Feature {
+    /// Creates a feature from its components.
+    pub fn new(components: Vec<f64>) -> Self {
+        Feature { components }
+    }
+
+    /// Creates a 1-dimensional feature (e.g. Death Valley elevation).
+    pub fn scalar(value: f64) -> Self {
+        Feature {
+            components: vec![value],
+        }
+    }
+
+    /// Dimension (number of model coefficients).
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrow the components.
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// Mutably borrow the components (used by online model updates).
+    pub fn components_mut(&mut self) -> &mut [f64] {
+        &mut self.components
+    }
+
+    /// Number of scalars a message carrying this feature must transmit.
+    /// The paper's cost model charges one message per coefficient (§8.2).
+    pub fn scalar_cost(&self) -> u64 {
+        self.components.len() as u64
+    }
+}
+
+impl From<Vec<f64>> for Feature {
+    fn from(components: Vec<f64>) -> Self {
+        Feature::new(components)
+    }
+}
+
+impl std::fmt::Display for Feature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_constructor() {
+        let f = Feature::scalar(3.5);
+        assert_eq!(f.dim(), 1);
+        assert_eq!(f.components(), &[3.5]);
+    }
+
+    #[test]
+    fn from_vec() {
+        let f: Feature = vec![1.0, 2.0].into();
+        assert_eq!(f.dim(), 2);
+    }
+
+    #[test]
+    fn scalar_cost_counts_coefficients() {
+        assert_eq!(Feature::new(vec![0.1, 0.2, 0.3, 0.4]).scalar_cost(), 4);
+        assert_eq!(Feature::scalar(1.0).scalar_cost(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Feature::new(vec![0.5, 0.25]);
+        assert_eq!(f.to_string(), "(0.5000, 0.2500)");
+    }
+
+    #[test]
+    fn mutate_components() {
+        let mut f = Feature::scalar(1.0);
+        f.components_mut()[0] = 2.0;
+        assert_eq!(f.components(), &[2.0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Feature vectors and metric distances for ELink (§2.2).
+//!
+//! Each sensor node regresses its time series into an AR model; the model
+//! coefficients are the node's *feature* `F_i`. Clustering operates on a
+//! metric distance `d(F_i, F_j)` over these features. The paper motivates a
+//! **weighted Euclidean** distance (higher-order coefficients matter more)
+//! and formulates everything for general metric spaces, so this crate
+//! exposes a [`Metric`] trait plus the concrete metrics the experiments use.
+
+pub mod axioms;
+pub mod distance_matrix;
+pub mod feature;
+
+pub use axioms::{check_metric_axioms, MetricViolation};
+pub use distance_matrix::DistanceMatrix;
+pub use feature::Feature;
+
+/// A metric distance over [`Feature`]s.
+///
+/// Implementations must satisfy positivity, symmetry and the triangle
+/// inequality ([`axioms::check_metric_axioms`] spot-checks this in tests);
+/// the ELink δ/2 expansion rule and every query-pruning rule in §7 rely on
+/// the triangle inequality.
+pub trait Metric: Send + Sync {
+    /// Distance between two features.
+    fn distance(&self, a: &Feature, b: &Feature) -> f64;
+}
+
+/// Plain Euclidean distance (all weights 1).
+#[derive(Debug, Clone, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    fn distance(&self, a: &Feature, b: &Feature) -> f64 {
+        a.components()
+            .iter()
+            .zip(b.components())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Weighted Euclidean distance `√(Σ w_k (a_k − b_k)²)` with non-negative
+/// weights — the paper's distance for AR coefficients (§2.2). For the Tao
+/// model the paper uses weights `(0.5, 0.3, 0.2, 0.1)`.
+///
+/// ```
+/// use elink_metric::{Feature, Metric, WeightedEuclidean};
+/// let metric = WeightedEuclidean::new(vec![0.9, 0.1]);
+/// let n1 = Feature::new(vec![0.5, 0.4]);
+/// let n2 = Feature::new(vec![0.5, 0.3]); // differs in the low-weight coefficient
+/// let n3 = Feature::new(vec![0.4, 0.4]); // differs in the high-weight coefficient
+/// assert!(metric.distance(&n1, &n2) < metric.distance(&n1, &n3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedEuclidean {
+    weights: Vec<f64>,
+}
+
+impl WeightedEuclidean {
+    /// Creates a weighted Euclidean metric.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative (that would break the metric axioms).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        WeightedEuclidean { weights }
+    }
+
+    /// The Tao experiment weights from §8.1.
+    pub fn tao() -> Self {
+        WeightedEuclidean::new(vec![0.5, 0.3, 0.2, 0.1])
+    }
+
+    /// Borrow the weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Metric for WeightedEuclidean {
+    fn distance(&self, a: &Feature, b: &Feature) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        debug_assert!(a.dim() <= self.weights.len(), "feature wider than weights");
+        a.components()
+            .iter()
+            .zip(b.components())
+            .zip(&self.weights)
+            .map(|((x, y), w)| w * (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Absolute difference of scalar features — used for the Death Valley
+/// elevation data where a node's feature is a single altitude value (§8.1).
+#[derive(Debug, Clone, Default)]
+pub struct Absolute;
+
+impl Metric for Absolute {
+    fn distance(&self, a: &Feature, b: &Feature) -> f64 {
+        debug_assert_eq!(a.dim(), 1);
+        debug_assert_eq!(b.dim(), 1);
+        (a.components()[0] - b.components()[0]).abs()
+    }
+}
+
+/// A metric defined by an explicit distance table — used in tests to recreate
+/// the paper's worked examples (Fig 3, Fig 5) and the NP-hardness reduction
+/// (d ∈ {1,2} from clique cover, Theorem 1).
+#[derive(Debug, Clone)]
+pub struct TableMetric {
+    table: DistanceMatrix,
+}
+
+impl TableMetric {
+    /// Builds a table metric; the feature's single component is interpreted
+    /// as the node index into the table.
+    pub fn new(table: DistanceMatrix) -> Self {
+        TableMetric { table }
+    }
+}
+
+impl Metric for TableMetric {
+    fn distance(&self, a: &Feature, b: &Feature) -> f64 {
+        let i = a.components()[0] as usize;
+        let j = b.components()[0] as usize;
+        self.table.get(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_value() {
+        let a = Feature::new(vec![0.0, 0.0]);
+        let b = Feature::new(vec![3.0, 4.0]);
+        assert!((Euclidean.distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_euclidean_weights_higher_order_coeffs() {
+        // The paper's motivating example (§2.2): N1 vs N2 differ in the 2nd
+        // coefficient, N1 vs N3 differ in the 1st; with decreasing weights
+        // N1 should be closer to N2 (first coefficient matters more).
+        let w = WeightedEuclidean::new(vec![0.9, 0.1]);
+        let n1 = Feature::new(vec![0.5, 0.4]);
+        let n2 = Feature::new(vec![0.5, 0.3]);
+        let n3 = Feature::new(vec![0.4, 0.4]);
+        assert!(w.distance(&n1, &n2) < w.distance(&n1, &n3));
+    }
+
+    #[test]
+    fn tao_weights() {
+        assert_eq!(WeightedEuclidean::tao().weights(), &[0.5, 0.3, 0.2, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = WeightedEuclidean::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn absolute_metric_scalar() {
+        let a = Feature::scalar(175.0);
+        let b = Feature::scalar(1996.0);
+        assert_eq!(Absolute.distance(&a, &b), 1821.0);
+    }
+
+    #[test]
+    fn table_metric_reads_matrix() {
+        let mut m = DistanceMatrix::zeros(3);
+        m.set(0, 1, 4.0);
+        m.set(1, 2, 6.0);
+        m.set(0, 2, 9.0);
+        let t = TableMetric::new(m);
+        assert_eq!(t.distance(&Feature::scalar(0.0), &Feature::scalar(1.0)), 4.0);
+        assert_eq!(t.distance(&Feature::scalar(2.0), &Feature::scalar(1.0)), 6.0);
+    }
+
+    #[test]
+    fn identity_distance_is_zero() {
+        let f = Feature::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(WeightedEuclidean::tao().distance(&f, &f), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic discrete-event simulator for in-network protocols.
+//!
+//! The paper evaluates ELink on sensor networks (Crossbow Mica2 motes); all
+//! of its metrics — message counts and logical running time — are functions
+//! of the communication graph, the protocol logic and the per-hop delay
+//! model, so a discrete-event simulator is a faithful substitute for the
+//! hardware (see DESIGN.md, substitutions).
+//!
+//! Protocols implement [`Protocol`] (per-node state machines reacting to
+//! messages and timers) and communicate through a [`Ctx`] handle. Two delay
+//! models mirror the paper's settings: [`DelayModel::Sync`] — every hop
+//! takes exactly one tick, the assumption behind the *implicit* signalling
+//! technique (§4) — and [`DelayModel::Async`] with bounded random hop delays
+//! for the *explicit* technique (§5).
+//!
+//! Message accounting follows §8.2: "a message can transmit a single
+//! coefficient or a data value", so every transmission is charged
+//! `scalars × hops` cost units (at least 1 per hop), tracked per message
+//! kind in [`MessageStats`].
+
+pub mod sim;
+pub mod stats;
+
+pub use sim::{Ctx, DelayModel, Protocol, SimNetwork, SimTime, Simulator};
+pub use stats::{KindStats, MessageStats};

@@ -1,0 +1,650 @@
+//! The discrete-event simulation engine.
+
+use crate::stats::MessageStats;
+use elink_topology::{RoutingTable, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Simulated time in ticks. In synchronous mode one hop = one tick, matching
+/// the paper's "worst-case delay over a hop is a single time unit" (§4).
+pub type SimTime = u64;
+
+/// Per-hop delay model.
+#[derive(Debug, Clone, Copy)]
+pub enum DelayModel {
+    /// Synchronous network: every hop takes exactly one tick.
+    Sync,
+    /// Asynchronous network: every hop takes a uniform random delay in
+    /// `[min, max]` ticks (inclusive), sampled deterministically from the
+    /// simulator seed.
+    Async {
+        /// Minimum hop delay (≥ 1).
+        min: u64,
+        /// Maximum hop delay (≥ min).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// The largest possible hop delay under this model; protocols use this
+    /// for conservative timeouts (e.g. ELink leaf detection, §5).
+    pub fn max_hop_delay(&self) -> u64 {
+        match self {
+            DelayModel::Sync => 1,
+            DelayModel::Async { max, .. } => *max,
+        }
+    }
+
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> u64 {
+        match self {
+            DelayModel::Sync => 1,
+            DelayModel::Async { min, max } => rng.gen_range(*min..=*max),
+        }
+    }
+}
+
+/// A per-node protocol state machine.
+///
+/// The simulator owns one instance per node. All communication and timer
+/// manipulation goes through the [`Ctx`] handle; the engine guarantees
+/// deterministic delivery order for a given seed.
+pub trait Protocol {
+    /// The protocol's message type.
+    type Msg: Clone;
+
+    /// Invoked once at time 0 for every node.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Invoked when a message addressed to this node arrives.
+    fn on_message(&mut self, from: usize, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Invoked when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// A topology plus its (expensive, shareable) routing table.
+///
+/// Build once per topology and share across simulator runs with `clone()`
+/// (both members are `Arc`s).
+#[derive(Clone)]
+pub struct SimNetwork {
+    topology: Arc<Topology>,
+    routing: Arc<RoutingTable>,
+}
+
+impl SimNetwork {
+    /// Builds the network support structures for a topology.
+    pub fn new(topology: Topology) -> Self {
+        let routing = RoutingTable::build(topology.graph());
+        SimNetwork {
+            topology: Arc::new(topology),
+            routing: Arc::new(routing),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+}
+
+enum EventKind<M> {
+    Start,
+    Deliver { from: usize, msg: M },
+    Timer { id: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: usize,
+    kind: EventKind<M>,
+}
+
+// Ordering for the binary heap: by (time, seq). Implemented on a key pair to
+// avoid requiring Ord on messages.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Engine internals shared between the run loop and [`Ctx`].
+struct Core<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    stats: MessageStats,
+    delay: DelayModel,
+    rng: rand::rngs::StdRng,
+    network: SimNetwork,
+    events_processed: u64,
+}
+
+impl<M> Core<M> {
+    fn push(&mut self, time: SimTime, node: usize, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq,
+            node,
+            kind,
+        }));
+    }
+}
+
+/// The per-callback handle protocols use to interact with the network.
+pub struct Ctx<'a, M> {
+    core: &'a mut Core<M>,
+    node: usize,
+}
+
+impl<'a, M: Clone> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.core.network.topology().n()
+    }
+
+    /// Neighbors of this node in the communication graph.
+    pub fn neighbors(&self) -> Vec<usize> {
+        self.core
+            .network
+            .topology()
+            .graph()
+            .neighbors(self.node)
+            .iter()
+            .map(|&v| v as usize)
+            .collect()
+    }
+
+    /// The delay model in force (e.g. for computing conservative timeouts).
+    pub fn delay_model(&self) -> DelayModel {
+        self.core.delay
+    }
+
+    /// Sends a single-hop message to a direct neighbor. Charged as one
+    /// transmission of `scalars` payload scalars under `kind`.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbor (protocol bug).
+    pub fn send(&mut self, to: usize, msg: M, kind: &'static str, scalars: u64) {
+        assert!(
+            self.core
+                .network
+                .topology()
+                .graph()
+                .has_edge(self.node, to),
+            "send: node {} is not a neighbor of {}",
+            to,
+            self.node
+        );
+        let delay = self.core.delay.sample(&mut self.core.rng);
+        self.core.stats.record(kind, 1, scalars);
+        let from = self.node;
+        let t = self.core.now + delay;
+        self.core.push(t, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Sends a message to every neighbor (clones the payload).
+    pub fn broadcast_neighbors(&mut self, msg: &M, kind: &'static str, scalars: u64) {
+        for to in self.neighbors() {
+            self.send(to, msg.clone(), kind, scalars);
+        }
+    }
+
+    /// Sends a message to an arbitrary node over shortest-path multi-hop
+    /// routing. Charged `scalars × hops`; delivered only to `dst` (relays
+    /// forward transparently). Sending to self delivers immediately at zero
+    /// cost. Returns `false` (and drops the message) if `dst` is
+    /// unreachable.
+    pub fn unicast(&mut self, dst: usize, msg: M, kind: &'static str, scalars: u64) -> bool {
+        if dst == self.node {
+            let t = self.core.now;
+            let from = self.node;
+            self.core.push(t, dst, EventKind::Deliver { from, msg });
+            return true;
+        }
+        let Some(hops) = self.core.network.routing().hops(self.node, dst) else {
+            return false;
+        };
+        let mut delay = 0;
+        for _ in 0..hops {
+            delay += self.core.delay.sample(&mut self.core.rng);
+        }
+        self.core.stats.record(kind, hops as u64, scalars);
+        let from = self.node;
+        let t = self.core.now + delay;
+        self.core.push(t, dst, EventKind::Deliver { from, msg });
+        true
+    }
+
+    /// Hop distance to another node (`None` if unreachable).
+    pub fn hops_to(&self, dst: usize) -> Option<u32> {
+        self.core.network.routing().hops(self.node, dst)
+    }
+
+    /// Schedules `on_timer(id)` for this node after `delay` ticks.
+    pub fn set_timer(&mut self, delay: SimTime, id: u64) {
+        let t = self.core.now + delay;
+        let node = self.node;
+        self.core.push(t, node, EventKind::Timer { id });
+    }
+
+    /// Records an out-of-band charge against the statistics — used by
+    /// higher-level harnesses that account for costs computed analytically
+    /// (e.g. result aggregation sizes).
+    pub fn charge(&mut self, kind: &'static str, hops: u64, scalars: u64) {
+        self.core.stats.record(kind, hops, scalars);
+    }
+}
+
+/// The discrete-event simulator: a set of protocol instances plus the engine.
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<P>,
+    core: Core<P::Msg>,
+    started: bool,
+    /// Safety valve: maximum events before [`Simulator::run_to_completion`]
+    /// aborts (protocol livelock protection in tests).
+    pub max_events: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over `network` with one protocol instance per
+    /// node. `seed` drives the async delay sampling.
+    ///
+    /// # Panics
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn new(network: SimNetwork, delay: DelayModel, seed: u64, nodes: Vec<P>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            network.topology().n(),
+            "one protocol instance per node required"
+        );
+        Simulator {
+            nodes,
+            core: Core {
+                now: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                stats: MessageStats::new(),
+                delay,
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+                network,
+                events_processed: 0,
+            },
+            started: false,
+            max_events: 500_000_000,
+        }
+    }
+
+    /// Runs until the event queue is empty. Returns the final time.
+    ///
+    /// # Panics
+    /// Panics if `max_events` is exceeded (indicates a protocol livelock).
+    pub fn run_to_completion(&mut self) -> SimTime {
+        self.ensure_started();
+        while self.step() {}
+        self.core.now
+    }
+
+    /// Runs until simulated time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        loop {
+            match self.core.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.core.now = self.core.now.max(deadline);
+        self.core.now
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            self.core.push(0, node, EventKind::Start);
+        }
+    }
+
+    /// Processes one event; returns false when the queue is empty.
+    fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.core.queue.pop() else {
+            return false;
+        };
+        self.core.now = event.time;
+        self.core.events_processed += 1;
+        assert!(
+            self.core.events_processed <= self.max_events,
+            "simulation exceeded {} events — livelock?",
+            self.max_events
+        );
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node: event.node,
+        };
+        match event.kind {
+            EventKind::Start => self.nodes[event.node].on_start(&mut ctx),
+            EventKind::Deliver { from, msg } => self.nodes[event.node].on_message(from, msg, &mut ctx),
+            EventKind::Timer { id } => self.nodes[event.node].on_timer(id, &mut ctx),
+        }
+        true
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.core.stats
+    }
+
+    /// Immutable access to the protocol instances (for extracting results).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to the protocol instances (for injecting state between
+    /// phases, e.g. streaming feature updates).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &SimNetwork {
+        &self.core.network
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Injects an external event: schedules delivery of `msg` to `node` at
+    /// `time` from a fictitious source (`from = node`), free of charge. Used
+    /// by experiment harnesses to model sensing inputs.
+    pub fn inject(&mut self, time: SimTime, node: usize, msg: P::Msg) {
+        assert!(time >= self.core.now, "cannot inject into the past");
+        self.core.push(time, node, EventKind::Deliver { from: node, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_topology::Topology;
+
+    /// Flooding protocol: node 0 floods a token; everyone records receipt
+    /// time and forwards once.
+    struct Flood {
+        seen: Option<SimTime>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.id() == 0 {
+                self.seen = Some(ctx.now());
+                ctx.broadcast_neighbors(&1, "flood", 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: usize, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            if self.seen.is_none() {
+                self.seen = Some(ctx.now());
+                ctx.broadcast_neighbors(&msg, "flood", 1);
+            }
+        }
+    }
+
+    fn flood_sim(delay: DelayModel, seed: u64) -> Simulator<Flood> {
+        let network = SimNetwork::new(Topology::grid(4, 4));
+        let nodes = (0..16).map(|_| Flood { seen: None }).collect();
+        Simulator::new(network, delay, seed, nodes)
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_sync_time() {
+        let mut sim = flood_sim(DelayModel::Sync, 0);
+        sim.run_to_completion();
+        for (v, node) in sim.nodes().iter().enumerate() {
+            let expected = sim.network().routing().hops(0, v).unwrap() as u64;
+            assert_eq!(node.seen, Some(expected), "node {v}");
+        }
+    }
+
+    #[test]
+    fn flood_message_count_bounded_by_degree_sum() {
+        let mut sim = flood_sim(DelayModel::Sync, 0);
+        sim.run_to_completion();
+        // Each node broadcasts once: total packets = Σ degree = 2|E| = 48.
+        assert_eq!(sim.stats().total_packets(), 48);
+    }
+
+    #[test]
+    fn async_is_deterministic_per_seed() {
+        let mut a = flood_sim(DelayModel::Async { min: 1, max: 5 }, 9);
+        let mut b = flood_sim(DelayModel::Async { min: 1, max: 5 }, 9);
+        a.run_to_completion();
+        b.run_to_completion();
+        let ta: Vec<_> = a.nodes().iter().map(|n| n.seen).collect();
+        let tb: Vec<_> = b.nodes().iter().map(|n| n.seen).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats().total_cost(), b.stats().total_cost());
+    }
+
+    #[test]
+    fn async_seeds_change_timing() {
+        let mut a = flood_sim(DelayModel::Async { min: 1, max: 10 }, 1);
+        let mut b = flood_sim(DelayModel::Async { min: 1, max: 10 }, 2);
+        a.run_to_completion();
+        b.run_to_completion();
+        let ta: Vec<_> = a.nodes().iter().map(|n| n.seen).collect();
+        let tb: Vec<_> = b.nodes().iter().map(|n| n.seen).collect();
+        assert_ne!(ta, tb, "different seeds should reorder deliveries");
+    }
+
+    /// Unicast protocol: node 0 unicasts to the far corner.
+    struct Uni {
+        got: bool,
+    }
+
+    impl Protocol for Uni {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if ctx.id() == 0 {
+                let far = ctx.n() - 1;
+                assert!(ctx.unicast(far, (), "uni", 4));
+            }
+        }
+
+        fn on_message(&mut self, _from: usize, _msg: (), _ctx: &mut Ctx<'_, ()>) {
+            self.got = true;
+        }
+    }
+
+    #[test]
+    fn unicast_charges_scalars_times_hops() {
+        let network = SimNetwork::new(Topology::grid(4, 4));
+        let nodes = (0..16).map(|_| Uni { got: false }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_to_completion();
+        assert!(sim.nodes()[15].got);
+        // 0 -> 15 in a 4x4 grid is 6 hops; 4 scalars per hop.
+        assert_eq!(sim.stats().kind("uni").packets, 6);
+        assert_eq!(sim.stats().kind("uni").cost, 24);
+        assert_eq!(sim.now(), 6);
+    }
+
+    #[test]
+    fn unicast_to_self_is_free() {
+        struct SelfSend {
+            got: bool,
+        }
+        impl Protocol for SelfSend {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.id() == 0 {
+                    ctx.unicast(0, (), "self", 9);
+                }
+            }
+            fn on_message(&mut self, _f: usize, _m: (), _c: &mut Ctx<'_, ()>) {
+                self.got = true;
+            }
+        }
+        let network = SimNetwork::new(Topology::grid(2, 2));
+        let nodes = (0..4).map(|_| SelfSend { got: false }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_to_completion();
+        assert!(sim.nodes()[0].got);
+        assert_eq!(sim.stats().total_cost(), 0);
+    }
+
+    /// Timer protocol: each node sets a timer = its id and records firing.
+    struct Timers {
+        fired_at: Option<SimTime>,
+    }
+
+    impl Protocol for Timers {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            let id = ctx.id() as u64;
+            ctx.set_timer(id * 10, id);
+        }
+        fn on_message(&mut self, _f: usize, _m: (), _c: &mut Ctx<'_, ()>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, ()>) {
+            self.fired_at = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_requested_times() {
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let nodes = (0..3).map(|_| Timers { fired_at: None }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[0].fired_at, Some(0));
+        assert_eq!(sim.nodes()[1].fired_at, Some(10));
+        assert_eq!(sim.nodes()[2].fired_at, Some(20));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let nodes = (0..3).map(|_| Timers { fired_at: None }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_until(10);
+        assert_eq!(sim.nodes()[1].fired_at, Some(10));
+        assert_eq!(sim.nodes()[2].fired_at, None);
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[2].fired_at, Some(20));
+    }
+
+    #[test]
+    fn inject_delivers_external_event() {
+        struct Sink {
+            got: Vec<(SimTime, u8)>,
+        }
+        impl Protocol for Sink {
+            type Msg = u8;
+            fn on_message(&mut self, _f: usize, m: u8, ctx: &mut Ctx<'_, u8>) {
+                self.got.push((ctx.now(), m));
+            }
+        }
+        let network = SimNetwork::new(Topology::grid(1, 2));
+        let nodes = (0..2).map(|_| Sink { got: vec![] }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.inject(5, 1, 42);
+        sim.inject(3, 1, 7);
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[1].got, vec![(3, 7), (5, 42)]);
+        assert_eq!(sim.stats().total_cost(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbor")]
+    fn send_to_non_neighbor_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.id() == 0 {
+                    ctx.send(2, (), "bad", 1); // 0 and 2 are not adjacent in a path
+                }
+            }
+            fn on_message(&mut self, _f: usize, _m: (), _c: &mut Ctx<'_, ()>) {}
+        }
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, vec![Bad, Bad, Bad]);
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn fifo_between_same_timestamp_events() {
+        // Two messages sent in one callback with equal delay must arrive in
+        // send order (seq tie-break).
+        struct Order {
+            got: Vec<u8>,
+        }
+        impl Protocol for Order {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if ctx.id() == 0 {
+                    ctx.send(1, 1, "m", 1);
+                    ctx.send(1, 2, "m", 1);
+                }
+            }
+            fn on_message(&mut self, _f: usize, m: u8, _c: &mut Ctx<'_, u8>) {
+                self.got.push(m);
+            }
+        }
+        let network = SimNetwork::new(Topology::grid(1, 2));
+        let mut sim = Simulator::new(
+            network,
+            DelayModel::Sync,
+            0,
+            vec![Order { got: vec![] }, Order { got: vec![] }],
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[1].got, vec![1, 2]);
+    }
+}

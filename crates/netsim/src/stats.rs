@@ -1,0 +1,134 @@
+//! Message accounting (§8.2).
+
+use std::collections::BTreeMap;
+
+/// Counters for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Number of link-level transmissions (one per hop).
+    pub packets: u64,
+    /// Scalar-weighted cost: `Σ (payload scalars × hops)` per the paper's
+    /// "one coefficient or data value per message" cost model.
+    pub cost: u64,
+}
+
+/// Per-kind and total message statistics for a simulation run.
+///
+/// ```
+/// let mut stats = elink_netsim::MessageStats::new();
+/// stats.record("expand", 3, 4); // 3 hops × 4 coefficients
+/// stats.record("ack", 2, 0);    // control messages cost 1 scalar per hop
+/// assert_eq!(stats.total_packets(), 5);
+/// assert_eq!(stats.total_cost(), 14);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MessageStats {
+    kinds: BTreeMap<&'static str, KindStats>,
+}
+
+impl MessageStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission of `kind` travelling `hops` hops carrying
+    /// `scalars` payload scalars (clamped to at least 1: even a pure control
+    /// message occupies one message slot per hop).
+    pub fn record(&mut self, kind: &'static str, hops: u64, scalars: u64) {
+        if hops == 0 {
+            return; // local delivery is free
+        }
+        let entry = self.kinds.entry(kind).or_default();
+        entry.packets += hops;
+        entry.cost += hops * scalars.max(1);
+    }
+
+    /// Statistics for one kind (zero if never recorded).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.kinds.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Total link-level transmissions across kinds.
+    pub fn total_packets(&self) -> u64 {
+        self.kinds.values().map(|k| k.packets).sum()
+    }
+
+    /// Total scalar-weighted message cost across kinds — the paper's
+    /// "number of messages" metric.
+    pub fn total_cost(&self) -> u64 {
+        self.kinds.values().map(|k| k.cost).sum()
+    }
+
+    /// Iterates over `(kind, stats)` pairs in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.kinds.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another stats object into this one (used when an experiment
+    /// runs several simulator instances, e.g. clustering + querying).
+    pub fn merge(&mut self, other: &MessageStats) {
+        for (kind, stats) in other.iter() {
+            let entry = self.kinds.entry(kind).or_default();
+            entry.packets += stats.packets;
+            entry.cost += stats.cost;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = MessageStats::new();
+        s.record("expand", 3, 4);
+        s.record("expand", 1, 4);
+        assert_eq!(s.kind("expand"), KindStats { packets: 4, cost: 16 });
+        assert_eq!(s.total_packets(), 4);
+        assert_eq!(s.total_cost(), 16);
+    }
+
+    #[test]
+    fn control_messages_cost_one_per_hop() {
+        let mut s = MessageStats::new();
+        s.record("ack", 5, 0);
+        assert_eq!(s.kind("ack"), KindStats { packets: 5, cost: 5 });
+    }
+
+    #[test]
+    fn zero_hop_is_free() {
+        let mut s = MessageStats::new();
+        s.record("self", 0, 10);
+        assert_eq!(s.total_packets(), 0);
+        assert_eq!(s.total_cost(), 0);
+    }
+
+    #[test]
+    fn unknown_kind_is_zero() {
+        let s = MessageStats::new();
+        assert_eq!(s.kind("nothing"), KindStats::default());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = MessageStats::new();
+        a.record("x", 1, 2);
+        let mut b = MessageStats::new();
+        b.record("x", 1, 3);
+        b.record("y", 2, 1);
+        a.merge(&b);
+        assert_eq!(a.kind("x"), KindStats { packets: 2, cost: 5 });
+        assert_eq!(a.kind("y"), KindStats { packets: 2, cost: 2 });
+    }
+
+    #[test]
+    fn iter_in_kind_order() {
+        let mut s = MessageStats::new();
+        s.record("b", 1, 1);
+        s.record("a", 1, 1);
+        let kinds: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The inter-cluster leader backbone (§7.2).
+//!
+//! "A spanning tree connecting the leaders of different clusters (a
+//! backbone network) is built in order to efficiently route the query to
+//! every cluster." We instantiate it as the minimum spanning tree over
+//! cluster leaders weighted by communication-graph hop distance (Prim's
+//! algorithm, deterministic tie-breaks). The construction cost — an invite
+//! and an acknowledgment along each accepted tree edge — is charged to the
+//! clustering phase, as §8.2 prescribes ("the cost of building the
+//! inter-cluster leader backbone network is accounted in the ELink
+//! algorithm").
+
+use elink_core::Clustering;
+use elink_netsim::MessageStats;
+use elink_topology::RoutingTable;
+
+/// Spanning tree over cluster leaders.
+#[derive(Debug, Clone)]
+pub struct Backbone {
+    /// Adjacency: `adj[c]` lists `(neighbor cluster, hops between leaders)`.
+    adj: Vec<Vec<(usize, u32)>>,
+}
+
+impl Backbone {
+    /// Builds the leader MST; returns the backbone and its construction
+    /// message bill.
+    pub fn build(clustering: &Clustering, routing: &RoutingTable) -> (Backbone, MessageStats) {
+        let k = clustering.cluster_count();
+        let leaders: Vec<usize> = clustering.clusters.iter().map(|c| c.root).collect();
+        let mut adj = vec![Vec::new(); k];
+        let mut stats = MessageStats::new();
+        if k > 1 {
+            // Prim's over the complete leader graph.
+            let mut in_tree = vec![false; k];
+            let mut best_cost = vec![u32::MAX; k];
+            let mut best_from = vec![usize::MAX; k];
+            in_tree[0] = true;
+            for c in 1..k {
+                best_cost[c] = routing.hops(leaders[0], leaders[c]).unwrap_or(u32::MAX);
+                best_from[c] = 0;
+            }
+            for _ in 1..k {
+                let next = (0..k)
+                    .filter(|&c| !in_tree[c])
+                    .min_by_key(|&c| (best_cost[c], c))
+                    .expect("tree incomplete");
+                let from = best_from[next];
+                let hops = best_cost[next];
+                adj[from].push((next, hops));
+                adj[next].push((from, hops));
+                stats.record("backbone_build", 2 * hops as u64, 1);
+                in_tree[next] = true;
+                for c in 0..k {
+                    if !in_tree[c] {
+                        let h = routing.hops(leaders[next], leaders[c]).unwrap_or(u32::MAX);
+                        if h < best_cost[c] {
+                            best_cost[c] = h;
+                            best_from[c] = next;
+                        }
+                    }
+                }
+            }
+        }
+        (Backbone { adj }, stats)
+    }
+
+    /// Number of clusters spanned.
+    pub fn cluster_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Backbone neighbors of a cluster.
+    pub fn neighbors(&self, cluster: usize) -> &[(usize, u32)] {
+        &self.adj[cluster]
+    }
+
+    /// Visits every cluster from `start` in DFS pre-order, invoking
+    /// `f(parent_cluster, cluster, hops)` for each traversed edge.
+    pub fn walk_from(&self, start: usize, mut f: impl FnMut(usize, usize, u32)) {
+        let mut visited = vec![false; self.adj.len()];
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(c) = stack.pop() {
+            for &(nc, hops) in &self.adj[c] {
+                if !visited[nc] {
+                    visited[nc] = true;
+                    f(c, nc, hops);
+                    stack.push(nc);
+                }
+            }
+        }
+    }
+
+    /// Hop length of the backbone path between two clusters (sum of edge
+    /// hop weights), used to charge result aggregation.
+    pub fn path_hops(&self, from: usize, to: usize) -> Option<u64> {
+        if from == to {
+            return Some(0);
+        }
+        let k = self.adj.len();
+        let mut dist = vec![u64::MAX; k];
+        let mut queue = std::collections::VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(c) = queue.pop_front() {
+            for &(nc, hops) in &self.adj[c] {
+                if dist[nc] == u64::MAX {
+                    dist[nc] = dist[c] + hops as u64;
+                    if nc == to {
+                        return Some(dist[nc]);
+                    }
+                    queue.push_back(nc);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_metric::{Absolute, Feature};
+    use elink_topology::{NodeId, Topology};
+
+    /// 1×6 path, clusters {0,1}, {2,3}, {4,5} rooted at 0, 2, 4.
+    fn setup() -> (Clustering, RoutingTable) {
+        let topo = Topology::grid(1, 6);
+        let states: Vec<(NodeId, Feature)> = [0, 0, 2, 2, 4, 4]
+            .iter()
+            .map(|&r| (r as NodeId, Feature::scalar(r as f64)))
+            .collect();
+        let clustering = elink_core::Clustering::from_node_states(&states, &topo, &Absolute);
+        let routing = RoutingTable::build(topo.graph());
+        (clustering, routing)
+    }
+
+    #[test]
+    fn mst_connects_all_clusters() {
+        let (clustering, routing) = setup();
+        let (bb, stats) = Backbone::build(&clustering, &routing);
+        assert_eq!(bb.cluster_count(), 3);
+        // Chain leaders 0-2-4: MST edges (0,2) and (2,4), 2 hops each.
+        assert_eq!(bb.neighbors(0).len(), 1);
+        assert_eq!(bb.neighbors(1).len(), 2);
+        assert_eq!(bb.neighbors(2).len(), 1);
+        // Build cost: 2 edges × 2 hops × 2 (invite+ack).
+        assert_eq!(stats.kind("backbone_build").cost, 8);
+    }
+
+    #[test]
+    fn walk_visits_every_cluster_once() {
+        let (clustering, routing) = setup();
+        let (bb, _) = Backbone::build(&clustering, &routing);
+        let mut visited = vec![0usize; 3];
+        visited[1] = 1; // start
+        bb.walk_from(1, |_, c, _| visited[c] += 1);
+        assert_eq!(visited, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn path_hops_accumulate() {
+        let (clustering, routing) = setup();
+        let (bb, _) = Backbone::build(&clustering, &routing);
+        assert_eq!(bb.path_hops(0, 2), Some(4));
+        assert_eq!(bb.path_hops(1, 1), Some(0));
+    }
+
+    #[test]
+    fn single_cluster_backbone_is_trivial() {
+        let topo = Topology::grid(1, 3);
+        let states: Vec<(NodeId, Feature)> =
+            (0..3).map(|_| (0, Feature::scalar(0.0))).collect();
+        let clustering = elink_core::Clustering::from_node_states(&states, &topo, &Absolute);
+        let routing = RoutingTable::build(topo.graph());
+        let (bb, stats) = Backbone::build(&clustering, &routing);
+        assert_eq!(bb.cluster_count(), 1);
+        assert_eq!(stats.total_cost(), 0);
+    }
+}

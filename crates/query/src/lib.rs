@@ -1,0 +1,32 @@
+//! Distributed index structure and query processing (§7).
+//!
+//! * [`mtree`] — the distributed M-tree: every node of a cluster tree keeps
+//!   a routing feature `F_i^R = F_i` and a covering radius `R_i` bounding
+//!   the feature distance to anything in its subtree (§7.1).
+//! * [`backbone`] — the spanning tree over cluster leaders used to route
+//!   queries between clusters (§7.2).
+//! * [`range`] — range queries with two-level pruning: whole clusters by
+//!   δ-compactness, then subtrees by the M-tree triangle-inequality rules
+//!   (§7.2).
+//! * [`tag`] — the TAG \[20\] comparison scheme: query down / aggregate up a
+//!   network-wide overlay tree, costing a fixed 2 × (tree edges) per query
+//!   (§8.3).
+//! * [`path`] — safe-path queries: clusters classified safe/unsafe around a
+//!   danger feature, mixed clusters refined through the index, and a BFS
+//!   over the safe region (§7.3), compared against flooding BFS.
+//!
+//! Message accounting matches the TAG convention the paper compares under:
+//! queries are charged per *visited tree edge* (query down + aggregate up),
+//! so pruning translates directly into savings.
+
+pub mod backbone;
+pub mod mtree;
+pub mod path;
+pub mod range;
+pub mod tag;
+
+pub use backbone::Backbone;
+pub use mtree::DistributedIndex;
+pub use path::{elink_path_query, flooding_path_query, PathQueryResult};
+pub use range::{brute_force_range, elink_range_query, RangeQueryResult};
+pub use tag::{tag_range_query, TagTree};

@@ -1,0 +1,168 @@
+//! The distributed M-tree over cluster trees (§7.1).
+//!
+//! "An index at node i maintains a routing feature `F_i^R` and a covering
+//! radius `R_i` such that the feature of every node in the subtree rooted at
+//! i is within distance `R_i` from `F_i^R`. A leaf propagates `F_i^R = F_i`
+//! and `R_i = 0` to its parent; the parent uses its own feature and the
+//! information from all its children to compute its own routing feature and
+//! covering radius," recursively to the cluster root.
+
+use elink_core::Clustering;
+use elink_metric::{Feature, Metric};
+use elink_netsim::MessageStats;
+use elink_topology::NodeId;
+
+/// Per-node M-tree state for an entire clustering.
+#[derive(Debug, Clone)]
+pub struct DistributedIndex {
+    /// Routing feature per node (`F_i^R = F_i` in the paper's scheme).
+    routing_feature: Vec<Feature>,
+    /// Covering radius per node.
+    covering_radius: Vec<f64>,
+    /// Children lists of the cluster trees (shared with query descent).
+    children: Vec<Vec<NodeId>>,
+}
+
+impl DistributedIndex {
+    /// Builds the index bottom-up over every cluster tree, charging one
+    /// `(feature, radius)` report per non-root node (the convergecast the
+    /// paper describes).
+    pub fn build(
+        clustering: &Clustering,
+        features: &[Feature],
+        metric: &dyn Metric,
+    ) -> (DistributedIndex, MessageStats) {
+        let n = clustering.n();
+        assert_eq!(features.len(), n);
+        let children = clustering.tree_children();
+        let mut covering_radius = vec![0.0_f64; n];
+        let mut stats = MessageStats::new();
+        let dim = features.first().map_or(1, Feature::scalar_cost);
+
+        // Process nodes deepest-first so children finish before parents.
+        let mut order: Vec<NodeId> = (0..n).collect();
+        let depths: Vec<usize> = (0..n).map(|v| clustering.tree_depth(v)).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(depths[v]));
+        for &v in &order {
+            let mut r = 0.0_f64;
+            for &c in &children[v] {
+                let d = metric.distance(&features[v], &features[c]);
+                r = r.max(d + covering_radius[c]);
+            }
+            covering_radius[v] = r;
+            // Non-roots report (F^R, R) one hop up the cluster tree.
+            if clustering.tree_parent[v].is_some() {
+                stats.record("index_build", 1, dim + 1);
+            }
+        }
+        (
+            DistributedIndex {
+                routing_feature: features.to_vec(),
+                covering_radius,
+                children,
+            },
+            stats,
+        )
+    }
+
+    /// The routing feature of a node.
+    pub fn routing_feature(&self, v: NodeId) -> &Feature {
+        &self.routing_feature[v]
+    }
+
+    /// The covering radius of a node.
+    pub fn covering_radius(&self, v: NodeId) -> f64 {
+        self.covering_radius[v]
+    }
+
+    /// Children of a node in its cluster tree.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// All nodes in the cluster subtree rooted at `v` (including `v`).
+    pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = vec![v];
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            for &c in &self.children[x] {
+                out.push(c);
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_metric::Absolute;
+    use elink_topology::Topology;
+
+    /// Path 0-1-2-3 all in one cluster rooted at 0, features 0,1,2,3.
+    fn setup() -> (Clustering, Vec<Feature>, Topology) {
+        let topo = Topology::grid(1, 4);
+        let features: Vec<Feature> = (0..4).map(|v| Feature::scalar(v as f64)).collect();
+        let states: Vec<(NodeId, Feature)> =
+            (0..4).map(|_| (0, Feature::scalar(0.0))).collect();
+        let clustering = elink_core::Clustering::from_node_states(&states, &topo, &Absolute);
+        (clustering, features, topo)
+    }
+
+    #[test]
+    fn covering_radii_on_a_path() {
+        let (clustering, features, _) = setup();
+        let (index, _) = DistributedIndex::build(&clustering, &features, &Absolute);
+        // Leaf 3: R = 0. Node 2: d(2,3)+0 = 1. Node 1: d(1,2)+1 = 2.
+        // Root 0: d(0,1)+2 = 3.
+        assert_eq!(index.covering_radius(3), 0.0);
+        assert_eq!(index.covering_radius(2), 1.0);
+        assert_eq!(index.covering_radius(1), 2.0);
+        assert_eq!(index.covering_radius(0), 3.0);
+    }
+
+    #[test]
+    fn invariant_every_subtree_member_within_radius() {
+        // Randomized clusters from a real ELink run.
+        let data = elink_datasets::TerrainDataset::generate(150, 6, 0.55, 3);
+        let features = data.features();
+        let net = elink_netsim::SimNetwork::new(data.topology().clone());
+        let outcome = elink_core::run_implicit(
+            &net,
+            &features,
+            std::sync::Arc::new(Absolute),
+            elink_core::ElinkConfig::for_delta(300.0),
+        );
+        let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
+        for v in 0..features.len() {
+            for m in index.subtree(v) {
+                let d = Absolute.distance(index.routing_feature(v), &features[m]);
+                assert!(
+                    d <= index.covering_radius(v) + 1e-9,
+                    "member {m} at {d} outside radius {} of {v}",
+                    index.covering_radius(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_cost_one_report_per_non_root() {
+        let (clustering, features, _) = setup();
+        let (_, stats) = DistributedIndex::build(&clustering, &features, &Absolute);
+        // 3 non-roots × (1 feature scalar + 1 radius) = 6.
+        assert_eq!(stats.kind("index_build").packets, 3);
+        assert_eq!(stats.kind("index_build").cost, 6);
+    }
+
+    #[test]
+    fn subtree_enumeration() {
+        let (clustering, features, _) = setup();
+        let (index, _) = DistributedIndex::build(&clustering, &features, &Absolute);
+        let mut s = index.subtree(1);
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
+        assert_eq!(index.subtree(3), vec![3]);
+    }
+}

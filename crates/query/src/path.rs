@@ -1,0 +1,412 @@
+//! Safe-path queries (§7.3).
+//!
+//! "Return a path from source x to destination y such that for all nodes j
+//! along the path, `d(F_j, F_D) ≥ γ`" — navigate around a danger feature
+//! `F_D` (contaminant plume, fire front) keeping a safety margin γ.
+//!
+//! The ELink algorithm classifies whole clusters by δ-compactness:
+//!
+//! * **safe** when `d(F_r, F_D) > γ + δ/2` (every member safe),
+//! * **unsafe** when `d(F_r, F_D) ≤ γ − δ/2` (every member unsafe),
+//! * **mixed** otherwise — refined by drilling the M-tree: a subtree is
+//!   wholly safe when `d(F_D, F_j^R) − R_j ≥ γ` and wholly unsafe when
+//!   `d(F_D, F_j^R) + R_j < γ`, else the descent continues.
+//!
+//! The safe nodes induce a subgraph; a BFS across it (the "safe backbone
+//! forest") finds a path or proves none exists. Because mixed clusters are
+//! refined down to exact leaves, the classification equals the exact safe
+//! set — so ELink finds a safe path **iff** one exists (tested against the
+//! flooding baseline).
+//!
+//! The flooding baseline BFS-floods the whole network: every safe node
+//! forwards the query to all neighbors once.
+
+use crate::backbone::Backbone;
+use crate::mtree::DistributedIndex;
+use elink_core::Clustering;
+use elink_metric::{Feature, Metric};
+use elink_netsim::MessageStats;
+use elink_topology::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Result of a path query.
+#[derive(Debug, Clone)]
+pub struct PathQueryResult {
+    /// The safe path (source first, destination last), if one exists.
+    pub path: Option<Vec<NodeId>>,
+    /// Message bill.
+    pub stats: MessageStats,
+    /// Clusters classified wholly safe / wholly unsafe by the cluster test.
+    pub clusters_safe: usize,
+    /// Clusters classified wholly unsafe.
+    pub clusters_unsafe: usize,
+    /// Clusters needing index refinement.
+    pub clusters_mixed: usize,
+}
+
+/// ELink path query: cluster classification, index refinement of mixed
+/// clusters, then BFS over the safe subgraph.
+#[allow(clippy::too_many_arguments)]
+pub fn elink_path_query(
+    clustering: &Clustering,
+    index: &DistributedIndex,
+    backbone: &Backbone,
+    topology: &Topology,
+    features: &[Feature],
+    metric: &dyn Metric,
+    delta: f64,
+    source: NodeId,
+    dest: NodeId,
+    danger: &Feature,
+    gamma: f64,
+) -> PathQueryResult {
+    let n = topology.n();
+    let mut stats = MessageStats::new();
+    let dim = danger.scalar_cost();
+    let query_scalars = dim + 1;
+
+    // Query reaches the source's root, then every cluster root on the
+    // backbone (classification is root-local).
+    let src_cluster = clustering.cluster_of(source);
+    stats.record("pq_route", clustering.tree_depth(source) as u64, query_scalars);
+    backbone.walk_from(src_cluster, |_, _, hops| {
+        stats.record("pq_backbone", hops as u64, query_scalars);
+    });
+
+    // Classification.
+    let mut safe = vec![false; n];
+    let mut clusters_safe = 0;
+    let mut clusters_unsafe = 0;
+    let mut clusters_mixed = 0;
+    for cluster in &clustering.clusters {
+        let d_root = metric.distance(&features[cluster.root], danger);
+        // As in range queries, the root covering radius is the sound
+        // cluster-level bound (= the paper's δ/2 for ideal ELink clusters).
+        let radius = index.covering_radius(cluster.root).min(delta);
+        if d_root > gamma + radius {
+            clusters_safe += 1;
+            for &m in &cluster.members {
+                safe[m] = true;
+            }
+        } else if d_root <= gamma - radius {
+            clusters_unsafe += 1;
+        } else {
+            clusters_mixed += 1;
+            classify_subtree(
+                cluster.root,
+                index,
+                metric,
+                danger,
+                gamma,
+                &mut safe,
+                &mut stats,
+                query_scalars,
+            );
+        }
+    }
+
+    // BFS over the safe subgraph from source. Each expansion of a safe node
+    // costs one message per incident edge probed (the safe-backbone BFS).
+    let path = if !safe[source] || !safe[dest] {
+        None
+    } else {
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[source] = true;
+        queue.push_back(source);
+        let mut found = source == dest;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &w in topology.graph().neighbors(v) {
+                let w = w as usize;
+                stats.record("pq_bfs", 1, 1);
+                if safe[w] && !seen[w] {
+                    seen[w] = true;
+                    parent[w] = Some(v);
+                    if w == dest {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        if found {
+            let mut path = vec![dest];
+            let mut cur = dest;
+            while let Some(p) = parent[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            // Trace-back messages along the found path.
+            stats.record("pq_trace", path.len() as u64 - 1, 1);
+            Some(path)
+        } else {
+            None
+        }
+    };
+
+    PathQueryResult {
+        path,
+        stats,
+        clusters_safe,
+        clusters_unsafe,
+        clusters_mixed,
+    }
+}
+
+/// Index descent classifying a mixed cluster's nodes exactly.
+#[allow(clippy::too_many_arguments)]
+fn classify_subtree(
+    node: NodeId,
+    index: &DistributedIndex,
+    metric: &dyn Metric,
+    danger: &Feature,
+    gamma: f64,
+    safe: &mut [bool],
+    stats: &mut MessageStats,
+    query_scalars: u64,
+) {
+    let d = metric.distance(index.routing_feature(node), danger);
+    let r = index.covering_radius(node);
+    if d - r >= gamma {
+        for m in index.subtree(node) {
+            safe[m] = true;
+        }
+        return;
+    }
+    if d + r < gamma {
+        return; // wholly unsafe
+    }
+    // Mixed subtree: the node itself is classified exactly, children are
+    // visited (one query + one report per traversed edge).
+    safe[node] = d >= gamma;
+    for &child in index.children(node) {
+        stats.record("pq_drill", 1, query_scalars);
+        stats.record("pq_drill_agg", 1, 1);
+        classify_subtree(child, index, metric, danger, gamma, safe, stats, query_scalars);
+    }
+}
+
+/// Flooding baseline: BFS over the network where every reached safe node
+/// forwards once to all neighbors; unsafe nodes drop the query.
+pub fn flooding_path_query(
+    topology: &Topology,
+    features: &[Feature],
+    metric: &dyn Metric,
+    source: NodeId,
+    dest: NodeId,
+    danger: &Feature,
+    gamma: f64,
+) -> PathQueryResult {
+    let n = topology.n();
+    let mut stats = MessageStats::new();
+    let dim = danger.scalar_cost();
+    let safe: Vec<bool> = (0..n)
+        .map(|v| metric.distance(&features[v], danger) >= gamma)
+        .collect();
+
+    let path = if !safe[source] || !safe[dest] {
+        None
+    } else {
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[source] = true;
+        queue.push_back(source);
+        let mut found = source == dest;
+        while let Some(v) = queue.pop_front() {
+            // Flooding: v forwards the query (danger feature + γ) to every
+            // neighbor, safe or not — it cannot know remotely.
+            for &w in topology.graph().neighbors(v) {
+                let w = w as usize;
+                stats.record("flood", 1, dim + 1);
+                if safe[w] && !seen[w] {
+                    seen[w] = true;
+                    parent[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+            if seen[dest] {
+                found = true;
+                break;
+            }
+        }
+        if found && (source == dest || parent[dest].is_some()) {
+            let mut path = vec![dest];
+            let mut cur = dest;
+            while let Some(p) = parent[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            stats.record("flood_trace", path.len() as u64 - 1, 1);
+            Some(path)
+        } else {
+            None
+        }
+    };
+    PathQueryResult {
+        path,
+        stats,
+        clusters_safe: 0,
+        clusters_unsafe: 0,
+        clusters_mixed: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_core::{run_implicit, ElinkConfig};
+    use elink_metric::Absolute;
+    use elink_netsim::SimNetwork;
+    use elink_topology::RoutingTable;
+    use std::sync::Arc;
+
+    struct Fixture {
+        clustering: Clustering,
+        index: DistributedIndex,
+        backbone: Backbone,
+        features: Vec<Feature>,
+        topology: Topology,
+        delta: f64,
+    }
+
+    fn fixture(delta: f64, seed: u64) -> Fixture {
+        let data = elink_datasets::TerrainDataset::generate(150, 6, 0.55, seed);
+        let features = data.features();
+        let topology = data.topology().clone();
+        let net = SimNetwork::new(topology.clone());
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(delta),
+        );
+        let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
+        let routing = RoutingTable::build(topology.graph());
+        let (backbone, _) = Backbone::build(&outcome.clustering, &routing);
+        Fixture {
+            clustering: outcome.clustering,
+            index,
+            backbone,
+            features,
+            topology,
+            delta,
+        }
+    }
+
+    fn check_path_safety(
+        path: &[NodeId],
+        features: &[Feature],
+        danger: &Feature,
+        gamma: f64,
+        topology: &Topology,
+    ) {
+        for &v in path {
+            assert!(
+                Absolute.distance(&features[v], danger) >= gamma,
+                "unsafe node {v} on path"
+            );
+        }
+        for pair in path.windows(2) {
+            assert!(topology.graph().has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn elink_agrees_with_flooding_on_existence() {
+        let f = fixture(250.0, 1);
+        // Danger = low elevations; γ sweeps safety margins.
+        let danger = Feature::scalar(175.0);
+        for gamma in [100.0, 400.0, 900.0] {
+            for (src, dst) in [(0, 149), (10, 77), (42, 140)] {
+                let e = elink_path_query(
+                    &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
+                    &Absolute, f.delta, src, dst, &danger, gamma,
+                );
+                let b = flooding_path_query(
+                    &f.topology, &f.features, &Absolute, src, dst, &danger, gamma,
+                );
+                assert_eq!(
+                    e.path.is_some(),
+                    b.path.is_some(),
+                    "γ={gamma} {src}->{dst}: elink {:?} vs flood {:?}",
+                    e.path.is_some(),
+                    b.path.is_some()
+                );
+                if let Some(p) = &e.path {
+                    assert_eq!(p.first(), Some(&src));
+                    assert_eq!(p.last(), Some(&dst));
+                    check_path_safety(p, &f.features, &danger, gamma, &f.topology);
+                }
+                if let Some(p) = &b.path {
+                    check_path_safety(p, &f.features, &danger, gamma, &f.topology);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_source_yields_no_path() {
+        let f = fixture(250.0, 2);
+        // Pick the node nearest the danger feature.
+        let danger = f.features[13].clone();
+        let result = elink_path_query(
+            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
+            &Absolute, f.delta, 13, 100, &danger, 50.0,
+        );
+        assert!(result.path.is_none());
+    }
+
+    #[test]
+    fn source_equals_dest() {
+        let f = fixture(250.0, 3);
+        let danger = Feature::scalar(-10_000.0);
+        let result = elink_path_query(
+            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
+            &Absolute, f.delta, 5, 5, &danger, 1.0,
+        );
+        assert_eq!(result.path, Some(vec![5]));
+    }
+
+    #[test]
+    fn classification_covers_all_clusters() {
+        let f = fixture(250.0, 4);
+        let danger = Feature::scalar(1000.0);
+        let result = elink_path_query(
+            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
+            &Absolute, f.delta, 0, 50, &danger, 300.0,
+        );
+        assert_eq!(
+            result.clusters_safe + result.clusters_unsafe + result.clusters_mixed,
+            f.clustering.cluster_count()
+        );
+    }
+
+    #[test]
+    fn elink_cheaper_than_flooding_when_pruning_bites() {
+        // With a wholly-safe network (danger far away), ELink classifies
+        // every cluster safe with zero drilling while flooding pays per
+        // edge; the BFS itself is common to both.
+        let f = fixture(250.0, 5);
+        let danger = Feature::scalar(-50_000.0);
+        let e = elink_path_query(
+            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
+            &Absolute, f.delta, 0, 149, &danger, 10.0,
+        );
+        let b = flooding_path_query(&f.topology, &f.features, &Absolute, 0, 149, &danger, 10.0);
+        assert!(e.path.is_some() && b.path.is_some());
+        assert_eq!(e.stats.kind("pq_drill").cost, 0);
+        // ELink BFS terminates at the destination; flooding pays the same
+        // BFS plus full-payload forwards. Compare the query-dependent parts.
+        let e_cost = e.stats.total_cost();
+        let b_cost = b.stats.total_cost();
+        assert!(
+            e_cost < b_cost,
+            "elink {e_cost} not cheaper than flooding {b_cost}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! The TAG comparison scheme (§8.3, \[20\]).
+//!
+//! TAG (TinyDB's tiny aggregation) answers a query by pushing it down a
+//! network-wide overlay tree in a *distribution* phase and aggregating
+//! results up in a *collection* phase. "The average number of messages per
+//! query is fixed and is equal to twice the number of edges in the spanning
+//! tree" — there is no data-dependent pruning.
+
+use elink_metric::{Feature, Metric};
+use elink_netsim::MessageStats;
+use elink_topology::{NodeId, Topology};
+
+/// The TAG overlay tree (BFS tree rooted at the base station).
+#[derive(Debug, Clone)]
+pub struct TagTree {
+    root: NodeId,
+    /// Parent of each node (`parent[root] == root`).
+    parent: Vec<u32>,
+    edges: usize,
+}
+
+impl TagTree {
+    /// Builds the overlay tree rooted at the node nearest the deployment
+    /// center (the base station).
+    pub fn build(topology: &Topology) -> TagTree {
+        let root = topology.nearest_node(&topology.extent().center());
+        let parent = topology.graph().bfs_tree(root);
+        let edges = topology.n().saturating_sub(1);
+        TagTree {
+            root,
+            parent,
+            edges,
+        }
+    }
+
+    /// The base station.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of tree edges (n − 1 for connected networks).
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Parent of `v` in the overlay.
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v] as NodeId
+    }
+}
+
+/// Answers a range query TAG-style: the query visits every tree edge
+/// downstream (carrying the query feature + radius) and aggregates
+/// upstream (one value per edge). Matches are exact — every node evaluates
+/// the predicate locally.
+pub fn tag_range_query(
+    tree: &TagTree,
+    features: &[Feature],
+    metric: &dyn Metric,
+    q: &Feature,
+    r: f64,
+) -> (Vec<NodeId>, MessageStats) {
+    let mut stats = MessageStats::new();
+    let query_scalars = q.scalar_cost() + 1;
+    stats.record("tag_distribute", tree.edges() as u64, query_scalars);
+    stats.record("tag_collect", tree.edges() as u64, 1);
+    let matches = (0..features.len())
+        .filter(|&v| metric.distance(q, &features[v]) <= r)
+        .collect();
+    (matches, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elink_metric::Absolute;
+
+    #[test]
+    fn tree_spans_grid() {
+        let topo = Topology::grid(3, 3);
+        let tree = TagTree::build(&topo);
+        assert_eq!(tree.root(), 4); // grid center
+        assert_eq!(tree.edges(), 8);
+        // Every node reaches the root by parents.
+        for v in 0..9 {
+            let mut cur = v;
+            let mut steps = 0;
+            while cur != tree.root() {
+                cur = tree.parent(cur);
+                steps += 1;
+                assert!(steps <= 9);
+            }
+        }
+    }
+
+    #[test]
+    fn query_cost_is_fixed() {
+        let topo = Topology::grid(4, 5);
+        let tree = TagTree::build(&topo);
+        let features: Vec<Feature> = (0..20).map(|v| Feature::scalar(v as f64)).collect();
+        let (_, s1) = tag_range_query(&tree, &features, &Absolute, &Feature::scalar(0.0), 1.0);
+        let (_, s2) =
+            tag_range_query(&tree, &features, &Absolute, &Feature::scalar(10.0), 100.0);
+        assert_eq!(s1.total_cost(), s2.total_cost());
+        // 19 edges × (1+1 query scalars) + 19 × 1.
+        assert_eq!(s1.total_cost(), 19 * 2 + 19);
+    }
+
+    #[test]
+    fn matches_are_exact() {
+        let topo = Topology::grid(1, 5);
+        let tree = TagTree::build(&topo);
+        let features: Vec<Feature> = (0..5).map(|v| Feature::scalar(v as f64 * 2.0)).collect();
+        let (m, _) = tag_range_query(&tree, &features, &Absolute, &Feature::scalar(4.0), 2.0);
+        assert_eq!(m, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for query processing: exactness of range queries and
+//! safety/completeness of path queries over randomized instances.
+
+use elink_core::{run_implicit, ElinkConfig};
+use elink_datasets::TerrainDataset;
+use elink_metric::{Absolute, Feature, Metric};
+use elink_netsim::SimNetwork;
+use elink_query::{
+    brute_force_range, elink_path_query, elink_range_query, flooding_path_query, Backbone,
+    DistributedIndex,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_fixture(
+    n: usize,
+    seed: u64,
+    delta: f64,
+) -> (
+    TerrainDataset,
+    elink_core::Clustering,
+    DistributedIndex,
+    Backbone,
+    Vec<Feature>,
+) {
+    let data = TerrainDataset::generate(n, 5, 0.55, seed);
+    let features = data.features();
+    let network = SimNetwork::new(data.topology().clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::new(Absolute),
+        ElinkConfig::for_delta(delta),
+    );
+    let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
+    let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+    (data, outcome.clustering, index, backbone, features)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Range queries are exact for arbitrary query features and radii,
+    /// across random topologies and δ values.
+    #[test]
+    fn range_query_always_exact(
+        seed in 0u64..200,
+        delta in 100.0f64..800.0,
+        qval in 0.0f64..2200.0,
+        r in 1.0f64..900.0,
+        initiator in 0usize..60,
+    ) {
+        let (_, clustering, index, backbone, features) = build_fixture(60, seed, delta);
+        let q = Feature::scalar(qval);
+        let result = elink_range_query(
+            &clustering, &index, &backbone, &features, &Absolute, delta,
+            initiator, &q, r,
+        );
+        prop_assert_eq!(result.matches, brute_force_range(&features, &Absolute, &q, r));
+        // The pruning categories partition the clusters.
+        prop_assert_eq!(
+            result.clusters_excluded + result.clusters_included + result.clusters_drilled,
+            clustering.cluster_count()
+        );
+    }
+
+    /// Path queries: agreement with flooding on existence; every returned
+    /// path is safe and uses only communication edges.
+    #[test]
+    fn path_query_safe_and_complete(
+        seed in 0u64..100,
+        gamma in 10.0f64..1500.0,
+        src in 0usize..60,
+        dst in 0usize..60,
+    ) {
+        let delta = 300.0;
+        let (data, clustering, index, backbone, features) = build_fixture(60, seed, delta);
+        let danger = Feature::scalar(175.0);
+        let e = elink_path_query(
+            &clustering, &index, &backbone, data.topology(), &features, &Absolute,
+            delta, src, dst, &danger, gamma,
+        );
+        let f = flooding_path_query(
+            data.topology(), &features, &Absolute, src, dst, &danger, gamma,
+        );
+        prop_assert_eq!(e.path.is_some(), f.path.is_some());
+        for result in [&e, &f] {
+            if let Some(path) = &result.path {
+                prop_assert_eq!(*path.first().unwrap(), src);
+                prop_assert_eq!(*path.last().unwrap(), dst);
+                for &v in path {
+                    prop_assert!(
+                        Absolute.distance(&features[v], &danger) >= gamma,
+                        "unsafe node {} on path", v
+                    );
+                }
+                for pair in path.windows(2) {
+                    prop_assert!(data.topology().graph().has_edge(pair[0], pair[1]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Greedy geographic routing (GPSR-style, \[16\]) and path-stretch
+//! measurement.
+//!
+//! The paper's implicit schedule multiplies κ by a *stretch factor*
+//! `(1 + γ)` to account for routes being longer than straight lines
+//! ("Constant γ is usually small, around 0.2–0.4", §4, citing \[18\]). This
+//! module provides the greedy-forwarding primitive those systems use —
+//! each hop moves to the neighbor geographically closest to the
+//! destination — plus utilities to measure the realized stretch on a
+//! topology, so the γ assumption can be validated empirically
+//! (`ext_stretch` in the experiments crate).
+//!
+//! Greedy forwarding alone can strand in a local minimum (a void); full
+//! GPSR recovers with perimeter routing over a planarized graph. Here a
+//! stranded packet falls back to shortest-path (BFS) routing for the
+//! remainder — the fallback is flagged in the result so stretch statistics
+//! can separate the two regimes.
+
+use crate::graph::RoutingTable;
+use crate::topo::{NodeId, Topology};
+
+/// Result of one greedy-forwarding walk.
+#[derive(Debug, Clone)]
+pub struct GreedyRoute {
+    /// The node sequence, source first. Ends at the destination.
+    pub path: Vec<NodeId>,
+    /// Whether greedy forwarding got stuck in a void and the BFS fallback
+    /// completed the route.
+    pub used_fallback: bool,
+}
+
+impl GreedyRoute {
+    /// Hop count of the route.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Routes greedily from `src` to `dst`: each hop forwards to the neighbor
+/// strictly closest (in Euclidean position) to the destination. On a local
+/// minimum, the rest of the route follows shortest paths via `fallback`.
+///
+/// Returns `None` only if the fallback cannot reach `dst` (disconnected
+/// network).
+pub fn greedy_route(
+    topology: &Topology,
+    fallback: &RoutingTable,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<GreedyRoute> {
+    let mut path = vec![src];
+    let mut cur = src;
+    let mut used_fallback = false;
+    let dst_pos = topology.position(dst);
+    while cur != dst {
+        let cur_d = topology.position(cur).dist_sq(&dst_pos);
+        let next = topology
+            .graph()
+            .neighbors(cur)
+            .iter()
+            .map(|&w| w as usize)
+            .map(|w| (w, topology.position(w).dist_sq(&dst_pos)))
+            .filter(|&(_, d)| d < cur_d)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        match next {
+            Some((w, _)) => {
+                path.push(w);
+                cur = w;
+            }
+            None => {
+                // Void: complete with shortest-path forwarding.
+                used_fallback = true;
+                let rest = fallback.path(cur, dst)?;
+                path.extend(rest.into_iter().skip(1));
+                cur = dst;
+            }
+        }
+        if path.len() > 4 * topology.n() {
+            return None; // defensive: should be unreachable
+        }
+    }
+    Some(GreedyRoute {
+        path,
+        used_fallback,
+    })
+}
+
+/// Aggregate stretch statistics over sampled node pairs.
+#[derive(Debug, Clone)]
+pub struct StretchStats {
+    /// Mean of `greedy_hops / shortest_hops − 1` over sampled pairs — the
+    /// γ of §4.
+    pub mean_stretch: f64,
+    /// Worst observed stretch.
+    pub max_stretch: f64,
+    /// Fraction of routes that needed the void fallback.
+    pub fallback_rate: f64,
+    /// Pairs sampled.
+    pub pairs: usize,
+}
+
+/// Measures greedy-routing stretch over a deterministic sample of node
+/// pairs (up to `max_pairs`, spread over the id space).
+pub fn measure_stretch(
+    topology: &Topology,
+    routing: &RoutingTable,
+    max_pairs: usize,
+) -> StretchStats {
+    let n = topology.n();
+    let mut sum = 0.0;
+    let mut max = 0.0_f64;
+    let mut fallbacks = 0usize;
+    let mut pairs = 0usize;
+    let mut k = 0usize;
+    while pairs < max_pairs && k < 4 * max_pairs {
+        let src = (k * 7919) % n;
+        let dst = (k * 104729 + n / 2) % n;
+        k += 1;
+        if src == dst {
+            continue;
+        }
+        let Some(short) = routing.hops(src, dst) else {
+            continue;
+        };
+        if short == 0 {
+            continue;
+        }
+        let Some(route) = greedy_route(topology, routing, src, dst) else {
+            continue;
+        };
+        let stretch = route.hops() as f64 / short as f64 - 1.0;
+        sum += stretch;
+        max = max.max(stretch);
+        if route.used_fallback {
+            fallbacks += 1;
+        }
+        pairs += 1;
+    }
+    StretchStats {
+        mean_stretch: if pairs > 0 { sum / pairs as f64 } else { 0.0 },
+        max_stretch: max,
+        fallback_rate: if pairs > 0 {
+            fallbacks as f64 / pairs as f64
+        } else {
+            0.0
+        },
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_on_grid_is_shortest() {
+        // On a grid, greedy forwarding follows Manhattan shortest paths.
+        let topo = Topology::grid(5, 5);
+        let rt = RoutingTable::build(topo.graph());
+        let route = greedy_route(&topo, &rt, 0, 24).unwrap();
+        assert_eq!(route.hops() as u32, rt.hops(0, 24).unwrap());
+        assert!(!route.used_fallback);
+    }
+
+    #[test]
+    fn route_endpoints_and_edges_are_valid() {
+        let topo = Topology::random_synthetic(120, 4);
+        let rt = RoutingTable::build(topo.graph());
+        let route = greedy_route(&topo, &rt, 3, 77).unwrap();
+        assert_eq!(*route.path.first().unwrap(), 3);
+        assert_eq!(*route.path.last().unwrap(), 77);
+        for pair in route.path.windows(2) {
+            assert!(topo.graph().has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let topo = Topology::grid(3, 3);
+        let rt = RoutingTable::build(topo.graph());
+        let route = greedy_route(&topo, &rt, 4, 4).unwrap();
+        assert_eq!(route.path, vec![4]);
+        assert_eq!(route.hops(), 0);
+    }
+
+    #[test]
+    fn stretch_on_random_topologies_matches_paper_band() {
+        // §4: "Constant γ is usually small, around 0.2–0.4." Random
+        // unit-disk networks should land at or below that band.
+        let topo = Topology::random_synthetic(300, 7);
+        let rt = RoutingTable::build(topo.graph());
+        let stats = measure_stretch(&topo, &rt, 100);
+        assert!(stats.pairs >= 50, "too few sampled pairs: {}", stats.pairs);
+        assert!(
+            stats.mean_stretch < 0.5,
+            "mean stretch {} above the paper's band",
+            stats.mean_stretch
+        );
+    }
+
+    #[test]
+    fn stretch_is_nonnegative() {
+        let topo = Topology::random_synthetic(100, 9);
+        let rt = RoutingTable::build(topo.graph());
+        let stats = measure_stretch(&topo, &rt, 60);
+        assert!(stats.mean_stretch >= 0.0);
+        assert!(stats.max_stretch >= stats.mean_stretch);
+        assert!((0.0..=1.0).contains(&stats.fallback_rate));
+    }
+}

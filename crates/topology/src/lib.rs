@@ -1,0 +1,18 @@
+//! Sensor-network topologies for the ELink reproduction.
+//!
+//! Provides node placement (grid / random-uniform), the communication graph
+//! (explicit edges for grids, unit-disk for random placements), hop-count
+//! routing over the graph, and the recursive quadtree decomposition with
+//! cell-leader election that defines ELink's sentinel sets (§3.2).
+
+pub mod georoute;
+pub mod graph;
+pub mod point;
+pub mod quadtree;
+pub mod topo;
+
+pub use georoute::{greedy_route, measure_stretch, GreedyRoute, StretchStats};
+pub use graph::{CommGraph, RoutingTable};
+pub use point::{Point, Rect};
+pub use quadtree::{CellId, QuadCell, QuadTree};
+pub use topo::{NodeId, Topology};

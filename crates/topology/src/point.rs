@@ -1,0 +1,147 @@
+//! 2-D geometry primitives: points and axis-aligned rectangles.
+
+/// A point in the deployment plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in comparisons).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// An axis-aligned rectangle `[min_x, max_x) × [min_y, max_y)`.
+///
+/// Half-open on the high edges so that quadtree subdivision partitions a cell
+/// exactly (every point belongs to exactly one child).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Inclusive low x bound.
+    pub min_x: f64,
+    /// Inclusive low y bound.
+    pub min_y: f64,
+    /// Exclusive high x bound.
+    pub max_x: f64,
+    /// Exclusive high y bound.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is inverted.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(min_x <= max_x && min_y <= max_y, "inverted rectangle");
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The rectangle's center.
+    pub fn center(&self) -> Point {
+        Point::new(
+            0.5 * (self.min_x + self.max_x),
+            0.5 * (self.min_y + self.max_y),
+        )
+    }
+
+    /// Whether the point lies inside (half-open semantics).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x < self.max_x && p.y >= self.min_y && p.y < self.max_y
+    }
+
+    /// Splits into four equal quadrants, ordered SW, SE, NW, NE.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect::new(self.min_x, self.min_y, c.x, c.y),
+            Rect::new(c.x, self.min_y, self.max_x, c.y),
+            Rect::new(self.min_x, c.y, c.x, self.max_y),
+            Rect::new(c.x, c.y, self.max_x, self.max_y),
+        ]
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn rect_center_and_contains() {
+        let r = Rect::new(0.0, 0.0, 2.0, 4.0);
+        assert_eq!(r.center(), Point::new(1.0, 2.0));
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(1.999, 3.999)));
+        assert!(!r.contains(&Point::new(2.0, 0.0)), "high edge is exclusive");
+    }
+
+    #[test]
+    fn quadrants_partition() {
+        let r = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let qs = r.quadrants();
+        // Every probe point falls in exactly one quadrant.
+        for p in [
+            Point::new(0.5, 0.5),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(3.9, 3.9),
+            Point::new(2.0, 2.0),
+        ] {
+            let hits = qs.iter().filter(|q| q.contains(&p)).count();
+            assert_eq!(hits, 1, "point {p:?} in {hits} quadrants");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn width_height() {
+        let r = Rect::new(1.0, 2.0, 4.0, 7.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 5.0);
+    }
+}

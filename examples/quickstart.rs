@@ -1,0 +1,75 @@
+//! Quickstart: cluster a small sensor grid with ELink and inspect the
+//! result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use elink::core::{run_implicit, validate_delta_clustering, ElinkConfig};
+use elink::metric::{Absolute, Feature};
+use elink::netsim::SimNetwork;
+use elink::topology::Topology;
+use std::sync::Arc;
+
+fn main() {
+    // An 8×8 sensor grid. Each sensor's "feature" is a scalar reading —
+    // here a synthetic two-zone field: cool west half, warm east half with
+    // a gentle gradient inside each zone.
+    let side = 8;
+    let topology = Topology::grid(side, side);
+    let features: Vec<Feature> = (0..topology.n())
+        .map(|v| {
+            let col = v % side;
+            let base = if col < side / 2 { 10.0 } else { 30.0 };
+            Feature::scalar(base + 0.5 * col as f64)
+        })
+        .collect();
+
+    // δ-clustering: any two sensors in a cluster must read within δ of each
+    // other. ElinkConfig::for_delta applies the paper's defaults
+    // (φ = 0.1 δ, at most 4 cluster switches per node).
+    let delta = 6.0;
+    let network = SimNetwork::new(topology.clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::new(Absolute),
+        ElinkConfig::for_delta(delta),
+    );
+
+    println!("network: {side}x{side} grid, delta = {delta}");
+    println!(
+        "ELink clustered {} nodes into {} clusters in {} simulated ticks using {} message units",
+        topology.n(),
+        outcome.clustering.cluster_count(),
+        outcome.elapsed,
+        outcome.stats.total_cost(),
+    );
+    for (id, cluster) in outcome.clustering.clusters.iter().enumerate() {
+        println!(
+            "  cluster {id}: root {} (feature {}), {} members",
+            cluster.root,
+            cluster.root_feature,
+            cluster.members.len()
+        );
+    }
+
+    // Check Definition 1 end to end: disjoint cover, connectivity and
+    // pairwise δ-compactness.
+    validate_delta_clustering(&outcome.clustering, &topology, &features, &Absolute, delta)
+        .expect("ELink must produce a valid delta-clustering");
+    println!("validated: every cluster is connected and delta-compact");
+
+    // Render the cluster map.
+    println!("\ncluster map (one digit/letter per sensor):");
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    for row in 0..side {
+        let line: String = (0..side)
+            .map(|col| {
+                let c = outcome.clustering.cluster_of(row * side + col);
+                GLYPHS[c % GLYPHS.len()] as char
+            })
+            .collect();
+        println!("  {line}");
+    }
+}

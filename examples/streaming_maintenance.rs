@@ -1,0 +1,99 @@
+//! Streaming maintenance (§6): keep a δ-clustering alive under a live
+//! measurement stream with slack-based local filtering, and compare the
+//! communication bill against centralized coefficient streaming.
+//!
+//! ```sh
+//! cargo run --release --example streaming_maintenance
+//! ```
+
+use elink::armodel::TaoModel;
+use elink::baselines::CentralizedUpdateSim;
+use elink::core::{run_implicit, ElinkConfig, MaintenanceSim, UpdateOutcome};
+use elink::datasets::{TaoDataset, TaoParams};
+use elink::netsim::SimNetwork;
+use std::sync::Arc;
+
+fn main() {
+    let data = TaoDataset::generate(
+        TaoParams {
+            rows: 6,
+            cols: 9,
+            day_len: 144,
+            days: 14,
+        },
+        7,
+    );
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+    let topology = Arc::new(data.topology().clone());
+
+    let delta = 0.15;
+    let slack = 0.05 * delta;
+    println!("delta = {delta}, slack = {slack:.4} (initial clustering at delta - 2*slack)");
+
+    // Initial clustering at the reduced threshold δ − 2Δ (§6).
+    let network = SimNetwork::new(data.topology().clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::clone(&metric) as _,
+        ElinkConfig::for_delta(delta - 2.0 * slack),
+    );
+    println!(
+        "initial clustering: {} clusters for {} message units",
+        outcome.clustering.cluster_count(),
+        outcome.stats.total_cost()
+    );
+
+    let mut maint = MaintenanceSim::new(
+        &outcome.clustering,
+        Arc::clone(&topology),
+        Arc::clone(&metric) as _,
+        features.clone(),
+        delta,
+        slack,
+    );
+    let mut central = CentralizedUpdateSim::new(data.topology(), features.clone(), slack);
+
+    // Stream two weeks of measurements through the per-node models.
+    let mut models: Vec<TaoModel> = data.train_models();
+    let steps = data.evaluation()[0].len();
+    let mut outcome_counts = [0u64; 5]; // local, refreshed, merged, singleton, root-bcast
+    for t in 0..steps {
+        for (node, model) in models.iter_mut().enumerate() {
+            model.observe(data.evaluation()[node][t]);
+            let f = model.feature();
+            match maint.update(node, f.clone()) {
+                UpdateOutcome::LocalOnly => outcome_counts[0] += 1,
+                UpdateOutcome::RefreshedAndStayed => outcome_counts[1] += 1,
+                UpdateOutcome::Merged { .. } => outcome_counts[2] += 1,
+                UpdateOutcome::Singleton => outcome_counts[3] += 1,
+                UpdateOutcome::RootBroadcast { .. } => outcome_counts[4] += 1,
+            }
+            central.model_update(node, f, metric.as_ref());
+        }
+    }
+
+    let total_updates: u64 = outcome_counts.iter().sum();
+    println!("\nstreamed {total_updates} feature updates:");
+    println!("  absorbed locally (A1/A2/A3): {}", outcome_counts[0]);
+    println!("  root-feature refresh, stayed: {}", outcome_counts[1]);
+    println!("  detached and merged:          {}", outcome_counts[2]);
+    println!("  detached to singleton:        {}", outcome_counts[3]);
+    println!("  root-drift broadcasts:        {}", outcome_counts[4]);
+    println!(
+        "\ncluster count after the stream: {} (was {})",
+        maint.cluster_count(),
+        outcome.clustering.cluster_count()
+    );
+
+    let elink_cost = maint.stats().total_cost();
+    let central_cost = central.stats().kind("central_model").cost;
+    println!("\nupdate communication bill:");
+    println!("  ELink maintenance: {elink_cost} message units");
+    println!("  centralized:       {central_cost} message units");
+    println!(
+        "  saving:            {:.1}x",
+        central_cost as f64 / elink_cost.max(1) as f64
+    );
+}

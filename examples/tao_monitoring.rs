@@ -1,0 +1,106 @@
+//! Ocean-monitoring scenario on the Tao-like sea-surface-temperature data
+//! (§8.1): train AR models, discover temperature zones with ELink, then
+//! answer "which regions behave like node x?" range queries through the
+//! distributed index.
+//!
+//! ```sh
+//! cargo run --release --example tao_monitoring
+//! ```
+
+use elink::core::{run_implicit, ElinkConfig};
+use elink::datasets::{TaoDataset, TaoParams};
+use elink::netsim::SimNetwork;
+use elink::query::{brute_force_range, elink_range_query, Backbone, DistributedIndex};
+use std::sync::Arc;
+
+fn main() {
+    // A month of 10-minute SST readings on the 6×9 TAO buoy grid
+    // (synthetic equivalent; see DESIGN.md).
+    let data = TaoDataset::generate(
+        TaoParams {
+            rows: 6,
+            cols: 9,
+            day_len: 144,
+            days: 31,
+        },
+        2026,
+    );
+    println!("trained AR models on the previous month's data per buoy…");
+    let features = data.features();
+    let metric = Arc::new(data.metric().clone());
+
+    // Every node's feature is (α1, β1, β2, β3): the within-day AR(1)
+    // coefficient plus the AR(3) over daily means.
+    let (rows, cols) = data.shape();
+    println!("feature of NW buoy: {}", features[0]);
+    println!("feature of SE buoy: {}", features[rows * cols - 1]);
+
+    // Cluster into temperature zones.
+    let delta = 0.15;
+    let network = SimNetwork::new(data.topology().clone());
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::clone(&metric) as _,
+        ElinkConfig::for_delta(delta),
+    );
+    println!(
+        "\nELink found {} zones at delta = {delta} ({} message units):",
+        outcome.clustering.cluster_count(),
+        outcome.stats.total_cost()
+    );
+    for row in 0..rows {
+        let line: String = (0..cols)
+            .map(|col| {
+                char::from_digit((outcome.clustering.cluster_of(row * cols + col) % 36) as u32, 36)
+                    .unwrap()
+            })
+            .collect();
+        println!("  {line}");
+    }
+
+    // Build the query infrastructure: per-cluster M-tree + leader backbone.
+    let (index, index_stats) = DistributedIndex::build(&outcome.clustering, &features, metric.as_ref());
+    let (backbone, backbone_stats) = Backbone::build(&outcome.clustering, network.routing());
+    println!(
+        "\nindex built for {} message units, backbone for {}",
+        index_stats.total_cost(),
+        backbone_stats.total_cost()
+    );
+
+    // "Which buoys behave like the north-west corner buoy?"
+    let probe = 0;
+    let q = features[probe].clone();
+    let radius = 0.8 * delta;
+    let result = elink_range_query(
+        &outcome.clustering,
+        &index,
+        &backbone,
+        &features,
+        metric.as_ref(),
+        delta,
+        probe,
+        &q,
+        radius,
+    );
+    assert_eq!(
+        result.matches,
+        brute_force_range(&features, metric.as_ref(), &q, radius),
+        "query must be exact"
+    );
+    println!(
+        "\nrange query from buoy {probe} (radius {radius:.3}): {} matches \
+         for {} message units ({} clusters excluded, {} fully included, {} drilled)",
+        result.matches.len(),
+        result.stats.total_cost(),
+        result.clusters_excluded,
+        result.clusters_included,
+        result.clusters_drilled,
+    );
+    let similar: Vec<String> = result
+        .matches
+        .iter()
+        .map(|&v| format!("({},{})", v / cols, v % cols))
+        .collect();
+    println!("similar buoys (row,col): {}", similar.join(" "));
+}

@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the entire ELink workspace public API.
+//! See README.md for a tour.
+pub use elink_armodel as armodel;
+pub use elink_baselines as baselines;
+pub use elink_core as core;
+pub use elink_datasets as datasets;
+pub use elink_experiments as experiments;
+pub use elink_linalg as linalg;
+pub use elink_metric as metric;
+pub use elink_netsim as netsim;
+pub use elink_query as query;
+pub use elink_spectral as spectral;
+pub use elink_topology as topology;
