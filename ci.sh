@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full workspace test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "ci.sh: all green"

@@ -61,7 +61,9 @@ impl ArModel {
         // Residual variance.
         let mut ss = 0.0;
         for t in order..series.len() {
-            let pred: f64 = (0..order).map(|i| coefficients[i] * series[t - 1 - i]).sum();
+            let pred: f64 = (0..order)
+                .map(|i| coefficients[i] * series[t - 1 - i])
+                .sum();
             let e = series[t] - pred;
             ss += e * e;
         }
@@ -150,7 +152,9 @@ mod tests {
         let mut xs = vec![1.0];
         let mut state = 12345u64;
         for _ in 1..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             let prev = *xs.last().unwrap();
             xs.push(0.7 * prev + 0.1 * noise);

@@ -82,8 +82,8 @@ impl RlsState {
         let dim = self.alpha.len();
         assert_eq!(x.len(), dim, "regressor dimension mismatch");
         // (6) b += x y.
-        for i in 0..dim {
-            self.b[i] += x[i] * y;
+        for (b, &xi) in self.b.iter_mut().zip(x) {
+            *b += xi * y;
         }
         // (7) P -= P x (1 + xᵀ P x)⁻¹ xᵀ P.
         let px: Vec<f64> = (0..dim)
@@ -101,8 +101,8 @@ impl RlsState {
         let px_new: Vec<f64> = (0..dim)
             .map(|i| (0..dim).map(|j| self.p[(i, j)] * x[j]).sum())
             .collect();
-        for i in 0..dim {
-            self.alpha[i] -= px_new[i] * resid;
+        for (a, &p) in self.alpha.iter_mut().zip(&px_new) {
+            *a -= p * resid;
         }
         self.samples += 1;
     }
@@ -142,7 +142,9 @@ mod tests {
         let mut xs = vec![1.0];
         let mut state = seed;
         for _ in 1..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             let prev = *xs.last().unwrap();
             xs.push(alpha * prev + 0.3 * noise);

@@ -13,7 +13,7 @@
 //! for the initial clustering is also charged.
 
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_spectral::{SpectralClusterer, SpectralConfig, SpectralResult};
 use elink_topology::{NodeId, Topology};
 
@@ -25,7 +25,7 @@ pub struct CentralizedUpdateSim {
     slack: f64,
     /// Feature last transmitted per node (the base station's view).
     last_sent: Vec<Feature>,
-    stats: MessageStats,
+    stats: CostBook,
 }
 
 impl CentralizedUpdateSim {
@@ -35,7 +35,7 @@ impl CentralizedUpdateSim {
     pub fn new(topology: &Topology, initial_features: Vec<Feature>, slack: f64) -> Self {
         let base = topology.nearest_node(&topology.extent().center());
         let hops_to_base = topology.graph().bfs_hops(base);
-        let mut stats = MessageStats::new();
+        let mut stats = CostBook::new();
         for (v, f) in initial_features.iter().enumerate() {
             stats.record("central_init", hops_to_base[v] as u64, f.scalar_cost());
         }
@@ -54,7 +54,7 @@ impl CentralizedUpdateSim {
     }
 
     /// Accumulated message statistics.
-    pub fn stats(&self) -> &MessageStats {
+    pub fn costs(&self) -> &CostBook {
         &self.stats
     }
 
@@ -68,7 +68,12 @@ impl CentralizedUpdateSim {
     /// The model at `node` was updated to `new_feature`; transmit iff the
     /// drift since the last transmission exceeds Δ. Returns whether a
     /// transmission happened.
-    pub fn model_update(&mut self, node: NodeId, new_feature: Feature, metric: &dyn Metric) -> bool {
+    pub fn model_update(
+        &mut self,
+        node: NodeId,
+        new_feature: Feature,
+        metric: &dyn Metric,
+    ) -> bool {
         let drift = metric.distance(&self.last_sent[node], &new_feature);
         if drift <= self.slack {
             return false;
@@ -132,7 +137,7 @@ mod tests {
     fn init_cost_charges_feature_shipping() {
         let s = sim(1.0);
         // Σ hops over 3×3 grid from center: 4 edges at 1 hop, 4 corners at 2.
-        assert_eq!(s.stats().kind("central_init").cost, 4 + 8);
+        assert_eq!(s.costs().kind("central_init").cost, 4 + 8);
     }
 
     #[test]
@@ -140,30 +145,34 @@ mod tests {
         let mut s = sim(1.0);
         s.raw_measurement(0);
         s.raw_measurement(0);
-        assert_eq!(s.stats().kind("central_raw").cost, 4);
+        assert_eq!(s.costs().kind("central_raw").cost, 4);
     }
 
     #[test]
     fn model_updates_respect_slack() {
         let mut s = sim(1.0);
         assert!(!s.model_update(0, Feature::scalar(10.5), &Absolute));
-        assert_eq!(s.stats().kind("central_model").cost, 0);
+        assert_eq!(s.costs().kind("central_model").cost, 0);
         assert!(s.model_update(0, Feature::scalar(12.0), &Absolute));
-        assert_eq!(s.stats().kind("central_model").cost, 2);
+        assert_eq!(s.costs().kind("central_model").cost, 2);
         // Drift resets to the transmitted value.
         assert!(!s.model_update(0, Feature::scalar(12.9), &Absolute));
     }
 
     #[test]
     fn larger_slack_sends_less() {
-        let stream: Vec<f64> = (0..100).map(|i| 10.0 + (i as f64 * 0.31).sin() * 2.0).collect();
+        let stream: Vec<f64> = (0..100)
+            .map(|i| 10.0 + (i as f64 * 0.31).sin() * 2.0)
+            .collect();
         let mut tight = sim(0.1);
         let mut loose = sim(1.5);
         for &x in &stream {
             tight.model_update(3, Feature::scalar(x), &Absolute);
             loose.model_update(3, Feature::scalar(x), &Absolute);
         }
-        assert!(loose.stats().kind("central_model").cost < tight.stats().kind("central_model").cost);
+        assert!(
+            loose.costs().kind("central_model").cost < tight.costs().kind("central_model").cost
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::BaselineOutcome;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::{NodeId, RoutingTable, Topology};
 use std::collections::BTreeMap;
 
@@ -53,7 +53,7 @@ pub fn hierarchical_clustering_with_routing(
         }
     };
     let graph = topology.graph();
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let dim = features.first().map_or(1, Feature::scalar_cost);
 
     // Cluster state, keyed by representative (root) node.
@@ -155,7 +155,10 @@ pub fn hierarchical_clustering_with_routing(
         })
         .collect();
     let clustering = Clustering::from_node_states(&states, topology, metric);
-    BaselineOutcome { clustering, stats }
+    BaselineOutcome {
+        clustering,
+        costs: stats,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +236,7 @@ mod tests {
                 let topo = Topology::grid(side, side);
                 let f = features(&vec![1.0; side * side]);
                 hierarchical_clustering(&topo, &f, &Absolute, 10.0)
-                    .stats
+                    .costs
                     .total_cost()
             })
             .collect();
@@ -251,6 +254,6 @@ mod tests {
         let out = hierarchical_clustering(&topo, &f, &Absolute, 1.0);
         assert_eq!(out.clustering.cluster_count(), 4);
         // No merges => candidate probes only.
-        assert_eq!(out.stats.kind("hier_merge").cost, 0);
+        assert_eq!(out.costs.kind("hier_merge").cost, 0);
     }
 }

@@ -14,7 +14,7 @@
 //! the centralized spectral baseline.
 
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::Topology;
 
 /// Result of one k-medoids run.
@@ -67,8 +67,8 @@ pub fn kmedoids(
             })
             .expect("candidates remain");
         medoids.push(cand);
-        for x in 0..n {
-            nearest[x] = nearest[x].min(d(cand, x));
+        for (x, nx) in nearest.iter_mut().enumerate() {
+            *nx = nx.min(d(cand, x));
         }
     }
 
@@ -134,9 +134,9 @@ pub fn distributed_kmedoids_cost(
     feature_dim: u64,
     k: usize,
     iterations: usize,
-) -> MessageStats {
+) -> CostBook {
     let n = topology.n() as u64;
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let edges = n.saturating_sub(1);
     for _ in 0..iterations {
         stats.record("kmedoid_bcast", edges * k as u64, feature_dim);
@@ -179,8 +179,7 @@ pub fn kmedoids_delta_clustering(
             // Connectivity split for a valid count.
             let mut count = 0;
             for c in 0..k {
-                let members: Vec<usize> =
-                    (0..n).filter(|&x| result.assignment[x] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&x| result.assignment[x] == c).collect();
                 if !members.is_empty() {
                     count += topology.graph().induced_components(&members).len();
                 }

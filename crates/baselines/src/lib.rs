@@ -40,5 +40,5 @@ pub struct BaselineOutcome {
     /// The resulting clustering.
     pub clustering: elink_core::Clustering,
     /// Message statistics under the §8.2 cost model.
-    pub stats: elink_netsim::MessageStats,
+    pub costs: elink_netsim::CostBook,
 }

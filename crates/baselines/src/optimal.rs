@@ -43,17 +43,11 @@ pub fn optimal_cluster_count(
 
     let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
     let mut memo: HashMap<u32, usize> = HashMap::new();
-    solve(full, &compat, &adj, n, &mut memo)
+    solve(full, &compat, &adj, &mut memo)
 }
 
 /// Minimum clusters covering `remaining` (memoized).
-fn solve(
-    remaining: u32,
-    compat: &[u32],
-    adj: &[u32],
-    n: usize,
-    memo: &mut HashMap<u32, usize>,
-) -> usize {
+fn solve(remaining: u32, compat: &[u32], adj: &[u32], memo: &mut HashMap<u32, usize>) -> usize {
     if remaining == 0 {
         return 0;
     }
@@ -68,7 +62,7 @@ fn solve(
     let mut seen: std::collections::HashSet<u32> = stack.iter().copied().collect();
     while let Some(set) = stack.pop() {
         // Try this subset as one cluster.
-        let sub = solve(remaining & !set, compat, adj, n, memo);
+        let sub = solve(remaining & !set, compat, adj, memo);
         best = best.min(1 + sub);
         // Extensions: nodes in `remaining`, adjacent to the set, compatible
         // with every member.

@@ -16,7 +16,7 @@
 use crate::BaselineOutcome;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::{NodeId, Topology};
 
 /// Runs the two-phase spanning-forest clustering.
@@ -29,7 +29,7 @@ pub fn spanning_forest_clustering(
     let n = topology.n();
     assert_eq!(features.len(), n);
     let graph = topology.graph();
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let dim = features.first().map_or(1, Feature::scalar_cost);
 
     // Phase 1 — feature exchange + parent selection.
@@ -54,8 +54,8 @@ pub fn spanning_forest_clustering(
     // Children lists, and a leaves-up (reverse topological) order. Parents
     // always have smaller ids than children, so descending id order works.
     let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for v in 0..n {
-        if let Some(p) = parent[v] {
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = *p {
             children[p].push(v);
         }
     }
@@ -119,7 +119,10 @@ pub fn spanning_forest_clustering(
         .map(|v| (root_of[v], features[root_of[v]].clone()))
         .collect();
     let clustering = Clustering::from_node_states(&states, topology, metric);
-    BaselineOutcome { clustering, stats }
+    BaselineOutcome {
+        clustering,
+        costs: stats,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +162,10 @@ mod tests {
         let out = spanning_forest_clustering(&topo, &f, &Absolute, 1.0);
         validate_delta_clustering(&out.clustering, &topo, &f, &Absolute, 1.0).unwrap();
         let k = out.clustering.cluster_count();
-        assert!((3..=6).contains(&k), "expected moderate fragmentation, got {k}");
+        assert!(
+            (3..=6).contains(&k),
+            "expected moderate fragmentation, got {k}"
+        );
     }
 
     #[test]
@@ -169,7 +175,7 @@ mod tests {
             let topo = Topology::grid(side, side);
             let f = features(&vec![1.0; side * side]);
             let out = spanning_forest_clustering(&topo, &f, &Absolute, 1.0);
-            let cost = out.stats.total_cost();
+            let cost = out.costs.total_cost();
             if let Some((prev_cost, prev_n)) = prev {
                 let ratio = cost as f64 / prev_cost as f64;
                 let n_ratio = (side * side) as f64 / prev_n as f64;

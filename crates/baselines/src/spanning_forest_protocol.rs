@@ -104,9 +104,13 @@ impl Protocol for SfNode {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, SfMsg>) {
         let dim = self.dim();
-        ctx.broadcast_neighbors(&SfMsg::Feature(self.feature.clone()), "sf_feature_bcast", dim);
+        ctx.broadcast_neighbors(
+            &SfMsg::Feature(self.feature.clone()),
+            "sf_feature_bcast",
+            dim,
+        );
         // All features arrive within one (sync) hop; choose the parent then.
-        let settle = ctx.delay_model().max_hop_delay() + 1;
+        let settle = ctx.max_hop_delay() + 1;
         ctx.set_timer(settle, TIMER_CHOOSE_PARENT);
         // Parent notifications arrive within two more hops.
         ctx.set_timer(3 * settle, TIMER_SETTLE);
@@ -211,7 +215,7 @@ pub fn spanning_forest_protocol(
     let clustering = Clustering::from_node_states(&states, network.topology(), metric.as_ref());
     BaselineOutcome {
         clustering,
-        stats: sim.stats().clone(),
+        costs: sim.costs().clone(),
     }
 }
 
@@ -252,8 +256,8 @@ mod tests {
                 "sf_detach",
             ] {
                 assert_eq!(
-                    proto.stats.kind(kind),
-                    algo.stats.kind(kind),
+                    proto.costs.kind(kind),
+                    algo.costs.kind(kind),
                     "message bill diverges for {kind} (seed {seed})"
                 );
             }

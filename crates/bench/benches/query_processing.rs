@@ -35,7 +35,13 @@ fn bench_queries(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("index_build", |b| {
-        b.iter(|| black_box(DistributedIndex::build(&outcome.clustering, &features, &Absolute)))
+        b.iter(|| {
+            black_box(DistributedIndex::build(
+                &outcome.clustering,
+                &features,
+                &Absolute,
+            ))
+        })
     });
     group.bench_function("backbone_build", |b| {
         b.iter(|| black_box(Backbone::build(&outcome.clustering, network.routing())))

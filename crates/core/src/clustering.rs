@@ -168,11 +168,7 @@ impl Clustering {
     /// approximated by its cluster root's feature. For an ideal ELink
     /// clustering every error is ≤ δ/2 (the admission rule), and ≤ δ for
     /// any valid δ-clustering.
-    pub fn representation_errors(
-        &self,
-        features: &[Feature],
-        metric: &dyn Metric,
-    ) -> Vec<f64> {
+    pub fn representation_errors(&self, features: &[Feature], metric: &dyn Metric) -> Vec<f64> {
         (0..self.n())
             .map(|v| {
                 let root = self.root_of(v);
@@ -337,10 +333,7 @@ mod tests {
     }
 
     fn states_for(roots: &[usize], features: &[Feature]) -> Vec<(NodeId, Feature)> {
-        roots
-            .iter()
-            .map(|&r| (r, features[r].clone()))
-            .collect()
+        roots.iter().map(|&r| (r, features[r].clone())).collect()
     }
 
     #[test]
@@ -405,7 +398,8 @@ mod tests {
     #[test]
     fn representatives_and_errors() {
         let (topo, features) = setup();
-        let c = Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
+        let c =
+            Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
         assert_eq!(c.representatives(), vec![0, 2]);
         assert_eq!(c.acquisition_saving(), 2.0);
         let errs = c.representation_errors(&features, &Absolute);
@@ -424,7 +418,8 @@ mod tests {
     #[test]
     fn validation_catches_disconnection() {
         let (topo, features) = setup();
-        let mut c = Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
+        let mut c =
+            Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
         // Corrupt: claim node 3 belongs to cluster 0.
         let c0 = c.cluster_of(0);
         let c1 = c.cluster_of(3);
@@ -446,7 +441,8 @@ mod tests {
     #[test]
     fn validation_catches_missing_node() {
         let (topo, features) = setup();
-        let mut c = Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
+        let mut c =
+            Clustering::from_node_states(&states_for(&[0, 0, 2, 2], &features), &topo, &Absolute);
         let cid = c.cluster_of(1);
         c.clusters[cid].members.retain(|&m| m != 1);
         let err = validate_delta_clustering(&c, &topo, &features, &Absolute, 2.0).unwrap_err();

@@ -43,4 +43,4 @@ pub mod runner;
 pub use clustering::{validate_delta_clustering, ClusterInfo, Clustering, ValidationError};
 pub use config::ElinkConfig;
 pub use maintenance::{MaintenanceSim, UpdateOutcome};
-pub use runner::{run_explicit, run_implicit, run_unordered, ElinkOutcome};
+pub use runner::{run_explicit, run_implicit, run_unordered, run_with_link, ElinkOutcome};

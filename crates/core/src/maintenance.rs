@@ -23,7 +23,7 @@
 
 use crate::clustering::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::{NodeId, Topology};
 use std::sync::Arc;
 
@@ -67,7 +67,7 @@ pub struct MaintenanceSim {
     tree_parent: Vec<Option<NodeId>>,
     /// Nodes that have crash-failed (excluded from clustering and updates).
     failed: Vec<bool>,
-    stats: MessageStats,
+    stats: CostBook,
 }
 
 impl MaintenanceSim {
@@ -84,13 +84,9 @@ impl MaintenanceSim {
         assert!(slack >= 0.0 && 2.0 * slack < delta, "need 0 ≤ 2Δ < δ");
         let n = topology.n();
         assert_eq!(features.len(), n);
-        let mut root_of = vec![0; n];
-        let mut cached_root_feature = Vec::with_capacity(n);
-        for v in 0..n {
-            let root = clustering.root_of(v);
-            root_of[v] = root;
-            cached_root_feature.push(features[root].clone());
-        }
+        let root_of: Vec<usize> = (0..n).map(|v| clustering.root_of(v)).collect();
+        let cached_root_feature: Vec<Feature> =
+            root_of.iter().map(|&root| features[root].clone()).collect();
         MaintenanceSim {
             topology,
             metric,
@@ -102,12 +98,12 @@ impl MaintenanceSim {
             cached_root_feature,
             tree_parent: clustering.tree_parent.clone(),
             failed: vec![false; n],
-            stats: MessageStats::new(),
+            stats: CostBook::new(),
         }
     }
 
     /// Message statistics accumulated so far.
-    pub fn stats(&self) -> &MessageStats {
+    pub fn costs(&self) -> &CostBook {
         &self.stats
     }
 
@@ -212,9 +208,7 @@ impl MaintenanceSim {
                 continue; // failed/own-subtree neighbors are not targets
             }
             let rk = self.root_of[k];
-            let d_k = self
-                .metric
-                .distance(&new_feature, &self.features[rk]);
+            let d_k = self.metric.distance(&new_feature, &self.features[rk]);
             if d_k <= self.delta {
                 // Join under neighbor k; register with the root (path up k's
                 // tree carrying the new member's feature).
@@ -450,8 +444,7 @@ mod tests {
     fn setup(delta: f64, slack: f64) -> MaintenanceSim {
         let topo = Topology::grid(1, 4);
         let features: Vec<Feature> = (0..4).map(|_| Feature::scalar(10.0)).collect();
-        let states: Vec<(NodeId, Feature)> =
-            (0..4).map(|_| (0, Feature::scalar(10.0))).collect();
+        let states: Vec<(NodeId, Feature)> = (0..4).map(|_| (0, Feature::scalar(10.0))).collect();
         let clustering = Clustering::from_node_states(&states, &topo, &Absolute);
         MaintenanceSim::new(
             &clustering,
@@ -468,7 +461,7 @@ mod tests {
         let mut sim = setup(6.0, 1.0);
         let outcome = sim.update(2, Feature::scalar(10.5));
         assert_eq!(outcome, UpdateOutcome::LocalOnly);
-        assert_eq!(sim.stats().total_cost(), 0);
+        assert_eq!(sim.costs().total_cost(), 0);
     }
 
     #[test]
@@ -477,7 +470,7 @@ mod tests {
         let mut sim = setup(6.0, 1.0);
         let outcome = sim.update(2, Feature::scalar(13.0));
         assert_eq!(outcome, UpdateOutcome::LocalOnly);
-        assert_eq!(sim.stats().total_cost(), 0);
+        assert_eq!(sim.costs().total_cost(), 0);
     }
 
     #[test]
@@ -486,7 +479,7 @@ mod tests {
         // d to root = 5.8 > δ − Δ = 5.5, drift 5.8 > Δ, growth > Δ: fetch.
         let outcome = sim.update(3, Feature::scalar(15.8));
         assert_eq!(outcome, UpdateOutcome::RefreshedAndStayed);
-        assert!(sim.stats().total_cost() > 0);
+        assert!(sim.costs().total_cost() > 0);
         assert_eq!(sim.cluster_count(), 1);
     }
 
@@ -503,7 +496,10 @@ mod tests {
     #[test]
     fn detached_node_can_merge_back_later() {
         let mut sim = setup(6.0, 0.5);
-        assert_eq!(sim.update(3, Feature::scalar(50.0)), UpdateOutcome::Singleton);
+        assert_eq!(
+            sim.update(3, Feature::scalar(50.0)),
+            UpdateOutcome::Singleton
+        );
         // Coming back within δ of node 2's cluster root (10.0): merge.
         let outcome = sim.update(3, Feature::scalar(12.0));
         assert_eq!(outcome, UpdateOutcome::Merged { new_root: 0 });
@@ -514,14 +510,17 @@ mod tests {
     fn root_drift_broadcasts_and_detaches_outliers() {
         let mut sim = setup(6.0, 0.5);
         // Move member 3 to the edge of tolerance first (absorbed by A3).
-        assert_eq!(sim.update(3, Feature::scalar(14.0)), UpdateOutcome::LocalOnly);
+        assert_eq!(
+            sim.update(3, Feature::scalar(14.0)),
+            UpdateOutcome::LocalOnly
+        );
         // Root jumps far: member 3 (at 14.0) is beyond δ of the new root.
         let outcome = sim.update(0, Feature::scalar(4.0));
         match outcome {
             UpdateOutcome::RootBroadcast { detached } => assert_eq!(detached, 1),
             other => panic!("unexpected outcome {other:?}"),
         }
-        assert!(sim.stats().kind("maint_root_bcast").cost > 0);
+        assert!(sim.costs().kind("maint_root_bcast").cost > 0);
         assert_eq!(sim.cluster_count(), 2);
     }
 
@@ -558,7 +557,7 @@ mod tests {
         assert_eq!(sim.root_of(3), 2);
         assert_eq!(sim.root_of(0), 0);
         assert_eq!(sim.cluster_count(), 2);
-        assert!(sim.stats().kind("maint_fail_probe").cost > 0);
+        assert!(sim.costs().kind("maint_fail_probe").cost > 0);
     }
 
     #[test]
@@ -618,11 +617,10 @@ mod tests {
             loose.update(node, Feature::scalar(x));
         }
         assert!(
-            loose.stats().total_cost() <= tight.stats().total_cost(),
+            loose.costs().total_cost() <= tight.costs().total_cost(),
             "loose {} > tight {}",
-            loose.stats().total_cost(),
-            tight.stats().total_cost()
+            loose.costs().total_cost(),
+            tight.costs().total_cost()
         );
     }
 }
-

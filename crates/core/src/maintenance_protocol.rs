@@ -127,7 +127,9 @@ impl MaintNode {
     fn slack_conditions_hold(&self, new_feature: &Feature) -> bool {
         let d_anchor = self.metric.distance(&self.anchor, new_feature);
         let d_new_root = self.metric.distance(new_feature, &self.cached_root_feature);
-        let d_old_root = self.metric.distance(&self.anchor, &self.cached_root_feature);
+        let d_old_root = self
+            .metric
+            .distance(&self.anchor, &self.cached_root_feature);
         d_anchor <= self.slack
             || d_new_root - d_old_root <= self.slack
             || d_new_root <= self.delta - self.slack
@@ -145,7 +147,12 @@ impl MaintNode {
         // All three violated: fetch the fresh root feature up the tree.
         self.pending_update = Some(new_feature);
         let parent = self.tree_parent.expect("non-root has a parent");
-        ctx.send(parent, MaintMsg::FetchRequest { origin: ctx.id() }, "maint_fetch", 1);
+        ctx.send(
+            parent,
+            MaintMsg::FetchRequest { origin: ctx.id() },
+            "maint_fetch",
+            1,
+        );
     }
 
     fn on_root_update(&mut self, new_feature: Feature, ctx: &mut Ctx<'_, MaintMsg>) {
@@ -163,12 +170,19 @@ impl MaintNode {
         }
         let dim = self.dim();
         for &c in &self.tree_children.clone() {
-            ctx.send(c, MaintMsg::NewRootFeature(new_feature.clone()), "maint_root_bcast", dim);
+            ctx.send(
+                c,
+                MaintMsg::NewRootFeature(new_feature.clone()),
+                "maint_root_bcast",
+                dim,
+            );
         }
     }
 
     fn start_merge(&mut self, new_feature: Feature, ctx: &mut Ctx<'_, MaintMsg>) {
-        let neighbors = ctx.neighbors();
+        // Cold path: materialize the borrowed neighbor slice so we can keep
+        // sending through `ctx` while iterating.
+        let neighbors: Vec<usize> = ctx.neighbors().iter().map(|&w| w as usize).collect();
         if neighbors.is_empty() {
             return;
         }
@@ -278,7 +292,12 @@ impl Protocol for MaintNode {
                         .remove(&origin)
                         .expect("reply path recorded");
                     let dim = self.dim();
-                    ctx.send(child, MaintMsg::FetchReply { origin, feature }, "maint_fetch", dim);
+                    ctx.send(
+                        child,
+                        MaintMsg::FetchReply { origin, feature },
+                        "maint_fetch",
+                        dim,
+                    );
                 }
             }
             MaintMsg::RootQuery => {
@@ -315,7 +334,12 @@ impl Protocol for MaintNode {
                 }
                 let parent = self.tree_parent.expect("non-root has a parent");
                 let dim = self.dim();
-                ctx.send(parent, MaintMsg::Register { joiner, feature }, "maint_merge", dim);
+                ctx.send(
+                    parent,
+                    MaintMsg::Register { joiner, feature },
+                    "maint_merge",
+                    dim,
+                );
             }
             MaintMsg::Register { joiner, feature } => {
                 if self.is_root(ctx) {
@@ -323,7 +347,12 @@ impl Protocol for MaintNode {
                 }
                 let parent = self.tree_parent.expect("non-root has a parent");
                 let dim = feature.scalar_cost();
-                ctx.send(parent, MaintMsg::Register { joiner, feature }, "maint_merge", dim);
+                ctx.send(
+                    parent,
+                    MaintMsg::Register { joiner, feature },
+                    "maint_merge",
+                    dim,
+                );
             }
             MaintMsg::NewRootFeature(f) => {
                 self.cached_root_feature = f.clone();
@@ -343,7 +372,12 @@ impl Protocol for MaintNode {
                     }
                 } else {
                     for &c in &self.tree_children.clone() {
-                        ctx.send(c, MaintMsg::NewRootFeature(f.clone()), "maint_root_bcast", dim);
+                        ctx.send(
+                            c,
+                            MaintMsg::NewRootFeature(f.clone()),
+                            "maint_root_bcast",
+                            dim,
+                        );
                     }
                 }
             }
@@ -460,10 +494,15 @@ mod tests {
             sim_proto.run_to_completion();
         }
 
-        for kind in ["maint_fetch", "maint_merge", "maint_root_bcast", "maint_detach"] {
+        for kind in [
+            "maint_fetch",
+            "maint_merge",
+            "maint_root_bcast",
+            "maint_detach",
+        ] {
             assert_eq!(
-                sim_proto.stats().kind(kind),
-                sim_model.stats().kind(kind),
+                sim_proto.costs().kind(kind),
+                sim_model.costs().kind(kind),
                 "message bill diverges for {kind}"
             );
         }
@@ -481,7 +520,9 @@ mod tests {
         // Small drifts only: everything absorbed by A1/A3, zero messages.
         let topology = Topology::grid(1, 4);
         let features: Vec<Feature> = (0..4).map(|_| Feature::scalar(10.0)).collect();
-        let stream: Vec<(NodeId, f64)> = (0..20).map(|i| (1 + i % 3, 10.0 + 0.1 * (i as f64 % 3.0))).collect();
+        let stream: Vec<(NodeId, f64)> = (0..20)
+            .map(|i| (1 + i % 3, 10.0 + 0.1 * (i as f64 % 3.0)))
+            .collect();
         run_both(topology, features, 6.0, 1.0, &stream);
     }
 

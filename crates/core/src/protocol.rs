@@ -214,7 +214,7 @@ impl ElinkNode {
     /// Conservative leaf-detection timeout: an `ack1` takes at most two hop
     /// delays (expand out, ack back) plus slack.
     fn leaf_timeout(&self, ctx: &Ctx<'_, ElinkMsg>) -> u64 {
-        2 * ctx.delay_model().max_hop_delay() + 2
+        2 * ctx.max_hop_delay() + 2
     }
 
     /// The ELink procedure of Fig 16: invoked on a sentinel when signalled.
@@ -381,7 +381,12 @@ impl ElinkNode {
         }
     }
 
-    fn start_children(&mut self, led: &crate::quadinfo::LedCell, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+    fn start_children(
+        &mut self,
+        led: &crate::quadinfo::LedCell,
+        elapsed: u64,
+        ctx: &mut Ctx<'_, ElinkMsg>,
+    ) {
         for &(child_cell, child_leader) in &led.children {
             if child_leader == ctx.id() {
                 // Leading both the cell and one child: handle locally.
@@ -414,7 +419,7 @@ impl ElinkNode {
     /// implicit schedule (§8.4: both variants output the same clusters).
     fn handle_start(&mut self, cell: CellId, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
         let budget = self.start_budget();
-        let wait = budget.saturating_sub(elapsed) * ctx.delay_model().max_hop_delay();
+        let wait = budget.saturating_sub(elapsed) * ctx.max_hop_delay();
         ctx.set_timer(wait, TIMER_START_BASE + cell as u64);
     }
 
@@ -559,7 +564,11 @@ impl Protocol for ElinkNode {
                 self.check_completion(root, ctx);
             }
             ElinkMsg::Phase1 { cell, level } => self.on_phase1(cell, level, ctx),
-            ElinkMsg::Phase2 { cell, level, elapsed } => self.on_phase2(cell, level, elapsed, ctx),
+            ElinkMsg::Phase2 {
+                cell,
+                level,
+                elapsed,
+            } => self.on_phase2(cell, level, elapsed, ctx),
             ElinkMsg::Start { cell, elapsed } => self.handle_start(cell, elapsed, ctx),
         }
     }

@@ -5,7 +5,7 @@ use crate::config::ElinkConfig;
 use crate::protocol::{ElinkNode, SignalMode};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{DelayModel, MessageStats, SimNetwork, SimTime, Simulator};
+use elink_netsim::{CostBook, DelayModel, LinkModel, SimNetwork, SimTime, Simulator};
 use std::sync::Arc;
 
 /// Result of an ELink run: the clustering, the message bill and the
@@ -15,18 +15,23 @@ pub struct ElinkOutcome {
     /// The extracted (validated-shape) clustering.
     pub clustering: Clustering,
     /// Message statistics (per kind and total; §8.2 cost model).
-    pub stats: MessageStats,
+    pub costs: CostBook,
     /// Simulated time at which the protocol quiesced.
     pub elapsed: SimTime,
 }
 
-fn run(
+/// Runs ELink in any [`SignalMode`] over an arbitrary [`LinkModel`] — the
+/// general entry point behind [`run_implicit`]/[`run_explicit`]/
+/// [`run_unordered`], and the one to use for lossy or crash-prone links
+/// (e.g. `elink_netsim::LossyLink`). Crashed nodes freeze mid-protocol; the
+/// extracted clustering reflects whatever state each node last reached.
+pub fn run_with_link(
     network: &SimNetwork,
     features: &[Feature],
     metric: Arc<dyn Metric>,
     config: ElinkConfig,
     mode: SignalMode,
-    delay: DelayModel,
+    link: impl Into<Box<dyn LinkModel>>,
     seed: u64,
 ) -> ElinkOutcome {
     let topo = network.topology();
@@ -46,7 +51,7 @@ fn run(
             )
         })
         .collect();
-    let mut sim = Simulator::new(network.clone(), delay, seed, nodes);
+    let mut sim = Simulator::new(network.clone(), link, seed, nodes);
     let elapsed = sim.run_to_completion();
     let states: Vec<_> = sim
         .nodes()
@@ -57,7 +62,7 @@ fn run(
     let clustering = Clustering::from_node_states(&states, topo, metric.as_ref());
     ElinkOutcome {
         clustering,
-        stats: sim.stats().clone(),
+        costs: sim.costs().clone(),
         elapsed,
     }
 }
@@ -88,7 +93,7 @@ pub fn run_implicit(
     metric: Arc<dyn Metric>,
     config: ElinkConfig,
 ) -> ElinkOutcome {
-    run(
+    run_with_link(
         network,
         features,
         metric,
@@ -109,7 +114,7 @@ pub fn run_explicit(
     delay: DelayModel,
     seed: u64,
 ) -> ElinkOutcome {
-    run(
+    run_with_link(
         network,
         features,
         metric,
@@ -130,7 +135,7 @@ pub fn run_unordered(
     delay: DelayModel,
     seed: u64,
 ) -> ElinkOutcome {
-    run(
+    run_with_link(
         network,
         features,
         metric,
@@ -160,7 +165,12 @@ mod tests {
     #[test]
     fn implicit_clusters_two_zones() {
         let (net, features) = two_zone();
-        let outcome = run_implicit(&net, &features, Arc::new(Absolute), ElinkConfig::for_delta(10.0));
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(10.0),
+        );
         assert_eq!(outcome.clustering.cluster_count(), 2);
         validate_delta_clustering(
             &outcome.clustering,
@@ -189,7 +199,7 @@ mod tests {
         );
         assert_eq!(a.clustering.assignment, b.clustering.assignment);
         // ... but the explicit variant pays synchronization messages.
-        assert!(b.stats.total_cost() > a.stats.total_cost());
+        assert!(b.costs.total_cost() > a.costs.total_cost());
     }
 
     #[test]
@@ -207,8 +217,7 @@ mod tests {
     #[test]
     fn all_singletons_when_delta_tiny() {
         let topo = Topology::grid(1, 5);
-        let features: Vec<Feature> =
-            (0..5).map(|v| Feature::scalar(v as f64 * 50.0)).collect();
+        let features: Vec<Feature> = (0..5).map(|v| Feature::scalar(v as f64 * 50.0)).collect();
         let net = SimNetwork::new(topo);
         let outcome = run_implicit(
             &net,

@@ -62,7 +62,10 @@ fn elink_on_tao_produces_valid_compact_clustering() {
     // Spatially correlated data at the median δ should cluster into fewer
     // groups than nodes (δ/2 admission keeps clusters tight, so the count
     // stays well above the number of latent zones).
-    assert!((2..=40).contains(&k), "cluster count {k} out of expected band");
+    assert!(
+        (2..=40).contains(&k),
+        "cluster count {k} out of expected band"
+    );
 
     // Larger δ must not fragment more.
     let delta_hi = quantile_delta(&features, &metric, 0.9);
@@ -88,14 +91,7 @@ fn implicit_and_explicit_agree_on_tao_sync() {
     let config = ElinkConfig::for_delta(delta);
     let net = SimNetwork::new(data.topology().clone());
     let imp = run_implicit(&net, &features, Arc::clone(&metric) as _, config);
-    let exp = run_explicit(
-        &net,
-        &features,
-        metric as _,
-        config,
-        DelayModel::Sync,
-        0,
-    );
+    let exp = run_explicit(&net, &features, metric as _, config, DelayModel::Sync, 0);
     // §8.4 says the two variants "output the same clusters". That holds
     // exactly when within-level expansions do not race (see the runner unit
     // test on a path graph); on larger grids the start-message arrival
@@ -115,13 +111,16 @@ fn implicit_and_explicit_agree_on_tao_sync() {
     // near the implicit total on a single instance because race outcomes
     // change the number of expand rebroadcasts; Fig 12/13 measure the
     // aggregate relationship.
-    let sync_cost = exp.stats.kind("ack1").cost
-        + exp.stats.kind("ack2").cost
-        + exp.stats.kind("phase1").cost
-        + exp.stats.kind("phase2").cost
-        + exp.stats.kind("start").cost;
+    let sync_cost = exp.costs.kind("ack1").cost
+        + exp.costs.kind("ack2").cost
+        + exp.costs.kind("phase1").cost
+        + exp.costs.kind("phase2").cost
+        + exp.costs.kind("start").cost;
     assert!(sync_cost > 0, "explicit mode must pay synchronization");
-    assert!(imp.stats.kind("ack1").cost == 0, "implicit mode must not ack");
+    assert!(
+        imp.costs.kind("ack1").cost == 0,
+        "implicit mode must not ack"
+    );
 }
 
 #[test]
@@ -200,7 +199,7 @@ fn message_and_time_complexity_growth() {
             Arc::new(Absolute),
             ElinkConfig::for_delta(3.0),
         );
-        let cost = outcome.stats.total_cost();
+        let cost = outcome.costs.total_cost();
         let time = outcome.elapsed;
         if let Some((prev_cost, prev_time, prev_n)) = prev {
             let n_ratio = n as f64 / prev_n as f64; // 4.0
@@ -230,14 +229,7 @@ fn unordered_quality_is_no_better_than_ordered() {
     let config = ElinkConfig::for_delta(delta);
     let net = SimNetwork::new(data.topology().clone());
     let ordered = run_implicit(&net, &features, Arc::clone(&metric) as _, config);
-    let unordered = run_unordered(
-        &net,
-        &features,
-        metric as _,
-        config,
-        DelayModel::Sync,
-        0,
-    );
+    let unordered = run_unordered(&net, &features, metric as _, config, DelayModel::Sync, 0);
     assert!(
         unordered.clustering.cluster_count() >= ordered.clustering.cluster_count(),
         "unordered {} < ordered {}",
@@ -271,6 +263,6 @@ fn deterministic_runs() {
         99,
     );
     assert_eq!(a.clustering.assignment, b.clustering.assignment);
-    assert_eq!(a.stats.total_cost(), b.stats.total_cost());
+    assert_eq!(a.costs.total_cost(), b.costs.total_cost());
     assert_eq!(a.elapsed, b.elapsed);
 }

@@ -166,7 +166,12 @@ fn fig3_elink_matches_minimal_clustering() {
         .expect("Fig 3 distances must form a metric");
     let metric: Arc<dyn Metric> = Arc::new(TableMetric::new(dm));
     let network = SimNetwork::new(topology.clone());
-    let outcome = run_implicit(&network, &features, Arc::clone(&metric), ElinkConfig::for_delta(5.0));
+    let outcome = run_implicit(
+        &network,
+        &features,
+        Arc::clone(&metric),
+        ElinkConfig::for_delta(5.0),
+    );
     validate_delta_clustering(
         &outcome.clustering,
         &topology,

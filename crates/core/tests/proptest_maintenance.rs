@@ -54,7 +54,7 @@ proptest! {
         let mut prev_cost = 0;
         for (node, value) in stream {
             sim.update(node, Feature::scalar(value));
-            let cost = sim.stats().total_cost();
+            let cost = sim.costs().total_cost();
             prop_assert!(cost >= prev_cost, "message bill went backwards");
             prev_cost = cost;
             let k = sim.cluster_count();

@@ -72,14 +72,14 @@ proptest! {
         let c = config.max_switches as u64;
         let envelope = d * (c + 2) * (n as u64) * 8 + 1000;
         prop_assert!(
-            imp.stats.total_packets() <= envelope,
+            imp.costs.total_packets() <= envelope,
             "implicit packets {} above O(N) envelope {envelope}",
-            imp.stats.total_packets()
+            imp.costs.total_packets()
         );
         prop_assert!(
-            exp.stats.total_packets() <= envelope,
+            exp.costs.total_packets() <= envelope,
             "explicit packets {} above O(N) envelope {envelope}",
-            exp.stats.total_packets()
+            exp.costs.total_packets()
         );
     }
 

@@ -148,9 +148,7 @@ mod tests {
         let feats = d.features();
         let g = d.topology().graph();
         let n = d.topology().n();
-        let dist = |i: usize, j: usize| {
-            (feats[i].components()[0] - feats[j].components()[0]).abs()
-        };
+        let dist = |i: usize, j: usize| (feats[i].components()[0] - feats[j].components()[0]).abs();
         let mut neigh = Vec::new();
         for v in 0..n {
             for &w in g.neighbors(v) {

@@ -134,8 +134,8 @@ impl TaoDataset {
                 let mut series = Vec::with_capacity(days * day_len);
                 let mut ar_noise = 0.0_f64;
                 for d in 0..days {
-                    let day_base = base + seasonal_amp * (omega * d as f64).sin()
-                        + normal(rng, 0.0, 0.01);
+                    let day_base =
+                        base + seasonal_amp * (omega * d as f64).sin() + normal(rng, 0.0, 0.01);
                     for s in 0..day_len {
                         let phase = 2.0 * std::f64::consts::PI * s as f64 / day_len as f64;
                         // Peak mid-afternoon: sin starting at sunrise.

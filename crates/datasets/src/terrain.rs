@@ -92,7 +92,10 @@ impl TerrainDataset {
 
     /// Per-node scalar features.
     pub fn features(&self) -> Vec<Feature> {
-        self.elevations.iter().map(|&e| Feature::scalar(e)).collect()
+        self.elevations
+            .iter()
+            .map(|&e| Feature::scalar(e))
+            .collect()
     }
 
     /// The natural metric for scalar elevation features.
@@ -127,7 +130,11 @@ fn diamond_square(pow: u32, roughness: f64, seed: u64) -> Vec<Vec<f64>> {
         }
         // Square step: edge midpoints.
         for y in (0..size).step_by(half) {
-            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            let x_start = if (y / half).is_multiple_of(2) {
+                half
+            } else {
+                0
+            };
             for x in (x_start..size).step_by(step) {
                 let mut sum = 0.0;
                 let mut count = 0.0;

@@ -1,11 +1,9 @@
 //! Renders cluster maps of the Tao and terrain data sets as SVG files
 //! (results/map_tao.svg, results/map_terrain.svg).
 
-use elink_core::{run_implicit, ElinkConfig};
-use elink_experiments::common::delta_quantiles;
+use elink_experiments::common::ScenarioBuilder;
 use elink_experiments::svg::{render_clustering, SvgOptions};
-use elink_metric::{Absolute, Metric};
-use elink_netsim::SimNetwork;
+use elink_metric::Absolute;
 use std::sync::Arc;
 
 fn main() {
@@ -13,15 +11,22 @@ fn main() {
 
     // Tao: compact-regime clustering of the 6×9 buoy grid.
     let tao = elink_datasets::TaoDataset::standard(7);
-    let features = tao.features();
-    let metric: Arc<dyn Metric> = Arc::new(tao.metric().clone());
-    let delta = delta_quantiles(&features, metric.as_ref(), &[0.7])[0];
-    let network = SimNetwork::new(tao.topology().clone());
-    let outcome = run_implicit(&network, &features, Arc::clone(&metric), ElinkConfig::for_delta(delta));
+    let scenario = ScenarioBuilder::new(
+        tao.topology().clone(),
+        tao.features(),
+        Arc::new(tao.metric().clone()),
+    )
+    .delta_quantile(0.7)
+    .build();
+    let delta = scenario.delta;
+    let outcome = scenario.run_implicit();
     let svg = render_clustering(
         &outcome.clustering,
         tao.topology(),
-        SvgOptions { node_radius: 12.0, ..Default::default() },
+        SvgOptions {
+            node_radius: 12.0,
+            ..Default::default()
+        },
     );
     std::fs::write("results/map_tao.svg", svg).expect("write tao map");
     eprintln!(
@@ -31,10 +36,19 @@ fn main() {
 
     // Terrain: 500-sensor elevation bands.
     let terrain = elink_datasets::TerrainDataset::generate(500, 6, 0.55, 7);
-    let features = terrain.features();
-    let network = SimNetwork::new(terrain.topology().clone());
-    let outcome = run_implicit(&network, &features, Arc::new(Absolute), ElinkConfig::for_delta(300.0));
-    let svg = render_clustering(&outcome.clustering, terrain.topology(), SvgOptions::default());
+    let scenario = ScenarioBuilder::new(
+        terrain.topology().clone(),
+        terrain.features(),
+        Arc::new(Absolute),
+    )
+    .delta(300.0)
+    .build();
+    let outcome = scenario.run_implicit();
+    let svg = render_clustering(
+        &outcome.clustering,
+        terrain.topology(),
+        SvgOptions::default(),
+    );
     std::fs::write("results/map_terrain.svg", svg).expect("write terrain map");
     eprintln!(
         "results/map_terrain.svg: {} clusters at delta 300",

@@ -4,7 +4,9 @@
 use elink_baselines::{
     hierarchical_clustering_with_routing, spanning_forest_clustering, CentralizedClustering,
 };
-use elink_core::{run_explicit, run_implicit, Clustering, ElinkConfig};
+use elink_core::{
+    run_explicit, run_implicit, run_unordered, Clustering, ElinkConfig, ElinkOutcome,
+};
 use elink_metric::{DistanceMatrix, Feature, Metric};
 use elink_netsim::{DelayModel, SimNetwork};
 use elink_spectral::SpectralConfig;
@@ -33,7 +35,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -89,6 +95,194 @@ pub fn delta_quantiles(features: &[Feature], metric: &dyn Metric, quantiles: &[f
         .iter()
         .map(|&q| ds[((ds.len() - 1) as f64 * q.clamp(0.0, 1.0)) as usize].max(1e-12))
         .collect()
+}
+
+/// How a scenario's δ is specified.
+#[derive(Debug, Clone, Copy)]
+enum DeltaSpec {
+    /// An absolute δ value.
+    Absolute(f64),
+    /// A quantile of the pairwise feature-distance distribution
+    /// (see [`delta_quantiles`]).
+    Quantile(f64),
+}
+
+/// Builder for experiment scenarios — the one place figure binaries
+/// assemble topology + features + metric + δ + link behaviour, so every
+/// experiment constructs its network identically.
+///
+/// ```
+/// use elink_experiments::common::ScenarioBuilder;
+/// use elink_metric::{Absolute, Feature};
+/// use elink_topology::Topology;
+/// use std::sync::Arc;
+///
+/// let features: Vec<Feature> = (0..8)
+///     .map(|v| Feature::scalar(if v < 4 { 0.0 } else { 100.0 }))
+///     .collect();
+/// let scenario = ScenarioBuilder::new(Topology::grid(1, 8), features, Arc::new(Absolute))
+///     .delta(10.0)
+///     .build();
+/// assert_eq!(scenario.run_implicit().clustering.cluster_count(), 2);
+/// ```
+pub struct ScenarioBuilder {
+    topology: Topology,
+    features: Vec<Feature>,
+    metric: Arc<dyn Metric>,
+    delta: DeltaSpec,
+    delay: DelayModel,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario from a topology, per-node features and a metric.
+    /// Defaults: δ at the median pairwise distance, synchronous links,
+    /// seed 0.
+    pub fn new(topology: Topology, features: Vec<Feature>, metric: Arc<dyn Metric>) -> Self {
+        ScenarioBuilder {
+            topology,
+            features,
+            metric,
+            delta: DeltaSpec::Quantile(0.5),
+            delay: DelayModel::Sync,
+            seed: 0,
+        }
+    }
+
+    /// Sets an absolute δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = DeltaSpec::Absolute(delta);
+        self
+    }
+
+    /// Sets δ as a quantile of the pairwise feature-distance distribution.
+    pub fn delta_quantile(mut self, q: f64) -> Self {
+        self.delta = DeltaSpec::Quantile(q);
+        self
+    }
+
+    /// Sets the link delay model used by explicit/unordered runs.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the link-randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolves δ and builds the network (routing tables included).
+    pub fn build(self) -> Scenario {
+        let delta = match self.delta {
+            DeltaSpec::Absolute(d) => d,
+            DeltaSpec::Quantile(q) => {
+                delta_quantiles(&self.features, self.metric.as_ref(), &[q])[0]
+            }
+        };
+        let topology = Arc::new(self.topology);
+        Scenario {
+            network: SimNetwork::new(Topology::clone(&topology)),
+            topology,
+            features: self.features,
+            metric: self.metric,
+            delta,
+            delay: self.delay,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A fully-assembled experiment scenario: network, data, metric and the
+/// resolved δ. Produced by [`ScenarioBuilder::build`].
+pub struct Scenario {
+    /// The simulated network (topology + routing).
+    pub network: SimNetwork,
+    /// Shared topology handle (for maintenance sims and analytic models).
+    pub topology: Arc<Topology>,
+    /// Per-node features.
+    pub features: Vec<Feature>,
+    /// The clustering metric.
+    pub metric: Arc<dyn Metric>,
+    /// The resolved δ threshold.
+    pub delta: f64,
+    /// Link delay model for explicit/unordered runs.
+    pub delay: DelayModel,
+    /// Link-randomness seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// `ElinkConfig::for_delta` at the scenario δ.
+    pub fn config(&self) -> ElinkConfig {
+        ElinkConfig::for_delta(self.delta)
+    }
+
+    /// Implicit ELink at the scenario δ.
+    pub fn run_implicit(&self) -> ElinkOutcome {
+        self.run_implicit_with(self.config())
+    }
+
+    /// Implicit ELink with an explicit configuration (δ sweeps, ablations).
+    pub fn run_implicit_with(&self, config: ElinkConfig) -> ElinkOutcome {
+        run_implicit(
+            &self.network,
+            &self.features,
+            Arc::clone(&self.metric),
+            config,
+        )
+    }
+
+    /// Explicit ELink at the scenario δ over the scenario's delay model.
+    pub fn run_explicit(&self) -> ElinkOutcome {
+        self.run_explicit_with(self.config())
+    }
+
+    /// Explicit ELink with an explicit configuration.
+    pub fn run_explicit_with(&self, config: ElinkConfig) -> ElinkOutcome {
+        run_explicit(
+            &self.network,
+            &self.features,
+            Arc::clone(&self.metric),
+            config,
+            self.delay,
+            self.seed,
+        )
+    }
+
+    /// Unordered-expansion ELink (§5 ablation) with an explicit
+    /// configuration.
+    pub fn run_unordered_with(&self, config: ElinkConfig) -> ElinkOutcome {
+        run_unordered(
+            &self.network,
+            &self.features,
+            Arc::clone(&self.metric),
+            config,
+            self.delay,
+            self.seed,
+        )
+    }
+
+    /// A [`SuiteBench`] (all-§8-algorithms harness) over this scenario.
+    pub fn suite_bench(&self) -> SuiteBench {
+        self.suite_bench_with(SpectralConfig::default())
+    }
+
+    /// As [`Scenario::suite_bench`] with a custom spectral configuration.
+    pub fn suite_bench_with(&self, config: SpectralConfig) -> SuiteBench {
+        SuiteBench::with_spectral_config(
+            Topology::clone(&self.topology),
+            self.features.clone(),
+            Arc::clone(&self.metric),
+            config,
+        )
+    }
 }
 
 /// One clustering algorithm's quality and cost at a given δ.
@@ -195,12 +389,12 @@ impl SuiteBench {
             SuiteRow {
                 algorithm: "elink_implicit",
                 clusters: elink.clustering.cluster_count(),
-                cost: elink.stats.total_cost(),
+                cost: elink.costs.total_cost(),
             },
             SuiteRow {
                 algorithm: "elink_explicit",
                 clusters: elink_x.clustering.cluster_count(),
-                cost: elink_x.stats.total_cost(),
+                cost: elink_x.costs.total_cost(),
             },
             SuiteRow {
                 algorithm: "centralized",
@@ -219,12 +413,12 @@ impl SuiteBench {
             SuiteRow {
                 algorithm: "hierarchical",
                 clusters: hier.clustering.cluster_count(),
-                cost: hier.stats.total_cost(),
+                cost: hier.costs.total_cost(),
             },
             SuiteRow {
                 algorithm: "spanning_forest",
                 clusters: sf.clustering.cluster_count(),
-                cost: sf.stats.total_cost(),
+                cost: sf.costs.total_cost(),
             },
         ]
     }

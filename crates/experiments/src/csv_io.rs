@@ -6,9 +6,10 @@
 //! graph is unit-disk with a caller-supplied radio range. Output: one row
 //! per sensor, `node,cluster,root,x,y`.
 
-use elink_core::{run_implicit, Clustering, ElinkConfig};
+use crate::common::ScenarioBuilder;
+use elink_core::Clustering;
 use elink_metric::{Euclidean, Feature};
-use elink_netsim::{MessageStats, SimNetwork};
+use elink_netsim::CostBook;
 use elink_topology::{CommGraph, Point, Rect, Topology};
 use std::sync::Arc;
 
@@ -129,8 +130,12 @@ pub fn deployment_topology(dep: &CsvDeployment, radio_range: f64) -> Topology {
             }
         }
     }
-    let (mut lo_x, mut lo_y, mut hi_x, mut hi_y) =
-        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let (mut lo_x, mut lo_y, mut hi_x, mut hi_y) = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for p in &dep.positions {
         lo_x = lo_x.min(p.x);
         lo_y = lo_y.min(p.y);
@@ -151,16 +156,14 @@ pub fn cluster_deployment(
     dep: &CsvDeployment,
     radio_range: f64,
     delta: f64,
-) -> (Clustering, MessageStats, Topology) {
+) -> (Clustering, CostBook, Topology) {
     let topology = deployment_topology(dep, radio_range);
-    let network = SimNetwork::new(topology.clone());
-    let outcome = run_implicit(
-        &network,
-        &dep.features,
-        Arc::new(Euclidean),
-        ElinkConfig::for_delta(delta),
-    );
-    (outcome.clustering, outcome.stats, topology)
+    let scenario =
+        ScenarioBuilder::new(topology.clone(), dep.features.clone(), Arc::new(Euclidean))
+            .delta(delta)
+            .build();
+    let outcome = scenario.run_implicit();
+    (outcome.clustering, outcome.costs, topology)
 }
 
 /// Renders the assignment CSV (`node,cluster,root,x,y`).
@@ -213,7 +216,10 @@ mod tests {
             parse_deployment("0,0,1\n1,zz,2\n").unwrap_err(),
             CsvError::BadNumber { row: 2, col: 1 }
         );
-        assert_eq!(parse_deployment("# nothing\n").unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            parse_deployment("# nothing\n").unwrap_err(),
+            CsvError::Empty
+        );
     }
 
     #[test]

@@ -8,11 +8,10 @@
 //! scheme's contrasting failure mode is structural: losing the base station
 //! loses everything.
 
-use crate::common::{delta_quantiles, fmt, Table};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use crate::fig10::stream_tao;
-use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_core::{ElinkConfig, MaintenanceSim};
 use elink_datasets::{TaoDataset, TaoParams};
-use elink_netsim::SimNetwork;
 use std::sync::Arc;
 
 /// Parameters for the failure-robustness experiment.
@@ -63,27 +62,28 @@ impl Params {
 /// Regenerates the failure-robustness table.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
-    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .delta_quantile(params.delta_quantile)
+    .build();
+    let delta = scenario.delta;
     let slack = params.slack_fraction * delta;
-    let network = SimNetwork::new(data.topology().clone());
-    let topology = Arc::new(data.topology().clone());
-    let n = data.topology().n();
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
+    let topology = Arc::clone(&scenario.topology);
+    let n = topology.n();
 
     let mut rows = Vec::new();
     for &frac in &params.failure_fractions {
-        let outcome = run_implicit(
-            &network,
-            &features,
-            Arc::clone(&metric) as _,
-            ElinkConfig::for_delta(delta - 2.0 * slack),
-        );
+        let outcome = scenario.run_implicit_with(ElinkConfig::for_delta(delta - 2.0 * slack));
         let initial_clusters = outcome.clustering.cluster_count();
         let mut maint = MaintenanceSim::new(
             &outcome.clustering,
             Arc::clone(&topology),
-            Arc::clone(&metric) as _,
+            Arc::clone(&metric),
             features.clone(),
             delta,
             slack,
@@ -121,10 +121,10 @@ pub fn run(params: Params) -> Table {
             initial_clusters.to_string(),
             maint.cluster_count().to_string(),
             new_clusters_from_failures.to_string(),
-            (maint.stats().kind("maint_fail_probe").cost
-                + maint.stats().kind("maint_fail_reroot").cost)
+            (maint.costs().kind("maint_fail_probe").cost
+                + maint.costs().kind("maint_fail_reroot").cost)
                 .to_string(),
-            maint.stats().total_cost().to_string(),
+            maint.costs().total_cost().to_string(),
         ]);
     }
     Table {
@@ -155,7 +155,10 @@ mod tests {
     fn zero_failures_is_baseline() {
         let t = run(Params::quick());
         assert_eq!(t.rows[0][1], "0");
-        assert_eq!(t.rows[0][5], "0", "no failure-handling cost without failures");
+        assert_eq!(
+            t.rows[0][5], "0",
+            "no failure-handling cost without failures"
+        );
     }
 
     #[test]

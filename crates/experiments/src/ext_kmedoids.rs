@@ -7,11 +7,10 @@
 //! charges the §9 broadcast model for the iterations actually used, and
 //! compares against ELink's one-shot clustering bill.
 
-use crate::common::{delta_quantiles, fmt, Table};
+use crate::common::{delta_quantiles, fmt, ScenarioBuilder, Table};
 use elink_baselines::{distributed_kmedoids_cost, kmedoids_delta_clustering};
-use elink_core::{run_implicit, ElinkConfig};
+use elink_core::ElinkConfig;
 use elink_datasets::{TaoDataset, TaoParams};
-use elink_netsim::SimNetwork;
 use std::sync::Arc;
 
 /// Parameters for the k-medoids comparison.
@@ -58,20 +57,20 @@ impl Params {
 /// Regenerates the k-medoids comparison table.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .build();
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
     let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
-    let network = SimNetwork::new(data.topology().clone());
     let dim = features[0].scalar_cost();
 
     let mut rows = Vec::new();
     for (q, &delta) in params.delta_quantiles.iter().zip(&deltas) {
-        let elink = run_implicit(
-            &network,
-            &features,
-            Arc::clone(&metric) as _,
-            ElinkConfig::for_delta(delta),
-        );
+        let elink = scenario.run_implicit_with(ElinkConfig::for_delta(delta));
         let (km_count, km_k, km_iters) = kmedoids_delta_clustering(
             data.topology(),
             &features,
@@ -79,21 +78,20 @@ pub fn run(params: Params) -> Table {
             delta,
             params.max_k,
         );
-        let km_cost =
-            distributed_kmedoids_cost(data.topology(), dim, km_k, km_iters).total_cost();
+        let km_cost = distributed_kmedoids_cost(data.topology(), dim, km_k, km_iters).total_cost();
         let (count_str, ratio_str) = if km_count == usize::MAX {
             ("no_k".to_string(), "-".to_string())
         } else {
             (
                 km_count.to_string(),
-                fmt(km_cost as f64 / elink.stats.total_cost().max(1) as f64),
+                fmt(km_cost as f64 / elink.costs.total_cost().max(1) as f64),
             )
         };
         rows.push(vec![
             fmt(*q),
             fmt(delta),
             elink.clustering.cluster_count().to_string(),
-            elink.stats.total_cost().to_string(),
+            elink.costs.total_cost().to_string(),
             count_str,
             km_k.to_string(),
             km_iters.to_string(),

@@ -8,11 +8,9 @@
 //! safe/unsafe classification plus index refinement is compared against
 //! flooding BFS; both must agree on path existence.
 
-use crate::common::{fmt, Table};
-use elink_core::{run_implicit, ElinkConfig};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use elink_datasets::TerrainDataset;
 use elink_metric::{Absolute, Feature};
-use elink_netsim::SimNetwork;
 use elink_query::{elink_path_query, flooding_path_query, Backbone, DistributedIndex};
 use std::sync::Arc;
 
@@ -66,17 +64,15 @@ pub fn run(params: Params) -> Table {
         let mut found = 0u64;
         for seed in 0..params.seeds {
             let data = TerrainDataset::generate(params.n_sensors, 6, 0.55, seed);
-            let features = data.features();
+            let scenario =
+                ScenarioBuilder::new(data.topology().clone(), data.features(), Arc::new(Absolute))
+                    .delta(params.delta)
+                    .build();
+            let features = scenario.features.clone();
             let n = features.len();
-            let network = SimNetwork::new(data.topology().clone());
-            let outcome = run_implicit(
-                &network,
-                &features,
-                Arc::new(Absolute),
-                ElinkConfig::for_delta(params.delta),
-            );
+            let outcome = scenario.run_implicit();
             let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
-            let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+            let (backbone, _) = Backbone::build(&outcome.clustering, scenario.network.routing());
             let floor = data
                 .elevations()
                 .iter()
@@ -123,8 +119,8 @@ pub fn run(params: Params) -> Table {
                     b.path.is_some(),
                     "existence disagreement at γ = {gamma}"
                 );
-                elink_cost += e.stats.total_cost();
-                flood_cost += b.stats.total_cost();
+                elink_cost += e.costs.total_cost();
+                flood_cost += b.costs.total_cost();
                 queries += 1;
                 if e.path.is_some() {
                     found += 1;
@@ -132,7 +128,13 @@ pub fn run(params: Params) -> Table {
             }
         }
         if queries == 0 {
-            rows.push(vec![fmt(gamma), "0".into(), "0".into(), "0".into(), "0".into()]);
+            rows.push(vec![
+                fmt(gamma),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+            ]);
             continue;
         }
         let e_avg = elink_cost as f64 / queries as f64;

@@ -7,10 +7,9 @@
 //! theoretical guarantee that for an ideal ELink clustering every node's
 //! feature is within δ/2 of its representative's.
 
-use crate::common::{delta_quantiles, fmt, Table};
-use elink_core::{run_implicit, ElinkConfig};
+use crate::common::{delta_quantiles, fmt, ScenarioBuilder, Table};
+use elink_core::ElinkConfig;
 use elink_datasets::{TaoDataset, TaoParams};
-use elink_netsim::SimNetwork;
 use std::sync::Arc;
 
 /// Parameters for the representative-sampling experiment.
@@ -53,19 +52,19 @@ impl Params {
 /// Regenerates the representative-sampling table.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .build();
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
     let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
-    let network = SimNetwork::new(data.topology().clone());
 
     let mut rows = Vec::new();
     for (q, &delta) in params.delta_quantiles.iter().zip(&deltas) {
-        let outcome = run_implicit(
-            &network,
-            &features,
-            Arc::clone(&metric) as _,
-            ElinkConfig::for_delta(delta),
-        );
+        let outcome = scenario.run_implicit_with(ElinkConfig::for_delta(delta));
         let clustering = &outcome.clustering;
         let errors = clustering.representation_errors(&features, metric.as_ref());
         let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;

@@ -5,10 +5,8 @@
 //! columns `cost / N` and `time / (√N log₂ N)`; the theorems predict both
 //! normalized columns stay bounded as N grows.
 
-use crate::common::{fmt, Table};
-use elink_core::{run_explicit, run_implicit, ElinkConfig};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use elink_metric::{Absolute, Feature};
-use elink_netsim::{DelayModel, SimNetwork};
 use elink_topology::Topology;
 use std::sync::Arc;
 
@@ -54,26 +52,20 @@ pub fn run(params: Params) -> Table {
                 Feature::scalar(((r + c) / (2.0 * side as f64) * 10.0).floor())
             })
             .collect();
-        let network = SimNetwork::new(topo);
-        let config = ElinkConfig::for_delta(params.delta);
-        let imp = run_implicit(&network, &features, Arc::new(Absolute), config);
-        let exp = run_explicit(
-            &network,
-            &features,
-            Arc::new(Absolute),
-            config,
-            DelayModel::Sync,
-            0,
-        );
+        let scenario = ScenarioBuilder::new(topo, features, Arc::new(Absolute))
+            .delta(params.delta)
+            .build();
+        let imp = scenario.run_implicit();
+        let exp = scenario.run_explicit();
         let bound = (n as f64).sqrt() * (n as f64).log2();
         rows.push(vec![
             n.to_string(),
-            imp.stats.total_cost().to_string(),
-            fmt(imp.stats.total_cost() as f64 / n as f64),
+            imp.costs.total_cost().to_string(),
+            fmt(imp.costs.total_cost() as f64 / n as f64),
             imp.elapsed.to_string(),
             fmt(imp.elapsed as f64 / bound),
-            exp.stats.total_cost().to_string(),
-            fmt(exp.stats.total_cost() as f64 / n as f64),
+            exp.costs.total_cost().to_string(),
+            fmt(exp.costs.total_cost() as f64 / n as f64),
             exp.elapsed.to_string(),
             fmt(exp.elapsed as f64 / bound),
         ]);

@@ -4,7 +4,7 @@
 //! (fewer clusters) than Hierarchical, which beats Spanning Forest; quality
 //! improves (count drops) as δ grows.
 
-use crate::common::{delta_quantiles, fmt, SuiteBench, Table};
+use crate::common::{delta_quantiles, fmt, ScenarioBuilder, Table};
 use elink_datasets::{TaoDataset, TaoParams};
 use std::sync::Arc;
 
@@ -48,10 +48,18 @@ impl Params {
 /// Regenerates Fig 8.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
-    let deltas = delta_quantiles(&features, metric.as_ref(), &params.delta_quantiles);
-    let bench = SuiteBench::new(data.topology().clone(), features, metric);
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .build();
+    let deltas = delta_quantiles(
+        &scenario.features,
+        scenario.metric.as_ref(),
+        &params.delta_quantiles,
+    );
+    let bench = scenario.suite_bench();
 
     let mut rows = Vec::new();
     for (q, delta) in params.delta_quantiles.iter().zip(&deltas) {
@@ -75,8 +83,7 @@ pub fn run(params: Params) -> Table {
     }
     Table {
         id: "fig08",
-        title: "Clustering quality vs delta, Tao data (number of clusters; lower is better)"
-            .into(),
+        title: "Clustering quality vs delta, Tao data (number of clusters; lower is better)".into(),
         headers: vec![
             "delta_quantile".into(),
             "delta".into(),

@@ -4,7 +4,7 @@
 //! Expected shape: same algorithm ordering as Fig 8; counts fall as δ grows
 //! through the elevation range (175, 1996).
 
-use crate::common::{fmt, SuiteBench, Table};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use elink_datasets::TerrainDataset;
 use elink_metric::Absolute;
 use elink_spectral::SpectralConfig;
@@ -57,17 +57,14 @@ pub fn run(params: Params) -> Table {
     let mut sums: BTreeMap<(usize, &'static str), f64> = BTreeMap::new();
     for seed in 0..params.seeds {
         let data = TerrainDataset::generate(params.n_sensors, 7, 0.55, seed);
-        let features = data.features();
         let config = SpectralConfig {
             max_k: params.max_k,
             ..Default::default()
         };
-        let bench = SuiteBench::with_spectral_config(
-            data.topology().clone(),
-            features,
-            Arc::new(Absolute),
-            config,
-        );
+        let scenario =
+            ScenarioBuilder::new(data.topology().clone(), data.features(), Arc::new(Absolute))
+                .build();
+        let bench = scenario.suite_bench_with(config);
         for (di, &delta) in params.deltas.iter().enumerate() {
             for row in bench.run_all(delta) {
                 *sums.entry((di, row.algorithm)).or_insert(0.0) += row.clusters as f64;

@@ -6,13 +6,12 @@
 //! locally using the cached root feature, which the centralized scheme
 //! cannot do (§8.5); both costs fall as Δ grows.
 
-use crate::common::{delta_quantiles, fmt, Table};
+use crate::common::{fmt, ScenarioBuilder, Table};
 // (TaoModel is used indirectly through TaoDataset::train_models.)
 use elink_baselines::CentralizedUpdateSim;
-use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_core::{ElinkConfig, MaintenanceSim};
 use elink_datasets::{TaoDataset, TaoParams};
 use elink_metric::Feature;
-use elink_netsim::SimNetwork;
 use std::sync::Arc;
 
 /// Parameters for the Fig 10 reproduction.
@@ -72,27 +71,28 @@ pub(crate) fn stream_tao(data: &TaoDataset, mut f: impl FnMut(usize, &Feature)) 
 /// Regenerates Fig 10.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
-    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
-    let network = SimNetwork::new(data.topology().clone());
-    let topology = Arc::new(data.topology().clone());
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .delta_quantile(params.delta_quantile)
+    .build();
+    let delta = scenario.delta;
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
+    let topology = Arc::clone(&scenario.topology);
 
     let mut rows = Vec::new();
     for &frac in &params.slack_fractions {
         let slack = frac * delta;
         assert!(2.0 * slack < delta, "slack fraction {frac} too large");
         // Initial clustering at δ − 2Δ (§6).
-        let outcome = run_implicit(
-            &network,
-            &features,
-            Arc::clone(&metric) as _,
-            ElinkConfig::for_delta(delta - 2.0 * slack),
-        );
+        let outcome = scenario.run_implicit_with(ElinkConfig::for_delta(delta - 2.0 * slack));
         let mut maint = MaintenanceSim::new(
             &outcome.clustering,
             Arc::clone(&topology),
-            Arc::clone(&metric) as _,
+            Arc::clone(&metric),
             features.clone(),
             delta,
             slack,
@@ -102,10 +102,10 @@ pub fn run(params: Params) -> Table {
             maint.update(node, feature.clone());
             central.model_update(node, feature.clone(), metric.as_ref());
         });
-        let elink_cost = maint.stats().total_cost();
+        let elink_cost = maint.costs().total_cost();
         // Fig 10 compares *update* costs; the centralized initial shipping
         // is excluded (it is part of the clustering bill in Fig 12/13).
-        let central_cost = central.stats().kind("central_model").cost;
+        let central_cost = central.costs().kind("central_model").cost;
         let ratio = central_cost as f64 / elink_cost.max(1) as f64;
         rows.push(vec![
             fmt(frac),

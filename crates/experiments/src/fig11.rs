@@ -6,11 +6,10 @@
 //! rise with Δ. The table also reports ELink's maintained cluster count
 //! after streaming the evaluation month through the §6 update protocol.
 
-use crate::common::{delta_quantiles, fmt, SuiteBench, Table};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use crate::fig10::stream_tao;
-use elink_core::{run_implicit, ElinkConfig, MaintenanceSim};
+use elink_core::{ElinkConfig, MaintenanceSim};
 use elink_datasets::{TaoDataset, TaoParams};
-use elink_netsim::SimNetwork;
 use std::sync::Arc;
 
 /// Parameters for the Fig 11 reproduction.
@@ -57,12 +56,18 @@ impl Params {
 /// Regenerates Fig 11.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
-    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
-    let bench = SuiteBench::new(data.topology().clone(), features.clone(), Arc::clone(&metric) as _);
-    let network = SimNetwork::new(data.topology().clone());
-    let topology = Arc::new(data.topology().clone());
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .delta_quantile(params.delta_quantile)
+    .build();
+    let delta = scenario.delta;
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
+    let topology = Arc::clone(&scenario.topology);
+    let bench = scenario.suite_bench();
 
     let mut rows = Vec::new();
     for &frac in &params.slack_fractions {
@@ -78,16 +83,11 @@ pub fn run(params: Params) -> Table {
                 .unwrap_or_default()
         };
         // ELink maintained count after the evaluation stream.
-        let outcome = run_implicit(
-            &network,
-            &features,
-            Arc::clone(&metric) as _,
-            ElinkConfig::for_delta(effective),
-        );
+        let outcome = scenario.run_implicit_with(ElinkConfig::for_delta(effective));
         let mut maint = MaintenanceSim::new(
             &outcome.clustering,
             Arc::clone(&topology),
-            Arc::clone(&metric) as _,
+            Arc::clone(&metric),
             features.clone(),
             delta,
             slack,

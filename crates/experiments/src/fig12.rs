@@ -8,13 +8,10 @@
 //! distributed lines are dominated by their one-off clustering cost and
 //! grow slowly afterwards.
 
-use crate::common::{delta_quantiles, fmt, Table};
-use elink_baselines::{
-    hierarchical_clustering, spanning_forest_clustering, CentralizedUpdateSim,
-};
-use elink_core::{run_explicit, run_implicit, Clustering, ElinkConfig, MaintenanceSim};
+use crate::common::{fmt, ScenarioBuilder, Table};
+use elink_baselines::{hierarchical_clustering, spanning_forest_clustering, CentralizedUpdateSim};
+use elink_core::{Clustering, ElinkConfig, MaintenanceSim};
 use elink_datasets::{TaoDataset, TaoParams};
-use elink_netsim::{DelayModel, SimNetwork};
 use std::sync::Arc;
 
 /// Parameters for the Fig 12 reproduction.
@@ -61,29 +58,23 @@ impl Params {
 /// Regenerates Fig 12: cumulative message cost per scheme, sampled daily.
 pub fn run(params: Params) -> Table {
     let data = TaoDataset::generate(params.tao, params.seed);
-    let features = data.features();
-    let metric = Arc::new(data.metric().clone());
-    let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(data.metric().clone()),
+    )
+    .delta_quantile(params.delta_quantile)
+    .build();
+    let delta = scenario.delta;
     let slack = params.slack_fraction * delta;
     let effective = delta - 2.0 * slack;
-    let topology = Arc::new(data.topology().clone());
-    let network = SimNetwork::new(data.topology().clone());
+    let features = scenario.features.clone();
+    let metric = Arc::clone(&scenario.metric);
+    let topology = Arc::clone(&scenario.topology);
 
     // Initial clustering costs (t = 0 intercepts).
-    let elink_imp = run_implicit(
-        &network,
-        &features,
-        Arc::clone(&metric) as _,
-        ElinkConfig::for_delta(effective),
-    );
-    let elink_exp = run_explicit(
-        &network,
-        &features,
-        Arc::clone(&metric) as _,
-        ElinkConfig::for_delta(effective),
-        DelayModel::Sync,
-        0,
-    );
+    let elink_imp = scenario.run_implicit_with(ElinkConfig::for_delta(effective));
+    let elink_exp = scenario.run_explicit_with(ElinkConfig::for_delta(effective));
     let sf = spanning_forest_clustering(data.topology(), &features, metric.as_ref(), effective);
     let hier = hierarchical_clustering(data.topology(), &features, metric.as_ref(), effective);
 
@@ -93,7 +84,7 @@ pub fn run(params: Params) -> Table {
         MaintenanceSim::new(
             clustering,
             Arc::clone(&topology),
-            Arc::clone(&metric) as _,
+            Arc::clone(&metric),
             features.clone(),
             delta,
             slack,
@@ -106,15 +97,15 @@ pub fn run(params: Params) -> Table {
         make_maint(&hier.clustering),
     ];
     let init_costs = [
-        elink_imp.stats.total_cost(),
-        elink_exp.stats.total_cost(),
-        sf.stats.total_cost(),
-        hier.stats.total_cost(),
+        elink_imp.costs.total_cost(),
+        elink_exp.costs.total_cost(),
+        sf.costs.total_cost(),
+        hier.costs.total_cost(),
     ];
     // Centralized schemes share one sim: raw and model kinds are tracked
     // separately; the model variant carries the init shipping.
     let mut central = CentralizedUpdateSim::new(data.topology(), features.clone(), slack);
-    let central_init = central.stats().kind("central_init").cost;
+    let central_init = central.costs().kind("central_init").cost;
 
     // Stream the evaluation month, sampling at each day boundary.
     let mut models = data.train_models();
@@ -136,12 +127,12 @@ pub fn run(params: Params) -> Table {
         }
         rows.push(vec![
             (day + 1).to_string(),
-            central.stats().kind("central_raw").cost.to_string(),
-            (central_init + central.stats().kind("central_model").cost).to_string(),
-            (init_costs[0] + maints[0].stats().total_cost()).to_string(),
-            (init_costs[1] + maints[1].stats().total_cost()).to_string(),
-            (init_costs[2] + maints[2].stats().total_cost()).to_string(),
-            (init_costs[3] + maints[3].stats().total_cost()).to_string(),
+            central.costs().kind("central_raw").cost.to_string(),
+            (central_init + central.costs().kind("central_model").cost).to_string(),
+            (init_costs[0] + maints[0].costs().total_cost()).to_string(),
+            (init_costs[1] + maints[1].costs().total_cost()).to_string(),
+            (init_costs[2] + maints[2].costs().total_cost()).to_string(),
+            (init_costs[3] + maints[3].costs().total_cost()).to_string(),
         ]);
     }
     Table {

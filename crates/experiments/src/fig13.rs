@@ -10,15 +10,12 @@
 //! hierarchical and the centralized scheme grow super-linearly (the latter
 //! like `N^{1.5}` on a 2-D field, multiplied by the update rate).
 
-use crate::common::{fmt, Table};
+use crate::common::{fmt, ScenarioBuilder, Table};
 use elink_armodel::RlsState;
-use elink_baselines::{
-    hierarchical_clustering, spanning_forest_clustering, CentralizedUpdateSim,
-};
-use elink_core::{run_explicit, run_implicit, Clustering, ElinkConfig, MaintenanceSim};
+use elink_baselines::{hierarchical_clustering, spanning_forest_clustering, CentralizedUpdateSim};
+use elink_core::{Clustering, ElinkConfig, MaintenanceSim};
 use elink_datasets::SyntheticDataset;
 use elink_metric::{Euclidean, Feature};
-use elink_netsim::{DelayModel, SimNetwork};
 use std::sync::Arc;
 
 /// Parameters for the Fig 13 reproduction.
@@ -75,27 +72,26 @@ pub fn run(params: Params) -> Table {
         let mut sums = [0.0f64; 5];
         for seed in 0..params.seeds {
             let data = SyntheticDataset::generate(n, params.steps, seed);
-            let features = data.features();
-            let metric = Arc::new(Euclidean);
-            let network = SimNetwork::new(data.topology().clone());
+            let scenario = ScenarioBuilder::new(
+                data.topology().clone(),
+                data.features(),
+                Arc::new(Euclidean),
+            )
+            .delta(params.delta)
+            .seed(seed)
+            .build();
+            let features = scenario.features.clone();
             let config = ElinkConfig::for_delta(params.delta);
-            let imp = run_implicit(&network, &features, Arc::clone(&metric) as _, config);
-            let exp = run_explicit(
-                &network,
-                &features,
-                Arc::clone(&metric) as _,
-                config,
-                DelayModel::Sync,
-                seed,
-            );
+            let imp = scenario.run_implicit_with(config);
+            let exp = scenario.run_explicit_with(config);
             let sf =
                 spanning_forest_clustering(data.topology(), &features, &Euclidean, params.delta);
             let hier =
                 hierarchical_clustering(data.topology(), &features, &Euclidean, params.delta);
             // Update stream: fresh measurements extend each node's series;
             // features evolve through RLS and feed every update protocol.
-            let topology = Arc::new(data.topology().clone());
-            let metric: Arc<dyn elink_metric::Metric> = Arc::new(Euclidean);
+            let topology = Arc::clone(&scenario.topology);
+            let metric = Arc::clone(&scenario.metric);
             let slack = params.slack_fraction * params.delta;
             let make_maint = |c: &Clustering| {
                 MaintenanceSim::new(
@@ -128,11 +124,7 @@ pub fn run(params: Params) -> Table {
                     r
                 })
                 .collect();
-            let mut last: Vec<f64> = data
-                .series()
-                .iter()
-                .map(|xs| *xs.last().unwrap())
-                .collect();
+            let mut last: Vec<f64> = data.series().iter().map(|xs| *xs.last().unwrap()).collect();
             let mut noise_state = seed ^ 0xABCD_EF01;
             for _ in 0..params.update_steps {
                 for node in 0..n {
@@ -150,14 +142,14 @@ pub fn run(params: Params) -> Table {
                     central_sim.model_update(node, f, metric.as_ref());
                 }
             }
-            let central_total = central_sim.stats().kind("central_init").cost
-                + central_sim.stats().kind("central_model").cost;
+            let central_total = central_sim.costs().kind("central_init").cost
+                + central_sim.costs().kind("central_model").cost;
             for (i, v) in [
-                imp.stats.total_cost() + maints[0].stats().total_cost(),
-                exp.stats.total_cost() + maints[1].stats().total_cost(),
+                imp.costs.total_cost() + maints[0].costs().total_cost(),
+                exp.costs.total_cost() + maints[1].costs().total_cost(),
                 central_total,
-                hier.stats.total_cost() + maints[3].stats().total_cost(),
-                sf.stats.total_cost() + maints[2].stats().total_cost(),
+                hier.costs.total_cost() + maints[3].costs().total_cost(),
+                sf.costs.total_cost() + maints[2].costs().total_cost(),
             ]
             .iter()
             .enumerate()
@@ -209,11 +201,14 @@ mod tests {
         };
         // ELink grows roughly linearly (factor ≈ 2); centralized grows
         // around 2^1.5 ≈ 2.8.
-        assert!(g(1) < g(3) * 1.2, "implicit ELink should scale no worse than centralized");
+        assert!(
+            g(1) < g(3) * 1.2,
+            "implicit ELink should scale no worse than centralized"
+        );
         // Costs are positive everywhere.
         for row in &t.rows {
-            for col in 1..6 {
-                let v: f64 = row[col].parse().unwrap();
+            for cell in &row[1..6] {
+                let v: f64 = cell.parse().unwrap();
                 assert!(v > 0.0);
             }
         }

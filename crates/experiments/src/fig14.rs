@@ -7,9 +7,9 @@
 //! (up to ~5×) cheaper than TAG at small radii, with the advantage
 //! shrinking as the radius grows (§8.6).
 
-use crate::common::{delta_quantiles, fmt, Table};
+use crate::common::{delta_quantiles, fmt, ScenarioBuilder, Table};
 use elink_baselines::{hierarchical_clustering, spanning_forest_clustering};
-use elink_core::{run_implicit, Clustering, ElinkConfig};
+use elink_core::Clustering;
 use elink_datasets::{TaoDataset, TaoParams};
 use elink_metric::{Feature, Metric};
 use elink_netsim::SimNetwork;
@@ -117,7 +117,7 @@ impl QuerySetup {
                 brute_force_range(features, metric, &q, r),
                 "range query diverged from ground truth"
             );
-            total += result.stats.total_cost();
+            total += result.costs.total_cost();
         }
         total as f64 / n as f64
     }
@@ -133,20 +133,27 @@ pub(crate) fn range_query_table(
     delta: f64,
     radius_fractions: &[f64],
 ) -> Table {
-    let network = SimNetwork::new(topology.clone());
-    let elink = run_implicit(
-        &network,
-        &features,
-        Arc::clone(&metric),
-        ElinkConfig::for_delta(delta),
-    )
-    .clustering;
+    let scenario = ScenarioBuilder::new(topology.clone(), features, Arc::clone(&metric))
+        .delta(delta)
+        .build();
+    let features = scenario.features.clone();
+    let network = &scenario.network;
+    let elink = scenario.run_implicit().clustering;
     let hier = hierarchical_clustering(topology, &features, metric.as_ref(), delta).clustering;
     let sf = spanning_forest_clustering(topology, &features, metric.as_ref(), delta).clustering;
     let setups = [
-        ("elink", QuerySetup::build(elink, &network, &features, metric.as_ref())),
-        ("hierarchical", QuerySetup::build(hier, &network, &features, metric.as_ref())),
-        ("spanning_forest", QuerySetup::build(sf, &network, &features, metric.as_ref())),
+        (
+            "elink",
+            QuerySetup::build(elink, network, &features, metric.as_ref()),
+        ),
+        (
+            "hierarchical",
+            QuerySetup::build(hier, network, &features, metric.as_ref()),
+        ),
+        (
+            "spanning_forest",
+            QuerySetup::build(sf, network, &features, metric.as_ref()),
+        ),
     ];
     let tag_tree = TagTree::build(topology);
 
@@ -155,7 +162,12 @@ pub(crate) fn range_query_table(
         let r = frac * delta;
         let mut row = vec![fmt(frac), fmt(r)];
         for (_, setup) in &setups {
-            row.push(fmt(setup.average_query_cost(&features, metric.as_ref(), delta, r)));
+            row.push(fmt(setup.average_query_cost(
+                &features,
+                metric.as_ref(),
+                delta,
+                r,
+            )));
         }
         // TAG: cost is query-independent; still execute one query per node
         // for the exactness check.
@@ -163,7 +175,10 @@ pub(crate) fn range_query_table(
         for initiator in 0..features.len() {
             let q = features[initiator].clone();
             let (matches, stats) = tag_range_query(&tag_tree, &features, metric.as_ref(), &q, r);
-            assert_eq!(matches, brute_force_range(&features, metric.as_ref(), &q, r));
+            assert_eq!(
+                matches,
+                brute_force_range(&features, metric.as_ref(), &q, r)
+            );
             tag_total += stats.total_cost();
         }
         row.push(fmt(tag_total as f64 / features.len() as f64));
@@ -192,7 +207,10 @@ pub fn run(params: Params) -> Table {
     let delta = delta_quantiles(&features, metric.as_ref(), &[params.delta_quantile])[0];
     range_query_table(
         "fig14",
-        format!("Average range-query cost vs radius, Tao data (delta = {})", fmt(delta)),
+        format!(
+            "Average range-query cost vs radius, Tao data (delta = {})",
+            fmt(delta)
+        ),
         data.topology(),
         features,
         metric,

@@ -75,14 +75,14 @@ pub fn run(params: Params) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     #[test]
     fn runs_and_costs_positive() {
         let t = run(Params::quick());
         assert_eq!(t.rows.len(), 2);
         for row in &t.rows {
-            for col in 2..6 {
-                let v: f64 = row[col].parse().unwrap();
+            for cell in &row[2..6] {
+                let v: f64 = cell.parse().unwrap();
                 assert!(v > 0.0);
             }
         }

@@ -28,7 +28,6 @@
 
 pub mod common;
 pub mod csv_io;
-pub mod svg;
 pub mod ext_ablation;
 pub mod ext_failure;
 pub mod ext_kmedoids;
@@ -44,8 +43,9 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod svg;
 
-pub use common::Table;
+pub use common::{Scenario, ScenarioBuilder, Table};
 
 /// Runs every experiment at paper scale, returning the tables in figure
 /// order. Used by the `all` binary.

@@ -35,8 +35,8 @@ impl Default for SvgOptions {
 
 /// Distinguishable cluster colors (cycled for > 12 clusters).
 const PALETTE: [&str; 12] = [
-    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
-    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
 ];
 
 /// Renders a clustering over its topology as an SVG document.
@@ -126,9 +126,8 @@ pub fn render_clustering(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elink_core::{run_implicit, ElinkConfig};
+    use crate::common::ScenarioBuilder;
     use elink_metric::{Absolute, Feature};
-    use elink_netsim::SimNetwork;
     use std::sync::Arc;
 
     fn sample() -> (Clustering, Topology) {
@@ -136,14 +135,10 @@ mod tests {
         let features: Vec<Feature> = (0..12)
             .map(|v| Feature::scalar(if v % 4 < 2 { 0.0 } else { 40.0 }))
             .collect();
-        let network = SimNetwork::new(topology.clone());
-        let outcome = run_implicit(
-            &network,
-            &features,
-            Arc::new(Absolute),
-            ElinkConfig::for_delta(5.0),
-        );
-        (outcome.clustering, topology)
+        let scenario = ScenarioBuilder::new(topology.clone(), features, Arc::new(Absolute))
+            .delta(5.0)
+            .build();
+        (scenario.run_implicit().clustering, topology)
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub struct EigenDecomposition {
 impl EigenDecomposition {
     /// Returns eigenvector `j` as an owned column vector.
     pub fn vector(&self, j: usize) -> Vec<f64> {
-        (0..self.vectors.rows()).map(|i| self.vectors[(i, j)]).collect()
+        (0..self.vectors.rows())
+            .map(|i| self.vectors[(i, j)])
+            .collect()
     }
 }
 

@@ -43,28 +43,28 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeansR
         iterations = iter + 1;
         // Assignment step.
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let p = points.row(i);
-            let (best, _) = (0..k)
-                .map(|c| (c, sq_dist(p, centroids.row(c))))
-                .fold((0, f64::INFINITY), |acc, cur| if cur.1 < acc.1 { cur } else { acc });
-            if assignment[i] != best {
-                assignment[i] = best;
+            let (best, _) = (0..k).map(|c| (c, sq_dist(p, centroids.row(c)))).fold(
+                (0, f64::INFINITY),
+                |acc, cur| if cur.1 < acc.1 { cur } else { acc },
+            );
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
         // Update step.
         let mut sums = Matrix::zeros(k, dim);
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignment[i];
+        for (i, &c) in assignment.iter().enumerate() {
             counts[c] += 1;
             for (s, &v) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster with the worst-fitting point.
                 let (far, _) = (0..n)
                     .map(|i| (i, sq_dist(points.row(i), centroids.row(assignment[i]))))
@@ -124,10 +124,10 @@ fn plus_plus_seeds(points: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
         };
         let row: Vec<f64> = points.row(pick).to_vec();
         centroids.row_mut(c).copy_from_slice(&row);
-        for i in 0..n {
+        for (i, best) in d2.iter_mut().enumerate() {
             let d = sq_dist(points.row(i), centroids.row(c));
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }

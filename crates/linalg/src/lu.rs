@@ -37,9 +37,13 @@ impl LuFactors {
 
         for col in 0..n {
             // Partial pivoting: pick the largest magnitude entry in column.
-            let (pivot_row, pivot_val) = (col..n)
-                .map(|r| (r, lu[(r, col)].abs()))
-                .fold((col, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            let (pivot_row, pivot_val) =
+                (col..n)
+                    .map(|r| (r, lu[(r, col)].abs()))
+                    .fold(
+                        (col, -1.0),
+                        |best, cur| if cur.1 > best.1 { cur } else { best },
+                    );
             if pivot_val < 1e-12 * scale {
                 return Err(LinalgError::Singular);
             }

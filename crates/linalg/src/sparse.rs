@@ -60,8 +60,11 @@ impl SymCsr {
         for i in 0..n {
             let lo = row_ptr[i];
             let hi = row_ptr[i + 1];
-            let mut row: Vec<(usize, f64)> =
-                col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
+            let mut row: Vec<(usize, f64)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
             row.sort_by_key(|&(c, _)| c);
             for (c, v) in row {
                 if let Some(last) = final_cols.last().copied() {
@@ -126,12 +129,12 @@ impl SymCsr {
     pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         debug_assert_eq!(v.len(), self.n);
         debug_assert_eq!(out.len(), self.n);
-        for i in 0..self.n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[idx] * v[self.col_idx[idx]];
             }
-            out[i] = acc;
+            *slot = acc;
         }
     }
 
@@ -339,7 +342,12 @@ mod tests {
     #[test]
     fn matches_dense_jacobi_on_small_laplacian() {
         // 4-cycle graph Laplacian; eigenvalues {0, 2, 2, 4}.
-        let edges = [(0usize, 1usize, -1.0), (1, 2, -1.0), (2, 3, -1.0), (3, 0, -1.0)];
+        let edges = [
+            (0usize, 1usize, -1.0),
+            (1, 2, -1.0),
+            (2, 3, -1.0),
+            (3, 0, -1.0),
+        ];
         let a = SymCsr::from_undirected_edges(4, &edges, &[2.0, 2.0, 2.0, 2.0]).unwrap();
         let (vals, _) = top_eigenvectors(&a, 2, 2000, 1e-12, 11).unwrap();
         assert!((vals[0] - 4.0).abs() < 1e-6, "got {vals:?}");

@@ -14,7 +14,12 @@ pub enum MetricViolation {
     /// `d(a, a) != 0` or `d(a, b) < 0`.
     Positivity { i: usize, j: usize, value: f64 },
     /// `d(a, b) != d(b, a)`.
-    Symmetry { i: usize, j: usize, forward: f64, backward: f64 },
+    Symmetry {
+        i: usize,
+        j: usize,
+        forward: f64,
+        backward: f64,
+    },
     /// `d(a, c) > d(a, b) + d(b, c)`.
     TriangleInequality {
         i: usize,
@@ -81,7 +86,13 @@ pub fn check_metric_axioms(
                 let via = metric.distance(&features[i], &features[j])
                     + metric.distance(&features[j], &features[k]);
                 if direct > via + tol {
-                    return Err(MetricViolation::TriangleInequality { i, j, k, direct, via });
+                    return Err(MetricViolation::TriangleInequality {
+                        i,
+                        j,
+                        k,
+                        direct,
+                        via,
+                    });
                 }
             }
         }
@@ -124,7 +135,14 @@ mod tests {
         // The NP-hardness reduction assigns d = 1 on graph edges and d = 2
         // otherwise; the paper notes this satisfies the metric axioms.
         let mut t = DistanceMatrix::zeros(4);
-        for (i, j, v) in [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 2.0), (1, 2, 1.0), (1, 3, 2.0), (2, 3, 1.0)] {
+        for (i, j, v) in [
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (0, 3, 2.0),
+            (1, 2, 1.0),
+            (1, 3, 2.0),
+            (2, 3, 1.0),
+        ] {
             t.set(i, j, v);
         }
         let feats: Vec<Feature> = (0..4).map(|i| Feature::scalar(i as f64)).collect();

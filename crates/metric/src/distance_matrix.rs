@@ -67,7 +67,11 @@ impl DistanceMatrix {
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i != j, "cannot set the diagonal of a distance matrix");
         assert!(i < self.n && j < self.n, "index out of range");
-        let idx = if i < j { self.idx(i, j) } else { self.idx(j, i) };
+        let idx = if i < j {
+            self.idx(i, j)
+        } else {
+            self.idx(j, i)
+        };
         self.packed[idx] = value;
     }
 

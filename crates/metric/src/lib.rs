@@ -181,8 +181,14 @@ mod tests {
         m.set(1, 2, 6.0);
         m.set(0, 2, 9.0);
         let t = TableMetric::new(m);
-        assert_eq!(t.distance(&Feature::scalar(0.0), &Feature::scalar(1.0)), 4.0);
-        assert_eq!(t.distance(&Feature::scalar(2.0), &Feature::scalar(1.0)), 6.0);
+        assert_eq!(
+            t.distance(&Feature::scalar(0.0), &Feature::scalar(1.0)),
+            4.0
+        );
+        assert_eq!(
+            t.distance(&Feature::scalar(2.0), &Feature::scalar(1.0)),
+            6.0
+        );
     }
 
     #[test]

@@ -1,8 +1,17 @@
-//! The discrete-event simulation engine.
+//! The discrete-event engine: event queue, run loop, and the [`Ctx`] handle
+//! protocols use to interact with the network.
+//!
+//! The engine is link-model agnostic: every transmission is routed through
+//! the [`LinkModel`](crate::link::LinkModel) in force, which decides delay,
+//! loss, and node liveness. Dropped messages are charged for the hops they
+//! traversed but never delivered; messages and timers addressed to a crashed
+//! node are silently lost (the node's protocol state freezes while it is
+//! down and resumes on recovery).
 
-use crate::stats::MessageStats;
+use crate::link::{HopOutcome, LinkModel};
+use crate::stats::{CostBook, MessageStats};
+use crate::trace::{DropReason, TraceEvent, TraceSink};
 use elink_topology::{RoutingTable, Topology};
-use rand::Rng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -11,40 +20,6 @@ use std::sync::Arc;
 /// Simulated time in ticks. In synchronous mode one hop = one tick, matching
 /// the paper's "worst-case delay over a hop is a single time unit" (§4).
 pub type SimTime = u64;
-
-/// Per-hop delay model.
-#[derive(Debug, Clone, Copy)]
-pub enum DelayModel {
-    /// Synchronous network: every hop takes exactly one tick.
-    Sync,
-    /// Asynchronous network: every hop takes a uniform random delay in
-    /// `[min, max]` ticks (inclusive), sampled deterministically from the
-    /// simulator seed.
-    Async {
-        /// Minimum hop delay (≥ 1).
-        min: u64,
-        /// Maximum hop delay (≥ min).
-        max: u64,
-    },
-}
-
-impl DelayModel {
-    /// The largest possible hop delay under this model; protocols use this
-    /// for conservative timeouts (e.g. ELink leaf detection, §5).
-    pub fn max_hop_delay(&self) -> u64 {
-        match self {
-            DelayModel::Sync => 1,
-            DelayModel::Async { max, .. } => *max,
-        }
-    }
-
-    fn sample(&self, rng: &mut rand::rngs::StdRng) -> u64 {
-        match self {
-            DelayModel::Sync => 1,
-            DelayModel::Async { min, max } => rng.gen_range(*min..=*max),
-        }
-    }
-}
 
 /// A per-node protocol state machine.
 ///
@@ -87,6 +62,11 @@ impl SimNetwork {
 
     /// The underlying topology.
     pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared topology handle (cheap to clone).
+    pub fn topology_arc(&self) -> &Arc<Topology> {
         &self.topology
     }
 
@@ -133,8 +113,9 @@ struct Core<M> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Event<M>>>,
-    stats: MessageStats,
-    delay: DelayModel,
+    costs: CostBook,
+    link: Box<dyn LinkModel>,
+    trace: Option<Box<dyn TraceSink>>,
     rng: rand::rngs::StdRng,
     network: SimNetwork,
     events_processed: u64,
@@ -150,6 +131,12 @@ impl<M> Core<M> {
             node,
             kind,
         }));
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(event);
+        }
     }
 }
 
@@ -175,77 +162,139 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.core.network.topology().n()
     }
 
-    /// Neighbors of this node in the communication graph.
-    pub fn neighbors(&self) -> Vec<usize> {
-        self.core
-            .network
-            .topology()
-            .graph()
-            .neighbors(self.node)
-            .iter()
-            .map(|&v| v as usize)
-            .collect()
+    /// Neighbors of this node in the communication graph, as a borrowed
+    /// slice — no allocation on this hot path.
+    pub fn neighbors(&self) -> &[u32] {
+        self.core.network.topology().graph().neighbors(self.node)
     }
 
-    /// The delay model in force (e.g. for computing conservative timeouts).
-    pub fn delay_model(&self) -> DelayModel {
-        self.core.delay
+    /// The largest possible hop delay under the link model in force;
+    /// protocols use this for conservative timeouts (ELink leaf detection,
+    /// §5).
+    pub fn max_hop_delay(&self) -> u64 {
+        self.core.link.max_hop_delay()
+    }
+
+    /// Whether `node` is up right now under the link model.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.core.link.is_alive(node, self.core.now)
     }
 
     /// Sends a single-hop message to a direct neighbor. Charged as one
-    /// transmission of `scalars` payload scalars under `kind`.
+    /// transmission of `scalars` payload scalars under `kind` — also when
+    /// the link drops it (the radio transmitted either way).
     ///
     /// # Panics
     /// Panics if `to` is not a neighbor (protocol bug).
     pub fn send(&mut self, to: usize, msg: M, kind: &'static str, scalars: u64) {
         assert!(
-            self.core
-                .network
-                .topology()
-                .graph()
-                .has_edge(self.node, to),
+            self.core.network.topology().graph().has_edge(self.node, to),
             "send: node {} is not a neighbor of {}",
             to,
             self.node
         );
-        let delay = self.core.delay.sample(&mut self.core.rng);
-        self.core.stats.record(kind, 1, scalars);
         let from = self.node;
-        let t = self.core.now + delay;
-        self.core.push(t, to, EventKind::Deliver { from, msg });
+        let now = self.core.now;
+        self.core.trace(TraceEvent::Send {
+            time: now,
+            from,
+            to,
+        });
+        let outcome = self.core.link.hop(from, to, now, &mut self.core.rng);
+        self.core.costs.record_tx(from, kind, 1, scalars);
+        match outcome {
+            HopOutcome::Deliver { delay } => {
+                self.core
+                    .push(now + delay, to, EventKind::Deliver { from, msg });
+            }
+            HopOutcome::Drop => {
+                self.core.trace(TraceEvent::Drop {
+                    time: now,
+                    from,
+                    to,
+                    reason: DropReason::Loss,
+                });
+            }
+        }
     }
 
-    /// Sends a message to every neighbor (clones the payload).
+    /// Sends a message to every neighbor (clones the payload). Iterates the
+    /// borrowed adjacency slice directly — the hottest loop in every
+    /// flood-style phase allocates nothing.
     pub fn broadcast_neighbors(&mut self, msg: &M, kind: &'static str, scalars: u64) {
-        for to in self.neighbors() {
-            self.send(to, msg.clone(), kind, scalars);
+        let topology = Arc::clone(self.core.network.topology_arc());
+        for &to in topology.graph().neighbors(self.node) {
+            self.send(to as usize, msg.clone(), kind, scalars);
         }
     }
 
     /// Sends a message to an arbitrary node over shortest-path multi-hop
-    /// routing. Charged `scalars × hops`; delivered only to `dst` (relays
-    /// forward transparently). Sending to self delivers immediately at zero
-    /// cost. Returns `false` (and drops the message) if `dst` is
-    /// unreachable.
+    /// routing, walking the route hop by hop through the link model. Charged
+    /// `scalars × hops-traversed`; if the link drops the message at hop `k`,
+    /// or a crashed relay swallows it, only those `k` transmissions are
+    /// charged and nothing is delivered. Sending to self delivers
+    /// immediately at zero cost. Returns `false` (without transmitting) only
+    /// if `dst` is unreachable in the topology — a dropped message still
+    /// returns `true`, since the sender cannot know the fate of a packet in
+    /// flight.
     pub fn unicast(&mut self, dst: usize, msg: M, kind: &'static str, scalars: u64) -> bool {
-        if dst == self.node {
-            let t = self.core.now;
-            let from = self.node;
-            self.core.push(t, dst, EventKind::Deliver { from, msg });
+        let src = self.node;
+        let now = self.core.now;
+        if dst == src {
+            self.core
+                .push(now, dst, EventKind::Deliver { from: src, msg });
             return true;
         }
-        let Some(hops) = self.core.network.routing().hops(self.node, dst) else {
+        if self.core.network.routing().hops(src, dst).is_none() {
             return false;
-        };
-        let mut delay = 0;
-        for _ in 0..hops {
-            delay += self.core.delay.sample(&mut self.core.rng);
         }
-        self.core.stats.record(kind, hops as u64, scalars);
-        let from = self.node;
-        let t = self.core.now + delay;
-        self.core.push(t, dst, EventKind::Deliver { from, msg });
-        true
+        self.core.trace(TraceEvent::Send {
+            time: now,
+            from: src,
+            to: dst,
+        });
+        let routing = Arc::clone(&self.core.network.routing);
+        let mut cur = src;
+        let mut t = now;
+        loop {
+            let next = routing
+                .next_hop(cur, dst)
+                .expect("routing invariant: prefix of a known path");
+            let outcome = self.core.link.hop(cur, next, t, &mut self.core.rng);
+            self.core.costs.record_tx(cur, kind, 1, scalars);
+            match outcome {
+                HopOutcome::Deliver { delay } => {
+                    t += delay;
+                    if next == dst {
+                        // Final-hop reception is recorded at dispatch time,
+                        // where liveness is re-checked.
+                        self.core
+                            .push(t, dst, EventKind::Deliver { from: src, msg });
+                        return true;
+                    }
+                    if !self.core.link.is_alive(next, t) {
+                        self.core.trace(TraceEvent::Drop {
+                            time: t,
+                            from: src,
+                            to: dst,
+                            reason: DropReason::NodeDown,
+                        });
+                        return true;
+                    }
+                    self.core.costs.record_rx(next);
+                    cur = next;
+                }
+                HopOutcome::Drop => {
+                    self.core.trace(TraceEvent::Drop {
+                        time: t,
+                        from: src,
+                        to: dst,
+                        reason: DropReason::Loss,
+                    });
+                    return true;
+                }
+            }
+        }
     }
 
     /// Hop distance to another node (`None` if unreachable).
@@ -253,18 +302,19 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.core.network.routing().hops(self.node, dst)
     }
 
-    /// Schedules `on_timer(id)` for this node after `delay` ticks.
+    /// Schedules `on_timer(id)` for this node after `delay` ticks. The timer
+    /// is lost if the node is down when it would fire.
     pub fn set_timer(&mut self, delay: SimTime, id: u64) {
         let t = self.core.now + delay;
         let node = self.node;
         self.core.push(t, node, EventKind::Timer { id });
     }
 
-    /// Records an out-of-band charge against the statistics — used by
+    /// Records an out-of-band charge against the cost book — used by
     /// higher-level harnesses that account for costs computed analytically
     /// (e.g. result aggregation sizes).
     pub fn charge(&mut self, kind: &'static str, hops: u64, scalars: u64) {
-        self.core.stats.record(kind, hops, scalars);
+        self.core.costs.record(kind, hops, scalars);
     }
 }
 
@@ -280,24 +330,33 @@ pub struct Simulator<P: Protocol> {
 
 impl<P: Protocol> Simulator<P> {
     /// Creates a simulator over `network` with one protocol instance per
-    /// node. `seed` drives the async delay sampling.
+    /// node. `link` accepts any [`LinkModel`] (or a legacy
+    /// [`DelayModel`](crate::link::DelayModel) as shorthand); `seed` drives
+    /// all link-layer randomness.
     ///
     /// # Panics
     /// Panics if `nodes.len()` differs from the topology size.
-    pub fn new(network: SimNetwork, delay: DelayModel, seed: u64, nodes: Vec<P>) -> Self {
+    pub fn new(
+        network: SimNetwork,
+        link: impl Into<Box<dyn LinkModel>>,
+        seed: u64,
+        nodes: Vec<P>,
+    ) -> Self {
         assert_eq!(
             nodes.len(),
             network.topology().n(),
             "one protocol instance per node required"
         );
+        let n = network.topology().n();
         Simulator {
             nodes,
             core: Core {
                 now: 0,
                 seq: 0,
                 queue: BinaryHeap::new(),
-                stats: MessageStats::new(),
-                delay,
+                costs: CostBook::with_nodes(n),
+                link: link.into(),
+                trace: None,
                 rng: rand::rngs::StdRng::seed_from_u64(seed),
                 network,
                 events_processed: 0,
@@ -305,6 +364,12 @@ impl<P: Protocol> Simulator<P> {
             started: false,
             max_events: 500_000_000,
         }
+    }
+
+    /// Attaches a [`TraceSink`] observing every engine event. Wrap the sink
+    /// in `Arc<Mutex<_>>` and keep a clone to inspect it after the run.
+    pub fn set_trace(&mut self, sink: impl TraceSink + 'static) {
+        self.core.trace = Some(Box::new(sink));
     }
 
     /// Runs until the event queue is empty. Returns the final time.
@@ -342,7 +407,9 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    /// Processes one event; returns false when the queue is empty.
+    /// Processes one event; returns false when the queue is empty. Events
+    /// addressed to a node that is down when they fire are dropped: its
+    /// protocol state freezes until recovery.
     fn step(&mut self) -> bool {
         let Some(Reverse(event)) = self.core.queue.pop() else {
             return false;
@@ -354,14 +421,53 @@ impl<P: Protocol> Simulator<P> {
             "simulation exceeded {} events — livelock?",
             self.max_events
         );
-        let mut ctx = Ctx {
-            core: &mut self.core,
-            node: event.node,
-        };
+        let node = event.node;
+        if !self.core.link.is_alive(node, event.time) {
+            let from = match &event.kind {
+                EventKind::Deliver { from, .. } => *from,
+                _ => node,
+            };
+            self.core.trace(TraceEvent::Drop {
+                time: event.time,
+                from,
+                to: node,
+                reason: DropReason::NodeDown,
+            });
+            return true;
+        }
         match event.kind {
-            EventKind::Start => self.nodes[event.node].on_start(&mut ctx),
-            EventKind::Deliver { from, msg } => self.nodes[event.node].on_message(from, msg, &mut ctx),
-            EventKind::Timer { id } => self.nodes[event.node].on_timer(id, &mut ctx),
+            EventKind::Start => {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node].on_start(&mut ctx);
+            }
+            EventKind::Deliver { from, msg } => {
+                self.core.costs.record_rx(node);
+                self.core.trace(TraceEvent::Deliver {
+                    time: event.time,
+                    from,
+                    to: node,
+                });
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node].on_message(from, msg, &mut ctx);
+            }
+            EventKind::Timer { id } => {
+                self.core.trace(TraceEvent::Timer {
+                    time: event.time,
+                    node,
+                    id,
+                });
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node].on_timer(id, &mut ctx);
+            }
         }
         true
     }
@@ -371,9 +477,19 @@ impl<P: Protocol> Simulator<P> {
         self.core.now
     }
 
-    /// Message statistics so far.
+    /// Per-kind message statistics so far (aggregate view of the cost book).
     pub fn stats(&self) -> &MessageStats {
-        &self.core.stats
+        self.core.costs.stats()
+    }
+
+    /// The full cost book: per-kind aggregates plus per-node tx/rx tallies.
+    pub fn costs(&self) -> &CostBook {
+        &self.core.costs
+    }
+
+    /// Whether `node` is up at the current simulated time.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.core.link.is_alive(node, self.core.now)
     }
 
     /// Immutable access to the protocol instances (for extracting results).
@@ -402,14 +518,18 @@ impl<P: Protocol> Simulator<P> {
     /// by experiment harnesses to model sensing inputs.
     pub fn inject(&mut self, time: SimTime, node: usize, msg: P::Msg) {
         assert!(time >= self.core.now, "cannot inject into the past");
-        self.core.push(time, node, EventKind::Deliver { from: node, msg });
+        self.core
+            .push(time, node, EventKind::Deliver { from: node, msg });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::link::{DelayModel, LossyLink};
+    use crate::trace::CountingTrace;
     use elink_topology::Topology;
+    use std::sync::{Arc, Mutex};
 
     /// Flooding protocol: node 0 floods a token; everyone records receipt
     /// time and forwards once.
@@ -435,10 +555,10 @@ mod tests {
         }
     }
 
-    fn flood_sim(delay: DelayModel, seed: u64) -> Simulator<Flood> {
+    fn flood_sim(link: impl Into<Box<dyn LinkModel>>, seed: u64) -> Simulator<Flood> {
         let network = SimNetwork::new(Topology::grid(4, 4));
         let nodes = (0..16).map(|_| Flood { seen: None }).collect();
-        Simulator::new(network, delay, seed, nodes)
+        Simulator::new(network, link, seed, nodes)
     }
 
     #[test]
@@ -646,5 +766,137 @@ mod tests {
         );
         sim.run_to_completion();
         assert_eq!(sim.nodes()[1].got, vec![1, 2]);
+    }
+
+    #[test]
+    fn neighbor_slice_is_borrowed_and_matches_graph() {
+        struct Check;
+        impl Protocol for Check {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                let slice: &[u32] = ctx.neighbors();
+                assert!(!slice.is_empty());
+                assert!(slice.iter().all(|&v| (v as usize) < ctx.n()));
+            }
+            fn on_message(&mut self, _f: usize, _m: (), _c: &mut Ctx<'_, ()>) {}
+        }
+        let network = SimNetwork::new(Topology::grid(3, 3));
+        let nodes = (0..9).map(|_| Check).collect();
+        Simulator::new(network, DelayModel::Sync, 0, nodes).run_to_completion();
+    }
+
+    #[test]
+    fn dropped_sends_are_charged_but_never_delivered() {
+        // Drop everything: the flood dies at node 0 but its broadcasts are
+        // still paid for.
+        let mut sim = flood_sim(LossyLink::new(1, 1).with_drop_prob(1.0), 0);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().kind("flood").packets, 2); // node 0's two neighbors
+        for (v, node) in sim.nodes().iter().enumerate().skip(1) {
+            assert_eq!(node.seen, None, "node {v} got a dropped message");
+        }
+    }
+
+    #[test]
+    fn crashed_node_is_skipped_and_recovers_frozen() {
+        // 1x3 path; node 1 is down during [0, 15). Node 0 floods at t=0: the
+        // token dies at node 1, so node 2 never hears it.
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let nodes = (0..3).map(|_| Flood { seen: None }).collect();
+        let link = LossyLink::new(1, 1).with_crash(1, 0, Some(15));
+        let mut sim = Simulator::new(network, link, 0, nodes);
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[0].seen, Some(0));
+        assert_eq!(sim.nodes()[1].seen, None, "dead node must not receive");
+        assert_eq!(
+            sim.nodes()[2].seen,
+            None,
+            "flood must not pass the dead relay"
+        );
+        // The attempted transmission into the dead node was still charged.
+        assert_eq!(sim.stats().kind("flood").packets, 1);
+    }
+
+    #[test]
+    fn crashed_relay_swallows_unicast_and_charges_partial_hops() {
+        // 1x4 path, 0 -> 3 is 3 hops; node 2 is permanently down, so the
+        // message traverses 0->1 and dies entering 2: 2 hops charged.
+        let network = SimNetwork::new(Topology::grid(1, 4));
+        let nodes = (0..4).map(|_| Uni { got: false }).collect();
+        let link = LossyLink::new(1, 1).with_crash(2, 0, None);
+        let mut sim = Simulator::new(network, link, 0, nodes);
+        sim.run_to_completion();
+        assert!(!sim.nodes()[3].got);
+        assert_eq!(sim.stats().kind("uni").packets, 2);
+        assert_eq!(sim.stats().kind("uni").cost, 8);
+    }
+
+    #[test]
+    fn timers_are_lost_while_down() {
+        // Node 1's timer would fire at t=10 but it is down during [5, 50):
+        // the timer is lost, not deferred.
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let nodes = (0..3).map(|_| Timers { fired_at: None }).collect();
+        let link = LossyLink::new(1, 1).with_crash(1, 5, Some(50));
+        let mut sim = Simulator::new(network, link, 0, nodes);
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[0].fired_at, Some(0));
+        assert_eq!(sim.nodes()[1].fired_at, None);
+        assert_eq!(sim.nodes()[2].fired_at, Some(20));
+    }
+
+    #[test]
+    fn per_node_tallies_cover_flood() {
+        let mut sim = flood_sim(DelayModel::Sync, 0);
+        sim.run_to_completion();
+        let book = sim.costs();
+        // Every node broadcast once: tx = its degree; rx = its degree (one
+        // copy from each neighbor).
+        let graph_degrees: Vec<u64> = (0..16)
+            .map(|v| sim.network().topology().graph().degree(v) as u64)
+            .collect();
+        for (v, &deg) in graph_degrees.iter().enumerate() {
+            assert_eq!(book.node(v).tx_packets, deg, "tx of {v}");
+            assert_eq!(book.node(v).rx_packets, deg, "rx of {v}");
+        }
+        assert_eq!(
+            book.nodes().iter().map(|n| n.tx_packets).sum::<u64>(),
+            book.total_packets()
+        );
+    }
+
+    #[test]
+    fn trace_sink_observes_engine_events() {
+        let shared = Arc::new(Mutex::new(CountingTrace::new()));
+        let mut sim = flood_sim(DelayModel::Sync, 0);
+        sim.set_trace(Arc::clone(&shared));
+        sim.run_to_completion();
+        let trace = *shared.lock().unwrap();
+        assert_eq!(trace.sends, 48);
+        assert_eq!(trace.delivers, 48);
+        assert_eq!(trace.drops, 0);
+        assert_eq!(trace.timers, 0);
+    }
+
+    #[test]
+    fn trace_records_drops_under_loss() {
+        let shared = Arc::new(Mutex::new(CountingTrace::new()));
+        let mut sim = flood_sim(LossyLink::new(1, 1).with_drop_prob(1.0), 0);
+        sim.set_trace(Arc::clone(&shared));
+        sim.run_to_completion();
+        let trace = *shared.lock().unwrap();
+        assert_eq!(trace.sends, 2);
+        assert_eq!(trace.drops, 2);
+        assert_eq!(trace.delivers, 0);
+    }
+
+    #[test]
+    fn is_alive_reflects_link_model() {
+        let network = SimNetwork::new(Topology::grid(1, 3));
+        let nodes = (0..3).map(|_| Timers { fired_at: None }).collect();
+        let link = LossyLink::new(1, 1).with_crash(2, 0, None);
+        let sim = Simulator::new(network, link, 0, nodes);
+        assert!(sim.is_alive(0));
+        assert!(!sim.is_alive(2));
     }
 }

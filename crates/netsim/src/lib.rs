@@ -2,24 +2,66 @@
 //!
 //! The paper evaluates ELink on sensor networks (Crossbow Mica2 motes); all
 //! of its metrics — message counts and logical running time — are functions
-//! of the communication graph, the protocol logic and the per-hop delay
-//! model, so a discrete-event simulator is a faithful substitute for the
+//! of the communication graph, the protocol logic and the per-hop link
+//! behaviour, so a discrete-event simulator is a faithful substitute for the
 //! hardware (see DESIGN.md, substitutions).
 //!
-//! Protocols implement [`Protocol`] (per-node state machines reacting to
-//! messages and timers) and communicate through a [`Ctx`] handle. Two delay
-//! models mirror the paper's settings: [`DelayModel::Sync`] — every hop
-//! takes exactly one tick, the assumption behind the *implicit* signalling
-//! technique (§4) — and [`DelayModel::Async`] with bounded random hop delays
-//! for the *explicit* technique (§5).
+//! # Layering
 //!
-//! Message accounting follows §8.2: "a message can transmit a single
-//! coefficient or a data value", so every transmission is charged
-//! `scalars × hops` cost units (at least 1 per hop), tracked per message
-//! kind in [`MessageStats`].
+//! ```text
+//!                Protocol impls (ElinkNode, MaintNode, SfNode, ...)
+//!                      │  on_start / on_message / on_timer
+//!                      ▼
+//!  ┌──────────────────────────────────────────────────────────────┐
+//!  │ engine   event queue + run loop; Ctx handle (send, unicast,  │
+//!  │          broadcast_neighbors, timers, neighbors &[u32])      │
+//!  └────┬──────────────────┬──────────────────────┬───────────────┘
+//!       │ hop()/is_alive() │ record_tx/record_rx  │ every event
+//!       ▼                  ▼                      ▼
+//!  ┌──────────┐      ┌───────────┐         ┌─────────────┐
+//!  │ link     │      │ stats     │         │ trace       │
+//!  │ SyncLink │      │ CostBook  │         │ TraceSink   │
+//!  │ AsyncUni…│      │ ├ per-kind│         │ ├ RingBuffer│
+//!  │ LossyLink│      │ │ (§8.2)  │         │ └ Counting  │
+//!  │ (+crash, │      │ └ per-node│         │  (optional) │
+//!  │  loss,   │      │   tx/rx/  │         └─────────────┘
+//!  │  partition)     │   energy  │
+//!  └──────────┘      └───────────┘
+//! ```
+//!
+//! * [`engine`] owns the event queue and dispatch loop. Protocols implement
+//!   [`Protocol`] and interact through [`Ctx`]. One hop = one `LinkModel`
+//!   decision; multi-hop [`Ctx::unicast`] walks the shortest path hop by
+//!   hop.
+//! * [`link`] decides per-hop fate: [`SyncLink`] (one tick per hop, §4),
+//!   [`AsyncUniformLink`] (bounded uniform delays, §5), and [`LossyLink`]
+//!   (drop probability, scheduled node crash/recover windows, partition
+//!   masks) — all seeded and deterministic. The legacy [`DelayModel`] enum
+//!   remains as config shorthand and converts `Into<Box<dyn LinkModel>>`.
+//! * [`stats`] is the unified accounting layer. [`CostBook`] records §8.2
+//!   per-kind costs ("a message can transmit a single coefficient or a data
+//!   value": `scalars × hops`, at least 1 per hop) plus per-node tx/rx
+//!   tallies and an energy estimate. Analytic cost models (query planning,
+//!   non-protocol baselines, §6 maintenance) record through the same API, so
+//!   simulated and analytic bills merge and report identically.
+//! * [`trace`] is an optional observer: a [`TraceSink`] receives every
+//!   send/deliver/drop/timer event for tests ([`RingBufferTrace`]) or cheap
+//!   experiment instrumentation ([`CountingTrace`]).
+//!
+//! # Drop & crash semantics
+//!
+//! Transmissions are charged when the radio fires, not when the message
+//! arrives: a hop the link drops, or a message that dies entering a crashed
+//! relay, bills every hop it traversed and is never delivered. Nodes inside
+//! a crash window receive nothing and their timers are lost (not deferred) —
+//! protocol state freezes while down and resumes on recovery.
 
-pub mod sim;
+pub mod engine;
+pub mod link;
 pub mod stats;
+pub mod trace;
 
-pub use sim::{Ctx, DelayModel, Protocol, SimNetwork, SimTime, Simulator};
-pub use stats::{KindStats, MessageStats};
+pub use engine::{Ctx, Protocol, SimNetwork, SimTime, Simulator};
+pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
+pub use stats::{CostBook, KindStats, MessageStats, NodeStats};
+pub use trace::{CountingTrace, DropReason, RingBufferTrace, TraceEvent, TraceSink};

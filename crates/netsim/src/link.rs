@@ -1,0 +1,365 @@
+//! Link-layer models: per-hop delay, loss, node crash/recovery, partitions.
+//!
+//! A [`LinkModel`] decides, for every attempted hop, whether the transmission
+//! is delivered (and after what delay) or dropped, and whether a node is up
+//! at a given time. All decisions are driven by the engine's seeded RNG, so a
+//! run is fully deterministic per seed. The legacy [`DelayModel`] enum is
+//! kept as configuration shorthand and converts into the two loss-free
+//! models via `From`.
+
+use crate::engine::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Outcome of one attempted link-level transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopOutcome {
+    /// The hop succeeds after `delay` ticks (≥ 1).
+    Deliver {
+        /// Per-hop latency in ticks.
+        delay: u64,
+    },
+    /// The transmission is lost. The sender still pays for it.
+    Drop,
+}
+
+/// Per-hop behaviour of the network: latency, loss, and node liveness.
+///
+/// Implementations must be deterministic given the RNG stream: the engine
+/// calls [`LinkModel::hop`] in a fixed order, so identical seeds reproduce
+/// identical runs.
+pub trait LinkModel {
+    /// The largest possible hop delay under this model; protocols use this
+    /// for conservative timeouts (e.g. ELink leaf detection, §5).
+    fn max_hop_delay(&self) -> u64;
+
+    /// Decides the fate of a transmission `from → to` started at `now`.
+    fn hop(&self, from: usize, to: usize, now: SimTime, rng: &mut StdRng) -> HopOutcome;
+
+    /// Whether `node` is up at `time`. Dead nodes receive no deliveries and
+    /// their timers are silently dropped while down.
+    fn is_alive(&self, _node: usize, _time: SimTime) -> bool {
+        true
+    }
+}
+
+/// Per-hop delay model (legacy configuration shorthand; loss-free).
+#[derive(Debug, Clone, Copy)]
+pub enum DelayModel {
+    /// Synchronous network: every hop takes exactly one tick.
+    Sync,
+    /// Asynchronous network: every hop takes a uniform random delay in
+    /// `[min, max]` ticks (inclusive), sampled deterministically from the
+    /// simulator seed.
+    Async {
+        /// Minimum hop delay (≥ 1).
+        min: u64,
+        /// Maximum hop delay (≥ min).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// The largest possible hop delay under this model.
+    pub fn max_hop_delay(&self) -> u64 {
+        match self {
+            DelayModel::Sync => 1,
+            DelayModel::Async { max, .. } => *max,
+        }
+    }
+}
+
+/// Synchronous loss-free links: every hop takes exactly one tick (§4's
+/// "worst-case delay over a hop is a single time unit").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncLink;
+
+impl LinkModel for SyncLink {
+    fn max_hop_delay(&self) -> u64 {
+        1
+    }
+
+    fn hop(&self, _from: usize, _to: usize, _now: SimTime, _rng: &mut StdRng) -> HopOutcome {
+        HopOutcome::Deliver { delay: 1 }
+    }
+}
+
+/// Asynchronous loss-free links: uniform random per-hop delay in
+/// `[min, max]` ticks (§5's bounded asynchronous setting).
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncUniformLink {
+    /// Minimum hop delay (≥ 1).
+    pub min: u64,
+    /// Maximum hop delay (≥ min).
+    pub max: u64,
+}
+
+impl AsyncUniformLink {
+    /// Uniform delays in `[min, max]` ticks.
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        AsyncUniformLink { min, max }
+    }
+}
+
+impl LinkModel for AsyncUniformLink {
+    fn max_hop_delay(&self) -> u64 {
+        self.max
+    }
+
+    fn hop(&self, _from: usize, _to: usize, _now: SimTime, rng: &mut StdRng) -> HopOutcome {
+        HopOutcome::Deliver {
+            delay: rng.gen_range(self.min..=self.max),
+        }
+    }
+}
+
+/// A scheduled node outage.
+#[derive(Debug, Clone, Copy)]
+struct Crash {
+    node: usize,
+    from: SimTime,
+    /// Exclusive recovery time; `None` = never recovers.
+    until: Option<SimTime>,
+}
+
+/// A scheduled network partition: hops crossing between the two sides are
+/// dropped during the window.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// `side[v]` = which half of the cut node `v` is on.
+    side: Vec<bool>,
+    from: SimTime,
+    /// Exclusive healing time; `None` = never heals.
+    until: Option<SimTime>,
+}
+
+/// Lossy/faulty links: bounded uniform delays plus independent per-hop drop
+/// probability, scheduled node crashes, and an optional partition window.
+/// All randomness comes from the engine's seeded RNG.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    delay_min: u64,
+    delay_max: u64,
+    drop_prob: f64,
+    crashes: Vec<Crash>,
+    partition: Option<Partition>,
+}
+
+impl LossyLink {
+    /// Loss-free bounded-delay links; add faults with the builder methods.
+    pub fn new(delay_min: u64, delay_max: u64) -> Self {
+        assert!(
+            delay_min >= 1 && delay_max >= delay_min,
+            "need 1 <= delay_min <= delay_max"
+        );
+        LossyLink {
+            delay_min,
+            delay_max,
+            drop_prob: 0.0,
+            crashes: Vec::new(),
+            partition: None,
+        }
+    }
+
+    /// Independent drop probability applied to every hop.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Crashes `node` during `[from, until)`; `until = None` means the node
+    /// never recovers.
+    pub fn with_crash(mut self, node: usize, from: SimTime, until: Option<SimTime>) -> Self {
+        if let Some(u) = until {
+            assert!(u > from, "crash window must be non-empty");
+        }
+        self.crashes.push(Crash { node, from, until });
+        self
+    }
+
+    /// Partitions the network during `[from, until)`: hops between a node
+    /// with `side[v] = true` and one with `side[v] = false` are dropped.
+    pub fn with_partition(
+        mut self,
+        side: Vec<bool>,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        if let Some(u) = until {
+            assert!(u > from, "partition window must be non-empty");
+        }
+        self.partition = Some(Partition { side, from, until });
+        self
+    }
+
+    fn partition_separates(&self, a: usize, b: usize, time: SimTime) -> bool {
+        match &self.partition {
+            Some(p) if time >= p.from && p.until.is_none_or(|u| time < u) => p.side[a] != p.side[b],
+            _ => false,
+        }
+    }
+}
+
+impl LinkModel for LossyLink {
+    fn max_hop_delay(&self) -> u64 {
+        self.delay_max
+    }
+
+    fn hop(&self, from: usize, to: usize, now: SimTime, rng: &mut StdRng) -> HopOutcome {
+        // Always draw the delay first so loss-free and lossy runs with the
+        // same seed share the delay stream.
+        let delay = if self.delay_min == self.delay_max {
+            self.delay_min
+        } else {
+            rng.gen_range(self.delay_min..=self.delay_max)
+        };
+        if self.partition_separates(from, to, now) {
+            return HopOutcome::Drop;
+        }
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            return HopOutcome::Drop;
+        }
+        HopOutcome::Deliver { delay }
+    }
+
+    fn is_alive(&self, node: usize, time: SimTime) -> bool {
+        !self
+            .crashes
+            .iter()
+            .any(|c| c.node == node && time >= c.from && c.until.is_none_or(|u| time < u))
+    }
+}
+
+impl From<DelayModel> for Box<dyn LinkModel> {
+    fn from(delay: DelayModel) -> Self {
+        match delay {
+            DelayModel::Sync => Box::new(SyncLink),
+            DelayModel::Async { min, max } => Box::new(AsyncUniformLink::new(min, max)),
+        }
+    }
+}
+
+impl From<SyncLink> for Box<dyn LinkModel> {
+    fn from(link: SyncLink) -> Self {
+        Box::new(link)
+    }
+}
+
+impl From<AsyncUniformLink> for Box<dyn LinkModel> {
+    fn from(link: AsyncUniformLink) -> Self {
+        Box::new(link)
+    }
+}
+
+impl From<LossyLink> for Box<dyn LinkModel> {
+    fn from(link: LossyLink) -> Self {
+        Box::new(link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sync_link_is_unit_delay_and_lossless() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..50 {
+            assert_eq!(
+                SyncLink.hop(0, 1, t, &mut rng),
+                HopOutcome::Deliver { delay: 1 }
+            );
+        }
+        assert_eq!(SyncLink.max_hop_delay(), 1);
+        assert!(SyncLink.is_alive(3, 100));
+    }
+
+    #[test]
+    fn async_link_stays_in_bounds() {
+        let link = AsyncUniformLink::new(2, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..500 {
+            match link.hop(0, 1, t, &mut rng) {
+                HopOutcome::Deliver { delay } => assert!((2..=7).contains(&delay)),
+                HopOutcome::Drop => panic!("loss-free link dropped"),
+            }
+        }
+        assert_eq!(link.max_hop_delay(), 7);
+    }
+
+    #[test]
+    fn lossy_drop_probability_is_roughly_honoured() {
+        let link = LossyLink::new(1, 1).with_drop_prob(0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|&t| link.hop(0, 1, t, &mut rng) == HopOutcome::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn crash_windows_control_liveness() {
+        let link = LossyLink::new(1, 1)
+            .with_crash(4, 10, Some(20))
+            .with_crash(5, 15, None);
+        assert!(link.is_alive(4, 9));
+        assert!(!link.is_alive(4, 10));
+        assert!(!link.is_alive(4, 19));
+        assert!(link.is_alive(4, 20));
+        assert!(link.is_alive(5, 14));
+        assert!(!link.is_alive(5, 1_000_000));
+        assert!(link.is_alive(6, 12));
+    }
+
+    #[test]
+    fn partition_drops_crossing_hops_during_window() {
+        let side = vec![false, false, true, true];
+        let link = LossyLink::new(1, 1).with_partition(side, 10, Some(20));
+        let mut rng = StdRng::seed_from_u64(3);
+        // Before and after the window, crossing hops deliver.
+        assert!(matches!(
+            link.hop(0, 2, 5, &mut rng),
+            HopOutcome::Deliver { .. }
+        ));
+        assert!(matches!(
+            link.hop(0, 2, 20, &mut rng),
+            HopOutcome::Deliver { .. }
+        ));
+        // During the window, crossing hops drop but same-side hops deliver.
+        assert_eq!(link.hop(1, 2, 15, &mut rng), HopOutcome::Drop);
+        assert!(matches!(
+            link.hop(0, 1, 15, &mut rng),
+            HopOutcome::Deliver { .. }
+        ));
+        assert!(matches!(
+            link.hop(2, 3, 15, &mut rng),
+            HopOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn delay_model_converts_to_link_models() {
+        let sync: Box<dyn LinkModel> = DelayModel::Sync.into();
+        assert_eq!(sync.max_hop_delay(), 1);
+        let asym: Box<dyn LinkModel> = DelayModel::Async { min: 1, max: 5 }.into();
+        assert_eq!(asym.max_hop_delay(), 5);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let link = LossyLink::new(1, 6).with_drop_prob(0.25);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for t in 0..200 {
+            assert_eq!(link.hop(0, 1, t, &mut a), link.hop(0, 1, t, &mut b));
+        }
+    }
+}

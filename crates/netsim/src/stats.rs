@@ -1,4 +1,6 @@
-//! Message accounting (§8.2).
+//! Message accounting (§8.2): per-kind aggregates, per-node tallies, and the
+//! unified [`CostBook`] handle used by both the simulator and analytic
+//! cost models.
 
 use std::collections::BTreeMap;
 
@@ -76,6 +78,151 @@ impl MessageStats {
     }
 }
 
+/// Per-node transmission tallies and the derived energy figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Link-level transmissions this node originated (relays included: a
+    /// forwarded unicast charges each relay one transmission).
+    pub tx_packets: u64,
+    /// Messages this node received (as relay or final destination).
+    pub rx_packets: u64,
+    /// Scalar-weighted cost of this node's transmissions.
+    pub tx_cost: u64,
+}
+
+impl NodeStats {
+    /// Radio energy estimate in transmission units: receiving costs roughly
+    /// half a transmission on mote-class hardware.
+    pub fn energy(&self) -> f64 {
+        self.tx_packets as f64 + 0.5 * self.rx_packets as f64
+    }
+}
+
+/// The unified accounting handle: per-kind aggregates plus (optionally)
+/// per-node tallies.
+///
+/// Both the simulator engine and the analytic cost models (query planning,
+/// non-protocol baselines, §6 maintenance) record through this one API, so
+/// simulated and analytic costs merge and report identically. Books created
+/// with [`CostBook::new`] track aggregates only; [`CostBook::with_nodes`]
+/// adds the per-node ledger the engine fills in.
+///
+/// ```
+/// let mut book = elink_netsim::CostBook::new();
+/// book.record("rq_route", 3, 4);
+/// assert_eq!(book.total_cost(), 12);
+/// assert_eq!(book.kind("rq_route").packets, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostBook {
+    kinds: MessageStats,
+    nodes: Vec<NodeStats>,
+}
+
+impl CostBook {
+    /// An empty book tracking per-kind aggregates only (analytic call-sites).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty book that additionally tracks per-node tallies for `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        CostBook {
+            kinds: MessageStats::new(),
+            nodes: vec![NodeStats::default(); n],
+        }
+    }
+
+    /// Records a transmission of `kind` travelling `hops` hops carrying
+    /// `scalars` payload scalars (see [`MessageStats::record`]).
+    pub fn record(&mut self, kind: &'static str, hops: u64, scalars: u64) {
+        self.kinds.record(kind, hops, scalars);
+    }
+
+    /// Records a transmission originated by `node`: aggregates plus the
+    /// node's tx tally. No-op on the ledger if the book has no per-node
+    /// tracking or `node` is out of range.
+    pub fn record_tx(&mut self, node: usize, kind: &'static str, hops: u64, scalars: u64) {
+        self.kinds.record(kind, hops, scalars);
+        if hops > 0 {
+            if let Some(ns) = self.nodes.get_mut(node) {
+                ns.tx_packets += hops;
+                ns.tx_cost += hops * scalars.max(1);
+            }
+        }
+    }
+
+    /// Records a reception at `node` (no aggregate cost: §8.2 charges the
+    /// transmitting side).
+    pub fn record_rx(&mut self, node: usize) {
+        if let Some(ns) = self.nodes.get_mut(node) {
+            ns.rx_packets += 1;
+        }
+    }
+
+    /// Statistics for one kind (zero if never recorded).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.kinds.kind(kind)
+    }
+
+    /// Total link-level transmissions across kinds.
+    pub fn total_packets(&self) -> u64 {
+        self.kinds.total_packets()
+    }
+
+    /// Total scalar-weighted message cost — the paper's "number of messages"
+    /// metric.
+    pub fn total_cost(&self) -> u64 {
+        self.kinds.total_cost()
+    }
+
+    /// Iterates over `(kind, stats)` pairs in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.kinds.iter()
+    }
+
+    /// The per-kind aggregates.
+    pub fn stats(&self) -> &MessageStats {
+        &self.kinds
+    }
+
+    /// Tallies for `node` (zero if untracked).
+    pub fn node(&self, node: usize) -> NodeStats {
+        self.nodes.get(node).copied().unwrap_or_default()
+    }
+
+    /// The per-node ledger (empty unless built with
+    /// [`CostBook::with_nodes`]).
+    pub fn nodes(&self) -> &[NodeStats] {
+        &self.nodes
+    }
+
+    /// Total radio energy estimate across tracked nodes.
+    pub fn total_energy(&self) -> f64 {
+        self.nodes.iter().map(NodeStats::energy).sum()
+    }
+
+    /// Merges another book into this one: aggregates always, per-node
+    /// tallies element-wise over the shorter ledger.
+    pub fn merge(&mut self, other: &CostBook) {
+        self.kinds.merge(&other.kinds);
+        if self.nodes.len() < other.nodes.len() {
+            self.nodes.resize(other.nodes.len(), NodeStats::default());
+        }
+        for (mine, theirs) in self.nodes.iter_mut().zip(&other.nodes) {
+            mine.tx_packets += theirs.tx_packets;
+            mine.rx_packets += theirs.rx_packets;
+            mine.tx_cost += theirs.tx_cost;
+        }
+    }
+
+    /// Merges bare per-kind aggregates (compat shim for code still holding a
+    /// [`MessageStats`]).
+    pub fn merge_stats(&mut self, other: &MessageStats) {
+        self.kinds.merge(other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,7 +232,13 @@ mod tests {
         let mut s = MessageStats::new();
         s.record("expand", 3, 4);
         s.record("expand", 1, 4);
-        assert_eq!(s.kind("expand"), KindStats { packets: 4, cost: 16 });
+        assert_eq!(
+            s.kind("expand"),
+            KindStats {
+                packets: 4,
+                cost: 16
+            }
+        );
         assert_eq!(s.total_packets(), 4);
         assert_eq!(s.total_cost(), 16);
     }
@@ -94,7 +247,13 @@ mod tests {
     fn control_messages_cost_one_per_hop() {
         let mut s = MessageStats::new();
         s.record("ack", 5, 0);
-        assert_eq!(s.kind("ack"), KindStats { packets: 5, cost: 5 });
+        assert_eq!(
+            s.kind("ack"),
+            KindStats {
+                packets: 5,
+                cost: 5
+            }
+        );
     }
 
     #[test]
@@ -119,8 +278,20 @@ mod tests {
         b.record("x", 1, 3);
         b.record("y", 2, 1);
         a.merge(&b);
-        assert_eq!(a.kind("x"), KindStats { packets: 2, cost: 5 });
-        assert_eq!(a.kind("y"), KindStats { packets: 2, cost: 2 });
+        assert_eq!(
+            a.kind("x"),
+            KindStats {
+                packets: 2,
+                cost: 5
+            }
+        );
+        assert_eq!(
+            a.kind("y"),
+            KindStats {
+                packets: 2,
+                cost: 2
+            }
+        );
     }
 
     #[test]
@@ -130,5 +301,74 @@ mod tests {
         s.record("a", 1, 1);
         let kinds: Vec<_> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(kinds, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn cost_book_aggregates_match_message_stats() {
+        let mut book = CostBook::new();
+        book.record("x", 3, 4);
+        book.record("x", 1, 4);
+        assert_eq!(
+            book.kind("x"),
+            KindStats {
+                packets: 4,
+                cost: 16
+            }
+        );
+        assert_eq!(book.total_packets(), 4);
+        assert_eq!(book.total_cost(), 16);
+        assert_eq!(book.stats().total_cost(), 16);
+        // No ledger: node tallies read as zero, tx recording is aggregate-only.
+        book.record_tx(2, "y", 1, 1);
+        assert_eq!(book.node(2), NodeStats::default());
+        assert_eq!(book.kind("y").packets, 1);
+    }
+
+    #[test]
+    fn cost_book_tracks_per_node_tallies() {
+        let mut book = CostBook::with_nodes(3);
+        book.record_tx(0, "m", 2, 5);
+        book.record_rx(1);
+        book.record_rx(1);
+        assert_eq!(
+            book.node(0),
+            NodeStats {
+                tx_packets: 2,
+                rx_packets: 0,
+                tx_cost: 10
+            }
+        );
+        assert_eq!(book.node(1).rx_packets, 2);
+        assert_eq!(book.node(2), NodeStats::default());
+        assert!((book.total_energy() - 3.0).abs() < 1e-12); // 2 tx + 2 rx/2
+    }
+
+    #[test]
+    fn cost_book_merge_combines_ledgers() {
+        let mut a = CostBook::with_nodes(2);
+        a.record_tx(0, "m", 1, 1);
+        let mut b = CostBook::with_nodes(3);
+        b.record_tx(2, "m", 3, 2);
+        b.record_rx(1);
+        a.merge(&b);
+        assert_eq!(
+            a.kind("m"),
+            KindStats {
+                packets: 4,
+                cost: 7
+            }
+        );
+        assert_eq!(a.nodes().len(), 3);
+        assert_eq!(a.node(0).tx_packets, 1);
+        assert_eq!(a.node(1).rx_packets, 1);
+        assert_eq!(a.node(2).tx_cost, 6);
+    }
+
+    #[test]
+    fn zero_scalars_still_cost_one_per_hop() {
+        let mut book = CostBook::with_nodes(1);
+        book.record_tx(0, "ack", 5, 0);
+        assert_eq!(book.node(0).tx_cost, 5);
+        assert_eq!(book.total_cost(), 5);
     }
 }

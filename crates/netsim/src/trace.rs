@@ -1,0 +1,224 @@
+//! Optional observer layer: engine-level event traces.
+//!
+//! A [`TraceSink`] attached via `Simulator::set_trace` receives every
+//! send/deliver/drop/timer event the engine processes. Two implementations
+//! cover the common cases: [`RingBufferTrace`] keeps the last `N` events for
+//! test assertions, [`CountingTrace`] keeps only totals for cheap
+//! experiment-scale instrumentation. Wrap a sink in `Arc<Mutex<_>>` to keep
+//! a handle for inspection after the simulator takes ownership.
+
+use crate::engine::SimTime;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Why the engine dropped a message or timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link model dropped the transmission (loss or partition).
+    Loss,
+    /// The destination (or a relay) was crashed.
+    NodeDown,
+}
+
+/// One engine-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transmission left `from` towards `to` (multi-hop sends trace once).
+    Send {
+        /// Time the transmission started.
+        time: SimTime,
+        /// Originating node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// A message was handed to `to`'s protocol callback.
+    Deliver {
+        /// Delivery time.
+        time: SimTime,
+        /// Originating node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+    },
+    /// A message (or a dead node's timer, with `from == to`) was lost.
+    Drop {
+        /// Time the loss was decided.
+        time: SimTime,
+        /// Originating node.
+        from: usize,
+        /// Intended destination.
+        to: usize,
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// A timer fired.
+    Timer {
+        /// Firing time.
+        time: SimTime,
+        /// Node whose timer fired.
+        node: usize,
+        /// Timer id as passed to `Ctx::set_timer`.
+        id: u64,
+    },
+}
+
+/// Receives engine events. Implementations should be cheap: the engine calls
+/// this on every event when a sink is attached.
+pub trait TraceSink {
+    /// Observes one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// Shared-handle adapter: attach the `Arc<Mutex<T>>` to the simulator and
+/// keep a clone for post-run inspection.
+impl<T: TraceSink> TraceSink for Arc<Mutex<T>> {
+    fn record(&mut self, event: TraceEvent) {
+        self.lock().expect("trace sink poisoned").record(event);
+    }
+}
+
+/// Keeps the most recent `capacity` events.
+#[derive(Debug, Clone)]
+pub struct RingBufferTrace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl RingBufferTrace {
+    /// A buffer retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RingBufferTrace {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingBufferTrace {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// Counts events by category; constant memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingTrace {
+    /// Transmissions started.
+    pub sends: u64,
+    /// Messages delivered to protocol callbacks.
+    pub delivers: u64,
+    /// Messages/timers lost to the link layer or dead nodes.
+    pub drops: u64,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+impl CountingTrace {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for CountingTrace {
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Send { .. } => self.sends += 1,
+            TraceEvent::Deliver { .. } => self.delivers += 1,
+            TraceEvent::Drop { .. } => self.drops += 1,
+            TraceEvent::Timer { .. } => self.timers += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::Timer {
+            time: i,
+            node: 0,
+            id: i,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut trace = RingBufferTrace::new(3);
+        assert!(trace.is_empty());
+        for i in 0..5 {
+            trace.record(ev(i));
+        }
+        assert_eq!(trace.len(), 3);
+        let ids: Vec<u64> = trace
+            .events()
+            .map(|e| match e {
+                TraceEvent::Timer { id, .. } => *id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn counting_trace_categorizes() {
+        let mut trace = CountingTrace::new();
+        trace.record(TraceEvent::Send {
+            time: 0,
+            from: 0,
+            to: 1,
+        });
+        trace.record(TraceEvent::Deliver {
+            time: 1,
+            from: 0,
+            to: 1,
+        });
+        trace.record(TraceEvent::Drop {
+            time: 2,
+            from: 1,
+            to: 0,
+            reason: DropReason::Loss,
+        });
+        trace.record(ev(3));
+        trace.record(ev(4));
+        assert_eq!(
+            trace,
+            CountingTrace {
+                sends: 1,
+                delivers: 1,
+                drops: 1,
+                timers: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn arc_mutex_sink_shares_state() {
+        let shared = Arc::new(Mutex::new(CountingTrace::new()));
+        let mut handle = Arc::clone(&shared);
+        handle.record(ev(0));
+        handle.record(ev(1));
+        assert_eq!(shared.lock().unwrap().timers, 2);
+    }
+}

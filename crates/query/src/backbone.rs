@@ -11,7 +11,7 @@
 //! algorithm").
 
 use elink_core::Clustering;
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::RoutingTable;
 
 /// Spanning tree over cluster leaders.
@@ -24,11 +24,11 @@ pub struct Backbone {
 impl Backbone {
     /// Builds the leader MST; returns the backbone and its construction
     /// message bill.
-    pub fn build(clustering: &Clustering, routing: &RoutingTable) -> (Backbone, MessageStats) {
+    pub fn build(clustering: &Clustering, routing: &RoutingTable) -> (Backbone, CostBook) {
         let k = clustering.cluster_count();
         let leaders: Vec<usize> = clustering.clusters.iter().map(|c| c.root).collect();
         let mut adj = vec![Vec::new(); k];
-        let mut stats = MessageStats::new();
+        let mut stats = CostBook::new();
         if k > 1 {
             // Prim's over the complete leader graph.
             let mut in_tree = vec![false; k];
@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn single_cluster_backbone_is_trivial() {
         let topo = Topology::grid(1, 3);
-        let states: Vec<(NodeId, Feature)> =
-            (0..3).map(|_| (0, Feature::scalar(0.0))).collect();
+        let states: Vec<(NodeId, Feature)> = (0..3).map(|_| (0, Feature::scalar(0.0))).collect();
         let clustering = elink_core::Clustering::from_node_states(&states, &topo, &Absolute);
         let routing = RoutingTable::build(topo.graph());
         let (bb, stats) = Backbone::build(&clustering, &routing);

@@ -9,7 +9,7 @@
 
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::NodeId;
 
 /// Per-node M-tree state for an entire clustering.
@@ -31,12 +31,12 @@ impl DistributedIndex {
         clustering: &Clustering,
         features: &[Feature],
         metric: &dyn Metric,
-    ) -> (DistributedIndex, MessageStats) {
+    ) -> (DistributedIndex, CostBook) {
         let n = clustering.n();
         assert_eq!(features.len(), n);
         let children = clustering.tree_children();
         let mut covering_radius = vec![0.0_f64; n];
-        let mut stats = MessageStats::new();
+        let mut stats = CostBook::new();
         let dim = features.first().map_or(1, Feature::scalar_cost);
 
         // Process nodes deepest-first so children finish before parents.
@@ -104,8 +104,7 @@ mod tests {
     fn setup() -> (Clustering, Vec<Feature>, Topology) {
         let topo = Topology::grid(1, 4);
         let features: Vec<Feature> = (0..4).map(|v| Feature::scalar(v as f64)).collect();
-        let states: Vec<(NodeId, Feature)> =
-            (0..4).map(|_| (0, Feature::scalar(0.0))).collect();
+        let states: Vec<(NodeId, Feature)> = (0..4).map(|_| (0, Feature::scalar(0.0))).collect();
         let clustering = elink_core::Clustering::from_node_states(&states, &topo, &Absolute);
         (clustering, features, topo)
     }

@@ -25,7 +25,7 @@ use crate::backbone::Backbone;
 use crate::mtree::DistributedIndex;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::{NodeId, Topology};
 use std::collections::VecDeque;
 
@@ -35,7 +35,7 @@ pub struct PathQueryResult {
     /// The safe path (source first, destination last), if one exists.
     pub path: Option<Vec<NodeId>>,
     /// Message bill.
-    pub stats: MessageStats,
+    pub costs: CostBook,
     /// Clusters classified wholly safe / wholly unsafe by the cluster test.
     pub clusters_safe: usize,
     /// Clusters classified wholly unsafe.
@@ -61,14 +61,18 @@ pub fn elink_path_query(
     gamma: f64,
 ) -> PathQueryResult {
     let n = topology.n();
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let dim = danger.scalar_cost();
     let query_scalars = dim + 1;
 
     // Query reaches the source's root, then every cluster root on the
     // backbone (classification is root-local).
     let src_cluster = clustering.cluster_of(source);
-    stats.record("pq_route", clustering.tree_depth(source) as u64, query_scalars);
+    stats.record(
+        "pq_route",
+        clustering.tree_depth(source) as u64,
+        query_scalars,
+    );
     backbone.walk_from(src_cluster, |_, _, hops| {
         stats.record("pq_backbone", hops as u64, query_scalars);
     });
@@ -149,7 +153,7 @@ pub fn elink_path_query(
 
     PathQueryResult {
         path,
-        stats,
+        costs: stats,
         clusters_safe,
         clusters_unsafe,
         clusters_mixed,
@@ -165,7 +169,7 @@ fn classify_subtree(
     danger: &Feature,
     gamma: f64,
     safe: &mut [bool],
-    stats: &mut MessageStats,
+    stats: &mut CostBook,
     query_scalars: u64,
 ) {
     let d = metric.distance(index.routing_feature(node), danger);
@@ -185,7 +189,16 @@ fn classify_subtree(
     for &child in index.children(node) {
         stats.record("pq_drill", 1, query_scalars);
         stats.record("pq_drill_agg", 1, 1);
-        classify_subtree(child, index, metric, danger, gamma, safe, stats, query_scalars);
+        classify_subtree(
+            child,
+            index,
+            metric,
+            danger,
+            gamma,
+            safe,
+            stats,
+            query_scalars,
+        );
     }
 }
 
@@ -201,7 +214,7 @@ pub fn flooding_path_query(
     gamma: f64,
 ) -> PathQueryResult {
     let n = topology.n();
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let dim = danger.scalar_cost();
     let safe: Vec<bool> = (0..n)
         .map(|v| metric.distance(&features[v], danger) >= gamma)
@@ -249,7 +262,7 @@ pub fn flooding_path_query(
     };
     PathQueryResult {
         path,
-        stats,
+        costs: stats,
         clusters_safe: 0,
         clusters_unsafe: 0,
         clusters_mixed: 0,
@@ -324,11 +337,26 @@ mod tests {
         for gamma in [100.0, 400.0, 900.0] {
             for (src, dst) in [(0, 149), (10, 77), (42, 140)] {
                 let e = elink_path_query(
-                    &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
-                    &Absolute, f.delta, src, dst, &danger, gamma,
+                    &f.clustering,
+                    &f.index,
+                    &f.backbone,
+                    &f.topology,
+                    &f.features,
+                    &Absolute,
+                    f.delta,
+                    src,
+                    dst,
+                    &danger,
+                    gamma,
                 );
                 let b = flooding_path_query(
-                    &f.topology, &f.features, &Absolute, src, dst, &danger, gamma,
+                    &f.topology,
+                    &f.features,
+                    &Absolute,
+                    src,
+                    dst,
+                    &danger,
+                    gamma,
                 );
                 assert_eq!(
                     e.path.is_some(),
@@ -355,8 +383,17 @@ mod tests {
         // Pick the node nearest the danger feature.
         let danger = f.features[13].clone();
         let result = elink_path_query(
-            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
-            &Absolute, f.delta, 13, 100, &danger, 50.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.topology,
+            &f.features,
+            &Absolute,
+            f.delta,
+            13,
+            100,
+            &danger,
+            50.0,
         );
         assert!(result.path.is_none());
     }
@@ -366,8 +403,17 @@ mod tests {
         let f = fixture(250.0, 3);
         let danger = Feature::scalar(-10_000.0);
         let result = elink_path_query(
-            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
-            &Absolute, f.delta, 5, 5, &danger, 1.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.topology,
+            &f.features,
+            &Absolute,
+            f.delta,
+            5,
+            5,
+            &danger,
+            1.0,
         );
         assert_eq!(result.path, Some(vec![5]));
     }
@@ -377,8 +423,17 @@ mod tests {
         let f = fixture(250.0, 4);
         let danger = Feature::scalar(1000.0);
         let result = elink_path_query(
-            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
-            &Absolute, f.delta, 0, 50, &danger, 300.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.topology,
+            &f.features,
+            &Absolute,
+            f.delta,
+            0,
+            50,
+            &danger,
+            300.0,
         );
         assert_eq!(
             result.clusters_safe + result.clusters_unsafe + result.clusters_mixed,
@@ -394,16 +449,25 @@ mod tests {
         let f = fixture(250.0, 5);
         let danger = Feature::scalar(-50_000.0);
         let e = elink_path_query(
-            &f.clustering, &f.index, &f.backbone, &f.topology, &f.features,
-            &Absolute, f.delta, 0, 149, &danger, 10.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.topology,
+            &f.features,
+            &Absolute,
+            f.delta,
+            0,
+            149,
+            &danger,
+            10.0,
         );
         let b = flooding_path_query(&f.topology, &f.features, &Absolute, 0, 149, &danger, 10.0);
         assert!(e.path.is_some() && b.path.is_some());
-        assert_eq!(e.stats.kind("pq_drill").cost, 0);
+        assert_eq!(e.costs.kind("pq_drill").cost, 0);
         // ELink BFS terminates at the destination; flooding pays the same
         // BFS plus full-payload forwards. Compare the query-dependent parts.
-        let e_cost = e.stats.total_cost();
-        let b_cost = b.stats.total_cost();
+        let e_cost = e.costs.total_cost();
+        let b_cost = b.costs.total_cost();
         assert!(
             e_cost < b_cost,
             "elink {e_cost} not cheaper than flooding {b_cost}"

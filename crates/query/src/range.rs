@@ -26,7 +26,7 @@ use crate::backbone::Backbone;
 use crate::mtree::DistributedIndex;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::NodeId;
 
 /// Result of one range query.
@@ -35,7 +35,7 @@ pub struct RangeQueryResult {
     /// Nodes whose features satisfy the query, ascending.
     pub matches: Vec<NodeId>,
     /// Message bill for this query.
-    pub stats: MessageStats,
+    pub costs: CostBook,
     /// Clusters fully excluded by the δ-compactness test.
     pub clusters_excluded: usize,
     /// Clusters fully included by the δ-compactness test.
@@ -57,7 +57,7 @@ pub fn elink_range_query(
     q: &Feature,
     r: f64,
 ) -> RangeQueryResult {
-    let mut stats = MessageStats::new();
+    let mut stats = CostBook::new();
     let dim = q.scalar_cost();
     let query_scalars = dim + 1; // feature + radius
 
@@ -96,7 +96,16 @@ pub fn elink_range_query(
             continue;
         }
         clusters_drilled += 1;
-        drill(root, index, features, metric, q, r, &mut matches, &mut stats, query_scalars);
+        drill(
+            root,
+            index,
+            metric,
+            q,
+            r,
+            &mut matches,
+            &mut stats,
+            query_scalars,
+        );
     }
     matches.sort_unstable();
 
@@ -106,7 +115,7 @@ pub fn elink_range_query(
 
     RangeQueryResult {
         matches,
-        stats,
+        costs: stats,
         clusters_excluded,
         clusters_included,
         clusters_drilled,
@@ -119,12 +128,11 @@ pub fn elink_range_query(
 fn drill(
     node: NodeId,
     index: &DistributedIndex,
-    features: &[Feature],
     metric: &dyn Metric,
     q: &Feature,
     r: f64,
     matches: &mut Vec<NodeId>,
-    stats: &mut MessageStats,
+    stats: &mut CostBook,
     query_scalars: u64,
 ) {
     let d_node = metric.distance(q, index.routing_feature(node));
@@ -147,7 +155,7 @@ fn drill(
         }
         stats.record("rq_cluster", 1, query_scalars);
         stats.record("rq_cluster_agg", 1, 1);
-        drill(child, index, features, metric, q, r, matches, stats, query_scalars);
+        drill(child, index, metric, q, r, matches, stats, query_scalars);
     }
 }
 
@@ -205,7 +213,12 @@ mod tests {
     #[test]
     fn matches_equal_brute_force() {
         let f = fixture(300.0, 1);
-        for (qv, r) in [(500.0, 100.0), (1000.0, 250.0), (200.0, 50.0), (1800.0, 400.0)] {
+        for (qv, r) in [
+            (500.0, 100.0),
+            (1000.0, 250.0),
+            (200.0, 50.0),
+            (1800.0, 400.0),
+        ] {
             let q = Feature::scalar(qv);
             let result = elink_range_query(
                 &f.clustering,
@@ -240,7 +253,7 @@ mod tests {
         );
         assert!(result.matches.is_empty());
         assert_eq!(result.clusters_excluded, f.clustering.cluster_count());
-        assert_eq!(result.stats.kind("rq_cluster").cost, 0);
+        assert_eq!(result.costs.kind("rq_cluster").cost, 0);
     }
 
     #[test]
@@ -271,16 +284,24 @@ mod tests {
         let tag_tree = crate::tag::TagTree::build(data.topology());
         let q = Feature::scalar(300.0);
         let selective = elink_range_query(
-            &f.clustering, &f.index, &f.backbone, &f.features, &Absolute, f.delta, 0, &q, 40.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.features,
+            &Absolute,
+            f.delta,
+            0,
+            &q,
+            40.0,
         );
         let (tag_matches, tag_stats) =
             crate::tag::tag_range_query(&tag_tree, &f.features, &Absolute, &q, 40.0);
         assert_eq!(selective.matches, tag_matches, "both must be exact");
         assert!(selective.clusters_excluded > 0);
         assert!(
-            selective.stats.total_cost() < tag_stats.total_cost(),
+            selective.costs.total_cost() < tag_stats.total_cost(),
             "elink {} not cheaper than TAG {}",
-            selective.stats.total_cost(),
+            selective.costs.total_cost(),
             tag_stats.total_cost()
         );
     }
@@ -289,16 +310,30 @@ mod tests {
     fn backbone_cost_is_query_independent() {
         let f = fixture(300.0, 5);
         let r1 = elink_range_query(
-            &f.clustering, &f.index, &f.backbone, &f.features, &Absolute, f.delta, 3,
-            &Feature::scalar(400.0), 10.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.features,
+            &Absolute,
+            f.delta,
+            3,
+            &Feature::scalar(400.0),
+            10.0,
         );
         let r2 = elink_range_query(
-            &f.clustering, &f.index, &f.backbone, &f.features, &Absolute, f.delta, 3,
-            &Feature::scalar(1500.0), 600.0,
+            &f.clustering,
+            &f.index,
+            &f.backbone,
+            &f.features,
+            &Absolute,
+            f.delta,
+            3,
+            &Feature::scalar(1500.0),
+            600.0,
         );
         assert_eq!(
-            r1.stats.kind("rq_backbone").cost,
-            r2.stats.kind("rq_backbone").cost
+            r1.costs.kind("rq_backbone").cost,
+            r2.costs.kind("rq_backbone").cost
         );
     }
 

@@ -7,7 +7,7 @@
 //! tree" — there is no data-dependent pruning.
 
 use elink_metric::{Feature, Metric};
-use elink_netsim::MessageStats;
+use elink_netsim::CostBook;
 use elink_topology::{NodeId, Topology};
 
 /// The TAG overlay tree (BFS tree rooted at the base station).
@@ -59,8 +59,8 @@ pub fn tag_range_query(
     metric: &dyn Metric,
     q: &Feature,
     r: f64,
-) -> (Vec<NodeId>, MessageStats) {
-    let mut stats = MessageStats::new();
+) -> (Vec<NodeId>, CostBook) {
+    let mut stats = CostBook::new();
     let query_scalars = q.scalar_cost() + 1;
     stats.record("tag_distribute", tree.edges() as u64, query_scalars);
     stats.record("tag_collect", tree.edges() as u64, 1);
@@ -99,8 +99,7 @@ mod tests {
         let tree = TagTree::build(&topo);
         let features: Vec<Feature> = (0..20).map(|v| Feature::scalar(v as f64)).collect();
         let (_, s1) = tag_range_query(&tree, &features, &Absolute, &Feature::scalar(0.0), 1.0);
-        let (_, s2) =
-            tag_range_query(&tree, &features, &Absolute, &Feature::scalar(10.0), 100.0);
+        let (_, s2) = tag_range_query(&tree, &features, &Absolute, &Feature::scalar(10.0), 100.0);
         assert_eq!(s1.total_cost(), s2.total_cost());
         // 19 edges × (1+1 query scalars) + 19 × 1.
         assert_eq!(s1.total_cost(), 19 * 2 + 19);

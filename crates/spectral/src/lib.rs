@@ -142,10 +142,8 @@ impl SpectralClusterer {
                 AffinityKind::PaperLiteral => d,
             }
         };
-        let weighted: Vec<(usize, usize, f64)> = edges
-            .iter()
-            .map(|&(i, j, d)| (i, j, affinity(d)))
-            .collect();
+        let weighted: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(i, j, d)| (i, j, affinity(d))).collect();
 
         // Degrees for the symmetric normalization D^{-1/2} W D^{-1/2}.
         let mut degree = vec![0.0_f64; n];
@@ -187,8 +185,8 @@ impl SpectralClusterer {
             }
             emb
         } else {
-            let csr = SymCsr::from_undirected_edges(n, &normalized, &diag)
-                .expect("valid sparse matrix");
+            let csr =
+                SymCsr::from_undirected_edges(n, &normalized, &diag).expect("valid sparse matrix");
             let (_, vectors) = top_eigenvectors(&csr, max_k, 3000, 1e-9, config.seed)
                 .expect("orthogonal iteration convergence");
             vectors
@@ -277,8 +275,7 @@ impl SpectralClusterer {
             }
             k = (k * 2).min(max_k);
         }
-        let (carve_count, carve_assignment, carve_k) =
-            best.expect("at least one k probed");
+        let (carve_count, carve_assignment, carve_k) = best.expect("at least one k probed");
 
         // Prefer the paper's acceptance (smallest satisfying k) when it is
         // at least as good as the carved candidate; otherwise the carve
@@ -420,9 +417,18 @@ mod tests {
     #[test]
     fn two_zones_give_two_clusters() {
         let (topo, features) = two_zone_setup();
-        let sc = SpectralClusterer::new(&topo, &features, Arc::new(Absolute), SpectralConfig::default());
+        let sc = SpectralClusterer::new(
+            &topo,
+            &features,
+            Arc::new(Absolute),
+            SpectralConfig::default(),
+        );
         let result = sc.cluster_for_delta(1.0);
-        assert_eq!(result.cluster_count, 2, "assignment {:?}", result.assignment);
+        assert_eq!(
+            result.cluster_count, 2,
+            "assignment {:?}",
+            result.assignment
+        );
         assert!(result.spectral_satisfied_delta);
         // Left nodes together, right nodes together.
         assert_eq!(result.assignment[0], result.assignment[1]);
@@ -432,7 +438,12 @@ mod tests {
     #[test]
     fn huge_delta_gives_single_cluster() {
         let (topo, features) = two_zone_setup();
-        let sc = SpectralClusterer::new(&topo, &features, Arc::new(Absolute), SpectralConfig::default());
+        let sc = SpectralClusterer::new(
+            &topo,
+            &features,
+            Arc::new(Absolute),
+            SpectralConfig::default(),
+        );
         let result = sc.cluster_for_delta(100.0);
         assert_eq!(result.cluster_count, 1);
         assert_eq!(result.k, 1);
@@ -441,7 +452,12 @@ mod tests {
     #[test]
     fn result_is_always_a_valid_delta_clustering() {
         let (topo, features) = two_zone_setup();
-        let sc = SpectralClusterer::new(&topo, &features, Arc::new(Absolute), SpectralConfig::default());
+        let sc = SpectralClusterer::new(
+            &topo,
+            &features,
+            Arc::new(Absolute),
+            SpectralConfig::default(),
+        );
         for delta in [0.05, 0.3, 1.0, 5.0, 20.0] {
             let result = sc.cluster_for_delta(delta);
             let k = result.cluster_count;
@@ -468,7 +484,12 @@ mod tests {
     #[test]
     fn cluster_count_decreases_with_delta() {
         let (topo, features) = two_zone_setup();
-        let sc = SpectralClusterer::new(&topo, &features, Arc::new(Absolute), SpectralConfig::default());
+        let sc = SpectralClusterer::new(
+            &topo,
+            &features,
+            Arc::new(Absolute),
+            SpectralConfig::default(),
+        );
         let tight = sc.cluster_for_delta(0.05).cluster_count;
         let loose = sc.cluster_for_delta(1.0).cluster_count;
         let huge = sc.cluster_for_delta(50.0).cluster_count;
@@ -517,7 +538,12 @@ mod tests {
                 }
             })
             .collect();
-        let sc = SpectralClusterer::new(&topo, &features, Arc::new(Euclidean), SpectralConfig::default());
+        let sc = SpectralClusterer::new(
+            &topo,
+            &features,
+            Arc::new(Euclidean),
+            SpectralConfig::default(),
+        );
         let result = sc.cluster_for_delta(1.0);
         assert_eq!(result.cluster_count, 2);
     }

@@ -345,8 +345,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn random_connected_graph() -> impl Strategy<Value = CommGraph> {
-        (2usize..30, proptest::collection::vec((0usize..1000, 0usize..1000), 0..60)).prop_map(
-            |(n, extra)| {
+        (
+            2usize..30,
+            proptest::collection::vec((0usize..1000, 0usize..1000), 0..60),
+        )
+            .prop_map(|(n, extra)| {
                 let mut g = CommGraph::new(n);
                 // Spanning path guarantees connectivity.
                 for i in 1..n {
@@ -356,8 +359,7 @@ mod proptests {
                     g.add_edge(a % n, b % n);
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -234,11 +234,7 @@ mod tests {
         let t = Topology::random_synthetic(60, 9);
         let qt = QuadTree::build(&t);
         for (_, cell) in qt.iter_cells() {
-            let child_total: usize = cell
-                .children
-                .iter()
-                .map(|&c| qt.cell(c).nodes.len())
-                .sum();
+            let child_total: usize = cell.children.iter().map(|&c| qt.cell(c).nodes.len()).sum();
             if !cell.children.is_empty() {
                 assert_eq!(child_total, cell.nodes.len());
                 for &c in &cell.children {

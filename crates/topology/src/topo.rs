@@ -66,7 +66,12 @@ impl Topology {
             }
         }
         // Extent is padded by half a spacing so every node is interior.
-        let extent = Rect::new(-0.5, -0.5, cols as f64 - 0.5 + 1e-9, rows as f64 - 0.5 + 1e-9);
+        let extent = Rect::new(
+            -0.5,
+            -0.5,
+            cols as f64 - 0.5 + 1e-9,
+            rows as f64 - 0.5 + 1e-9,
+        );
         Topology {
             positions,
             graph,

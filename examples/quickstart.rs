@@ -43,7 +43,7 @@ fn main() {
         topology.n(),
         outcome.clustering.cluster_count(),
         outcome.elapsed,
-        outcome.stats.total_cost(),
+        outcome.costs.total_cost(),
     );
     for (id, cluster) in outcome.clustering.clusters.iter().enumerate() {
         println!(

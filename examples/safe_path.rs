@@ -47,7 +47,11 @@ fn main() {
 
     // Mission: from the highest safe sensor to a far safe sensor.
     let source = (0..topology.n())
-        .max_by(|&a, &b| data.elevations()[a].partial_cmp(&data.elevations()[b]).unwrap())
+        .max_by(|&a, &b| {
+            data.elevations()[a]
+                .partial_cmp(&data.elevations()[b])
+                .unwrap()
+        })
         .unwrap();
     let dest = (0..topology.n())
         .filter(|&v| Absolute.distance(&features[v], &danger) >= gamma)
@@ -55,7 +59,8 @@ fn main() {
         .expect("a safe destination exists");
     println!(
         "mission: sensor {source} ({:.0} m) -> sensor {dest} ({:.0} m)",
-        data.elevations()[source], data.elevations()[dest]
+        data.elevations()[source],
+        data.elevations()[dest]
     );
 
     let elink = elink_path_query(
@@ -79,7 +84,7 @@ fn main() {
                 "\nELink found a {}-hop safe path for {} message units \
                  ({} clusters safe, {} unsafe, {} refined through the index)",
                 p.len() - 1,
-                elink.stats.total_cost(),
+                elink.costs.total_cost(),
                 elink.clusters_safe,
                 elink.clusters_unsafe,
                 elink.clusters_mixed,
@@ -87,11 +92,11 @@ fn main() {
             println!(
                 "flooding BFS found a {}-hop path for {} message units",
                 pf.len() - 1,
-                flood.stats.total_cost()
+                flood.costs.total_cost()
             );
             println!(
                 "communication saving: {:.1}x",
-                flood.stats.total_cost() as f64 / elink.stats.total_cost().max(1) as f64
+                flood.costs.total_cost() as f64 / elink.costs.total_cost().max(1) as f64
             );
             let min_clearance = p
                 .iter()

@@ -42,7 +42,7 @@ fn main() {
     println!(
         "initial clustering: {} clusters for {} message units",
         outcome.clustering.cluster_count(),
-        outcome.stats.total_cost()
+        outcome.costs.total_cost()
     );
 
     let mut maint = MaintenanceSim::new(
@@ -87,8 +87,8 @@ fn main() {
         outcome.clustering.cluster_count()
     );
 
-    let elink_cost = maint.stats().total_cost();
-    let central_cost = central.stats().kind("central_model").cost;
+    let elink_cost = maint.costs().total_cost();
+    let central_cost = central.costs().kind("central_model").cost;
     println!("\nupdate communication bill:");
     println!("  ELink maintenance: {elink_cost} message units");
     println!("  centralized:       {central_cost} message units");

@@ -47,20 +47,24 @@ fn main() {
     println!(
         "\nELink found {} zones at delta = {delta} ({} message units):",
         outcome.clustering.cluster_count(),
-        outcome.stats.total_cost()
+        outcome.costs.total_cost()
     );
     for row in 0..rows {
         let line: String = (0..cols)
             .map(|col| {
-                char::from_digit((outcome.clustering.cluster_of(row * cols + col) % 36) as u32, 36)
-                    .unwrap()
+                char::from_digit(
+                    (outcome.clustering.cluster_of(row * cols + col) % 36) as u32,
+                    36,
+                )
+                .unwrap()
             })
             .collect();
         println!("  {line}");
     }
 
     // Build the query infrastructure: per-cluster M-tree + leader backbone.
-    let (index, index_stats) = DistributedIndex::build(&outcome.clustering, &features, metric.as_ref());
+    let (index, index_stats) =
+        DistributedIndex::build(&outcome.clustering, &features, metric.as_ref());
     let (backbone, backbone_stats) = Backbone::build(&outcome.clustering, network.routing());
     println!(
         "\nindex built for {} message units, backbone for {}",
@@ -92,7 +96,7 @@ fn main() {
         "\nrange query from buoy {probe} (radius {radius:.3}): {} matches \
          for {} message units ({} clusters excluded, {} fully included, {} drilled)",
         result.matches.len(),
-        result.stats.total_cost(),
+        result.costs.total_cost(),
         result.clusters_excluded,
         result.clusters_included,
         result.clusters_drilled,

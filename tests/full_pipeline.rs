@@ -6,12 +6,11 @@ use elink::baselines::{
     hierarchical_clustering, optimal_cluster_count, spanning_forest_clustering,
     CentralizedClustering, CentralizedUpdateSim,
 };
-use elink::core::{
-    run_explicit, run_implicit, validate_delta_clustering, ElinkConfig, MaintenanceSim,
-};
+use elink::core::{validate_delta_clustering, MaintenanceSim};
 use elink::datasets::{SyntheticDataset, TaoDataset, TaoParams, TerrainDataset};
+use elink::experiments::ScenarioBuilder;
 use elink::metric::{check_metric_axioms, Absolute, Euclidean, Feature, Metric};
-use elink::netsim::{DelayModel, SimNetwork};
+use elink::netsim::DelayModel;
 use elink::query::{
     brute_force_range, elink_path_query, elink_range_query, flooding_path_query, tag_range_query,
     Backbone, DistributedIndex, TagTree,
@@ -39,13 +38,14 @@ fn tao_pipeline_cluster_index_query() {
     check_metric_axioms(&features, metric.as_ref(), 1e-9).expect("metric axioms");
 
     let delta = 0.15;
-    let network = SimNetwork::new(data.topology().clone());
-    let outcome = run_implicit(
-        &network,
-        &features,
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        features.clone(),
         Arc::clone(&metric) as _,
-        ElinkConfig::for_delta(delta),
-    );
+    )
+    .delta(delta)
+    .build();
+    let outcome = scenario.run_implicit();
     validate_delta_clustering(
         &outcome.clustering,
         data.topology(),
@@ -56,7 +56,7 @@ fn tao_pipeline_cluster_index_query() {
     .unwrap();
 
     let (index, _) = DistributedIndex::build(&outcome.clustering, &features, metric.as_ref());
-    let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+    let (backbone, _) = Backbone::build(&outcome.clustering, scenario.network.routing());
     // Every node queries its own feature at several radii; results must be
     // exact everywhere.
     for initiator in [0usize, 13, 27, 53] {
@@ -87,14 +87,14 @@ fn terrain_pipeline_all_algorithms_valid() {
     let data = TerrainDataset::generate(200, 6, 0.55, 5);
     let features = data.features();
     let delta = 300.0;
-    let network = SimNetwork::new(data.topology().clone());
-
-    let elink = run_implicit(
-        &network,
-        &features,
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        features.clone(),
         Arc::new(Absolute),
-        ElinkConfig::for_delta(delta),
-    );
+    )
+    .delta(delta)
+    .build();
+    let elink = scenario.run_implicit();
     let sf = spanning_forest_clustering(data.topology(), &features, &Absolute, delta);
     let hier = hierarchical_clustering(data.topology(), &features, &Absolute, delta);
     for (name, clustering) in [
@@ -122,15 +122,16 @@ fn synthetic_pipeline_explicit_async_and_tag() {
     let data = SyntheticDataset::generate(150, 500, 11);
     let features = data.features();
     let delta = 0.05;
-    let network = SimNetwork::new(data.topology().clone());
-    let outcome = run_explicit(
-        &network,
-        &features,
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        features.clone(),
         Arc::new(Euclidean),
-        ElinkConfig::for_delta(delta),
-        DelayModel::Async { min: 1, max: 6 },
-        5,
-    );
+    )
+    .delta(delta)
+    .delay(DelayModel::Async { min: 1, max: 6 })
+    .seed(5)
+    .build();
+    let outcome = scenario.run_explicit();
     validate_delta_clustering(
         &outcome.clustering,
         data.topology(),
@@ -163,13 +164,14 @@ fn maintenance_pipeline_keeps_costs_below_centralized() {
     let topology = Arc::new(data.topology().clone());
     let delta = 0.2;
     let slack = 0.05 * delta;
-    let network = SimNetwork::new(data.topology().clone());
-    let outcome = run_implicit(
-        &network,
-        &features,
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        features.clone(),
         Arc::clone(&metric) as _,
-        ElinkConfig::for_delta(delta - 2.0 * slack),
-    );
+    )
+    .delta(delta - 2.0 * slack)
+    .build();
+    let outcome = scenario.run_implicit();
     let mut maint = MaintenanceSim::new(
         &outcome.clustering,
         topology,
@@ -190,10 +192,10 @@ fn maintenance_pipeline_keeps_costs_below_centralized() {
         }
     }
     assert!(
-        maint.stats().total_cost() < central.stats().kind("central_model").cost,
+        maint.costs().total_cost() < central.costs().kind("central_model").cost,
         "maintenance {} >= centralized {}",
-        maint.stats().total_cost(),
-        central.stats().kind("central_model").cost
+        maint.costs().total_cost(),
+        central.costs().kind("central_model").cost
     );
 }
 
@@ -202,15 +204,16 @@ fn path_queries_agree_with_flooding_across_settings() {
     let data = TerrainDataset::generate(180, 6, 0.55, 8);
     let features = data.features();
     let delta = 250.0;
-    let network = SimNetwork::new(data.topology().clone());
-    let outcome = run_implicit(
-        &network,
-        &features,
+    let scenario = ScenarioBuilder::new(
+        data.topology().clone(),
+        features.clone(),
         Arc::new(Absolute),
-        ElinkConfig::for_delta(delta),
-    );
+    )
+    .delta(delta)
+    .build();
+    let outcome = scenario.run_implicit();
     let (index, _) = DistributedIndex::build(&outcome.clustering, &features, &Absolute);
-    let (backbone, _) = Backbone::build(&outcome.clustering, network.routing());
+    let (backbone, _) = Backbone::build(&outcome.clustering, scenario.network.routing());
     let danger = Feature::scalar(175.0);
     for gamma in [150.0, 500.0, 900.0] {
         for (src, dst) in [(0, 179), (30, 90)] {
@@ -250,15 +253,19 @@ fn elink_quality_close_to_optimal_on_tiny_instances() {
         let features = data.features();
         let delta = 500.0;
         let opt = optimal_cluster_count(data.topology(), &features, &Absolute, delta);
-        let network = SimNetwork::new(data.topology().clone());
-        let outcome = run_implicit(
-            &network,
-            &features,
+        let scenario = ScenarioBuilder::new(
+            data.topology().clone(),
+            features.clone(),
             Arc::new(Absolute),
-            ElinkConfig::for_delta(delta),
-        );
+        )
+        .delta(delta)
+        .build();
+        let outcome = scenario.run_implicit();
         let elink = outcome.clustering.cluster_count();
-        assert!(elink >= opt, "seed {seed}: elink {elink} beat optimal {opt}");
+        assert!(
+            elink >= opt,
+            "seed {seed}: elink {elink} beat optimal {opt}"
+        );
         assert!(
             elink <= opt + 6,
             "seed {seed}: elink {elink} far from optimal {opt}"
