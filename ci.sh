@@ -9,6 +9,9 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== simlint (determinism & protocol-purity invariants)"
+cargo run -q -p simlint -- check
+
 echo "== cargo test"
 cargo test -q --workspace
 

@@ -8,7 +8,7 @@
 
 use elink_metric::{Feature, Metric};
 use elink_topology::Topology;
-use std::collections::HashMap;
+use std::collections::HashMap; // simlint: allow(no-unordered-iteration): u64-keyed lookup-only memo; iteration order is never observed and nothing here reaches the wire
 
 /// Maximum instance size; the search is exponential.
 const MAX_N: usize = 20;
@@ -42,11 +42,13 @@ pub fn optimal_cluster_count(
     }
 
     let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    // simlint: allow(no-unordered-iteration): lookup-only memo, order never observed
     let mut memo: HashMap<u32, usize> = HashMap::new();
     solve(full, &compat, &adj, &mut memo)
 }
 
 /// Minimum clusters covering `remaining` (memoized).
+// simlint: allow(no-unordered-iteration): lookup-only memo parameter, order never observed
 fn solve(remaining: u32, compat: &[u32], adj: &[u32], memo: &mut HashMap<u32, usize>) -> usize {
     if remaining == 0 {
         return 0;
@@ -59,6 +61,7 @@ fn solve(remaining: u32, compat: &[u32], adj: &[u32], memo: &mut HashMap<u32, us
     // `first`, by BFS over "add one compatible adjacent node" moves.
     let mut best = usize::MAX;
     let mut stack = vec![1u32 << first];
+    // simlint: allow(no-unordered-iteration): membership-only dedup set, order never observed
     let mut seen: std::collections::HashSet<u32> = stack.iter().copied().collect();
     while let Some(set) = stack.pop() {
         // Try this subset as one cluster.

@@ -13,7 +13,7 @@ use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, DelayModel, Protocol, SimNetwork, Simulator};
 use elink_topology::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Protocol messages.
@@ -42,7 +42,7 @@ pub struct SfNode {
     feature: Feature,
     metric: Arc<dyn Metric>,
     delta: f64,
-    neighbor_features: HashMap<NodeId, Feature>,
+    neighbor_features: BTreeMap<NodeId, Feature>,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     pending_reports: usize,
@@ -59,7 +59,7 @@ impl SfNode {
             feature,
             metric,
             delta,
-            neighbor_features: HashMap::new(),
+            neighbor_features: BTreeMap::new(),
             parent: None,
             children: Vec::new(),
             pending_reports: 0,
@@ -126,7 +126,7 @@ impl Protocol for SfNode {
                     .iter()
                     .filter(|(&w, _)| w < me)
                     .map(|(&w, f)| (w, self.metric.distance(&self.feature, f)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 if let Some((w, _)) = best {
                     self.parent = Some(w);
                     ctx.send(w, SfMsg::ParentNotify, "sf_parent_notify", 1);

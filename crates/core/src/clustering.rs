@@ -68,15 +68,19 @@ impl Clustering {
                 let root = if component.contains(&root_id) {
                     root_id
                 } else {
-                    component
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            let da = metric.distance(&states[a].1, &root_feature);
-                            let db = metric.distance(&states[b].1, &root_feature);
-                            da.partial_cmp(&db).unwrap().then(a.cmp(&b))
-                        })
-                        .expect("non-empty component")
+                    // Components from `induced_components` are non-empty, so
+                    // an explicit scan (ties broken by node id via
+                    // `total_cmp`) avoids any panicking path here.
+                    let mut best = component[0];
+                    let mut best_d = metric.distance(&states[best].1, &root_feature);
+                    for &v in &component[1..] {
+                        let d = metric.distance(&states[v].1, &root_feature);
+                        if d.total_cmp(&best_d).then(v.cmp(&best)).is_lt() {
+                            best = v;
+                            best_d = d;
+                        }
+                    }
+                    best
                 };
                 let cluster_id = clusters.len();
                 for &m in &component {
@@ -194,21 +198,34 @@ impl Clustering {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ValidationError {
     /// A node is missing from every cluster or appears in two.
-    NotAPartition { node: NodeId },
+    NotAPartition {
+        /// The uncovered or doubly-covered node.
+        node: NodeId,
+    },
     /// A cluster's induced communication subgraph is disconnected
     /// (Definition 1, condition 1).
-    Disconnected { cluster: usize },
+    Disconnected {
+        /// Index of the disconnected cluster.
+        cluster: usize,
+    },
     /// Two members of a cluster are farther than δ apart (Definition 1,
     /// condition 2).
     NotDeltaCompact {
+        /// Index of the offending cluster.
         cluster: usize,
+        /// First witness member.
         i: NodeId,
+        /// Second witness member.
         j: NodeId,
+        /// Their feature distance (`> δ`).
         distance: f64,
     },
     /// A cluster-tree parent edge is not a communication-graph edge, or a
     /// tree does not span its cluster.
-    BrokenTree { node: NodeId },
+    BrokenTree {
+        /// The node whose tree edge is invalid or unreachable.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for ValidationError {

@@ -32,6 +32,10 @@
 //! [`maintenance`] implements the §6 slack-parameterized update protocol
 //! (conditions A₁–A₃).
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod clustering;
 pub mod config;
 pub mod maintenance;

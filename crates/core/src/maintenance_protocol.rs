@@ -19,7 +19,7 @@ use crate::clustering::Clustering;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol};
 use elink_topology::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Protocol messages.
@@ -100,7 +100,7 @@ pub struct MaintNode {
     /// Cluster-tree children.
     tree_children: Vec<NodeId>,
     /// In-flight fetch return paths: origin → the child to reply to.
-    fetch_return: HashMap<NodeId, NodeId>,
+    fetch_return: BTreeMap<NodeId, NodeId>,
     /// Pending update awaiting the fetched root feature.
     pending_update: Option<Feature>,
     /// Pending merge state: collected neighbor root info.
@@ -146,7 +146,10 @@ impl MaintNode {
         }
         // All three violated: fetch the fresh root feature up the tree.
         self.pending_update = Some(new_feature);
-        let parent = self.tree_parent.expect("non-root has a parent");
+        let Some(parent) = self.tree_parent else {
+            debug_assert!(false, "non-root {} lost its parent", ctx.id());
+            return;
+        };
         ctx.send(
             parent,
             MaintMsg::FetchRequest { origin: ctx.id() },
@@ -257,17 +260,21 @@ impl Protocol for MaintNode {
                     );
                 } else {
                     self.fetch_return.insert(origin, from);
-                    let parent = self.tree_parent.expect("non-root has a parent");
+                    let Some(parent) = self.tree_parent else {
+                        debug_assert!(false, "non-root {} lost its parent", ctx.id());
+                        return;
+                    };
                     ctx.send(parent, MaintMsg::FetchRequest { origin }, "maint_fetch", 1);
                 }
             }
             MaintMsg::FetchReply { origin, feature } => {
                 if origin == ctx.id() {
                     self.cached_root_feature = feature.clone();
-                    let new_feature = self
-                        .pending_update
-                        .take()
-                        .expect("fetch reply without a pending update");
+                    let Some(new_feature) = self.pending_update.take() else {
+                        // Duplicate or stale reply: the update already
+                        // resolved; ignore it.
+                        return;
+                    };
                     let d = self.metric.distance(&new_feature, &feature);
                     self.feature = new_feature.clone();
                     if d <= self.delta {
@@ -287,10 +294,10 @@ impl Protocol for MaintNode {
                     }
                     self.start_merge(new_feature, ctx);
                 } else {
-                    let child = self
-                        .fetch_return
-                        .remove(&origin)
-                        .expect("reply path recorded");
+                    let Some(child) = self.fetch_return.remove(&origin) else {
+                        debug_assert!(false, "fetch reply at {} with no recorded path", ctx.id());
+                        return;
+                    };
                     let dim = self.dim();
                     ctx.send(
                         child,
@@ -332,7 +339,10 @@ impl Protocol for MaintNode {
                 if self.is_root(ctx) {
                     return;
                 }
-                let parent = self.tree_parent.expect("non-root has a parent");
+                let Some(parent) = self.tree_parent else {
+                    debug_assert!(false, "non-root {} lost its parent", ctx.id());
+                    return;
+                };
                 let dim = self.dim();
                 ctx.send(
                     parent,
@@ -345,7 +355,10 @@ impl Protocol for MaintNode {
                 if self.is_root(ctx) {
                     return;
                 }
-                let parent = self.tree_parent.expect("non-root has a parent");
+                let Some(parent) = self.tree_parent else {
+                    debug_assert!(false, "non-root {} lost its parent", ctx.id());
+                    return;
+                };
                 let dim = feature.scalar_cost();
                 ctx.send(
                     parent,
@@ -443,7 +456,7 @@ pub fn maintenance_nodes(
                 cached_root_feature: features[root].clone(),
                 tree_parent: clustering.tree_parent[v],
                 tree_children: children[v].clone(),
-                fetch_return: HashMap::new(),
+                fetch_return: BTreeMap::new(),
                 pending_update: None,
                 pending_merge: None,
             }

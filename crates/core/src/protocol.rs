@@ -27,7 +27,7 @@ use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol};
 use elink_topology::{CellId, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Messages exchanged by ELink.
@@ -150,15 +150,15 @@ pub struct ElinkNode {
     /// Remaining cluster switches (Fig 16 `counter`).
     pub switches_left: u32,
 
-    subtrees: HashMap<NodeId, Subtree>,
-    phase1_pending: HashMap<(CellId, usize), usize>,
+    subtrees: BTreeMap<NodeId, Subtree>,
+    phase1_pending: BTreeMap<(CellId, usize), usize>,
     /// Roots of every cluster this node has ever joined. A node never
     /// re-joins a cluster it left: distances to roots are fixed, so a
     /// re-join can never be a quality gain, and (in explicit mode) it would
     /// corrupt the per-cluster `ack` bookkeeping — the Fig 16 `+φ`
     /// tolerance otherwise allows A→B→A oscillation, deadlocking the
     /// completion wave.
-    ever_joined: std::collections::HashSet<NodeId>,
+    ever_joined: std::collections::BTreeSet<NodeId>,
     /// Introspection: simulated times at which this node's ELink procedure
     /// was invoked, with the level it was invoked for.
     pub elink_invocations: Vec<(u64, usize)>,
@@ -189,9 +189,9 @@ impl ElinkNode {
             joined_level: 0,
             parent: id,
             switches_left: config.max_switches,
-            subtrees: HashMap::new(),
-            phase1_pending: HashMap::new(),
-            ever_joined: std::collections::HashSet::new(),
+            subtrees: BTreeMap::new(),
+            phase1_pending: BTreeMap::new(),
+            ever_joined: std::collections::BTreeSet::new(),
             elink_invocations: Vec::new(),
         }
     }
@@ -356,11 +356,17 @@ impl ElinkNode {
     /// synchronization (Fig 18 `phase 1`), or start the next level directly
     /// when this is the root cell.
     fn sentinel_complete(&mut self, cell: CellId, ctx: &mut Ctx<'_, ElinkMsg>) {
-        let led = self
-            .quad
-            .led_cell(ctx.id(), cell)
-            .expect("sentinel_complete on a cell this node does not lead")
-            .clone();
+        let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
+            // A sentinel completion for a cell this node does not lead can
+            // only arise from a misrouted or stale message; drop it rather
+            // than abort the simulation.
+            debug_assert!(
+                false,
+                "sentinel_complete on a cell node {} does not lead",
+                ctx.id()
+            );
+            return;
+        };
         match (led.parent_cell, led.parent_leader) {
             (Some(pcell), Some(pleader)) => {
                 ctx.unicast(
@@ -425,11 +431,10 @@ impl ElinkNode {
 
     /// Fan-in of `phase 1` messages at an intermediate (or root) cell.
     fn on_phase1(&mut self, cell: CellId, level: usize, ctx: &mut Ctx<'_, ElinkMsg>) {
-        let led = self
-            .quad
-            .led_cell(ctx.id(), cell)
-            .expect("phase1 addressed to non-leader")
-            .clone();
+        let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
+            debug_assert!(false, "phase1 addressed to non-leader {}", ctx.id());
+            return;
+        };
         let key = (cell, level);
         let fanin = led.phase1_fanin(level, &self.quad);
         let pending = self.phase1_pending.entry(key).or_insert(fanin);
@@ -457,11 +462,10 @@ impl ElinkNode {
 
     /// `phase 2` down-sweep (Fig 18), threading the alignment counter.
     fn on_phase2(&mut self, cell: CellId, level: usize, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
-        let led = self
-            .quad
-            .led_cell(ctx.id(), cell)
-            .expect("phase2 addressed to non-leader")
-            .clone();
+        let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
+            debug_assert!(false, "phase2 addressed to non-leader {}", ctx.id());
+            return;
+        };
         if led.level == level {
             // Instruct the children (the S_{level+1} sentinels) to start.
             self.start_children(&led, elapsed, ctx);
@@ -520,11 +524,14 @@ impl Protocol for ElinkNode {
     fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
         if timer >= TIMER_START_BASE {
             let cell = (timer - TIMER_START_BASE) as CellId;
-            let level = self
-                .quad
-                .led_cell(ctx.id(), cell)
-                .expect("start timer for a cell this node does not lead")
-                .level;
+            let Some(level) = self.quad.led_cell(ctx.id(), cell).map(|led| led.level) else {
+                debug_assert!(
+                    false,
+                    "start timer for a cell node {} does not lead",
+                    ctx.id()
+                );
+                return;
+            };
             self.elink_start(level, Some(cell), ctx);
             return;
         }

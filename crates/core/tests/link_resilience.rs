@@ -138,6 +138,52 @@ fn maintenance_protocol_is_deterministic_per_seed_under_every_link_model() {
 }
 
 #[test]
+fn elink_is_deterministic_per_seed_on_random_uniform_topology() {
+    // Same seed, twice, on an irregular (random-uniform) deployment: the
+    // whole CostBook — per-kind bill AND per-node ledger — and the cluster
+    // assignment must be bit-for-bit identical. This is the dynamic check
+    // backing simlint's no-unordered-iteration rule: a HashMap order leak
+    // into message emission shows up here as a diverging ledger.
+    let topo = Topology::random_synthetic(60, 42);
+    let features: Vec<Feature> = (0..topo.n())
+        .map(|v| Feature::scalar(((v * 7) % 3) as f64 * 40.0))
+        .collect();
+    for (name, _, mode) in link_regimes() {
+        let runs: Vec<ElinkOutcome> = (0..2)
+            .map(|_| {
+                let network = SimNetwork::new(topo.clone());
+                let link = link_regimes()
+                    .into_iter()
+                    .find(|(n, _, _)| *n == name)
+                    .unwrap()
+                    .1;
+                run_with_link(
+                    &network,
+                    &features,
+                    Arc::new(Absolute),
+                    ElinkConfig::for_delta(10.0),
+                    mode,
+                    link,
+                    7,
+                )
+            })
+            .collect();
+        assert_eq!(
+            runs[0].clustering.assignment, runs[1].clustering.assignment,
+            "{name}: cluster assignments diverge on random topology"
+        );
+        assert_eq!(
+            runs[0].costs, runs[1].costs,
+            "{name}: CostBook ledgers diverge on random topology"
+        );
+        assert_eq!(
+            runs[0].elapsed, runs[1].elapsed,
+            "{name}: completion times diverge on random topology"
+        );
+    }
+}
+
+#[test]
 fn elink_survives_crash_of_ten_percent_of_nodes_mid_run() {
     let topo = Topology::grid(8, 8);
     let n = topo.n();

@@ -12,20 +12,36 @@ use crate::{Feature, Metric};
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricViolation {
     /// `d(a, a) != 0` or `d(a, b) < 0`.
-    Positivity { i: usize, j: usize, value: f64 },
+    Positivity {
+        /// First witness index.
+        i: usize,
+        /// Second witness index (equal to `i` for a self-distance failure).
+        j: usize,
+        /// The offending distance.
+        value: f64,
+    },
     /// `d(a, b) != d(b, a)`.
     Symmetry {
+        /// First witness index.
         i: usize,
+        /// Second witness index.
         j: usize,
+        /// `d(i, j)`.
         forward: f64,
+        /// `d(j, i)`.
         backward: f64,
     },
     /// `d(a, c) > d(a, b) + d(b, c)`.
     TriangleInequality {
+        /// Path start.
         i: usize,
+        /// Intermediate point.
         j: usize,
+        /// Path end.
         k: usize,
+        /// `d(i, k)`.
         direct: f64,
+        /// `d(i, j) + d(j, k)`.
         via: f64,
     },
 }

@@ -7,6 +7,10 @@
 //! and formulates everything for general metric spaces, so this crate
 //! exposes a [`Metric`] trait plus the concrete metrics the experiments use.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod axioms;
 pub mod distance_matrix;
 pub mod feature;

@@ -2,7 +2,7 @@
 //! protocols use to interact with the network.
 //!
 //! The engine is link-model agnostic: every transmission is routed through
-//! the [`LinkModel`](crate::link::LinkModel) in force, which decides delay,
+//! the [`LinkModel`] in force, which decides delay,
 //! loss, and node liveness. Dropped messages are charged for the hops they
 //! traversed but never delivered; messages and timers addressed to a crashed
 //! node are silently lost (the node's protocol state freezes while it is
@@ -259,6 +259,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
         loop {
             let next = routing
                 .next_hop(cur, dst)
+                // simlint: allow(no-panic-in-protocol): hops() returned Some above, so every prefix of the path is routable; a miss is engine corruption, not an injected fault
                 .expect("routing invariant: prefix of a known path");
             let outcome = self.core.link.hop(cur, next, t, &mut self.core.rng);
             self.core.costs.record_tx(cur, kind, 1, scalars);

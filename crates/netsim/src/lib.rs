@@ -56,6 +56,10 @@
 //! a crash window receive nothing and their timers are lost (not deferred) —
 //! protocol state freezes while down and resumes on recovery.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod link;
 pub mod stats;

@@ -23,7 +23,7 @@ pub struct KindStats {
 /// assert_eq!(stats.total_packets(), 5);
 /// assert_eq!(stats.total_cost(), 14);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MessageStats {
     kinds: BTreeMap<&'static str, KindStats>,
 }
@@ -113,7 +113,7 @@ impl NodeStats {
 /// assert_eq!(book.total_cost(), 12);
 /// assert_eq!(book.kind("rq_route").packets, 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostBook {
     kinds: MessageStats,
     nodes: Vec<NodeStats>,

@@ -1,0 +1,526 @@
+//! A small hand-written Rust lexer.
+//!
+//! The rule engine needs exactly four things from a source file, and needs
+//! them *reliably*: identifier/punctuation tokens with line spans, doc
+//! comments (to check `pub` items for documentation), `// simlint: allow`
+//! directives, and **nothing** from inside string literals or comments — a
+//! rule must not fire on `"unwrap()"` appearing in a test fixture string or
+//! on `HashMap` mentioned in prose. Handling strings (including raw and
+//! byte strings), char-vs-lifetime ambiguity, and nested block comments
+//! correctly is the entire point of lexing instead of grepping.
+
+/// Kind of one lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `pub`, `fn`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// The text is *not* retained — rules must never look inside literals.
+    Literal,
+    /// Punctuation; common two-character operators (`::`, `+=`, `->`, …)
+    /// are fused into a single token.
+    Punct,
+    /// An outer or inner doc comment (`///`, `//!`, `/**`, `/*!`). Emitted
+    /// as a token so the doc-coverage rule can check adjacency to items.
+    DocComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Token text (empty for literals and doc comments).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A parsed `// simlint: allow(<rules>)` directive.
+///
+/// Grammar: `// simlint: allow(rule-a, rule-b): <justification>` — the
+/// justification (any non-empty text after the closing parenthesis, with
+/// leading `:`/`-`/`—` separators stripped) is mandatory; the allow-hygiene
+/// rule rejects directives without one.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule names listed inside `allow(...)`; empty if unparseable.
+    pub rules: Vec<String>,
+    /// Free-text justification following the rule list.
+    pub justification: String,
+    /// True when code tokens precede the comment on its line (the directive
+    /// then covers that line); false for a standalone comment line (the
+    /// directive then covers the next line bearing a token).
+    pub trailing: bool,
+}
+
+/// Lexing result for one file: the token stream plus any allow directives.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `simlint:` directives, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Two-character operators fused into a single `Punct` token.
+const TWO_CHAR_PUNCT: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one Rust source file. Invalid input never panics: the lexer is
+/// best-effort on malformed code (it is run on files `rustc` already
+/// accepted, so graceful degradation only matters for editor races).
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recent token, to classify trailing vs standalone
+    // comments.
+    let mut last_token_line = 0u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let is_doc = (text.starts_with("///") && !text.starts_with("////"))
+                    || (text.starts_with("//!") && !text.starts_with("//!!"));
+                if is_doc {
+                    out.tokens.push(Token {
+                        kind: TokenKind::DocComment,
+                        text: String::new(),
+                        line,
+                    });
+                } else if let Some(d) = parse_allow(&text, line, last_token_line == line) {
+                    out.allows.push(d);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let is_doc = (chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'/'))
+                    || chars.get(i + 2) == Some(&'!');
+                i += 2;
+                let mut depth = 1u32;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if is_doc {
+                    out.tokens.push(Token {
+                        kind: TokenKind::DocComment,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i = consume_string(&chars, i, &mut line);
+                push_literal(&mut out, start_line, &mut last_token_line);
+            }
+            'r' if matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
+                && raw_follows(&chars, i + 1) =>
+            {
+                let start_line = line;
+                i = consume_raw_string(&chars, i + 1, &mut line);
+                push_literal(&mut out, start_line, &mut last_token_line);
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                let start_line = line;
+                i = consume_string(&chars, i + 1, &mut line);
+                push_literal(&mut out, start_line, &mut last_token_line);
+            }
+            'b' if chars.get(i + 1) == Some(&'\'') => {
+                let start_line = line;
+                i = consume_char(&chars, i + 1);
+                push_literal(&mut out, start_line, &mut last_token_line);
+            }
+            'b' if chars.get(i + 1) == Some(&'r')
+                && matches!(chars.get(i + 2), Some(&'"') | Some(&'#'))
+                && raw_follows(&chars, i + 2) =>
+            {
+                let start_line = line;
+                i = consume_raw_string(&chars, i + 2, &mut line);
+                push_literal(&mut out, start_line, &mut last_token_line);
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are chars;
+                // otherwise it is a lifetime (`'a`, `'static`, `'_`).
+                if chars.get(i + 1) == Some(&'\\') {
+                    let start_line = line;
+                    i = consume_char(&chars, i);
+                    push_literal(&mut out, start_line, &mut last_token_line);
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    i += 3;
+                    push_literal(&mut out, line, &mut last_token_line);
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line,
+                    });
+                    last_token_line = line;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers, including suffixes (`1u64`) and floats; a `.` is
+                // consumed only when followed by a digit so ranges (`0..n`)
+                // survive.
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    let float_dot = d == '.'
+                        && chars
+                            .get(i + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false);
+                    if !is_ident_continue(d) && !float_dot {
+                        break;
+                    }
+                    i += 1;
+                }
+                push_literal(&mut out, line, &mut last_token_line);
+            }
+            _ => {
+                let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let text = if TWO_CHAR_PUNCT.contains(&pair.as_str()) {
+                    i += 2;
+                    pair
+                } else {
+                    i += 1;
+                    c.to_string()
+                };
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+fn push_literal(out: &mut LexedFile, line: u32, last_token_line: &mut u32) {
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        text: String::new(),
+        line,
+    });
+    *last_token_line = line;
+}
+
+/// Whether position `i` (at `"` or the first `#`) really starts a raw
+/// string: any number of `#`s followed by `"`. Keeps `r#keyword` raw
+/// identifiers out of the string path.
+fn raw_follows(chars: &[char], mut i: usize) -> bool {
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    chars.get(i) == Some(&'"')
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn consume_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string whose `#…#"` opener starts at `i` (past the `r`);
+/// returns the index past the closing delimiter.
+fn consume_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a `'…'` char literal starting at the opening quote; returns the
+/// index past the closing quote.
+fn consume_char(chars: &[char], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses a line comment into an [`AllowDirective`] if it carries the
+/// `simlint:` marker. Malformed directives (no `allow(...)`, or a missing
+/// justification) are returned with empty `rules`/`justification` so the
+/// allow-hygiene rule can report them with a location.
+fn parse_allow(comment: &str, line: u32, trailing: bool) -> Option<AllowDirective> {
+    let idx = comment.find("simlint:")?;
+    let rest = comment[idx + "simlint:".len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(AllowDirective {
+            line,
+            rules: Vec::new(),
+            justification: String::new(),
+            trailing,
+        });
+    };
+    let Some(close) = args.find(')') else {
+        return Some(AllowDirective {
+            line,
+            rules: Vec::new(),
+            justification: String::new(),
+            trailing,
+        });
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let justification = args[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == ':' || c == '-' || c == '—')
+        .trim()
+        .to_string();
+    Some(AllowDirective {
+        line,
+        rules,
+        justification,
+        trailing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, u32)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text, t.line))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unwrap()` and `HashMap` inside string literals must not surface
+        // as identifier tokens.
+        let src = r#"let x = "call unwrap() on a HashMap"; x.len();"#;
+        let names: Vec<String> = idents(src).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["let", "x", "x", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let s = r#\"HashMap::new() \" still a string\"#; use_it(s);";
+        let names: Vec<String> = idents(src).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["let", "s", "use_it", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_track_embedded_newlines() {
+        let src = "let s = r\"a\nb\nc\";\nlet t = 1;";
+        let names = idents(src);
+        assert_eq!(names.last().unwrap(), &("t".to_string(), 4));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "/* outer /* inner unwrap() */ HashMap */ let y = 1;";
+        let names: Vec<String> = idents(src).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["let", "y"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* line1\nline2 */\nfn f() {}\n\"str\nstr\"\nlast";
+        let names = idents(src);
+        assert_eq!(names[0], ("fn".to_string(), 3));
+        assert_eq!(names.last().unwrap(), &("last".to_string(), 6));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        // 'x' and '\'' are literals, not lifetimes.
+        let lit_count = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lit_count, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_literals() {
+        let src = "let a = b\"unwrap()\"; let b2 = br#\"HashMap\"#; let c = b'z';";
+        let names: Vec<String> = idents(src).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["let", "a", "let", "b2", "let", "c"]);
+    }
+
+    #[test]
+    fn doc_comments_become_tokens_plain_comments_do_not() {
+        let src =
+            "/// doc\n// plain\n//! inner doc\n/** block doc */\n/* plain block */\nfn f() {}";
+        let docs = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::DocComment)
+            .count();
+        assert_eq!(docs, 3);
+    }
+
+    #[test]
+    fn two_char_punct_is_fused() {
+        let src = "a::b += c;";
+        let puncts: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["::", "+=", ";"]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_range_dots() {
+        let src = "for i in 0..10 { f(1.5, 2u64); }";
+        let dots: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == "..")
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(dots.len(), 1);
+    }
+
+    #[test]
+    fn allow_directive_parses_rules_and_justification() {
+        let src = "use x; // simlint: allow(no-unordered-iteration): lookup-only map\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let d = &lexed.allows[0];
+        assert_eq!(d.rules, vec!["no-unordered-iteration"]);
+        assert_eq!(d.justification, "lookup-only map");
+        assert!(d.trailing);
+    }
+
+    #[test]
+    fn standalone_allow_directive_is_not_trailing() {
+        let src = "// simlint: allow(rule-a, rule-b) — shared justification\nuse x;\n";
+        let lexed = lex(src);
+        let d = &lexed.allows[0];
+        assert_eq!(d.rules, vec!["rule-a", "rule-b"]);
+        assert_eq!(d.justification, "shared justification");
+        assert!(!d.trailing);
+    }
+
+    #[test]
+    fn malformed_allow_directive_is_surfaced_not_dropped() {
+        let src = "// simlint: allow(no-panic-in-protocol)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].justification.is_empty());
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        let src = "// a comment mentioning simlint rules in passing\nfn f() {}";
+        assert!(lex(src).allows.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! CLI for the workspace linter: `simlint check` / `simlint list-rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{check_workspace, RULES};
+
+const USAGE: &str = "usage: simlint <check [--root <path>] | list-rules>
+
+  check       lint every .rs file under src/ and crates/*/src/; exits 1 on
+              any violation not covered by a justified allow comment
+  list-rules  print the active rule set
+
+Suppress a finding with a trailing or preceding comment:
+  // simlint: allow(<rule>[, <rule>...]): <justification>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list-rules") => {
+            for rule in RULES {
+                println!("{:<28} {}", rule.name, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace this binary was built from: two levels above
+    // the simlint crate directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.violations {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if !report.violations.is_empty() {
+        println!();
+    }
+
+    println!("{:<28} {:>10} {:>8}", "rule", "violations", "allowed");
+    for (name, violations, allowed) in report.per_rule_counts() {
+        println!("{name:<28} {violations:>10} {allowed:>8}");
+    }
+    println!(
+        "\nsimlint: {} file(s), {} violation(s), {} allowed",
+        report.files,
+        report.violations.len(),
+        report.allowed.len()
+    );
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

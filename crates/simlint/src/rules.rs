@@ -1,0 +1,758 @@
+//! The rule engine: repo-specific invariants checked over token streams.
+//!
+//! Every rule reports `file:line` findings; a finding is suppressed when a
+//! well-formed `simlint: allow(<rule>)` comment with a justification covers
+//! its line (trailing comments cover their own line, standalone comment
+//! lines cover the next code line). Test code — `#[cfg(test)]` / `#[test]`
+//! items and files under `tests/` (which are never walked) — is exempt from
+//! every rule except allow-hygiene.
+
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+
+/// Crates whose protocol logic feeds message emission order and timing:
+/// nondeterminism here changes simulated wire traffic, breaking the paper's
+/// seed-reproducible `O(√N log N)` / `O(N)` measurements.
+pub const PROTOCOL_CRATES: &[&str] = &["baselines", "core", "netsim", "query"];
+
+/// One diagnostic: a rule fired at a location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Name of the rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Result of checking one file: unsuppressed violations plus the findings an
+/// allow directive covered (reported separately so CI can show both).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings not covered by any allow directive — these fail the build.
+    pub violations: Vec<Finding>,
+    /// Findings covered by a justified allow directive.
+    pub allowed: Vec<Finding>,
+}
+
+/// A lexed source file plus the derived context rules need.
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Crate name (`core`, `netsim`, …; `elink` for the root facade crate).
+    pub krate: String,
+    /// Token stream and allow directives.
+    pub lex: LexedFile,
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes test-code extents.
+    pub fn new(path: &str, src: &str) -> SourceFile {
+        let lex = lex(src);
+        let test_ranges = test_ranges(&lex.tokens);
+        SourceFile {
+            path: path.to_string(),
+            krate: crate_of(path).to_string(),
+            lex,
+            test_ranges,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: self.path.clone(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Crate a workspace-relative path belongs to.
+pub fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        Some("src") => "elink",
+        _ => "",
+    }
+}
+
+/// One lint rule: a name, a one-line summary, and a checker.
+pub struct Rule {
+    /// Stable rule name, as used inside `allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `list-rules` and reports.
+    pub summary: &'static str,
+    /// Emits raw findings (before allow-directive filtering).
+    pub check: fn(&SourceFile, &mut Vec<Finding>),
+}
+
+/// All active rules.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-unordered-iteration",
+        summary: "HashMap/HashSet are banned in protocol crates: iteration order is nondeterministic",
+        check: no_unordered_iteration,
+    },
+    Rule {
+        name: "no-wall-clock-or-ambient-rng",
+        summary: "Instant/SystemTime/thread_rng/std::thread are banned in simulation crates: all time and randomness must flow through the seeded netsim engine",
+        check: no_wall_clock_or_ambient_rng,
+    },
+    Rule {
+        name: "no-panic-in-protocol",
+        summary: "unwrap/expect/panic!/unimplemented!/todo! are banned in core and netsim: injected faults must surface as values, not sim aborts",
+        check: no_panic_in_protocol,
+    },
+    Rule {
+        name: "no-stats-bypass",
+        summary: "direct MessageStats/KindStats construction and raw counter mutation outside netsim/src/stats.rs bypass the CostBook accounting path",
+        check: no_stats_bypass,
+    },
+    Rule {
+        name: "pub-doc-coverage",
+        summary: "every pub fn/struct/enum/trait in library code needs a doc comment",
+        check: pub_doc_coverage,
+    },
+    Rule {
+        name: "allow-hygiene",
+        summary: "every simlint allow directive must parse, name a known rule, and carry a justification",
+        check: allow_hygiene,
+    },
+];
+
+/// Checks one file: runs every rule, then applies allow-directive
+/// suppression.
+pub fn check_file(path: &str, src: &str) -> FileReport {
+    let file = SourceFile::new(path, src);
+    let mut raw = Vec::new();
+    for rule in RULES {
+        (rule.check)(&file, &mut raw);
+    }
+
+    // An allow directive covers (rule, line): its own line when trailing,
+    // else the next line bearing a token.
+    let mut coverage: Vec<(&str, u32)> = Vec::new();
+    for d in &file.lex.allows {
+        if d.rules.is_empty() || d.justification.is_empty() {
+            continue; // malformed: reported by allow-hygiene, suppresses nothing
+        }
+        let line = if d.trailing {
+            Some(d.line)
+        } else {
+            file.lex.tokens.iter().map(|t| t.line).find(|&l| l > d.line)
+        };
+        if let Some(line) = line {
+            for r in &d.rules {
+                if let Some(rule) = RULES.iter().find(|k| k.name == r.as_str()) {
+                    coverage.push((rule.name, line));
+                }
+            }
+        }
+    }
+
+    let mut report = FileReport::default();
+    for f in raw {
+        if coverage.iter().any(|&(r, l)| r == f.rule && l == f.line) {
+            report.allowed.push(f);
+        } else {
+            report.violations.push(f);
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// test-code extents
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (a whole-file
+/// `#![cfg(test)]` yields one unbounded range).
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = tokens.get(j).map(|t| t.text == "!").unwrap_or(false);
+        if inner {
+            j += 1;
+        }
+        if !tokens.get(j).map(|t| t.text == "[").unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, j, "[", "]") else {
+            break;
+        };
+        if attr_is_test(&tokens[j + 1..close]) {
+            if inner {
+                return vec![(1, u32::MAX)];
+            }
+            if let Some(end_line) = item_end_line(tokens, close + 1) {
+                ranges.push((tokens[i].line, end_line));
+            }
+        }
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Whether the tokens inside an attribute's brackets denote test code:
+/// `test`, `cfg(test)`, or `cfg(all(test, …))`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut idents = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str());
+    match idents.next() {
+        Some("test") => true,
+        Some("cfg") => idents.any(|t| t == "test"),
+        _ => false,
+    }
+}
+
+/// Index of the token matching `open` at index `at` (which must hold an
+/// `open` token).
+fn matching(tokens: &[Token], at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(at) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Last line of the item starting at token `start` (past its attributes):
+/// the line of the matching `}` of its body, or of the terminating `;` for
+/// bodiless items.
+fn item_end_line(tokens: &[Token], start: usize) -> Option<u32> {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut k = start;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                let close = matching(tokens, k, "{", "}")?;
+                return Some(tokens[close].line);
+            }
+            ";" if paren == 0 && bracket == 0 => return Some(tokens[k].line),
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// rules
+
+fn no_unordered_iteration(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !PROTOCOL_CRATES.contains(&f.krate.as_str()) {
+        return;
+    }
+    for t in &f.lex.tokens {
+        if t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !f.is_test_line(t.line)
+        {
+            out.push(f.finding(
+                "no-unordered-iteration",
+                t.line,
+                format!(
+                    "`{}` iterates in nondeterministic order; use BTreeMap/BTreeSet or a sorted Vec so message order cannot depend on hashing",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn no_wall_clock_or_ambient_rng(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !PROTOCOL_CRATES.contains(&f.krate.as_str()) {
+        return;
+    }
+    let toks = &f.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || f.is_test_line(t.line) {
+            continue;
+        }
+        let offence = match t.text.as_str() {
+            "Instant" | "SystemTime" => Some("wall-clock time"),
+            "thread_rng" => Some("ambient (unseeded) randomness"),
+            "thread" if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" => {
+                Some("OS threading")
+            }
+            _ => None,
+        };
+        if let Some(what) = offence {
+            out.push(f.finding(
+                "no-wall-clock-or-ambient-rng",
+                t.line,
+                format!(
+                    "`{}` injects {} into the simulation; all time and randomness must flow through the netsim engine and seeded RNGs",
+                    t.text, what
+                ),
+            ));
+        }
+    }
+}
+
+fn no_panic_in_protocol(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !(f.path.starts_with("crates/core/src") || f.path.starts_with("crates/netsim/src")) {
+        return;
+    }
+    let toks = &f.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || f.is_test_line(t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let message = match t.text.as_str() {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => format!(
+                "`.{}()` aborts the simulation on an injected fault; propagate a value/Result or justify the invariant with an allow comment",
+                t.text
+            ),
+            "panic" | "unimplemented" | "todo" if next == Some("!") => format!(
+                "`{}!` aborts the simulation; protocol code must degrade gracefully under injected faults",
+                t.text
+            ),
+            _ => continue,
+        };
+        out.push(f.finding("no-panic-in-protocol", t.line, message));
+    }
+}
+
+fn no_stats_bypass(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == "crates/netsim/src/stats.rs" {
+        return;
+    }
+    const STATS_TYPES: &[&str] = &["MessageStats", "KindStats"];
+    const COUNTERS: &[&str] = &["packets", "cost", "tx_packets", "rx_packets", "tx_cost"];
+    // Tokens a struct literal can legally follow; filters out `-> &Type {`
+    // function signatures.
+    const LITERAL_POSITIONS: &[&str] = &["=", "(", ",", "[", "return", "=>"];
+    let toks = &f.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident && STATS_TYPES.contains(&t.text.as_str()) {
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let constructs = next == Some("::")
+                || (next == Some("{")
+                    && prev
+                        .map(|p| LITERAL_POSITIONS.contains(&p))
+                        .unwrap_or(false));
+            if constructs {
+                out.push(f.finding(
+                    "no-stats-bypass",
+                    t.line,
+                    format!(
+                        "direct `{}` construction bypasses CostBook — record through the engine's Ctx or a CostBook so every cost lands in the unified ledger",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        if t.text == "."
+            && toks
+                .get(i + 1)
+                .map(|n| n.kind == TokenKind::Ident && COUNTERS.contains(&n.text.as_str()))
+                .unwrap_or(false)
+            && toks
+                .get(i + 2)
+                .map(|a| matches!(a.text.as_str(), "=" | "+=" | "-="))
+                .unwrap_or(false)
+        {
+            out.push(f.finding(
+                "no-stats-bypass",
+                toks[i + 1].line,
+                format!(
+                    "raw mutation of counter `{}` bypasses CostBook's recording API",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+fn pub_doc_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
+    // Binaries are not part of the documented API surface.
+    if f.path.ends_with("/main.rs") || f.path.contains("/bin/") {
+        return;
+    }
+    let toks = &f.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "pub") || f.is_test_line(t.line) {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|n| n.text == "(").unwrap_or(false) {
+            continue; // pub(crate)/pub(super): not public API
+        }
+        while toks
+            .get(j)
+            .map(|n| {
+                matches!(n.text.as_str(), "async" | "unsafe" | "const" | "extern")
+                    || n.kind == TokenKind::Literal
+            })
+            .unwrap_or(false)
+        {
+            j += 1;
+        }
+        let Some(item) = toks.get(j) else { continue };
+        if !matches!(item.text.as_str(), "fn" | "struct" | "enum" | "trait") {
+            continue;
+        }
+        if !has_doc(toks, i) {
+            let name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
+            out.push(f.finding(
+                "pub-doc-coverage",
+                t.line,
+                format!("public {} `{}` has no doc comment", item.text, name),
+            ));
+        }
+    }
+}
+
+/// Whether the item whose `pub` sits at token index `i` has a doc comment,
+/// scanning backward over any attributes.
+fn has_doc(toks: &[Token], mut i: usize) -> bool {
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        match toks[i].kind {
+            TokenKind::DocComment => return true,
+            TokenKind::Punct if toks[i].text == "]" => {
+                let mut depth = 1i64;
+                while depth > 0 {
+                    if i == 0 {
+                        return false;
+                    }
+                    i -= 1;
+                    match toks[i].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                if toks[i].text == "!" {
+                    if i == 0 {
+                        return false;
+                    }
+                    i -= 1;
+                }
+                if toks[i].text != "#" {
+                    return false;
+                }
+                // An attribute precedes the item: keep scanning backward.
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn allow_hygiene(f: &SourceFile, out: &mut Vec<Finding>) {
+    for d in &f.lex.allows {
+        if d.rules.is_empty() {
+            out.push(f.finding(
+                "allow-hygiene",
+                d.line,
+                "unparseable simlint directive; expected `simlint: allow(<rule>): <justification>`"
+                    .to_string(),
+            ));
+            continue;
+        }
+        for r in &d.rules {
+            if !RULES.iter().any(|k| k.name == r.as_str()) {
+                out.push(f.finding(
+                    "allow-hygiene",
+                    d.line,
+                    format!("allow names unknown rule `{r}`"),
+                ));
+            }
+        }
+        if d.justification.is_empty() {
+            out.push(f.finding(
+                "allow-hygiene",
+                d.line,
+                format!(
+                    "allow({}) has no justification; explain why the invariant holds here",
+                    d.rules.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(path: &str, src: &str) -> Vec<(String, u32)> {
+        check_file(path, src)
+            .violations
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect()
+    }
+
+    // -- rule 1: no-unordered-iteration ------------------------------------
+
+    #[test]
+    fn unordered_iteration_hits_in_protocol_crate() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(
+            v,
+            vec![
+                ("no-unordered-iteration".to_string(), 1),
+                ("no-unordered-iteration".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn unordered_iteration_ignores_non_protocol_crates_and_tests() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(violations("crates/linalg/src/x.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(violations("crates/core/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_allow_comment_suppresses() {
+        let src = "use std::collections::HashMap; // simlint: allow(no-unordered-iteration): lookup-only memo, order never observed\n";
+        let report = check_file("crates/baselines/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "// simlint: allow(no-unordered-iteration): lookup-only\nuse std::collections::HashMap;\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 2: no-wall-clock-or-ambient-rng ------------------------------
+
+    #[test]
+    fn wall_clock_and_ambient_rng_hit() {
+        let src = "use std::time::Instant;\nfn f() { let _ = rand::thread_rng(); }\nfn g() { std::thread::sleep(d); }\n";
+        let v = violations("crates/netsim/src/x.rs", src);
+        let rules: Vec<&str> = v.iter().map(|(r, _)| r.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec![
+                "no-wall-clock-or-ambient-rng",
+                "no-wall-clock-or-ambient-rng",
+                "no-wall-clock-or-ambient-rng"
+            ]
+        );
+    }
+
+    #[test]
+    fn wall_clock_allow_comment_suppresses() {
+        let src =
+            "use std::time::Instant; // simlint: allow(no-wall-clock-or-ambient-rng): host-side profiling only, never in protocol logic\n";
+        let report = check_file("crates/netsim/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        let src = "use rand::SeedableRng;\nlet rng = StdRng::seed_from_u64(seed);\n";
+        assert!(violations("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    // -- rule 3: no-panic-in-protocol --------------------------------------
+
+    #[test]
+    fn panics_hit_in_core_and_netsim_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { panic!(\"boom\"); }\nfn h(x: Option<u32>) { x.expect(\"inv\"); }\n";
+        let v = violations("crates/core/src/x.rs", src);
+        let rules: Vec<u32> = v
+            .iter()
+            .filter(|(r, _)| r == "no-panic-in-protocol")
+            .map(|&(_, l)| l)
+            .collect();
+        assert_eq!(rules, vec![1, 2, 3]);
+        // Same source in a baselines file: rule does not apply.
+        assert!(violations("crates/baselines/src/x.rs", src)
+            .iter()
+            .all(|(r, _)| r != "no-panic-in-protocol"));
+    }
+
+    #[test]
+    fn unwrap_inside_string_or_test_does_not_hit() {
+        let src = "fn f() { let s = \"unwrap()\"; use_it(s); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(violations("crates/core/src/x.rs", src)
+            .iter()
+            .all(|(r, _)| r != "no-panic-in-protocol"));
+    }
+
+    #[test]
+    fn unwrap_or_and_unwrap_or_default_do_not_hit() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_allow_comment_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"inv\") // simlint: allow(no-panic-in-protocol): checked Some two lines up\n}\n";
+        let report = check_file("crates/netsim/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 4: no-stats-bypass -------------------------------------------
+
+    #[test]
+    fn stats_construction_and_counter_mutation_hit() {
+        let src = "fn f() { let mut s = MessageStats::new(); s.packets += 1; }\nfn g() -> KindStats { KindStats::default() }\n";
+        let v = violations("crates/experiments/src/x.rs", src);
+        let hits: Vec<u32> = v
+            .iter()
+            .filter(|(r, _)| r == "no-stats-bypass")
+            .map(|&(_, l)| l)
+            .collect();
+        assert_eq!(hits, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn stats_type_in_signature_position_does_not_hit() {
+        let src = "fn stats(&self) -> &MessageStats {\n    &self.kinds\n}\nfn take(s: &MessageStats) {}\n";
+        assert!(violations("crates/netsim/src/engine2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stats_rs_itself_is_exempt() {
+        let src = "fn f() { let s = MessageStats::new(); }\n";
+        assert!(violations("crates/netsim/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stats_bypass_allow_comment_suppresses() {
+        let src = "let s = MessageStats::new(); // simlint: allow(no-stats-bypass): compat shim for the legacy analytic path\n";
+        let report = check_file("crates/query/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 5: pub-doc-coverage ------------------------------------------
+
+    #[test]
+    fn undocumented_pub_items_hit() {
+        let src = "pub fn f() {}\npub struct S;\npub enum E { A }\n";
+        let v = violations("crates/metric/src/x.rs", src);
+        let hits: Vec<u32> = v
+            .iter()
+            .filter(|(r, _)| r == "pub-doc-coverage")
+            .map(|&(_, l)| l)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn documented_and_attributed_pub_items_do_not_hit() {
+        let src = "/// Docs.\npub fn f() {}\n/// Docs.\n#[derive(Debug, Clone)]\npub struct S;\n/// Docs.\n#[repr(u8)]\n#[derive(Debug)]\npub enum E { A }\n";
+        assert!(violations("crates/metric/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn private_and_crate_visible_items_do_not_hit() {
+        let src = "fn f() {}\npub(crate) fn g() {}\npub(super) struct H;\n";
+        assert!(violations("crates/metric/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_doc_coverage() {
+        let src = "pub fn undocumented() {}\n";
+        assert!(violations("crates/experiments/src/bin/fig09.rs", src).is_empty());
+        assert!(violations("crates/simlint/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_coverage_allow_comment_suppresses() {
+        let src = "// simlint: allow(pub-doc-coverage): generated trampoline, documented at the call site\npub fn f() {}\n";
+        let report = check_file("crates/metric/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 6: allow-hygiene ---------------------------------------------
+
+    #[test]
+    fn allow_without_justification_is_flagged_and_suppresses_nothing() {
+        let src = "use std::collections::HashMap; // simlint: allow(no-unordered-iteration)\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        let rules: Vec<&str> = report.violations.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"allow-hygiene"));
+        assert!(rules.contains(&"no-unordered-iteration"));
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_flagged() {
+        let src = "fn f() {} // simlint: allow(no-such-rule): because\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "allow-hygiene");
+    }
+
+    // -- infrastructure ----------------------------------------------------
+
+    #[test]
+    fn crate_of_resolves_paths() {
+        assert_eq!(crate_of("crates/core/src/protocol.rs"), "core");
+        assert_eq!(crate_of("crates/netsim/src/stats.rs"), "netsim");
+        assert_eq!(crate_of("src/lib.rs"), "elink");
+    }
+
+    #[test]
+    fn whole_file_cfg_test_is_exempt() {
+        let src = "#![cfg(test)]\nuse std::collections::HashMap;\nfn f() { Some(1).unwrap(); }\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_fn_attribute_without_cfg_mod_is_exempt() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\nfn live() { Some(1).unwrap(); }\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(v, vec![("no-panic-in-protocol".to_string(), 3)]);
+    }
+}
