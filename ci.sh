@@ -12,7 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== simlint (determinism & protocol-purity invariants)"
 cargo run -q -p simlint -- check
 
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test"
 cargo test -q --workspace
+
+echo "== bench_report --check (deterministic bench harness smoke)"
+cargo run --release -q -p elink-bench --bin bench_report -- --check --out target/BENCH_elink.json
 
 echo "ci.sh: all green"

@@ -16,6 +16,10 @@
 //!   4-vector `(α₁, β₁, β₂, β₃)` with distance weights `(0.5, 0.3, 0.2,
 //!   0.1)`.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod ar;
 pub mod arma;
 pub mod rls;

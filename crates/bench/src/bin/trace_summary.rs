@@ -1,0 +1,164 @@
+//! Renders a `JsonlTrace` event log as per-node send/deliver/drop tables.
+//!
+//! ```text
+//! trace_summary FILE.jsonl     # summarize an existing trace
+//! trace_summary --demo         # run a small lossy flood and summarize it
+//! ```
+//!
+//! The input is the JSON Lines format emitted by
+//! [`elink_netsim::JsonlTrace`]: one object per line with `t`, `ev`
+//! (`send`/`deliver`/`drop`/`timer`) and the event's node fields.
+
+use elink_netsim::{Ctx, JsonlTrace, LossyLink, Protocol, SimNetwork, Simulator};
+use std::sync::{Arc, Mutex};
+
+/// Per-node event tallies extracted from a trace.
+#[derive(Default, Clone, Copy)]
+struct NodeRow {
+    sends: u64,
+    delivers: u64,
+    drops: u64,
+    timers: u64,
+}
+
+/// Extracts `"key":<digits>` from one JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let idx = line.find(&pat)? + pat.len();
+    let rest = &line[idx..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":"<value>"` from one JSONL line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let idx = line.find(&pat)? + pat.len();
+    let rest = &line[idx..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Tallies a trace: sends charged to the origin, delivers to the receiver,
+/// drops to the origin, timers to the firing node.
+fn summarize(text: &str) -> (Vec<NodeRow>, u64, u64) {
+    fn at(rows: &mut Vec<NodeRow>, node: u64) -> &mut NodeRow {
+        let node = node as usize;
+        if rows.len() <= node {
+            rows.resize(node + 1, NodeRow::default());
+        }
+        &mut rows[node]
+    }
+    let mut rows: Vec<NodeRow> = Vec::new();
+    let (mut total, mut bad) = (0u64, 0u64);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        total += 1;
+        let ev = field_str(line, "ev");
+        let ok = match ev {
+            Some("send") => field_u64(line, "from")
+                .map(|f| at(&mut rows, f).sends += 1)
+                .is_some(),
+            Some("deliver") => field_u64(line, "to")
+                .map(|t| at(&mut rows, t).delivers += 1)
+                .is_some(),
+            Some("drop") => field_u64(line, "from")
+                .map(|f| at(&mut rows, f).drops += 1)
+                .is_some(),
+            Some("timer") => field_u64(line, "node")
+                .map(|n| at(&mut rows, n).timers += 1)
+                .is_some(),
+            _ => false,
+        };
+        if !ok {
+            bad += 1;
+        }
+    }
+    (rows, total, bad)
+}
+
+fn render(rows: &[NodeRow], total: u64, bad: u64) {
+    println!(
+        "{:>5} {:>8} {:>10} {:>7} {:>7}",
+        "node", "sends", "delivers", "drops", "timers"
+    );
+    let mut sum = NodeRow::default();
+    for (node, r) in rows.iter().enumerate() {
+        if r.sends + r.delivers + r.drops + r.timers == 0 {
+            continue;
+        }
+        println!(
+            "{:>5} {:>8} {:>10} {:>7} {:>7}",
+            node, r.sends, r.delivers, r.drops, r.timers
+        );
+        sum.sends += r.sends;
+        sum.delivers += r.delivers;
+        sum.drops += r.drops;
+        sum.timers += r.timers;
+    }
+    println!(
+        "{:>5} {:>8} {:>10} {:>7} {:>7}",
+        "total", sum.sends, sum.delivers, sum.drops, sum.timers
+    );
+    eprintln!("{total} events ({bad} unparseable)");
+}
+
+/// A one-shot flood: node 0 broadcasts, every node rebroadcasts once.
+struct Flood {
+    seen: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = u8;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+        if ctx.id() == 0 {
+            self.seen = true;
+            ctx.broadcast_neighbors(&0u8, "flood", 1);
+        }
+    }
+    fn on_message(&mut self, _from: usize, msg: u8, ctx: &mut Ctx<'_, u8>) {
+        if !self.seen {
+            self.seen = true;
+            ctx.broadcast_neighbors(&msg, "flood", 1);
+        }
+    }
+}
+
+/// Runs a lossy flood over a 4×4 grid with a `JsonlTrace` attached and
+/// returns the captured log.
+fn demo_trace() -> String {
+    let topo = elink_topology::Topology::grid(4, 4);
+    let n = topo.n();
+    let nodes: Vec<Flood> = (0..n).map(|_| Flood { seen: false }).collect();
+    let link = LossyLink::new(1, 2).with_drop_prob(0.15);
+    let sink = Arc::new(Mutex::new(JsonlTrace::new(Vec::new())));
+    let mut sim = Simulator::new(SimNetwork::new(topo), link, 42, nodes);
+    sim.set_trace(Arc::clone(&sink));
+    sim.run_to_completion();
+    let log = sink.lock().unwrap().writer().clone();
+    String::from_utf8(log).expect("trace output is UTF-8")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first().map(String::as_str) {
+        Some("--demo") => {
+            eprintln!("demo: lossy flood on a 4x4 grid (seed 42, drop 0.15)");
+            demo_trace()
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("usage: trace_summary FILE.jsonl | trace_summary --demo");
+            std::process::exit(2);
+        }
+    };
+    let (rows, total, bad) = summarize(&text);
+    render(&rows, total, bad);
+}

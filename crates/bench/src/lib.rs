@@ -1,4 +1,6 @@
-//! Benchmark-only crate: see the `benches/` directory.
+//! Benchmarks and the machine-readable perf harness.
+//!
+//! Criterion benchmarks live in `benches/`:
 //!
 //! * `figures` — one Criterion benchmark per paper figure (quick presets of
 //!   the `elink-experiments` harness).
@@ -8,3 +10,17 @@
 //! * `query_processing` — range/path query and index-build benchmarks.
 //! * `substrates` — simulator event throughput, routing-table builds,
 //!   AR/RLS fitting, spectral embedding.
+//!
+//! The [`report`] module backs two dev binaries:
+//!
+//! * `bench_report` — runs quick experiment presets and writes
+//!   `BENCH_elink.json` (`--check` verifies same-seed determinism);
+//! * `trace_summary` — renders a [`elink_netsim::JsonlTrace`] event log as
+//!   per-node send/deliver/drop tables.
+//!
+//! This crate is deliberately outside simlint's protocol-crate set: it is
+//! the one place in the workspace allowed to measure host wall-clock.
+
+#![warn(missing_docs)]
+
+pub mod report;

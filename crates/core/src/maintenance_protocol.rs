@@ -150,6 +150,8 @@ impl MaintNode {
             debug_assert!(false, "non-root {} lost its parent", ctx.id());
             return;
         };
+        // Metrics: fetch round-trip envelope — [first request, last reply].
+        ctx.phase_enter("maint.fetch");
         ctx.send(
             parent,
             MaintMsg::FetchRequest { origin: ctx.id() },
@@ -171,6 +173,8 @@ impl MaintNode {
             self.start_merge(new_feature, ctx);
             return;
         }
+        // Metrics: root-drift broadcast envelope — [release, last receipt].
+        ctx.phase_enter("maint.root_bcast");
         let dim = self.dim();
         for &c in &self.tree_children.clone() {
             ctx.send(
@@ -194,6 +198,8 @@ impl MaintNode {
             awaiting: neighbors.len(),
             candidates: Vec::new(),
         });
+        // Metrics: merge-round envelope — [first probe, merge decision].
+        ctx.phase_enter("maint.merge");
         for w in neighbors {
             ctx.send(w, MaintMsg::RootQuery, "maint_merge", 1);
         }
@@ -203,6 +209,7 @@ impl MaintNode {
         let Some(pending) = self.pending_merge.take() else {
             return;
         };
+        ctx.phase_exit("maint.merge");
         let me = ctx.id();
         // Candidates arrive in neighbor order (sync network preserves the
         // send order); pick the first whose root is within δ, excluding our
@@ -269,6 +276,7 @@ impl Protocol for MaintNode {
             }
             MaintMsg::FetchReply { origin, feature } => {
                 if origin == ctx.id() {
+                    ctx.phase_exit("maint.fetch");
                     self.cached_root_feature = feature.clone();
                     let Some(new_feature) = self.pending_update.take() else {
                         // Duplicate or stale reply: the update already
@@ -368,6 +376,7 @@ impl Protocol for MaintNode {
                 );
             }
             MaintMsg::NewRootFeature(f) => {
+                ctx.phase_exit("maint.root_bcast");
                 self.cached_root_feature = f.clone();
                 let d = self.metric.distance(&self.feature, &f);
                 let dim = self.dim();
@@ -395,6 +404,10 @@ impl Protocol for MaintNode {
                 }
             }
             MaintMsg::ParentDetached => {
+                // Metrics: detach cascades have no single initiator-side
+                // bracket; the envelope stretches at every hop.
+                ctx.phase_enter("maint.detach");
+                ctx.phase_exit("maint.detach");
                 // Become the root of this subtree and announce downward.
                 self.tree_parent = None;
                 self.root = ctx.id();
@@ -414,6 +427,7 @@ impl Protocol for MaintNode {
                 }
             }
             MaintMsg::DetachedRoot { root, feature } => {
+                ctx.phase_exit("maint.detach");
                 self.root = root;
                 self.cached_root_feature = feature.clone();
                 let dim = self.dim();

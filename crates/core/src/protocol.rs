@@ -110,6 +110,27 @@ const TIMER_SCHEDULE: u64 = 0;
 const TIMER_START_BASE: u64 = 1 << 40;
 const TIMER_LEAF_BASE: u64 = 1;
 
+/// Phase names for the per-level cluster-growth spans recorded in the
+/// metrics registry (keys must be `&'static str`; deep levels share one
+/// bucket — quadtree depth is `O(log₄ N)`, so 8 named levels cover every
+/// practical run).
+const GROWTH_PHASES: [&str; 9] = [
+    "growth.l0",
+    "growth.l1",
+    "growth.l2",
+    "growth.l3",
+    "growth.l4",
+    "growth.l5",
+    "growth.l6",
+    "growth.l7",
+    "growth.l8plus",
+];
+
+/// The growth-phase name for a sentinel level.
+fn growth_phase(level: usize) -> &'static str {
+    GROWTH_PHASES[level.min(GROWTH_PHASES.len() - 1)]
+}
+
 /// Per-cluster bookkeeping for the explicit completion waves.
 #[derive(Debug, Clone)]
 struct Subtree {
@@ -235,6 +256,9 @@ impl ElinkNode {
             return;
         }
         let id = ctx.id();
+        // Metrics: a sentinel actually expanding opens (or stretches) the
+        // level's growth envelope — [first expansion start, last join].
+        ctx.phase_enter(growth_phase(level));
         self.clustered = true;
         self.root = id;
         self.root_feature = self.feature.clone();
@@ -306,8 +330,11 @@ impl ElinkNode {
         self.joined_level = level;
         self.parent = from;
         self.ever_joined.insert(root);
+        // Metrics: every join stretches the level's growth envelope.
+        ctx.phase_exit(growth_phase(level));
 
         if self.mode == SignalMode::Explicit {
+            ctx.phase_enter("sync.acks");
             ctx.send(from, ElinkMsg::Ack1 { root }, "ack1", 1);
             self.subtrees.insert(
                 root,
@@ -356,6 +383,9 @@ impl ElinkNode {
     /// synchronization (Fig 18 `phase 1`), or start the next level directly
     /// when this is the root cell.
     fn sentinel_complete(&mut self, cell: CellId, ctx: &mut Ctx<'_, ElinkMsg>) {
+        // Metrics: the quadtree synchronization envelope opens at the first
+        // completion report and closes at the last aligned start receipt.
+        ctx.phase_enter("sync.quadtree");
         let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
             // A sentinel completion for a cell this node does not lead can
             // only arise from a misrouted or stale message; drop it rather
@@ -424,6 +454,7 @@ impl ElinkNode {
     /// same-level sentinel therefore begins at the same tick, matching the
     /// implicit schedule (§8.4: both variants output the same clusters).
     fn handle_start(&mut self, cell: CellId, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
+        ctx.phase_exit("sync.quadtree");
         let budget = self.start_budget();
         let wait = budget.saturating_sub(elapsed) * ctx.max_hop_delay();
         ctx.set_timer(wait, TIMER_START_BASE + cell as u64);
@@ -565,6 +596,7 @@ impl Protocol for ElinkNode {
                 }
             }
             ElinkMsg::Ack2 { root } => {
+                ctx.phase_exit("sync.acks");
                 if let Some(sub) = self.subtrees.get_mut(&root) {
                     sub.pending_children = sub.pending_children.saturating_sub(1);
                 }

@@ -5,17 +5,22 @@ use crate::config::ElinkConfig;
 use crate::protocol::{ElinkNode, SignalMode};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{CostBook, DelayModel, LinkModel, SimNetwork, SimTime, Simulator};
+use elink_netsim::{CostBook, DelayModel, LinkModel, Metrics, SimNetwork, SimTime, Simulator};
 use std::sync::Arc;
 
-/// Result of an ELink run: the clustering, the message bill and the
-/// simulated completion time.
+/// Result of an ELink run: the clustering, the message bill, the observability
+/// registry and the simulated completion time.
 #[derive(Debug, Clone)]
 pub struct ElinkOutcome {
     /// The extracted (validated-shape) clustering.
     pub clustering: Clustering,
     /// Message statistics (per kind and total; §8.2 cost model).
     pub costs: CostBook,
+    /// Observability registry: per-level growth phase envelopes
+    /// (`growth.l*`), synchronization phases (`sync.*`), hop histograms and
+    /// drop counters accumulated during the run (see
+    /// [`elink_netsim::metrics`]).
+    pub metrics: Metrics,
     /// Simulated time at which the protocol quiesced.
     pub elapsed: SimTime,
 }
@@ -53,16 +58,25 @@ pub fn run_with_link(
         .collect();
     let mut sim = Simulator::new(network.clone(), link, seed, nodes);
     let elapsed = sim.run_to_completion();
+    let mut metrics = sim.take_metrics();
     let states: Vec<_> = sim
         .nodes()
         .iter()
         .enumerate()
         .map(|(id, node)| node.cluster_state(id))
         .collect();
-    let clustering = Clustering::from_node_states(&states, topo, metric.as_ref());
+    // Host-side extraction happens "at" quiescence in simulated time: a
+    // zero-width span whose entry marks the extraction ran exactly once.
+    let clustering = {
+        let _guard = metrics.enter_phase("host.extract", elapsed);
+        Clustering::from_node_states(&states, topo, metric.as_ref())
+    };
+    metrics.phase_enter("run", 0);
+    metrics.phase_exit("run", elapsed);
     ElinkOutcome {
         clustering,
         costs: sim.costs().clone(),
+        metrics,
         elapsed,
     }
 }
@@ -248,6 +262,53 @@ mod tests {
             10.0,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn outcome_metrics_carry_phase_envelopes() {
+        let (net, features) = two_zone();
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(10.0),
+        );
+        // The whole-run phase spans [0, elapsed].
+        let run = outcome.metrics.phase("run").expect("run phase recorded");
+        assert_eq!(run.entries, 1);
+        assert_eq!(run.span(), outcome.elapsed);
+        // At least one growth level ran, and its envelope fits in the run.
+        let growth: Vec<_> = outcome
+            .metrics
+            .phases()
+            .filter(|(name, _)| name.starts_with("growth."))
+            .collect();
+        assert!(!growth.is_empty(), "no growth phases recorded");
+        for (name, stats) in growth {
+            assert!(stats.entries > 0, "{name} has no entries");
+            assert!(stats.last_exit <= outcome.elapsed);
+        }
+        // Host-side extraction ran exactly once, at quiescence.
+        let extract = outcome.metrics.phase("host.extract").unwrap();
+        assert_eq!(extract.entries, 1);
+        assert_eq!(extract.span(), 0);
+    }
+
+    #[test]
+    fn explicit_mode_records_sync_phases() {
+        let (net, features) = two_zone();
+        let outcome = run_explicit(
+            &net,
+            &features,
+            Arc::new(Absolute),
+            ElinkConfig::for_delta(10.0),
+            DelayModel::Sync,
+            0,
+        );
+        // Implicit mode has no synchronization messages; explicit mode must
+        // record both the ack wave and the quadtree wave.
+        assert!(outcome.metrics.phase("sync.acks").is_some());
+        assert!(outcome.metrics.phase("sync.quadtree").is_some());
     }
 
     #[test]

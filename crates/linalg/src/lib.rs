@@ -14,6 +14,10 @@
 //!
 //! Everything is implemented from scratch; no external BLAS.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod cholesky;
 pub mod eigen;
 pub mod kmeans;

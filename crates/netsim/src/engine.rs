@@ -9,6 +9,7 @@
 //! down and resumes on recovery).
 
 use crate::link::{HopOutcome, LinkModel};
+use crate::metrics::Metrics;
 use crate::stats::{CostBook, MessageStats};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
 use elink_topology::{RoutingTable, Topology};
@@ -114,6 +115,7 @@ struct Core<M> {
     seq: u64,
     queue: BinaryHeap<Reverse<Event<M>>>,
     costs: CostBook,
+    metrics: Metrics,
     link: Box<dyn LinkModel>,
     trace: Option<Box<dyn TraceSink>>,
     rng: rand::rngs::StdRng,
@@ -208,6 +210,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                     .push(now + delay, to, EventKind::Deliver { from, msg });
             }
             HopOutcome::Drop => {
+                self.core.metrics.inc("net.drops.loss");
                 self.core.trace(TraceEvent::Drop {
                     time: now,
                     from,
@@ -245,9 +248,12 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 .push(now, dst, EventKind::Deliver { from: src, msg });
             return true;
         }
-        if self.core.network.routing().hops(src, dst).is_none() {
+        let Some(route_hops) = self.core.network.routing().hops(src, dst) else {
             return false;
-        }
+        };
+        self.core
+            .metrics
+            .observe("net.unicast_hops", route_hops as u64);
         self.core.trace(TraceEvent::Send {
             time: now,
             from: src,
@@ -274,6 +280,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                         return true;
                     }
                     if !self.core.link.is_alive(next, t) {
+                        self.core.metrics.inc("net.drops.node_down");
                         self.core.trace(TraceEvent::Drop {
                             time: t,
                             from: src,
@@ -286,6 +293,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                     cur = next;
                 }
                 HopOutcome::Drop => {
+                    self.core.metrics.inc("net.drops.loss");
                     self.core.trace(TraceEvent::Drop {
                         time: t,
                         from: src,
@@ -316,6 +324,27 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// (e.g. result aggregation sizes).
     pub fn charge(&mut self, kind: &'static str, hops: u64, scalars: u64) {
         self.core.costs.record(kind, hops, scalars);
+    }
+
+    /// The run's [`Metrics`] registry, for protocol-level counters and
+    /// histograms beyond the phase helpers below.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Records a phase-enter event for `name` at the current simulated time
+    /// (see [`Metrics::phase_enter`]). Protocols mark phase boundaries with
+    /// this so per-phase spans land in the run's registry.
+    pub fn phase_enter(&mut self, name: &'static str) {
+        let now = self.core.now;
+        self.core.metrics.phase_enter(name, now);
+    }
+
+    /// Records a phase-exit (or activity) event for `name` at the current
+    /// simulated time (see [`Metrics::phase_exit`]).
+    pub fn phase_exit(&mut self, name: &'static str) {
+        let now = self.core.now;
+        self.core.metrics.phase_exit(name, now);
     }
 }
 
@@ -356,6 +385,7 @@ impl<P: Protocol> Simulator<P> {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 costs: CostBook::with_nodes(n),
+                metrics: Metrics::new(),
                 link: link.into(),
                 trace: None,
                 rng: rand::rngs::StdRng::seed_from_u64(seed),
@@ -428,6 +458,7 @@ impl<P: Protocol> Simulator<P> {
                 EventKind::Deliver { from, .. } => *from,
                 _ => node,
             };
+            self.core.metrics.inc("net.drops.node_down");
             self.core.trace(TraceEvent::Drop {
                 time: event.time,
                 from,
@@ -486,6 +517,25 @@ impl<P: Protocol> Simulator<P> {
     /// The full cost book: per-kind aggregates plus per-node tx/rx tallies.
     pub fn costs(&self) -> &CostBook {
         &self.core.costs
+    }
+
+    /// The run's metrics registry: phase spans, counters and histograms
+    /// recorded by the engine (`net.unicast_hops`, drop counters) and by
+    /// protocols through [`Ctx::metrics`]/[`Ctx::phase_enter`].
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Mutable registry access, for harness-level phases recorded between
+    /// [`Simulator::run_until`] segments.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Extracts the registry, leaving an empty one behind — the cheap way
+    /// for a runner to move metrics into its outcome struct.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.core.metrics)
     }
 
     /// Whether `node` is up at the current simulated time.
@@ -889,6 +939,84 @@ mod tests {
         assert_eq!(trace.sends, 2);
         assert_eq!(trace.drops, 2);
         assert_eq!(trace.delivers, 0);
+    }
+
+    /// Regression pin for the multi-hop accounting contract (see
+    /// [`crate::trace::CountingTrace`] and [`CostBook`] docs): on a 1×4
+    /// line, a unicast 0 → 3 traverses 3 hops. The trace observes ONE
+    /// `Send` (per logical message) and ONE `Deliver`; the cost book bills
+    /// THREE packets (per link-level transmission: origin + two relays).
+    #[test]
+    fn multi_hop_contract_trace_per_message_book_per_hop() {
+        let shared = Arc::new(Mutex::new(CountingTrace::new()));
+        let network = SimNetwork::new(Topology::grid(1, 4));
+        let nodes = (0..4).map(|_| Uni { got: false }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.set_trace(Arc::clone(&shared));
+        sim.run_to_completion();
+        assert!(sim.nodes()[3].got);
+        let trace = *shared.lock().unwrap();
+        assert_eq!(trace.sends, 1, "trace counts logical messages");
+        assert_eq!(trace.delivers, 1, "relays do not re-trace delivery");
+        assert_eq!(
+            sim.costs().kind("uni").packets,
+            3,
+            "cost book bills every link-level transmission"
+        );
+        // Per-node ledger: origin + both relays each paid one tx.
+        for v in 0..3 {
+            assert_eq!(sim.costs().node(v).tx_packets, 1, "tx of {v}");
+        }
+        assert_eq!(sim.costs().node(3).tx_packets, 0);
+    }
+
+    #[test]
+    fn engine_metrics_record_unicast_hop_histogram() {
+        let network = SimNetwork::new(Topology::grid(4, 4));
+        let nodes = (0..16).map(|_| Uni { got: false }).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_to_completion();
+        let h = sim.metrics().histogram("net.unicast_hops").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 6); // 0 -> 15 on a 4x4 grid
+    }
+
+    #[test]
+    fn engine_metrics_count_drops_by_reason() {
+        let mut sim = flood_sim(LossyLink::new(1, 1).with_drop_prob(1.0), 0);
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("net.drops.loss"), 2);
+        assert_eq!(sim.metrics().counter("net.drops.node_down"), 0);
+    }
+
+    #[test]
+    fn ctx_phase_marks_land_in_simulator_metrics() {
+        struct Phased;
+        impl Protocol for Phased {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.phase_enter("work");
+                ctx.set_timer(7, 1);
+            }
+            fn on_message(&mut self, _f: usize, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, ()>) {
+                ctx.phase_exit("work");
+                ctx.metrics().inc("work.done");
+            }
+        }
+        let network = SimNetwork::new(Topology::grid(1, 2));
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, vec![Phased, Phased]);
+        let elapsed = sim.run_to_completion();
+        let p = *sim.metrics().phase("work").unwrap();
+        assert_eq!(p.entries, 2);
+        assert_eq!((p.first_enter, p.last_exit), (0, 7));
+        assert_eq!(p.last_exit, elapsed);
+        assert_eq!(sim.metrics().counter("work.done"), 2);
+        // take_metrics drains the registry.
+        let mut sim2 = sim;
+        let taken = sim2.take_metrics();
+        assert_eq!(taken.counter("work.done"), 2);
+        assert!(sim2.metrics().is_empty());
     }
 
     #[test]

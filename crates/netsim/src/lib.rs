@@ -12,21 +12,23 @@
 //!                Protocol impls (ElinkNode, MaintNode, SfNode, ...)
 //!                      │  on_start / on_message / on_timer
 //!                      ▼
-//!  ┌──────────────────────────────────────────────────────────────┐
-//!  │ engine   event queue + run loop; Ctx handle (send, unicast,  │
-//!  │          broadcast_neighbors, timers, neighbors &[u32])      │
-//!  └────┬──────────────────┬──────────────────────┬───────────────┘
-//!       │ hop()/is_alive() │ record_tx/record_rx  │ every event
-//!       ▼                  ▼                      ▼
-//!  ┌──────────┐      ┌───────────┐         ┌─────────────┐
-//!  │ link     │      │ stats     │         │ trace       │
-//!  │ SyncLink │      │ CostBook  │         │ TraceSink   │
-//!  │ AsyncUni…│      │ ├ per-kind│         │ ├ RingBuffer│
-//!  │ LossyLink│      │ │ (§8.2)  │         │ └ Counting  │
-//!  │ (+crash, │      │ └ per-node│         │  (optional) │
-//!  │  loss,   │      │   tx/rx/  │         └─────────────┘
-//!  │  partition)     │   energy  │
-//!  └──────────┘      └───────────┘
+//!  ┌──────────────────────────────────────────────────────────────────┐
+//!  │ engine   event queue + run loop; Ctx handle (send, unicast,      │
+//!  │          broadcast_neighbors, timers, neighbors &[u32],         │
+//!  │          metrics/phase_enter/phase_exit)                        │
+//!  └────┬──────────────┬────────────────┬───────────────┬────────────┘
+//!       │ hop()/       │ record_tx/     │ every event   │ counters,
+//!       │ is_alive()   │ record_rx      │               │ histograms,
+//!       ▼              ▼                ▼               ▼ phase spans
+//!  ┌──────────┐  ┌───────────┐   ┌─────────────┐  ┌─────────────┐
+//!  │ link     │  │ stats     │   │ trace       │  │ metrics     │
+//!  │ SyncLink │  │ CostBook  │   │ TraceSink   │  │ Metrics     │
+//!  │ AsyncUni…│  │ ├ per-kind│   │ ├ RingBuffer│  │ ├ Histogram │
+//!  │ LossyLink│  │ │ (§8.2)  │   │ ├ Counting  │  │ └ PhaseStats│
+//!  │ (+crash, │  │ └ per-node│   │ └ Jsonl     │  │  (sim-time  │
+//!  │  loss,   │  │   tx/rx/  │   │  (optional) │  │   only)     │
+//!  │  partition)  │   energy  │   └─────────────┘  └─────────────┘
+//!  └──────────┘  └───────────┘
 //! ```
 //!
 //! * [`engine`] owns the event queue and dispatch loop. Protocols implement
@@ -45,8 +47,17 @@
 //!   non-protocol baselines, §6 maintenance) record through the same API, so
 //!   simulated and analytic bills merge and report identically.
 //! * [`trace`] is an optional observer: a [`TraceSink`] receives every
-//!   send/deliver/drop/timer event for tests ([`RingBufferTrace`]) or cheap
-//!   experiment instrumentation ([`CountingTrace`]).
+//!   send/deliver/drop/timer event for tests ([`RingBufferTrace`]), cheap
+//!   experiment instrumentation ([`CountingTrace`]), or offline analysis
+//!   ([`JsonlTrace`] streams JSON Lines). Traces count per *logical
+//!   message*; `CostBook` bills per *hop* — see the [`trace`] module docs
+//!   for the contract.
+//! * [`metrics`] is the deterministic observability registry: named
+//!   counters, gauges, [`Histogram`]s (e.g. `net.unicast_hops`) and
+//!   [`PhaseStats`] simulated-time phase envelopes, fed by the engine and
+//!   by protocols via [`Ctx::metrics`]/[`Ctx::phase_enter`]. Everything is
+//!   `BTreeMap`-backed and free of wall-clock, so same-seed runs produce
+//!   byte-identical registries.
 //!
 //! # Drop & crash semantics
 //!
@@ -62,10 +73,12 @@
 
 pub mod engine;
 pub mod link;
+pub mod metrics;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{Ctx, Protocol, SimNetwork, SimTime, Simulator};
 pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
+pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
 pub use stats::{CostBook, KindStats, MessageStats, NodeStats};
-pub use trace::{CountingTrace, DropReason, RingBufferTrace, TraceEvent, TraceSink};
+pub use trace::{CountingTrace, DropReason, JsonlTrace, RingBufferTrace, TraceEvent, TraceSink};

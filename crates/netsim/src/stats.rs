@@ -107,6 +107,16 @@ impl NodeStats {
 /// with [`CostBook::new`] track aggregates only; [`CostBook::with_nodes`]
 /// adds the per-node ledger the engine fills in.
 ///
+/// # Granularity: per hop, not per message
+///
+/// The book bills one transmission per *hop*: a unicast relayed over three
+/// links records `packets == 3` for its kind, and each relay's
+/// [`NodeStats::tx_packets`] is charged — §8.2 counts every radio that
+/// fires. The trace layer counts the same unicast ONCE (one logical
+/// `Send`, one `Deliver`); see the [`trace`](crate::trace) module docs for
+/// the full contract and the engine regression test that pins both
+/// numbers.
+///
 /// ```
 /// let mut book = elink_netsim::CostBook::new();
 /// book.record("rq_route", 3, 4);

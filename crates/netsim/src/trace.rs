@@ -1,14 +1,36 @@
 //! Optional observer layer: engine-level event traces.
 //!
 //! A [`TraceSink`] attached via `Simulator::set_trace` receives every
-//! send/deliver/drop/timer event the engine processes. Two implementations
-//! cover the common cases: [`RingBufferTrace`] keeps the last `N` events for
-//! test assertions, [`CountingTrace`] keeps only totals for cheap
-//! experiment-scale instrumentation. Wrap a sink in `Arc<Mutex<_>>` to keep
-//! a handle for inspection after the simulator takes ownership.
+//! send/deliver/drop/timer event the engine processes. Three
+//! implementations cover the common cases: [`RingBufferTrace`] keeps the
+//! last `N` events for test assertions, [`CountingTrace`] keeps only totals
+//! for cheap experiment-scale instrumentation, and [`JsonlTrace`] streams
+//! every event as one JSON object per line for offline analysis (the
+//! `trace_summary` binary in `elink-bench` renders such logs as per-node
+//! tables). Wrap a sink in `Arc<Mutex<_>>` to keep a handle for inspection
+//! after the simulator takes ownership.
+//!
+//! # Granularity contract: traces vs the cost book
+//!
+//! The trace layer and [`CostBook`](crate::CostBook) deliberately count at
+//! **different granularities**, and both are correct:
+//!
+//! * the engine emits ONE [`TraceEvent::Send`] per *logical message* — a
+//!   multi-hop unicast traces a single `Send` at the origin (and a single
+//!   `Deliver` at the destination), never one per relay;
+//! * the cost book bills ONE transmission per *hop* — the same unicast
+//!   books `hops` packets, one for each radio that fired (§8.2 charges the
+//!   transmitting side of every link).
+//!
+//! So on a 3-hop line, one unicast yields `CountingTrace { sends: 1,
+//! delivers: 1, .. }` but `costs().kind(k).packets == 3`. Use traces to
+//! reason about protocol-level message flow, the cost book to reason about
+//! radio energy and the paper's message-cost metric; the engine test
+//! `multi_hop_contract_trace_per_message_book_per_hop` pins both numbers.
 
 use crate::engine::SimTime;
 use std::collections::VecDeque;
+use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 /// Why the engine dropped a message or timer.
@@ -122,9 +144,15 @@ impl TraceSink for RingBufferTrace {
 }
 
 /// Counts events by category; constant memory.
+///
+/// Counts are per *logical message*, not per hop: a multi-hop unicast
+/// contributes one send and one deliver however many relays it crosses,
+/// whereas `CostBook` bills each relay transmission (see the
+/// [module docs](self) for the full contract).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingTrace {
-    /// Transmissions started.
+    /// Logical messages sent (one per `Ctx::send`/`Ctx::unicast`, not per
+    /// hop).
     pub sends: u64,
     /// Messages delivered to protocol callbacks.
     pub delivers: u64,
@@ -148,6 +176,118 @@ impl TraceSink for CountingTrace {
             TraceEvent::Deliver { .. } => self.delivers += 1,
             TraceEvent::Drop { .. } => self.drops += 1,
             TraceEvent::Timer { .. } => self.timers += 1,
+        }
+    }
+}
+
+/// Streams every event as one JSON object per line (JSON Lines) to any
+/// [`Write`] target, for offline analysis or the `trace_summary` binary.
+///
+/// Line schema (`t` is simulated time):
+///
+/// ```text
+/// {"t":0,"ev":"send","from":0,"to":3}
+/// {"t":2,"ev":"deliver","from":0,"to":3}
+/// {"t":4,"ev":"drop","from":1,"to":2,"reason":"loss"}
+/// {"t":5,"ev":"timer","node":1,"id":7}
+/// ```
+///
+/// Write failures never panic (the engine forbids panics in this crate);
+/// they are tallied in [`write_errors`](Self::write_errors) and the sink
+/// keeps accepting events.
+///
+/// # Example
+///
+/// Attach to a simulator through the shared-handle adapter and read the
+/// log back after the run:
+///
+/// ```
+/// use elink_netsim::{JsonlTrace, TraceEvent, TraceSink};
+/// use std::sync::{Arc, Mutex};
+///
+/// let sink = Arc::new(Mutex::new(JsonlTrace::new(Vec::new())));
+/// let mut handle = Arc::clone(&sink);
+/// // A simulator would do this on every event: sim.set_trace(handle).
+/// handle.record(TraceEvent::Send { time: 0, from: 0, to: 3 });
+/// handle.record(TraceEvent::Timer { time: 5, node: 1, id: 7 });
+///
+/// let log = sink.lock().unwrap().writer().clone();
+/// let text = String::from_utf8(log).unwrap();
+/// assert_eq!(
+///     text,
+///     "{\"t\":0,\"ev\":\"send\",\"from\":0,\"to\":3}\n\
+///      {\"t\":5,\"ev\":\"timer\",\"node\":1,\"id\":7}\n"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    writer: W,
+    lines: u64,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// A sink streaming to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlTrace {
+            writer,
+            lines: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Events whose line could not be written (I/O error on the target).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Borrows the underlying writer (e.g. to inspect an in-memory buffer).
+    pub fn writer(&self) -> &W {
+        &self.writer
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTrace<W> {
+    fn record(&mut self, event: TraceEvent) {
+        let line = match event {
+            TraceEvent::Send { time, from, to } => {
+                format!("{{\"t\":{time},\"ev\":\"send\",\"from\":{from},\"to\":{to}}}\n")
+            }
+            TraceEvent::Deliver { time, from, to } => {
+                format!("{{\"t\":{time},\"ev\":\"deliver\",\"from\":{from},\"to\":{to}}}\n")
+            }
+            TraceEvent::Drop {
+                time,
+                from,
+                to,
+                reason,
+            } => {
+                let reason = match reason {
+                    DropReason::Loss => "loss",
+                    DropReason::NodeDown => "node_down",
+                };
+                format!(
+                    "{{\"t\":{time},\"ev\":\"drop\",\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"}}\n"
+                )
+            }
+            TraceEvent::Timer { time, node, id } => {
+                format!("{{\"t\":{time},\"ev\":\"timer\",\"node\":{node},\"id\":{id}}}\n")
+            }
+        };
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.write_errors += 1,
         }
     }
 }
@@ -221,5 +361,60 @@ mod tests {
         handle.record(ev(0));
         handle.record(ev(1));
         assert_eq!(shared.lock().unwrap().timers, 2);
+    }
+
+    #[test]
+    fn jsonl_trace_emits_one_line_per_event() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(TraceEvent::Send {
+            time: 0,
+            from: 0,
+            to: 3,
+        });
+        sink.record(TraceEvent::Deliver {
+            time: 2,
+            from: 0,
+            to: 3,
+        });
+        sink.record(TraceEvent::Drop {
+            time: 4,
+            from: 1,
+            to: 2,
+            reason: DropReason::NodeDown,
+        });
+        sink.record(TraceEvent::Timer {
+            time: 5,
+            node: 1,
+            id: 7,
+        });
+        assert_eq!(sink.lines(), 4);
+        assert_eq!(sink.write_errors(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":0,\"ev\":\"send\",\"from\":0,\"to\":3}\n\
+             {\"t\":2,\"ev\":\"deliver\",\"from\":0,\"to\":3}\n\
+             {\"t\":4,\"ev\":\"drop\",\"from\":1,\"to\":2,\"reason\":\"node_down\"}\n\
+             {\"t\":5,\"ev\":\"timer\",\"node\":1,\"id\":7}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_trace_counts_write_errors_without_panicking() {
+        /// A writer that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTrace::new(Broken);
+        sink.record(ev(0));
+        sink.record(ev(1));
+        assert_eq!(sink.lines(), 0);
+        assert_eq!(sink.write_errors(), 2);
     }
 }

@@ -19,6 +19,10 @@
 //! queries are charged per *visited tree edge* (query down + aggregate up),
 //! so pruning translates directly into savings.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod backbone;
 pub mod mtree;
 pub mod path;

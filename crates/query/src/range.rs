@@ -26,7 +26,7 @@ use crate::backbone::Backbone;
 use crate::mtree::DistributedIndex;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
-use elink_netsim::CostBook;
+use elink_netsim::{CostBook, Metrics};
 use elink_topology::NodeId;
 
 /// Result of one range query.
@@ -36,6 +36,12 @@ pub struct RangeQueryResult {
     pub matches: Vec<NodeId>,
     /// Message bill for this query.
     pub costs: CostBook,
+    /// Observability registry for this query. The query path is analytic
+    /// (no simulator), so the `query.descent` phase span is measured in
+    /// *traversed M-tree edges* rather than ticks; `query.drill_edges` is a
+    /// histogram of edges per drilled cluster, and `query.clusters_*`
+    /// counters mirror the pruning tallies below.
+    pub metrics: Metrics,
     /// Clusters fully excluded by the δ-compactness test.
     pub clusters_excluded: usize,
     /// Clusters fully included by the δ-compactness test.
@@ -74,7 +80,10 @@ pub fn elink_range_query(
         stats.record("rq_backbone_agg", hops as u64, 1);
     });
 
-    // 3. Per-cluster pruning and drilling.
+    // 3. Per-cluster pruning and drilling. The descent phase is spanned in
+    // traversed-edge units (analytic path: no simulated clock).
+    let mut metrics = Metrics::new();
+    metrics.phase_enter("query.descent", 0);
     let mut matches = Vec::new();
     let mut clusters_excluded = 0;
     let mut clusters_included = 0;
@@ -96,6 +105,7 @@ pub fn elink_range_query(
             continue;
         }
         clusters_drilled += 1;
+        let edges_before = stats.kind("rq_cluster").packets;
         drill(
             root,
             index,
@@ -106,7 +116,15 @@ pub fn elink_range_query(
             &mut stats,
             query_scalars,
         );
+        metrics.observe(
+            "query.drill_edges",
+            stats.kind("rq_cluster").packets - edges_before,
+        );
     }
+    metrics.phase_exit("query.descent", stats.kind("rq_cluster").packets);
+    metrics.add("query.clusters_excluded", clusters_excluded as u64);
+    metrics.add("query.clusters_included", clusters_included as u64);
+    metrics.add("query.clusters_drilled", clusters_drilled as u64);
     matches.sort_unstable();
 
     // 4. Results funnel back to the initiator (already charged per backbone
@@ -116,6 +134,7 @@ pub fn elink_range_query(
     RangeQueryResult {
         matches,
         costs: stats,
+        metrics,
         clusters_excluded,
         clusters_included,
         clusters_drilled,

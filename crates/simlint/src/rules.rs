@@ -122,7 +122,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "pub-doc-coverage",
-        summary: "every pub fn/struct/enum/trait in library code needs a doc comment",
+        summary: "every pub fn/struct/enum/trait/type/const/static in library code needs a doc comment",
         check: pub_doc_coverage,
     },
     Rule {
@@ -416,26 +416,53 @@ fn pub_doc_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
         if toks.get(j).map(|n| n.text == "(").unwrap_or(false) {
             continue; // pub(crate)/pub(super): not public API
         }
-        while toks
-            .get(j)
-            .map(|n| {
-                matches!(n.text.as_str(), "async" | "unsafe" | "const" | "extern")
-                    || n.kind == TokenKind::Literal
-            })
-            .unwrap_or(false)
-        {
-            j += 1;
-        }
-        let Some(item) = toks.get(j) else { continue };
-        if !matches!(item.text.as_str(), "fn" | "struct" | "enum" | "trait") {
-            continue;
-        }
+        // `pub const NAME: T` and `pub static [mut] NAME: T` are items in
+        // their own right; `pub const fn` (and `pub const unsafe fn` etc.)
+        // uses `const` as a function qualifier and falls through below.
+        let (kind, name_j) = match toks.get(j).map(|n| n.text.as_str()) {
+            Some("const")
+                if !toks
+                    .get(j + 1)
+                    .map(|n| matches!(n.text.as_str(), "fn" | "async" | "unsafe" | "extern"))
+                    .unwrap_or(true) =>
+            {
+                ("const", j + 1)
+            }
+            Some("static") => {
+                let name_j = if toks.get(j + 1).map(|n| n.text == "mut").unwrap_or(false) {
+                    j + 2
+                } else {
+                    j + 1
+                };
+                ("static", name_j)
+            }
+            _ => {
+                while toks
+                    .get(j)
+                    .map(|n| {
+                        matches!(n.text.as_str(), "async" | "unsafe" | "const" | "extern")
+                            || n.kind == TokenKind::Literal
+                    })
+                    .unwrap_or(false)
+                {
+                    j += 1;
+                }
+                let Some(item) = toks.get(j) else { continue };
+                if !matches!(
+                    item.text.as_str(),
+                    "fn" | "struct" | "enum" | "trait" | "type"
+                ) {
+                    continue;
+                }
+                (item.text.as_str(), j + 1)
+            }
+        };
         if !has_doc(toks, i) {
-            let name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
+            let name = toks.get(name_j).map(|n| n.text.clone()).unwrap_or_default();
             out.push(f.finding(
                 "pub-doc-coverage",
                 t.line,
-                format!("public {} `{}` has no doc comment", item.text, name),
+                format!("public {kind} `{name}` has no doc comment"),
             ));
         }
     }
@@ -698,6 +725,48 @@ mod tests {
     fn private_and_crate_visible_items_do_not_hit() {
         let src = "fn f() {}\npub(crate) fn g() {}\npub(super) struct H;\n";
         assert!(violations("crates/metric/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_type_const_static_hit() {
+        let src = "pub type Alias = u64;\npub const LIMIT: u64 = 8;\npub static mut COUNT: u64 = 0;\npub static NAME: &str = \"x\";\n";
+        let v = violations("crates/metric/src/x.rs", src);
+        let hits: Vec<(u32, String)> = v
+            .iter()
+            .filter(|(r, _)| r == "pub-doc-coverage")
+            .map(|&(_, l)| l)
+            .zip(["Alias", "LIMIT", "COUNT", "NAME"].map(String::from))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                (1, "Alias".into()),
+                (2, "LIMIT".into()),
+                (3, "COUNT".into()),
+                (4, "NAME".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn documented_type_const_static_do_not_hit() {
+        let src = "/// Docs.\npub type Alias = u64;\n/// Docs.\npub const LIMIT: u64 = 8;\n/// Docs.\npub static NAME: &str = \"x\";\n";
+        assert!(violations("crates/metric/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn const_fn_is_a_function_not_a_const_item() {
+        // `const` as a function qualifier must report kind "fn", and a
+        // documented `pub const fn` must not hit at all.
+        let src = "pub const fn f() -> u64 { 0 }\n/// Docs.\npub const unsafe fn g() {}\n";
+        let report = check_file("crates/metric/src/x.rs", src);
+        let msgs: Vec<&str> = report
+            .violations
+            .iter()
+            .filter(|f| f.rule == "pub-doc-coverage")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(msgs, vec!["public fn `f` has no doc comment"]);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! routing over the graph, and the recursive quadtree decomposition with
 //! cell-leader election that defines ELink's sentinel sets (§3.2).
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod georoute;
 pub mod graph;
 pub mod point;
