@@ -21,4 +21,7 @@ cargo test -q --workspace
 echo "== bench_report --check (deterministic bench harness smoke)"
 cargo run --release -q -p elink-bench --bin bench_report -- --check --out target/BENCH_elink.json
 
+echo "== workload_report --check (serving-layer SLO smoke)"
+cargo run --release -q -p elink-bench --bin workload_report -- --check --out target/BENCH_workload.json
+
 echo "ci.sh: all green"

@@ -7,9 +7,13 @@
 //!
 //! The input is the JSON Lines format emitted by
 //! [`elink_netsim::JsonlTrace`]: one object per line with `t`, `ev`
-//! (`send`/`deliver`/`drop`/`timer`) and the event's node fields.
+//! (`send`/`deliver`/`drop`/`timer`) and the event's node fields. Events
+//! carrying the optional `qid` field (query-tagged traffic from the
+//! workload layer) additionally produce a per-query breakdown; traces
+//! without `qid` print the per-node tables exactly as before.
 
 use elink_netsim::{Ctx, JsonlTrace, LossyLink, Protocol, SimNetwork, Simulator};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Per-node event tallies extracted from a trace.
@@ -39,6 +43,64 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = &line[idx..];
     let end = rest.find('"')?;
     Some(&rest[..end])
+}
+
+/// Per-query event tallies for `qid`-tagged events.
+#[derive(Default, Clone, Copy)]
+struct QueryRow {
+    sends: u64,
+    delivers: u64,
+    drops: u64,
+    first_t: u64,
+    last_t: u64,
+}
+
+/// Tallies `qid`-tagged events per query, tracking the event-time span.
+fn summarize_queries(text: &str) -> BTreeMap<u64, QueryRow> {
+    let mut rows: BTreeMap<u64, QueryRow> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(qid) = field_u64(line, "qid") else {
+            continue;
+        };
+        let row = rows.entry(qid).or_insert(QueryRow {
+            first_t: u64::MAX,
+            ..QueryRow::default()
+        });
+        match field_str(line, "ev") {
+            Some("send") => row.sends += 1,
+            Some("deliver") => row.delivers += 1,
+            Some("drop") => row.drops += 1,
+            _ => continue,
+        }
+        if let Some(t) = field_u64(line, "t") {
+            row.first_t = row.first_t.min(t);
+            row.last_t = row.last_t.max(t);
+        }
+    }
+    rows
+}
+
+fn render_queries(rows: &BTreeMap<u64, QueryRow>) {
+    if rows.is_empty() {
+        return;
+    }
+    println!();
+    println!(
+        "{:>7} {:>8} {:>10} {:>7} {:>8}",
+        "query", "sends", "delivers", "drops", "span"
+    );
+    for (qid, r) in rows {
+        let span = if r.first_t == u64::MAX {
+            0
+        } else {
+            r.last_t - r.first_t
+        };
+        println!(
+            "{:>7} {:>8} {:>10} {:>7} {:>8}",
+            qid, r.sends, r.delivers, r.drops, span
+        );
+    }
+    eprintln!("{} tagged queries", rows.len());
 }
 
 /// Tallies a trace: sends charged to the origin, delivers to the receiver,
@@ -161,4 +223,5 @@ fn main() {
     };
     let (rows, total, bad) = summarize(&text);
     render(&rows, total, bad);
+    render_queries(&summarize_queries(&text));
 }

@@ -47,4 +47,5 @@ pub mod runner;
 pub use clustering::{validate_delta_clustering, ClusterInfo, Clustering, ValidationError};
 pub use config::ElinkConfig;
 pub use maintenance::{MaintenanceSim, UpdateOutcome};
+pub use maintenance_protocol::{maintenance_nodes, slack_conditions_hold, MaintMsg, MaintNode};
 pub use runner::{run_explicit, run_implicit, run_unordered, run_with_link, ElinkOutcome};

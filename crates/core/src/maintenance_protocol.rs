@@ -82,6 +82,33 @@ pub enum MaintMsg {
     },
 }
 
+/// The §6 triple slack condition as a pure function: returns true when an
+/// update from `anchor` to `new_feature` can be absorbed locally (no
+/// synchronization traffic). `root_feature` is the node's cached root
+/// feature, `delta` the cluster bound δ, `slack` the tolerance Δ:
+///
+/// * A₁: `d(anchor, new) ≤ Δ` — the feature barely moved;
+/// * A₂: `d(new, root) − d(anchor, root) ≤ Δ` — it moved towards the root;
+/// * A₃: `d(new, root) ≤ δ − Δ` — it is comfortably inside the cluster.
+///
+/// Shared by [`MaintNode`] and by the `elink-workload` result cache, whose
+/// correctness argument rests on the contrapositive: while every update a
+/// node absorbs satisfies one of these, its *anchor* is unchanged, so
+/// answers computed over anchors stay exact.
+pub fn slack_conditions_hold(
+    metric: &dyn Metric,
+    delta: f64,
+    slack: f64,
+    anchor: &Feature,
+    root_feature: &Feature,
+    new_feature: &Feature,
+) -> bool {
+    let d_anchor = metric.distance(anchor, new_feature);
+    let d_new_root = metric.distance(new_feature, root_feature);
+    let d_old_root = metric.distance(anchor, root_feature);
+    d_anchor <= slack || d_new_root - d_old_root <= slack || d_new_root <= delta - slack
+}
+
 /// Per-node §6 protocol state.
 pub struct MaintNode {
     metric: Arc<dyn Metric>,
@@ -91,6 +118,12 @@ pub struct MaintNode {
     pub feature: Feature,
     /// Anchor feature (last synchronized state, `F_i` of A₁).
     anchor: Feature,
+    /// Monotone counter bumped every time `anchor` changes — i.e. exactly
+    /// when an update exceeded the δ-slack bound and triggered
+    /// synchronization. Result caches key their validity on this: an
+    /// unchanged epoch guarantees every absorbed update stayed within
+    /// slack, so anchor-based answers are still exact.
+    anchor_epoch: u64,
     /// Current root.
     pub root: NodeId,
     /// Cached root feature (`F_{r_i}`).
@@ -125,14 +158,32 @@ impl MaintNode {
     /// The §6 triple-condition check; returns true when the update is
     /// absorbed locally.
     fn slack_conditions_hold(&self, new_feature: &Feature) -> bool {
-        let d_anchor = self.metric.distance(&self.anchor, new_feature);
-        let d_new_root = self.metric.distance(new_feature, &self.cached_root_feature);
-        let d_old_root = self
-            .metric
-            .distance(&self.anchor, &self.cached_root_feature);
-        d_anchor <= self.slack
-            || d_new_root - d_old_root <= self.slack
-            || d_new_root <= self.delta - self.slack
+        slack_conditions_hold(
+            self.metric.as_ref(),
+            self.delta,
+            self.slack,
+            &self.anchor,
+            &self.cached_root_feature,
+            new_feature,
+        )
+    }
+
+    /// Reassigns the anchor, bumping the invalidation epoch.
+    fn set_anchor(&mut self, f: Feature) {
+        self.anchor = f;
+        self.anchor_epoch += 1;
+    }
+
+    /// The anchor feature (last synchronized state).
+    pub fn anchor(&self) -> &Feature {
+        &self.anchor
+    }
+
+    /// The anchor invalidation epoch: bumped on every anchor reassignment
+    /// (see the field docs). Result caches compare epochs to detect that a
+    /// slack-exceeding update has passed through this node.
+    pub fn anchor_epoch(&self) -> u64 {
+        self.anchor_epoch
     }
 
     fn on_feature_update(&mut self, new_feature: Feature, ctx: &mut Ctx<'_, MaintMsg>) {
@@ -167,7 +218,7 @@ impl MaintNode {
         if drift <= self.slack {
             return;
         }
-        self.anchor = new_feature.clone();
+        self.set_anchor(new_feature.clone());
         if self.tree_children.is_empty() {
             // Singleton root: §6 merge attempt via neighbor probes.
             self.start_merge(new_feature, ctx);
@@ -223,7 +274,7 @@ impl MaintNode {
                 self.root = root;
                 self.tree_parent = Some(neighbor);
                 self.cached_root_feature = root_feature;
-                self.anchor = pending.new_feature.clone();
+                self.set_anchor(pending.new_feature.clone());
                 self.feature = pending.new_feature.clone();
                 let dim = self.dim();
                 ctx.send(
@@ -240,7 +291,7 @@ impl MaintNode {
         }
         // No merge target: stay a singleton.
         self.feature = pending.new_feature.clone();
-        self.anchor = pending.new_feature;
+        self.set_anchor(pending.new_feature);
         self.tree_parent = None;
         self.root = me;
         self.cached_root_feature = self.feature.clone();
@@ -286,7 +337,7 @@ impl Protocol for MaintNode {
                     let d = self.metric.distance(&new_feature, &feature);
                     self.feature = new_feature.clone();
                     if d <= self.delta {
-                        self.anchor = new_feature;
+                        self.set_anchor(new_feature);
                         return;
                     }
                     // Detach: leave the old parent; each child roots its
@@ -387,7 +438,7 @@ impl Protocol for MaintNode {
                         ctx.send(p, MaintMsg::LeaveParent, "maint_detach", 1);
                     }
                     self.root = ctx.id();
-                    self.anchor = self.feature.clone();
+                    self.set_anchor(self.feature.clone());
                     self.cached_root_feature = self.feature.clone();
                     for c in std::mem::take(&mut self.tree_children) {
                         ctx.send(c, MaintMsg::ParentDetached, "maint_detach", dim);
@@ -411,7 +462,7 @@ impl Protocol for MaintNode {
                 // Become the root of this subtree and announce downward.
                 self.tree_parent = None;
                 self.root = ctx.id();
-                self.anchor = self.feature.clone();
+                self.set_anchor(self.feature.clone());
                 self.cached_root_feature = self.feature.clone();
                 let dim = self.dim();
                 for &c in &self.tree_children.clone() {
@@ -466,6 +517,7 @@ pub fn maintenance_nodes(
                 slack,
                 feature: features[v].clone(),
                 anchor: features[v].clone(),
+                anchor_epoch: 0,
                 root,
                 cached_root_feature: features[root].clone(),
                 tree_parent: clustering.tree_parent[v],
@@ -587,6 +639,40 @@ mod tests {
             (2, 10.2),      // quiet update in the re-rooted subtree
         ];
         run_both(topology, features, 6.0, 0.5, &stream);
+    }
+
+    /// The anchor epoch stays flat across absorbed updates and bumps
+    /// exactly when a slack-exceeding update forces synchronization — the
+    /// invalidation signal the workload result cache keys on.
+    #[test]
+    fn anchor_epoch_bumps_only_on_slack_exceeding_updates() {
+        let topology = Topology::grid(1, 4);
+        let features: Vec<Feature> = (0..4).map(|_| Feature::scalar(10.0)).collect();
+        let states: Vec<(NodeId, Feature)> = (0..4).map(|_| (0, features[0].clone())).collect();
+        let clustering = Clustering::from_node_states(&states, &topology, &Absolute);
+        let metric: Arc<dyn Metric> = Arc::new(Absolute);
+        let nodes = maintenance_nodes(&clustering, metric, &features, 6.0, 0.5);
+        let network = SimNetwork::new(topology);
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.run_to_completion();
+        assert!(sim.nodes().iter().all(|n| n.anchor_epoch() == 0));
+
+        // Absorbed by A1 (drift 0.3 ≤ Δ): no epoch movement anywhere.
+        let now = sim.now();
+        sim.inject(now, 3, MaintMsg::FeatureUpdate(Feature::scalar(10.3)));
+        sim.run_to_completion();
+        assert!(sim.nodes().iter().all(|n| n.anchor_epoch() == 0));
+        assert_eq!(sim.nodes()[3].anchor(), &Feature::scalar(10.0));
+
+        // Slack-exceeding but within δ of the fetched root feature: node 3
+        // synchronizes (fetch up, anchor reassigned) — epoch bumps at 3
+        // only.
+        let now = sim.now();
+        sim.inject(now, 3, MaintMsg::FeatureUpdate(Feature::scalar(15.8)));
+        sim.run_to_completion();
+        assert_eq!(sim.nodes()[3].anchor_epoch(), 1);
+        assert_eq!(sim.nodes()[3].anchor(), &Feature::scalar(15.8));
+        assert!(sim.nodes()[..3].iter().all(|n| n.anchor_epoch() == 0));
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Regenerates the serving-workload SLO table; writes results/ext_workload.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_workload::run(Default::default()));
+}

@@ -25,6 +25,7 @@
 //! | `ext_stretch` | greedy geographic routing stretch (the §4 γ band) |
 //! | `ext_kmedoids` | §9's distributed k-medoids communication argument |
 //! | `ext_failure` | node-failure robustness during maintenance (§1) |
+//! | `ext_workload` | serving-layer SLOs vs template skew (concurrent queries) |
 
 pub mod common;
 pub mod csv_io;
@@ -35,6 +36,7 @@ pub mod ext_path;
 pub mod ext_repr;
 pub mod ext_stretch;
 pub mod ext_theory;
+pub mod ext_workload;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
@@ -66,5 +68,6 @@ pub fn run_all() -> Vec<Table> {
         ext_stretch::run(Default::default()),
         ext_kmedoids::run(Default::default()),
         ext_failure::run(Default::default()),
+        ext_workload::run(Default::default()),
     ]
 }

@@ -22,6 +22,13 @@ use std::sync::Arc;
 /// the paper's "worst-case delay over a hop is a single time unit" (§4).
 pub type SimTime = u64;
 
+/// Identifier of an in-flight query in a serving workload. Tagged sends
+/// ([`Ctx::send_tagged`], [`Ctx::unicast_tagged`]) stamp this id on trace
+/// events and attribute the transmission to the query's ledger in
+/// [`CostBook`], threading query attribution through timer-callback sends
+/// that plain `kind` strings cannot distinguish.
+pub type QueryId = u64;
+
 /// A per-node protocol state machine.
 ///
 /// The simulator owns one instance per node. All communication and timer
@@ -79,8 +86,14 @@ impl SimNetwork {
 
 enum EventKind<M> {
     Start,
-    Deliver { from: usize, msg: M },
-    Timer { id: u64 },
+    Deliver {
+        from: usize,
+        msg: M,
+        query: Option<QueryId>,
+    },
+    Timer {
+        id: u64,
+    },
 }
 
 struct Event<M> {
@@ -189,6 +202,37 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// # Panics
     /// Panics if `to` is not a neighbor (protocol bug).
     pub fn send(&mut self, to: usize, msg: M, kind: &'static str, scalars: u64) {
+        self.send_internal(to, msg, kind, scalars, None);
+    }
+
+    /// [`Ctx::send`] stamped with the query the message serves: the trace
+    /// event carries `query`, and one hop × `scalars` is attributed to the
+    /// query's [`CostBook`] ledger on top of the ordinary per-kind charge.
+    /// Use this for all query-serving traffic — including sends made from
+    /// timer callbacks, where the callback has no delivering message to
+    /// inherit a tag from.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbor (protocol bug).
+    pub fn send_tagged(
+        &mut self,
+        to: usize,
+        msg: M,
+        kind: &'static str,
+        scalars: u64,
+        query: QueryId,
+    ) {
+        self.send_internal(to, msg, kind, scalars, Some(query));
+    }
+
+    fn send_internal(
+        &mut self,
+        to: usize,
+        msg: M,
+        kind: &'static str,
+        scalars: u64,
+        query: Option<QueryId>,
+    ) {
         assert!(
             self.core.network.topology().graph().has_edge(self.node, to),
             "send: node {} is not a neighbor of {}",
@@ -201,13 +245,17 @@ impl<'a, M: Clone> Ctx<'a, M> {
             time: now,
             from,
             to,
+            query,
         });
         let outcome = self.core.link.hop(from, to, now, &mut self.core.rng);
         self.core.costs.record_tx(from, kind, 1, scalars);
+        if let Some(qid) = query {
+            self.core.costs.attribute_query(qid, 1, scalars);
+        }
         match outcome {
             HopOutcome::Deliver { delay } => {
                 self.core
-                    .push(now + delay, to, EventKind::Deliver { from, msg });
+                    .push(now + delay, to, EventKind::Deliver { from, msg, query });
             }
             HopOutcome::Drop => {
                 self.core.metrics.inc("net.drops.loss");
@@ -216,6 +264,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                     from,
                     to,
                     reason: DropReason::Loss,
+                    query,
                 });
             }
         }
@@ -241,11 +290,45 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// returns `true`, since the sender cannot know the fate of a packet in
     /// flight.
     pub fn unicast(&mut self, dst: usize, msg: M, kind: &'static str, scalars: u64) -> bool {
+        self.unicast_internal(dst, msg, kind, scalars, None)
+    }
+
+    /// [`Ctx::unicast`] stamped with the query the message serves: the trace
+    /// events carry `query`, and every hop actually traversed is attributed
+    /// to the query's [`CostBook`] ledger on top of the ordinary per-kind
+    /// charge (a message dropped at hop `k` attributes those `k` hops, same
+    /// as the wire charge).
+    pub fn unicast_tagged(
+        &mut self,
+        dst: usize,
+        msg: M,
+        kind: &'static str,
+        scalars: u64,
+        query: QueryId,
+    ) -> bool {
+        self.unicast_internal(dst, msg, kind, scalars, Some(query))
+    }
+
+    fn unicast_internal(
+        &mut self,
+        dst: usize,
+        msg: M,
+        kind: &'static str,
+        scalars: u64,
+        query: Option<QueryId>,
+    ) -> bool {
         let src = self.node;
         let now = self.core.now;
         if dst == src {
-            self.core
-                .push(now, dst, EventKind::Deliver { from: src, msg });
+            self.core.push(
+                now,
+                dst,
+                EventKind::Deliver {
+                    from: src,
+                    msg,
+                    query,
+                },
+            );
             return true;
         }
         let Some(route_hops) = self.core.network.routing().hops(src, dst) else {
@@ -258,6 +341,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
             time: now,
             from: src,
             to: dst,
+            query,
         });
         let routing = Arc::clone(&self.core.network.routing);
         let mut cur = src;
@@ -269,14 +353,24 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 .expect("routing invariant: prefix of a known path");
             let outcome = self.core.link.hop(cur, next, t, &mut self.core.rng);
             self.core.costs.record_tx(cur, kind, 1, scalars);
+            if let Some(qid) = query {
+                self.core.costs.attribute_query(qid, 1, scalars);
+            }
             match outcome {
                 HopOutcome::Deliver { delay } => {
                     t += delay;
                     if next == dst {
                         // Final-hop reception is recorded at dispatch time,
                         // where liveness is re-checked.
-                        self.core
-                            .push(t, dst, EventKind::Deliver { from: src, msg });
+                        self.core.push(
+                            t,
+                            dst,
+                            EventKind::Deliver {
+                                from: src,
+                                msg,
+                                query,
+                            },
+                        );
                         return true;
                     }
                     if !self.core.link.is_alive(next, t) {
@@ -286,6 +380,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                             from: src,
                             to: dst,
                             reason: DropReason::NodeDown,
+                            query,
                         });
                         return true;
                     }
@@ -299,6 +394,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                         from: src,
                         to: dst,
                         reason: DropReason::Loss,
+                        query,
                     });
                     return true;
                 }
@@ -324,6 +420,15 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// (e.g. result aggregation sizes).
     pub fn charge(&mut self, kind: &'static str, hops: u64, scalars: u64) {
         self.core.costs.record(kind, hops, scalars);
+    }
+
+    /// Attributes `hops × scalars` to query `qid`'s ledger without touching
+    /// the wire aggregates (see [`CostBook::attribute_query`]). In-network
+    /// batching uses this to co-bill riders of a shared packet: the packet
+    /// is sent once via [`Ctx::send_tagged`] under its primary query, and
+    /// each additional rider is attributed here.
+    pub fn attribute_query(&mut self, qid: QueryId, hops: u64, scalars: u64) {
+        self.core.costs.attribute_query(qid, hops, scalars);
     }
 
     /// The run's [`Metrics`] registry, for protocol-level counters and
@@ -454,9 +559,9 @@ impl<P: Protocol> Simulator<P> {
         );
         let node = event.node;
         if !self.core.link.is_alive(node, event.time) {
-            let from = match &event.kind {
-                EventKind::Deliver { from, .. } => *from,
-                _ => node,
+            let (from, query) = match &event.kind {
+                EventKind::Deliver { from, query, .. } => (*from, *query),
+                _ => (node, None),
             };
             self.core.metrics.inc("net.drops.node_down");
             self.core.trace(TraceEvent::Drop {
@@ -464,6 +569,7 @@ impl<P: Protocol> Simulator<P> {
                 from,
                 to: node,
                 reason: DropReason::NodeDown,
+                query,
             });
             return true;
         }
@@ -475,12 +581,13 @@ impl<P: Protocol> Simulator<P> {
                 };
                 self.nodes[node].on_start(&mut ctx);
             }
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, query } => {
                 self.core.costs.record_rx(node);
                 self.core.trace(TraceEvent::Deliver {
                     time: event.time,
                     from,
                     to: node,
+                    query,
                 });
                 let mut ctx = Ctx {
                     core: &mut self.core,
@@ -569,8 +676,15 @@ impl<P: Protocol> Simulator<P> {
     /// by experiment harnesses to model sensing inputs.
     pub fn inject(&mut self, time: SimTime, node: usize, msg: P::Msg) {
         assert!(time >= self.core.now, "cannot inject into the past");
-        self.core
-            .push(time, node, EventKind::Deliver { from: node, msg });
+        self.core.push(
+            time,
+            node,
+            EventKind::Deliver {
+                from: node,
+                msg,
+                query: None,
+            },
+        );
     }
 }
 
@@ -578,7 +692,7 @@ impl<P: Protocol> Simulator<P> {
 mod tests {
     use super::*;
     use crate::link::{DelayModel, LossyLink};
-    use crate::trace::CountingTrace;
+    use crate::trace::{CountingTrace, RingBufferTrace};
     use elink_topology::Topology;
     use std::sync::{Arc, Mutex};
 
@@ -1017,6 +1131,63 @@ mod tests {
         let taken = sim2.take_metrics();
         assert_eq!(taken.counter("work.done"), 2);
         assert!(sim2.metrics().is_empty());
+    }
+
+    /// Tagged sends thread the query id end to end: trace events carry it,
+    /// the per-query ledger bills it (per hop, like the wire charge), and
+    /// rider co-billing via `attribute_query` stays off the wire aggregates.
+    #[test]
+    fn tagged_sends_attribute_queries_and_stamp_traces() {
+        struct Tagged;
+        impl Protocol for Tagged {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if ctx.id() == 0 {
+                    // 0 -> 3 on a 1x4 line: 3 hops under query 5.
+                    assert!(ctx.unicast_tagged(3, 1, "q", 2, 5));
+                    ctx.set_timer(1, 0);
+                }
+            }
+            fn on_message(&mut self, _f: usize, _m: u8, _c: &mut Ctx<'_, u8>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, u8>) {
+                // Timer callbacks have no delivering message to inherit a tag
+                // from; tagged sends close that attribution gap.
+                ctx.send_tagged(1, 2, "q", 2, 6);
+                // Co-bill query 7 as a rider on the same packet.
+                ctx.attribute_query(7, 1, 2);
+            }
+        }
+        let shared = Arc::new(Mutex::new(RingBufferTrace::new(64)));
+        let network = SimNetwork::new(Topology::grid(1, 4));
+        let nodes = (0..4).map(|_| Tagged).collect();
+        let mut sim = Simulator::new(network, DelayModel::Sync, 0, nodes);
+        sim.set_trace(Arc::clone(&shared));
+        sim.run_to_completion();
+        let book = sim.costs();
+        assert_eq!(book.query(5).packets, 3, "unicast attributes per hop");
+        assert_eq!(book.query(5).cost, 6);
+        assert_eq!(book.query(6).packets, 1, "timer-callback send attributed");
+        assert_eq!(book.query(7).cost, 2, "rider co-billed");
+        // Rider attribution never touches wire totals: 3 + 1 packets only.
+        assert_eq!(book.kind("q").packets, 4);
+        let trace = shared.lock().unwrap();
+        let tagged_sends: Vec<Option<u64>> = trace
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Send { query, .. } => Some(*query),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tagged_sends, vec![Some(5), Some(6)]);
+        let tagged_delivers: Vec<Option<u64>> = trace
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver { query, .. } => Some(*query),
+                _ => None,
+            })
+            .collect();
+        // The timer send (1 hop, fired at t=1) lands before the 3-hop unicast.
+        assert_eq!(tagged_delivers, vec![Some(6), Some(5)]);
     }
 
     #[test]

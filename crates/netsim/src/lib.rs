@@ -77,7 +77,7 @@ pub mod metrics;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{Ctx, Protocol, SimNetwork, SimTime, Simulator};
+pub use engine::{Ctx, Protocol, QueryId, SimNetwork, SimTime, Simulator};
 pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
 pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
 pub use stats::{CostBook, KindStats, MessageStats, NodeStats};

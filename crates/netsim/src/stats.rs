@@ -127,6 +127,7 @@ impl NodeStats {
 pub struct CostBook {
     kinds: MessageStats,
     nodes: Vec<NodeStats>,
+    queries: BTreeMap<u64, KindStats>,
 }
 
 impl CostBook {
@@ -140,6 +141,7 @@ impl CostBook {
         CostBook {
             kinds: MessageStats::new(),
             nodes: vec![NodeStats::default(); n],
+            queries: BTreeMap::new(),
         }
     }
 
@@ -168,6 +170,38 @@ impl CostBook {
         if let Some(ns) = self.nodes.get_mut(node) {
             ns.rx_packets += 1;
         }
+    }
+
+    /// Attributes `hops` transmissions carrying `scalars` payload scalars to
+    /// query `qid` in the per-query ledger. Attribution rides alongside the
+    /// per-kind aggregates (it does NOT add to them): when an in-network
+    /// batch serves several queries with one packet, each rider is co-billed
+    /// the full packet here while the wire totals count it once, so
+    /// `Σ attributed − wire total = batching savings`. Zero-hop attribution
+    /// is free, mirroring [`MessageStats::record`].
+    pub fn attribute_query(&mut self, qid: u64, hops: u64, scalars: u64) {
+        if hops == 0 {
+            return;
+        }
+        let entry = self.queries.entry(qid).or_default();
+        entry.packets += hops;
+        entry.cost += hops * scalars.max(1);
+    }
+
+    /// Cost attributed to query `qid` (zero if never attributed).
+    pub fn query(&self, qid: u64) -> KindStats {
+        self.queries.get(&qid).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(query id, stats)` pairs in id order.
+    pub fn queries(&self) -> impl Iterator<Item = (u64, KindStats)> + '_ {
+        self.queries.iter().map(|(&q, &v)| (q, v))
+    }
+
+    /// Total cost attributed across all queries (co-billed: batched packets
+    /// count once per rider, so this can exceed the wire total).
+    pub fn total_query_cost(&self) -> u64 {
+        self.queries.values().map(|k| k.cost).sum()
     }
 
     /// Statistics for one kind (zero if never recorded).
@@ -213,7 +247,8 @@ impl CostBook {
     }
 
     /// Merges another book into this one: aggregates always, per-node
-    /// tallies element-wise over the shorter ledger.
+    /// tallies element-wise over the shorter ledger, per-query attribution
+    /// entry-wise.
     pub fn merge(&mut self, other: &CostBook) {
         self.kinds.merge(&other.kinds);
         if self.nodes.len() < other.nodes.len() {
@@ -223,6 +258,11 @@ impl CostBook {
             mine.tx_packets += theirs.tx_packets;
             mine.rx_packets += theirs.rx_packets;
             mine.tx_cost += theirs.tx_cost;
+        }
+        for (qid, stats) in other.queries() {
+            let entry = self.queries.entry(qid).or_default();
+            entry.packets += stats.packets;
+            entry.cost += stats.cost;
         }
     }
 
@@ -372,6 +412,36 @@ mod tests {
         assert_eq!(a.node(0).tx_packets, 1);
         assert_eq!(a.node(1).rx_packets, 1);
         assert_eq!(a.node(2).tx_cost, 6);
+    }
+
+    #[test]
+    fn query_ledger_attributes_and_merges() {
+        let mut book = CostBook::new();
+        book.attribute_query(7, 2, 5); // 2 hops × 5 scalars
+        book.attribute_query(7, 1, 0); // control: 1 scalar minimum
+        book.attribute_query(9, 3, 1);
+        book.attribute_query(9, 0, 100); // zero-hop is free
+        assert_eq!(
+            book.query(7),
+            KindStats {
+                packets: 3,
+                cost: 11
+            }
+        );
+        assert_eq!(book.query(9).packets, 3);
+        assert_eq!(book.query(1), KindStats::default());
+        assert_eq!(book.total_query_cost(), 14);
+        let ids: Vec<u64> = book.queries().map(|(q, _)| q).collect();
+        assert_eq!(ids, vec![7, 9]);
+        // Attribution does not leak into wire aggregates.
+        assert_eq!(book.total_packets(), 0);
+
+        let mut other = CostBook::new();
+        other.attribute_query(7, 1, 2);
+        other.attribute_query(11, 1, 1);
+        book.merge(&other);
+        assert_eq!(book.query(7).cost, 13);
+        assert_eq!(book.query(11).packets, 1);
     }
 
     #[test]

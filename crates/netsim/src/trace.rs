@@ -43,6 +43,12 @@ pub enum DropReason {
 }
 
 /// One engine-level event.
+///
+/// Message events optionally carry the [`QueryId`](crate::QueryId) of the
+/// in-flight query they belong to (set by the `*_tagged` send methods on
+/// [`Ctx`](crate::Ctx)); untagged traffic — clustering, maintenance,
+/// timers — leaves `query` as `None` and serializes exactly as before, so
+/// pre-query traces keep parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A transmission left `from` towards `to` (multi-hop sends trace once).
@@ -53,6 +59,8 @@ pub enum TraceEvent {
         from: usize,
         /// Destination node.
         to: usize,
+        /// Query this message serves, if any.
+        query: Option<u64>,
     },
     /// A message was handed to `to`'s protocol callback.
     Deliver {
@@ -62,6 +70,8 @@ pub enum TraceEvent {
         from: usize,
         /// Receiving node.
         to: usize,
+        /// Query this message serves, if any.
+        query: Option<u64>,
     },
     /// A message (or a dead node's timer, with `from == to`) was lost.
     Drop {
@@ -73,6 +83,8 @@ pub enum TraceEvent {
         to: usize,
         /// Why it was lost.
         reason: DropReason,
+        /// Query this message served, if any.
+        query: Option<u64>,
     },
     /// A timer fired.
     Timer {
@@ -188,9 +200,13 @@ impl TraceSink for CountingTrace {
 /// ```text
 /// {"t":0,"ev":"send","from":0,"to":3}
 /// {"t":2,"ev":"deliver","from":0,"to":3}
+/// {"t":3,"ev":"send","from":3,"to":5,"qid":12}
 /// {"t":4,"ev":"drop","from":1,"to":2,"reason":"loss"}
 /// {"t":5,"ev":"timer","node":1,"id":7}
 /// ```
+///
+/// The `qid` field appears only on query-tagged message events, so logs
+/// produced before query tagging existed keep the exact same shape.
 ///
 /// Write failures never panic (the engine forbids panics in this crate);
 /// they are tallied in [`write_errors`](Self::write_errors) and the sink
@@ -208,7 +224,8 @@ impl TraceSink for CountingTrace {
 /// let sink = Arc::new(Mutex::new(JsonlTrace::new(Vec::new())));
 /// let mut handle = Arc::clone(&sink);
 /// // A simulator would do this on every event: sim.set_trace(handle).
-/// handle.record(TraceEvent::Send { time: 0, from: 0, to: 3 });
+/// handle.record(TraceEvent::Send { time: 0, from: 0, to: 3, query: None });
+/// handle.record(TraceEvent::Send { time: 1, from: 3, to: 5, query: Some(12) });
 /// handle.record(TraceEvent::Timer { time: 5, node: 1, id: 7 });
 ///
 /// let log = sink.lock().unwrap().writer().clone();
@@ -216,6 +233,7 @@ impl TraceSink for CountingTrace {
 /// assert_eq!(
 ///     text,
 ///     "{\"t\":0,\"ev\":\"send\",\"from\":0,\"to\":3}\n\
+///      {\"t\":1,\"ev\":\"send\",\"from\":3,\"to\":5,\"qid\":12}\n\
 ///      {\"t\":5,\"ev\":\"timer\",\"node\":1,\"id\":7}\n"
 /// );
 /// ```
@@ -258,27 +276,50 @@ impl<W: Write> JsonlTrace<W> {
     }
 }
 
+/// Renders the optional query tag as a `,"qid":N` JSON fragment (empty when
+/// absent, so untagged events serialize exactly as before this field existed).
+fn qid_fragment(query: Option<u64>) -> String {
+    match query {
+        Some(q) => format!(",\"qid\":{q}"),
+        None => String::new(),
+    }
+}
+
 impl<W: Write> TraceSink for JsonlTrace<W> {
     fn record(&mut self, event: TraceEvent) {
         let line = match event {
-            TraceEvent::Send { time, from, to } => {
-                format!("{{\"t\":{time},\"ev\":\"send\",\"from\":{from},\"to\":{to}}}\n")
+            TraceEvent::Send {
+                time,
+                from,
+                to,
+                query,
+            } => {
+                let qid = qid_fragment(query);
+                format!("{{\"t\":{time},\"ev\":\"send\",\"from\":{from},\"to\":{to}{qid}}}\n")
             }
-            TraceEvent::Deliver { time, from, to } => {
-                format!("{{\"t\":{time},\"ev\":\"deliver\",\"from\":{from},\"to\":{to}}}\n")
+            TraceEvent::Deliver {
+                time,
+                from,
+                to,
+                query,
+            } => {
+                let qid = qid_fragment(query);
+                format!("{{\"t\":{time},\"ev\":\"deliver\",\"from\":{from},\"to\":{to}{qid}}}\n")
             }
             TraceEvent::Drop {
                 time,
                 from,
                 to,
                 reason,
+                query,
             } => {
                 let reason = match reason {
                     DropReason::Loss => "loss",
                     DropReason::NodeDown => "node_down",
                 };
+                let qid = qid_fragment(query);
                 format!(
-                    "{{\"t\":{time},\"ev\":\"drop\",\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"}}\n"
+                    "{{\"t\":{time},\"ev\":\"drop\",\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"{qid}}}\n"
                 )
             }
             TraceEvent::Timer { time, node, id } => {
@@ -329,17 +370,20 @@ mod tests {
             time: 0,
             from: 0,
             to: 1,
+            query: None,
         });
         trace.record(TraceEvent::Deliver {
             time: 1,
             from: 0,
             to: 1,
+            query: None,
         });
         trace.record(TraceEvent::Drop {
             time: 2,
             from: 1,
             to: 0,
             reason: DropReason::Loss,
+            query: None,
         });
         trace.record(ev(3));
         trace.record(ev(4));
@@ -370,17 +414,20 @@ mod tests {
             time: 0,
             from: 0,
             to: 3,
+            query: None,
         });
         sink.record(TraceEvent::Deliver {
             time: 2,
             from: 0,
             to: 3,
+            query: None,
         });
         sink.record(TraceEvent::Drop {
             time: 4,
             from: 1,
             to: 2,
             reason: DropReason::NodeDown,
+            query: None,
         });
         sink.record(TraceEvent::Timer {
             time: 5,
@@ -396,6 +443,37 @@ mod tests {
              {\"t\":2,\"ev\":\"deliver\",\"from\":0,\"to\":3}\n\
              {\"t\":4,\"ev\":\"drop\",\"from\":1,\"to\":2,\"reason\":\"node_down\"}\n\
              {\"t\":5,\"ev\":\"timer\",\"node\":1,\"id\":7}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_trace_tags_query_events_with_qid() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(TraceEvent::Send {
+            time: 1,
+            from: 4,
+            to: 7,
+            query: Some(42),
+        });
+        sink.record(TraceEvent::Deliver {
+            time: 3,
+            from: 4,
+            to: 7,
+            query: Some(42),
+        });
+        sink.record(TraceEvent::Drop {
+            time: 4,
+            from: 7,
+            to: 9,
+            reason: DropReason::Loss,
+            query: Some(42),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":1,\"ev\":\"send\",\"from\":4,\"to\":7,\"qid\":42}\n\
+             {\"t\":3,\"ev\":\"deliver\",\"from\":4,\"to\":7,\"qid\":42}\n\
+             {\"t\":4,\"ev\":\"drop\",\"from\":7,\"to\":9,\"reason\":\"loss\",\"qid\":42}\n"
         );
     }
 

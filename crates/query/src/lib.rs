@@ -30,7 +30,9 @@ pub mod range;
 pub mod tag;
 
 pub use backbone::Backbone;
-pub use mtree::DistributedIndex;
+pub use mtree::{descend_decision, DescendDecision, DistributedIndex};
 pub use path::{elink_path_query, flooding_path_query, PathQueryResult};
-pub use range::{brute_force_range, elink_range_query, RangeQueryResult};
+pub use range::{
+    brute_force_range, cluster_decision, elink_range_query, ClusterDecision, RangeQueryResult,
+};
 pub use tag::{tag_range_query, TagTree};

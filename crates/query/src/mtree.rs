@@ -12,6 +12,37 @@ use elink_metric::{Feature, Metric};
 use elink_netsim::CostBook;
 use elink_topology::NodeId;
 
+/// Outcome of the M-tree descent test for one child subtree (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescendDecision {
+    /// No subtree member can match: skip the child entirely.
+    Prune,
+    /// Every subtree member matches: take the whole subtree, no descent.
+    IncludeAll,
+    /// Undecided: descend into the child.
+    Descend,
+}
+
+/// The triangle-inequality descent test of §7.1, as a pure function shared
+/// by the analytic descent in [`range`](crate::range) and the distributed
+/// serving protocol in `elink-workload`.
+///
+/// `d_node` is `d(q, F_i)` at the parent, `d_pc` is `d(F_i, F_j)` to the
+/// child, `r` the query radius and `r_child` the child's covering radius:
+///
+/// * prune when `|d_node − d_pc| > r + r_child` (no member can match),
+/// * include the whole subtree when `d_node + d_pc ≤ r − r_child`,
+/// * otherwise descend.
+pub fn descend_decision(d_node: f64, d_pc: f64, r: f64, r_child: f64) -> DescendDecision {
+    if (d_node - d_pc).abs() > r + r_child {
+        DescendDecision::Prune
+    } else if d_node + d_pc <= r - r_child {
+        DescendDecision::IncludeAll
+    } else {
+        DescendDecision::Descend
+    }
+}
+
 /// Per-node M-tree state for an entire clustering.
 #[derive(Debug, Clone)]
 pub struct DistributedIndex {
@@ -153,6 +184,33 @@ mod tests {
         // 3 non-roots × (1 feature scalar + 1 radius) = 6.
         assert_eq!(stats.kind("index_build").packets, 3);
         assert_eq!(stats.kind("index_build").cost, 6);
+    }
+
+    #[test]
+    fn descend_decision_trichotomy() {
+        // d_node = 10, d_pc = 4 → |diff| = 6, sum = 14.
+        assert_eq!(
+            descend_decision(10.0, 4.0, 3.0, 2.0),
+            DescendDecision::Prune
+        );
+        assert_eq!(
+            descend_decision(10.0, 4.0, 20.0, 2.0),
+            DescendDecision::IncludeAll
+        );
+        assert_eq!(
+            descend_decision(10.0, 4.0, 7.0, 2.0),
+            DescendDecision::Descend
+        );
+        // Boundary: |diff| exactly r + r_child is NOT pruned (inclusive
+        // match convention), sum exactly r − r_child IS fully included.
+        assert_eq!(
+            descend_decision(6.0, 2.0, 3.0, 1.0),
+            DescendDecision::Descend
+        );
+        assert_eq!(
+            descend_decision(1.0, 1.0, 3.0, 1.0),
+            DescendDecision::IncludeAll
+        );
     }
 
     #[test]

@@ -86,26 +86,32 @@ pub fn elink_path_query(
         let d_root = metric.distance(&features[cluster.root], danger);
         // As in range queries, the root covering radius is the sound
         // cluster-level bound (= the paper's δ/2 for ideal ELink clusters).
+        // The safe/unsafe/mixed trichotomy is the range trichotomy with
+        // r = γ: Exclude ⇒ wholly safe, IncludeAll ⇒ wholly unsafe.
         let radius = index.covering_radius(cluster.root).min(delta);
-        if d_root > gamma + radius {
-            clusters_safe += 1;
-            for &m in &cluster.members {
-                safe[m] = true;
+        match crate::range::cluster_decision(d_root, gamma, radius) {
+            crate::range::ClusterDecision::Exclude => {
+                clusters_safe += 1;
+                for &m in &cluster.members {
+                    safe[m] = true;
+                }
             }
-        } else if d_root <= gamma - radius {
-            clusters_unsafe += 1;
-        } else {
-            clusters_mixed += 1;
-            classify_subtree(
-                cluster.root,
-                index,
-                metric,
-                danger,
-                gamma,
-                &mut safe,
-                &mut stats,
-                query_scalars,
-            );
+            crate::range::ClusterDecision::IncludeAll => {
+                clusters_unsafe += 1;
+            }
+            crate::range::ClusterDecision::Drill => {
+                clusters_mixed += 1;
+                classify_subtree(
+                    cluster.root,
+                    index,
+                    metric,
+                    danger,
+                    gamma,
+                    &mut safe,
+                    &mut stats,
+                    query_scalars,
+                );
+            }
         }
     }
 

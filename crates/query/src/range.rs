@@ -23,11 +23,40 @@
 //! so it coincides with the paper's rule there.
 
 use crate::backbone::Backbone;
-use crate::mtree::DistributedIndex;
+use crate::mtree::{descend_decision, DescendDecision, DistributedIndex};
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{CostBook, Metrics};
 use elink_topology::NodeId;
+
+/// Outcome of the cluster-level δ-compactness test (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterDecision {
+    /// No member can match: skip the cluster.
+    Exclude,
+    /// Every member matches: take all members, no descent.
+    IncludeAll,
+    /// Undecided: drill the cluster's M-tree.
+    Drill,
+}
+
+/// The cluster-level δ-compactness test as a pure function, shared by the
+/// analytic query path here and the distributed serving protocol in
+/// `elink-workload`. `d_root` is `d(q, F_root)`, `r` the query radius, and
+/// `radius` the effective cluster bound (`min(R_root, δ)` at call sites):
+///
+/// * exclude when `d_root > r + radius`,
+/// * include every member when `d_root ≤ r − radius`,
+/// * otherwise drill.
+pub fn cluster_decision(d_root: f64, r: f64, radius: f64) -> ClusterDecision {
+    if d_root > r + radius {
+        ClusterDecision::Exclude
+    } else if d_root <= r - radius {
+        ClusterDecision::IncludeAll
+    } else {
+        ClusterDecision::Drill
+    }
+}
 
 /// Result of one range query.
 #[derive(Debug, Clone)]
@@ -95,14 +124,17 @@ pub fn elink_range_query(
         // member's distance from the root feature (≤ δ/2 for ideal ELink
         // clusters — the paper's bound — and exact for all clusterings).
         let radius = index.covering_radius(root).min(delta);
-        if d_root > r + radius {
-            clusters_excluded += 1;
-            continue;
-        }
-        if d_root <= r - radius {
-            clusters_included += 1;
-            matches.extend_from_slice(&cluster.members);
-            continue;
+        match cluster_decision(d_root, r, radius) {
+            ClusterDecision::Exclude => {
+                clusters_excluded += 1;
+                continue;
+            }
+            ClusterDecision::IncludeAll => {
+                clusters_included += 1;
+                matches.extend_from_slice(&cluster.members);
+                continue;
+            }
+            ClusterDecision::Drill => {}
         }
         clusters_drilled += 1;
         let edges_before = stats.kind("rq_cluster").packets;
@@ -161,20 +193,15 @@ fn drill(
     for &child in index.children(node) {
         let d_pc = metric.distance(index.routing_feature(node), index.routing_feature(child));
         let r_child = index.covering_radius(child);
-        // Prune: |d(q, F_i) − d(F_i, F_j)| > r + R_j (no subtree member can
-        // match, by the triangle inequality).
-        if (d_node - d_pc).abs() > r + r_child {
-            continue;
+        match descend_decision(d_node, d_pc, r, r_child) {
+            DescendDecision::Prune => {}
+            DescendDecision::IncludeAll => matches.extend(index.subtree(child)),
+            DescendDecision::Descend => {
+                stats.record("rq_cluster", 1, query_scalars);
+                stats.record("rq_cluster_agg", 1, 1);
+                drill(child, index, metric, q, r, matches, stats, query_scalars);
+            }
         }
-        // Full inclusion: d(q, F_i) + d(F_i, F_j) ≤ r − R_j (every subtree
-        // member matches; no need to descend).
-        if d_node + d_pc <= r - r_child {
-            matches.extend(index.subtree(child));
-            continue;
-        }
-        stats.record("rq_cluster", 1, query_scalars);
-        stats.record("rq_cluster_agg", 1, 1);
-        drill(child, index, metric, q, r, matches, stats, query_scalars);
     }
 }
 
@@ -354,6 +381,20 @@ mod tests {
             r1.costs.kind("rq_backbone").cost,
             r2.costs.kind("rq_backbone").cost
         );
+    }
+
+    #[test]
+    fn cluster_decision_trichotomy() {
+        assert_eq!(cluster_decision(10.0, 3.0, 2.0), ClusterDecision::Exclude);
+        assert_eq!(
+            cluster_decision(1.0, 10.0, 2.0),
+            ClusterDecision::IncludeAll
+        );
+        assert_eq!(cluster_decision(4.0, 3.0, 2.0), ClusterDecision::Drill);
+        // Boundaries: d_root exactly r + radius drills (not excluded),
+        // d_root exactly r − radius fully includes.
+        assert_eq!(cluster_decision(5.0, 3.0, 2.0), ClusterDecision::Drill);
+        assert_eq!(cluster_decision(1.0, 3.0, 2.0), ClusterDecision::IncludeAll);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::lexer::{lex, LexedFile, Token, TokenKind};
 /// Crates whose protocol logic feeds message emission order and timing:
 /// nondeterminism here changes simulated wire traffic, breaking the paper's
 /// seed-reproducible `O(√N log N)` / `O(N)` measurements.
-pub const PROTOCOL_CRATES: &[&str] = &["baselines", "core", "netsim", "query"];
+pub const PROTOCOL_CRATES: &[&str] = &["baselines", "core", "netsim", "query", "workload"];
 
 /// One diagnostic: a rule fired at a location.
 #[derive(Debug, Clone)]

@@ -1,0 +1,405 @@
+//! The workload harness: builds the serving deployment (clustering, M-tree
+//! index, leader backbone, per-node plan) on top of a topology + feature
+//! set, loads a generated [`Schedule`], and drives
+//! the [`ServeNode`] fleet through the
+//! discrete-event simulator.
+//!
+//! Two drive modes:
+//!
+//! - [`WorkloadSim::run_concurrent`] injects every submission and update at
+//!   its scheduled tick and lets them overlap — the serving benchmark.
+//! - [`WorkloadSim::run_sequential`] replays the same schedule one event at
+//!   a time, quiescing between events — the correctness oracle used by the
+//!   proptests (no query overlaps an invalidation, so every answer must
+//!   equal the brute-force ground truth over anchors).
+
+use crate::gen::{Schedule, Template, WorkloadSpec};
+use crate::plan::ServingPlan;
+use crate::protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
+use elink_core::{run_implicit, ElinkConfig};
+use elink_metric::{Feature, Metric};
+use elink_netsim::{CostBook, DelayModel, Metrics, SimNetwork, SimTime, Simulator};
+use elink_query::{Backbone, DistributedIndex};
+use elink_topology::{NodeId, RoutingTable, Topology};
+use std::sync::Arc;
+
+/// Serving-layer knobs independent of the workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Enable routing-node result caches.
+    pub cache_enabled: bool,
+    /// Batch window at cluster roots (ticks).
+    pub batch_window: SimTime,
+    /// Maintenance slack Δ handed to the §6 absorption rule.
+    pub slack: f64,
+}
+
+impl ServeOptions {
+    /// Defaults for a clustering threshold δ: caches on, zero batch window
+    /// (same-tick coalescing only), Δ = δ/4.
+    pub fn for_delta(delta: f64) -> ServeOptions {
+        ServeOptions {
+            cache_enabled: true,
+            batch_window: 0,
+            slack: delta / 4.0,
+        }
+    }
+}
+
+/// A deployed serving fleet ready to execute a schedule.
+pub struct WorkloadSim {
+    sim: Simulator<ServeNode>,
+    schedule: Schedule,
+    plan_costs: CostBook,
+    n_clusters: usize,
+}
+
+/// Everything a run produced, ready for reporting.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// All completed queries, ascending by query id.
+    pub completed: Vec<CompletedQuery>,
+    /// Merged cost book: simulator wire costs + analytic plan distribution.
+    pub costs: CostBook,
+    /// The run's metrics registry.
+    pub metrics: Metrics,
+    /// Final simulated time.
+    pub sim_ticks: SimTime,
+    /// Number of clusters in the deployment.
+    pub n_clusters: usize,
+    /// Number of nodes.
+    pub n_nodes: usize,
+}
+
+impl WorkloadSim {
+    /// Builds the full serving deployment: δ-clustering (implicit-signal
+    /// ELink), the M-tree index and leader backbone over it, the per-node
+    /// plan, and one [`ServeNode`] per node preloaded with its closed-loop
+    /// script (if any). The schedule is materialized from `spec` over the
+    /// initial features.
+    pub fn build(
+        topology: Topology,
+        features: Vec<Feature>,
+        metric: Arc<dyn Metric>,
+        delta: f64,
+        spec: &WorkloadSpec,
+        opts: ServeOptions,
+    ) -> WorkloadSim {
+        let net = SimNetwork::new(topology.clone());
+        let outcome = run_implicit(
+            &net,
+            &features,
+            Arc::clone(&metric),
+            ElinkConfig::for_delta(delta),
+        );
+        let (index, _) = DistributedIndex::build(&outcome.clustering, &features, metric.as_ref());
+        let routing = RoutingTable::build(topology.graph());
+        let (backbone, _) = Backbone::build(&outcome.clustering, &routing);
+        let schedule = crate::gen::build_schedule(spec, &features, delta);
+        let topology = Arc::new(topology);
+        let (plan, plan_costs) = ServingPlan::build(
+            &outcome.clustering,
+            &index,
+            &backbone,
+            Arc::clone(&topology),
+            &features,
+            &schedule.templates,
+        );
+        let shared = Arc::new(Shared {
+            templates: schedule.templates.clone(),
+            metric,
+            topology: Arc::clone(&topology),
+            delta,
+            slack: opts.slack,
+            cache_enabled: opts.cache_enabled,
+            batch_window: opts.batch_window,
+        });
+        let n = topology.n();
+        let nodes: Vec<ServeNode> = (0..n)
+            .map(|v| {
+                let node_plan = plan.nodes[v].clone();
+                let root = node_plan.cluster_root;
+                let script = schedule
+                    .scripts
+                    .iter()
+                    .find(|s| s.node == v)
+                    .map(|s| s.entries.clone())
+                    .unwrap_or_default();
+                ServeNode::new(
+                    v,
+                    node_plan,
+                    Arc::clone(&shared),
+                    features[v].clone(),
+                    features[root].clone(),
+                    script,
+                )
+            })
+            .collect();
+        let sim = Simulator::new(
+            SimNetwork::new((*topology).clone()),
+            DelayModel::Sync,
+            spec.seed,
+            nodes,
+        );
+        WorkloadSim {
+            sim,
+            schedule,
+            plan_costs,
+            n_clusters: outcome.clustering.cluster_count(),
+        }
+    }
+
+    /// The materialized schedule this deployment will execute.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Current anchor features across the fleet (the ground-truth state
+    /// queries answer over).
+    pub fn anchors(&self) -> Vec<Feature> {
+        self.sim
+            .nodes()
+            .iter()
+            .map(|n| n.anchor().clone())
+            .collect()
+    }
+
+    /// Direct simulator access (metrics, costs, time).
+    pub fn sim(&self) -> &Simulator<ServeNode> {
+        &self.sim
+    }
+
+    /// Injects one query submission at `at` (must be ≥ current time).
+    pub fn inject_query(&mut self, at: SimTime, node: NodeId, qid: u64, template: u16) {
+        self.sim
+            .inject(at, node, ServeMsg::Submit { qid, template });
+    }
+
+    /// Injects one feature update at `at` (must be ≥ current time).
+    pub fn inject_update(&mut self, at: SimTime, node: NodeId, feature: Feature) {
+        self.sim.inject(at, node, ServeMsg::Update(feature));
+    }
+
+    /// Runs the pending event queue dry and returns the simulated time.
+    pub fn quiesce(&mut self) -> SimTime {
+        self.sim.run_to_completion()
+    }
+
+    /// Concurrent drive: all scheduled submissions and updates go in at
+    /// their scheduled ticks (closed-loop scripts are already preloaded in
+    /// the nodes), then the run proceeds to quiescence.
+    pub fn run_concurrent(mut self) -> WorkloadRun {
+        let submissions = std::mem::take(&mut self.schedule.submissions);
+        for s in &submissions {
+            self.inject_query(s.at, s.initiator, s.qid, s.template);
+        }
+        let updates = std::mem::take(&mut self.schedule.updates);
+        for u in updates {
+            self.inject_update(u.at, u.node, u.feature);
+        }
+        self.sim.run_to_completion();
+        self.finish()
+    }
+
+    /// Sequential drive: replays submissions and updates strictly one at a
+    /// time in scheduled order (ties: update before query), quiescing the
+    /// network between events. Closed-loop scripts still self-pace.
+    pub fn run_sequential(mut self) -> WorkloadRun {
+        enum Ev {
+            Query(NodeId, u64, u16),
+            Update(NodeId, Feature),
+        }
+        let mut events: Vec<(SimTime, u8, Ev)> = Vec::new();
+        for u in std::mem::take(&mut self.schedule.updates) {
+            events.push((u.at, 0, Ev::Update(u.node, u.feature)));
+        }
+        for s in std::mem::take(&mut self.schedule.submissions) {
+            events.push((s.at, 1, Ev::Query(s.initiator, s.qid, s.template)));
+        }
+        events.sort_by_key(|&(at, kind, _)| (at, kind));
+        for (at, _, ev) in events {
+            let at = at.max(self.sim.now());
+            match ev {
+                Ev::Query(node, qid, template) => self.inject_query(at, node, qid, template),
+                Ev::Update(node, feature) => self.inject_update(at, node, feature),
+            }
+            self.sim.run_to_completion();
+        }
+        self.sim.run_to_completion();
+        self.finish()
+    }
+
+    fn finish(mut self) -> WorkloadRun {
+        let sim_ticks = self.sim.now();
+        let mut completed: Vec<CompletedQuery> = self
+            .sim
+            .nodes()
+            .iter()
+            .flat_map(|n| n.completed().iter().cloned())
+            .collect();
+        completed.sort_by_key(|c| c.qid);
+        let mut costs = self.sim.costs().clone();
+        costs.merge(&self.plan_costs);
+        WorkloadRun {
+            completed,
+            costs,
+            metrics: self.sim.take_metrics(),
+            sim_ticks,
+            n_clusters: self.n_clusters,
+            n_nodes: self.sim.nodes().len(),
+        }
+    }
+}
+
+/// Brute-force ground truth for a template over a fleet anchor snapshot:
+/// range templates collect `d ≤ r`, path templates the strict unsafe set
+/// `d < γ`. Queries in this crate answer over anchors, so a quiesced
+/// distributed answer must equal this exactly.
+pub fn expected_matches(
+    template: &Template,
+    anchors: &[Feature],
+    metric: &dyn Metric,
+) -> Vec<NodeId> {
+    let (center, r, strict) = match template {
+        Template::Range { center, r } => (center, *r, false),
+        Template::Path { danger, gamma, .. } => (danger, *gamma, true),
+    };
+    anchors
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            let d = metric.distance(center, a);
+            if strict {
+                d < r
+            } else {
+                d <= r
+            }
+        })
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Arrival;
+    use elink_metric::Absolute;
+
+    fn fixture(seed: u64) -> (Topology, Vec<Feature>, f64) {
+        let data = elink_datasets::TerrainDataset::generate(96, 6, 0.55, seed);
+        (data.topology().clone(), data.features(), 300.0)
+    }
+
+    fn quick_spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec::quick(seed)
+    }
+
+    #[test]
+    fn concurrent_run_completes_every_query() {
+        let (topo, features, delta) = fixture(7);
+        let spec = quick_spec(11);
+        let sim = WorkloadSim::build(
+            topo,
+            features,
+            Arc::new(Absolute),
+            delta,
+            &spec,
+            ServeOptions::for_delta(delta),
+        );
+        let run = sim.run_concurrent();
+        assert_eq!(run.completed.len(), spec.n_queries);
+        assert_eq!(run.metrics.counter("wl.query.lost"), 0);
+        let qids: Vec<u64> = run.completed.iter().map(|c| c.qid).collect();
+        let mut sorted = qids.clone();
+        sorted.dedup();
+        assert_eq!(qids, sorted, "duplicate or unsorted qids");
+    }
+
+    #[test]
+    fn sequential_answers_match_ground_truth_over_anchors() {
+        let (topo, features, delta) = fixture(3);
+        let spec = quick_spec(5);
+        let metric: Arc<dyn Metric> = Arc::new(Absolute);
+        let mut sim = WorkloadSim::build(
+            topo,
+            features,
+            Arc::clone(&metric),
+            delta,
+            &spec,
+            ServeOptions::for_delta(delta),
+        );
+        // Replay manually so we can snapshot anchors before each query.
+        let submissions = sim.schedule().submissions.clone();
+        let templates = sim.schedule().templates.clone();
+        let updates = sim.schedule().updates.clone();
+        let mut upd = updates.into_iter().peekable();
+        for s in submissions {
+            while upd.peek().is_some_and(|u| u.at <= s.at) {
+                let u = upd.next().expect("peeked");
+                let at = u.at.max(sim.sim().now());
+                sim.inject_update(at, u.node, u.feature);
+                sim.quiesce();
+            }
+            let truth = expected_matches(
+                &templates[s.template as usize],
+                &sim.anchors(),
+                metric.as_ref(),
+            );
+            let at = s.at.max(sim.sim().now());
+            sim.inject_query(at, s.initiator, s.qid, s.template);
+            sim.quiesce();
+            let got = sim
+                .sim()
+                .nodes()
+                .iter()
+                .flat_map(|n| n.completed().iter())
+                .find(|c| c.qid == s.qid)
+                .expect("query completed")
+                .matches
+                .clone();
+            assert_eq!(got, truth, "qid {} template {}", s.qid, s.template);
+        }
+    }
+
+    #[test]
+    fn cache_produces_hits_on_skewed_stream() {
+        let (topo, features, delta) = fixture(2);
+        let spec = quick_spec(9);
+        let run = WorkloadSim::build(
+            topo,
+            features,
+            Arc::new(Absolute),
+            delta,
+            &spec,
+            ServeOptions::for_delta(delta),
+        )
+        .run_concurrent();
+        assert!(
+            run.metrics.counter("wl.cache.hit") > 0,
+            "zipf-skewed stream should hit the cache"
+        );
+    }
+
+    #[test]
+    fn closed_loop_scripts_complete() {
+        let (topo, features, delta) = fixture(4);
+        let mut spec = quick_spec(13);
+        spec.arrival = Arrival::Closed {
+            clients: 6,
+            think: 4,
+        };
+        let run = WorkloadSim::build(
+            topo,
+            features,
+            Arc::new(Absolute),
+            delta,
+            &spec,
+            ServeOptions::for_delta(delta),
+        )
+        .run_concurrent();
+        assert_eq!(
+            run.completed.len() + run.metrics.counter("wl.query.lost") as usize,
+            spec.n_queries
+        );
+    }
+}

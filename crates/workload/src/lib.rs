@@ -1,0 +1,35 @@
+//! Concurrent query serving over the ELink clustering (the workload layer).
+//!
+//! The preceding crates build and maintain the distributed clustering
+//! (`elink-core`) and answer one query at a time (`elink-query`). This
+//! crate turns that into a *serving system*:
+//!
+//! - [`gen`] — deterministic workload generation: seeded open/closed-loop
+//!   arrival processes over a zipf-skewed mixed range/path template table,
+//!   plus a background feature-update stream.
+//! - [`plan`] — the per-node serving plan (cluster trees, M-tree child
+//!   entries, backbone adjacency) distributed at deployment time.
+//! - [`protocol`] — the serving protocol: query multiplexing with
+//!   per-query cost attribution, single-flight M-tree descents shared by
+//!   co-located queries (in-network batching), per-template result caches
+//!   at routing nodes invalidated by §6 slack-exceeding updates.
+//! - [`engine`] — the harness: builds the deployment and drives the fleet
+//!   concurrently (benchmark) or sequentially (correctness oracle).
+//! - [`report`] — the `elink-workload/v1` SLO document.
+//!
+//! See DESIGN.md §9 for the arrival models, the batching rule, and the
+//! cache-invalidation correctness argument.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod gen;
+pub mod plan;
+pub mod protocol;
+pub mod report;
+
+pub use engine::{expected_matches, ServeOptions, WorkloadRun, WorkloadSim};
+pub use gen::{build_schedule, Arrival, Schedule, Template, WorkloadSpec};
+pub use plan::{ChildEntry, NodePlan, ServingPlan};
+pub use protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
+pub use report::{LatencySummary, SloReport, SCHEMA};

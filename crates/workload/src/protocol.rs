@@ -1,0 +1,826 @@
+//! The concurrent query-serving protocol.
+//!
+//! Every node runs a [`ServeNode`]. Queries enter at an initiator
+//! ([`ServeMsg::Submit`] or a preloaded closed-loop script), route to the
+//! initiator's cluster root, and fan out over the leader backbone with an
+//! echo (fan-out / convergecast) wave: each cluster root answers for its own
+//! cluster and aggregates its backbone subtree's answers back towards the
+//! coordinator, which returns the final result to the initiator.
+//!
+//! Inside a cluster, a root answers with the §7 M-tree descent over its
+//! cluster tree, with two serving-layer additions:
+//!
+//! 1. **Result caching** — every routing node keeps, per query template,
+//!    the exact set of subtree matches it last computed. A cached entry is
+//!    served without descending. Entries are evicted *only* when a
+//!    descendant's slack bound is exceeded: the §6 maintenance rule absorbs
+//!    small drifts without moving anchors, and since all answers are
+//!    defined over anchor features (see DESIGN.md §9), absorbed updates
+//!    cannot change any answer — the cache stays exact. A slack-exceeding
+//!    update re-anchors the node and triggers an *invalidation climb* to
+//!    its cluster root: each ancestor repairs its child entry (feature +
+//!    covering radius), inflates its own covering radius to restore the
+//!    M-tree invariant, clears its cache, and forwards upward.
+//! 2. **In-network batching** — descents are single-flight per (node,
+//!    template): concurrent queries for the same template share one
+//!    descent as *riders*. Each `Descend`/`AggUp` packet carries its rider
+//!    list; every rider is attributed the full packet in the
+//!    [`CostBook`](elink_netsim::CostBook) query ledger, so the sum of
+//!    per-query attributed cost minus wire cost measures the batching
+//!    saving. Cluster roots additionally hold a freshly-missed template for
+//!    a configurable *batch window* before launching the descent, so
+//!    near-simultaneous queries coalesce.
+//!
+//! In-flight descents are epoch-guarded: a completion whose invalidation
+//! epoch is stale still answers its riders (stale-read, bounded by the
+//! in-flight window) but is not written back to the cache.
+
+use crate::gen::{ScriptEntry, Template};
+use crate::plan::NodePlan;
+use elink_core::slack_conditions_hold;
+use elink_metric::{Feature, Metric};
+use elink_netsim::{Ctx, Protocol, QueryId, SimTime};
+use elink_query::{cluster_decision, descend_decision, ClusterDecision, DescendDecision};
+use elink_topology::{NodeId, Topology};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Timer id for closed-loop script submissions (template flush timers use
+/// the template index itself, far below this bit).
+const SCRIPT_TIMER: u64 = 1 << 63;
+
+/// Tables shared by every node (read-only at run time).
+pub struct Shared {
+    /// The query template dictionary.
+    pub templates: Vec<Template>,
+    /// The feature metric.
+    pub metric: Arc<dyn Metric>,
+    /// The network topology (initiators path-find locally over it).
+    pub topology: Arc<Topology>,
+    /// Clustering threshold δ.
+    pub delta: f64,
+    /// Maintenance slack Δ (the §6 absorption bound).
+    pub slack: f64,
+    /// Whether routing-node result caches are enabled.
+    pub cache_enabled: bool,
+    /// Ticks a cluster root holds a missed template before descending, so
+    /// near-simultaneous same-template queries share the descent. Zero
+    /// still batches same-tick arrivals (the flush timer fires after all
+    /// deliveries already queued for the current tick).
+    pub batch_window: SimTime,
+}
+
+/// Messages of the serving protocol.
+#[derive(Debug, Clone)]
+pub enum ServeMsg {
+    /// A sensed feature update (injected by the harness).
+    Update(Feature),
+    /// Invalidation climb: the sender's anchor feature and repaired
+    /// covering radius; the receiver repairs its child entry, inflates its
+    /// own radius, evicts its cache, and forwards upward.
+    Invalidate {
+        /// The sender's current anchor.
+        feature: Feature,
+        /// The sender's repaired covering radius.
+        radius: f64,
+    },
+    /// A query submission at the initiator (injected by the harness).
+    Submit {
+        /// Query id.
+        qid: QueryId,
+        /// Template index.
+        template: u16,
+    },
+    /// Initiator → its cluster root: start coordinating this query.
+    ToRoot {
+        /// Query id.
+        qid: QueryId,
+        /// Template index.
+        template: u16,
+    },
+    /// Echo wave out over the leader backbone.
+    Fanout {
+        /// Query id.
+        qid: QueryId,
+        /// Template index.
+        template: u16,
+    },
+    /// Echo convergecast back towards the coordinator.
+    BackAgg {
+        /// Query id.
+        qid: QueryId,
+        /// Matches from the sender's backbone subtree.
+        matches: Vec<NodeId>,
+    },
+    /// M-tree descent into a child subtree, shared by all riders.
+    Descend {
+        /// Template index.
+        template: u16,
+        /// Queries riding this descent.
+        riders: Vec<QueryId>,
+    },
+    /// Subtree answer back up the cluster tree.
+    AggUp {
+        /// Template index.
+        template: u16,
+        /// Matches within the sender's subtree.
+        matches: Vec<NodeId>,
+    },
+    /// Coordinator → initiator: the final match set.
+    Down {
+        /// Query id.
+        qid: QueryId,
+        /// The full match set, ascending.
+        matches: Vec<NodeId>,
+    },
+}
+
+/// A finished query at its initiator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedQuery {
+    /// Query id.
+    pub qid: QueryId,
+    /// Template index.
+    pub template: u16,
+    /// Submission tick.
+    pub submitted: SimTime,
+    /// Completion tick.
+    pub finished: SimTime,
+    /// Matching nodes, ascending (for path templates: the unsafe set).
+    pub matches: Vec<NodeId>,
+    /// For path templates: a safe source→dest path if one exists.
+    pub path: Option<Vec<NodeId>>,
+}
+
+/// One single-flight M-tree descent in progress at a node.
+#[derive(Debug)]
+struct EvalState {
+    /// Queries sharing this descent.
+    riders: Vec<QueryId>,
+    /// Outstanding child `AggUp`s; `None` until the descent is launched
+    /// (cluster roots hold the eval for the batch window first).
+    awaiting: Option<usize>,
+    /// Matches accumulated so far.
+    acc: Vec<NodeId>,
+    /// Invalidation epoch at eval start — a stale epoch at completion
+    /// suppresses the cache fill.
+    epoch0: u64,
+}
+
+/// Per-query echo (fan-out/convergecast) state at a cluster root.
+#[derive(Debug)]
+struct EchoState {
+    /// Backbone peer to reply to (`None` at the coordinator).
+    parent: Option<NodeId>,
+    /// The initiator (meaningful at the coordinator only).
+    initiator: NodeId,
+    /// Outstanding peer `BackAgg`s.
+    awaiting: usize,
+    /// Whether the local cluster answer is still being computed.
+    local_pending: bool,
+    /// Matches accumulated so far.
+    acc: Vec<NodeId>,
+}
+
+/// Outcome of a cluster root's local evaluation attempt.
+enum LocalEval {
+    /// The local cluster answer is known now.
+    Resolved(Vec<NodeId>),
+    /// A descent is in flight; the query rides it.
+    Pending,
+}
+
+/// Per-node serving protocol state.
+pub struct ServeNode {
+    id: NodeId,
+    plan: NodePlan,
+    shared: Arc<Shared>,
+    /// Last synchronized feature — all answers are defined over anchors.
+    anchor: Feature,
+    /// Live sensed feature (drifts within the slack without re-anchoring).
+    feature: Feature,
+    /// Snapshot of the cluster root's anchor from plan distribution, used
+    /// by the §6 slack conditions A₂/A₃ (staleness only affects which
+    /// updates absorb, never answer correctness).
+    root_feature: Feature,
+    /// Bumped on every slack-exceeding re-anchor.
+    anchor_epoch: u64,
+    /// Bumped whenever this node's subtree state changes (own re-anchor or
+    /// a descendant's invalidation climb).
+    inval_epoch: u64,
+    /// Per-template cached subtree answers.
+    cache: BTreeMap<u16, Vec<NodeId>>,
+    /// Single-flight descents, keyed by template.
+    evals: BTreeMap<u16, EvalState>,
+    /// Echo states for queries this root participates in.
+    echo: BTreeMap<QueryId, EchoState>,
+    /// Queries submitted here and not yet answered: template + submit tick.
+    pending: BTreeMap<QueryId, (u16, SimTime)>,
+    /// Closed-loop script (empty for open-loop runs).
+    script: VecDeque<ScriptEntry>,
+    /// Queries finished at this initiator.
+    completed: Vec<CompletedQuery>,
+}
+
+/// Node-level match predicate: strict templates (path unsafe sets) require
+/// `d < r`, range templates `d ≤ r`.
+fn node_matches(d: f64, r: f64, strict: bool) -> bool {
+    if strict {
+        d < r
+    } else {
+        d <= r
+    }
+}
+
+/// [`cluster_decision`] with the strict-inequality demotion: a strict
+/// template may only take `IncludeAll` when the bound is strictly inside
+/// (`d_root + radius < r`); otherwise the boundary members must be checked
+/// individually, so the decision demotes to `Drill`.
+fn effective_cluster(d_root: f64, r: f64, radius: f64, strict: bool) -> ClusterDecision {
+    let base = cluster_decision(d_root, r, radius);
+    if strict && base == ClusterDecision::IncludeAll && d_root + radius >= r {
+        ClusterDecision::Drill
+    } else {
+        base
+    }
+}
+
+/// [`descend_decision`] with the same strict demotion (`IncludeAll` →
+/// `Descend` unless the upper bound is strictly below `r`).
+fn effective_descend(
+    d_node: f64,
+    d_pc: f64,
+    r: f64,
+    r_child: f64,
+    strict: bool,
+) -> DescendDecision {
+    let base = descend_decision(d_node, d_pc, r, r_child);
+    if strict && base == DescendDecision::IncludeAll && d_node + d_pc + r_child >= r {
+        DescendDecision::Descend
+    } else {
+        base
+    }
+}
+
+/// Query parameters of a template: (center, radius, strict).
+fn params(t: &Template) -> (&Feature, f64, bool) {
+    match t {
+        Template::Range { center, r } => (center, *r, false),
+        Template::Path { danger, gamma, .. } => (danger, *gamma, true),
+    }
+}
+
+impl ServeNode {
+    /// Creates the node's protocol instance. `feature` is the initial
+    /// sensed feature (also the initial anchor), `root_feature` the cluster
+    /// root's initial feature, `script` this node's closed-loop script
+    /// (empty for open-loop initiators).
+    pub fn new(
+        id: NodeId,
+        plan: NodePlan,
+        shared: Arc<Shared>,
+        feature: Feature,
+        root_feature: Feature,
+        script: Vec<ScriptEntry>,
+    ) -> ServeNode {
+        ServeNode {
+            id,
+            plan,
+            shared,
+            anchor: feature.clone(),
+            feature,
+            root_feature,
+            anchor_epoch: 0,
+            inval_epoch: 0,
+            cache: BTreeMap::new(),
+            evals: BTreeMap::new(),
+            echo: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            script: script.into(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Queries completed at this initiator, in completion order.
+    pub fn completed(&self) -> &[CompletedQuery] {
+        &self.completed
+    }
+
+    /// Current anchor feature (what queries answer over).
+    pub fn anchor(&self) -> &Feature {
+        &self.anchor
+    }
+
+    /// Current live (sensed) feature.
+    pub fn feature(&self) -> &Feature {
+        &self.feature
+    }
+
+    /// Number of slack-exceeding re-anchors at this node.
+    pub fn anchor_epoch(&self) -> u64 {
+        self.anchor_epoch
+    }
+
+    /// Current (possibly inflated) covering radius.
+    pub fn radius(&self) -> f64 {
+        self.plan.radius
+    }
+
+    /// Number of cached templates at this routing node.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Queries submitted here that have not completed.
+    pub fn unanswered(&self) -> usize {
+        self.pending.len()
+    }
+
+    // -- submission -------------------------------------------------------
+
+    fn submit(&mut self, qid: QueryId, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        self.pending.insert(qid, (template, ctx.now()));
+        ctx.metrics().inc("wl.query.submitted");
+        let root = self.plan.cluster_root;
+        if root == self.id {
+            self.start_echo(qid, template, None, self.id, ctx);
+        } else if ctx.unicast_tagged(root, ServeMsg::ToRoot { qid, template }, "wl_route", 2, qid) {
+            // routed; the root takes over as coordinator
+        } else {
+            self.pending.remove(&qid);
+            ctx.metrics().inc("wl.query.lost");
+            // Keep a closed-loop client alive even when a query is lost.
+            if let Some(e) = self.script.front() {
+                ctx.set_timer(e.think, SCRIPT_TIMER);
+            }
+        }
+    }
+
+    // -- echo wave (cluster roots) ----------------------------------------
+
+    fn start_echo(
+        &mut self,
+        qid: QueryId,
+        template: u16,
+        parent: Option<NodeId>,
+        initiator: NodeId,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let mut awaiting = 0;
+        let peers: Vec<NodeId> = self
+            .plan
+            .backbone_peers
+            .iter()
+            .copied()
+            .filter(|&p| Some(p) != parent)
+            .collect();
+        for p in peers {
+            if ctx.unicast_tagged(p, ServeMsg::Fanout { qid, template }, "wl_fanout", 2, qid) {
+                awaiting += 1;
+            }
+        }
+        let mut st = EchoState {
+            parent,
+            initiator,
+            awaiting,
+            local_pending: false,
+            acc: Vec::new(),
+        };
+        match self.local_cluster_eval(qid, template, ctx) {
+            LocalEval::Resolved(m) => st.acc.extend(m),
+            LocalEval::Pending => st.local_pending = true,
+        }
+        self.echo.insert(qid, st);
+        self.maybe_finish_echo(qid, ctx);
+    }
+
+    /// Answers the local cluster (this root's subtree) for `template`,
+    /// either immediately (cluster-level decision or cache hit) or by
+    /// joining/launching a single-flight descent with `qid` riding.
+    fn local_cluster_eval(
+        &mut self,
+        qid: QueryId,
+        template: u16,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) -> LocalEval {
+        let shared = Arc::clone(&self.shared);
+        let (center, r, strict) = params(&shared.templates[template as usize]);
+        let d_root = shared.metric.distance(center, &self.anchor);
+        match effective_cluster(d_root, r, self.plan.radius, strict) {
+            ClusterDecision::Exclude => {
+                ctx.metrics().inc("wl.cluster.exclude");
+                LocalEval::Resolved(Vec::new())
+            }
+            ClusterDecision::IncludeAll => {
+                ctx.metrics().inc("wl.cluster.include_all");
+                LocalEval::Resolved(self.plan.members.clone())
+            }
+            ClusterDecision::Drill => {
+                if let Some(hit) = self.cache.get(&template) {
+                    ctx.metrics().inc("wl.cache.hit");
+                    return LocalEval::Resolved(hit.clone());
+                }
+                if let Some(ev) = self.evals.get_mut(&template) {
+                    ev.riders.push(qid);
+                    ctx.metrics().inc("wl.batch.riders");
+                } else {
+                    ctx.metrics().inc("wl.cache.miss");
+                    self.evals.insert(
+                        template,
+                        EvalState {
+                            riders: vec![qid],
+                            awaiting: None,
+                            acc: Vec::new(),
+                            epoch0: self.inval_epoch,
+                        },
+                    );
+                    // Flush after the batch window; a zero window still
+                    // coalesces everything already queued for this tick.
+                    ctx.set_timer(shared.batch_window, u64::from(template));
+                }
+                LocalEval::Pending
+            }
+        }
+    }
+
+    fn maybe_finish_echo(&mut self, qid: QueryId, ctx: &mut Ctx<'_, ServeMsg>) {
+        let done = self
+            .echo
+            .get(&qid)
+            .is_some_and(|st| st.awaiting == 0 && !st.local_pending);
+        if !done {
+            return;
+        }
+        let Some(mut st) = self.echo.remove(&qid) else {
+            return;
+        };
+        st.acc.sort_unstable();
+        st.acc.dedup();
+        let scalars = st.acc.len() as u64 + 1;
+        if let Some(p) = st.parent {
+            ctx.unicast_tagged(
+                p,
+                ServeMsg::BackAgg {
+                    qid,
+                    matches: st.acc,
+                },
+                "wl_backagg",
+                scalars,
+                qid,
+            );
+        } else if st.initiator == self.id {
+            self.deliver_answer(qid, st.acc, ctx);
+        } else {
+            ctx.unicast_tagged(
+                st.initiator,
+                ServeMsg::Down {
+                    qid,
+                    matches: st.acc,
+                },
+                "wl_down",
+                scalars,
+                qid,
+            );
+        }
+    }
+
+    // -- M-tree descent ---------------------------------------------------
+
+    /// Launches the descent for `template` (the eval must exist and be
+    /// unlaunched). Evaluates this node and each child entry, sends shared
+    /// `Descend` packets where needed, and completes immediately when no
+    /// child must be consulted.
+    fn launch_descent(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let Some(mut ev) = self.evals.remove(&template) else {
+            return;
+        };
+        let shared = Arc::clone(&self.shared);
+        let (center, r, strict) = params(&shared.templates[template as usize]);
+        let d_node = shared.metric.distance(center, &self.anchor);
+        if node_matches(d_node, r, strict) {
+            ev.acc.push(self.id);
+        }
+        let mut awaiting = 0;
+        for entry in &self.plan.entries {
+            let d_pc = shared.metric.distance(&self.anchor, &entry.feature);
+            match effective_descend(d_node, d_pc, r, entry.radius, strict) {
+                DescendDecision::Prune => ctx.metrics().inc("wl.mtree.prune"),
+                DescendDecision::IncludeAll => {
+                    ctx.metrics().inc("wl.mtree.include_all");
+                    ev.acc.extend_from_slice(&entry.subtree);
+                }
+                DescendDecision::Descend => {
+                    let scalars = 1 + ev.riders.len() as u64;
+                    ctx.send_tagged(
+                        entry.child,
+                        ServeMsg::Descend {
+                            template,
+                            riders: ev.riders.clone(),
+                        },
+                        "wl_descend",
+                        scalars,
+                        ev.riders[0],
+                    );
+                    for &q in &ev.riders[1..] {
+                        ctx.attribute_query(q, 1, scalars);
+                    }
+                    awaiting += 1;
+                }
+            }
+        }
+        if awaiting == 0 {
+            self.complete_eval(template, ev, ctx);
+        } else {
+            ev.awaiting = Some(awaiting);
+            self.evals.insert(template, ev);
+        }
+    }
+
+    /// A descent finished at this node: fill the cache (unless the epoch
+    /// went stale mid-flight), then answer upward or resolve echo riders.
+    fn complete_eval(&mut self, template: u16, mut ev: EvalState, ctx: &mut Ctx<'_, ServeMsg>) {
+        ev.acc.sort_unstable();
+        ev.acc.dedup();
+        if ev.epoch0 != self.inval_epoch {
+            ctx.metrics().inc("wl.cache.skip_fill");
+        } else if self.shared.cache_enabled {
+            ctx.metrics().inc("wl.cache.fill");
+            self.cache.insert(template, ev.acc.clone());
+        }
+        self.reply_subtree(template, &ev.riders, ev.acc, ctx);
+    }
+
+    /// Sends a subtree answer to the parent (internal nodes) or resolves
+    /// each rider's echo state (cluster roots).
+    fn reply_subtree(
+        &mut self,
+        template: u16,
+        riders: &[QueryId],
+        matches: Vec<NodeId>,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        if let Some(p) = self.plan.parent {
+            let Some(&first) = riders.first() else {
+                return;
+            };
+            let scalars = matches.len() as u64 + 1;
+            ctx.send_tagged(
+                p,
+                ServeMsg::AggUp { template, matches },
+                "wl_aggup",
+                scalars,
+                first,
+            );
+            for &q in &riders[1..] {
+                ctx.attribute_query(q, 1, scalars);
+            }
+            ctx.metrics()
+                .add("wl.batch.riders", riders.len() as u64 - 1);
+        } else {
+            for &qid in riders {
+                if let Some(st) = self.echo.get_mut(&qid) {
+                    st.acc.extend_from_slice(&matches);
+                    st.local_pending = false;
+                }
+            }
+            for &qid in riders {
+                self.maybe_finish_echo(qid, ctx);
+            }
+        }
+    }
+
+    // -- maintenance ------------------------------------------------------
+
+    fn on_update(&mut self, new_feature: Feature, ctx: &mut Ctx<'_, ServeMsg>) {
+        ctx.metrics().inc("wl.update.recv");
+        let shared = Arc::clone(&self.shared);
+        if slack_conditions_hold(
+            shared.metric.as_ref(),
+            shared.delta,
+            shared.slack,
+            &self.anchor,
+            &self.root_feature,
+            &new_feature,
+        ) {
+            // Absorbed: the anchor — and therefore every answer — is
+            // untouched, so caches network-wide stay exact.
+            self.feature = new_feature;
+            ctx.metrics().inc("wl.update.absorbed");
+            return;
+        }
+        let drift = shared.metric.distance(&self.anchor, &new_feature);
+        self.anchor = new_feature.clone();
+        self.feature = new_feature;
+        self.anchor_epoch += 1;
+        // Our covering radius bounded subtree anchors from the old anchor;
+        // moving the anchor by `drift` inflates every such bound by at most
+        // `drift` (triangle inequality).
+        self.plan.radius += drift;
+        ctx.metrics().inc("wl.update.sync");
+        self.invalidate_and_climb(ctx);
+    }
+
+    fn on_invalidate(
+        &mut self,
+        child: NodeId,
+        feature: Feature,
+        radius: f64,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let required = {
+            let Some(entry) = self.plan.entries.iter_mut().find(|e| e.child == child) else {
+                return;
+            };
+            entry.feature = feature;
+            entry.radius = radius;
+            self.shared.metric.distance(&self.anchor, &entry.feature) + entry.radius
+        };
+        if required > self.plan.radius {
+            self.plan.radius = required;
+        }
+        self.invalidate_and_climb(ctx);
+    }
+
+    /// Evicts the local cache and forwards the climb to the parent. The
+    /// climb always reaches the cluster root even when no radius grows: a
+    /// descendant's anchor moved, so every ancestor's cached answer may
+    /// now include or exclude the wrong nodes.
+    fn invalidate_and_climb(&mut self, ctx: &mut Ctx<'_, ServeMsg>) {
+        self.inval_epoch += 1;
+        ctx.metrics().inc("wl.cache.inval");
+        ctx.metrics().add("wl.cache.evict", self.cache.len() as u64);
+        self.cache.clear();
+        if let Some(p) = self.plan.parent {
+            let scalars = self.anchor.scalar_cost() + 1;
+            ctx.send(
+                p,
+                ServeMsg::Invalidate {
+                    feature: self.anchor.clone(),
+                    radius: self.plan.radius,
+                },
+                "wl_inval",
+                scalars,
+            );
+        }
+    }
+
+    // -- answers ----------------------------------------------------------
+
+    /// Records the final answer at the initiator; for path templates also
+    /// runs the local safe-path search over the unsafe set.
+    fn deliver_answer(&mut self, qid: QueryId, matches: Vec<NodeId>, ctx: &mut Ctx<'_, ServeMsg>) {
+        let Some((template, submitted)) = self.pending.remove(&qid) else {
+            return;
+        };
+        let path = match &self.shared.templates[template as usize] {
+            Template::Range { .. } => None,
+            Template::Path { source, dest, .. } => {
+                let p = safe_path(&self.shared.topology, &matches, *source, *dest);
+                ctx.metrics().inc(if p.is_some() {
+                    "wl.path.found"
+                } else {
+                    "wl.path.none"
+                });
+                p
+            }
+        };
+        let finished = ctx.now();
+        ctx.metrics().observe("wl.latency", finished - submitted);
+        ctx.metrics().inc("wl.query.done");
+        self.completed.push(CompletedQuery {
+            qid,
+            template,
+            submitted,
+            finished,
+            matches,
+            path,
+        });
+        // Closed loop: schedule the next scripted query after think time.
+        if let Some(e) = self.script.front() {
+            ctx.set_timer(e.think, SCRIPT_TIMER);
+        }
+    }
+}
+
+/// Breadth-first safe path from `source` to `dest` avoiding `unsafe_set`
+/// (sorted). Returns `None` when either endpoint is unsafe or the safe
+/// subgraph disconnects them.
+fn safe_path(
+    topology: &Topology,
+    unsafe_set: &[NodeId],
+    source: NodeId,
+    dest: NodeId,
+) -> Option<Vec<NodeId>> {
+    let is_unsafe = |v: NodeId| unsafe_set.binary_search(&v).is_ok();
+    if is_unsafe(source) || is_unsafe(dest) {
+        return None;
+    }
+    let n = topology.n();
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[source] = true;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        if v == dest {
+            let mut path = vec![dest];
+            let mut cur = dest;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in topology.graph().neighbors(v) {
+            let w = w as usize;
+            if !seen[w] && !is_unsafe(w) {
+                seen[w] = true;
+                prev[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+impl Protocol for ServeNode {
+    type Msg = ServeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ServeMsg>) {
+        if let Some(e) = self.script.front() {
+            ctx.set_timer(e.think, SCRIPT_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: ServeMsg, ctx: &mut Ctx<'_, ServeMsg>) {
+        match msg {
+            ServeMsg::Update(f) => self.on_update(f, ctx),
+            ServeMsg::Invalidate { feature, radius } => {
+                self.on_invalidate(from, feature, radius, ctx)
+            }
+            ServeMsg::Submit { qid, template } => self.submit(qid, template, ctx),
+            ServeMsg::ToRoot { qid, template } => self.start_echo(qid, template, None, from, ctx),
+            ServeMsg::Fanout { qid, template } => {
+                self.start_echo(qid, template, Some(from), from, ctx)
+            }
+            ServeMsg::BackAgg { qid, matches } => {
+                if let Some(st) = self.echo.get_mut(&qid) {
+                    st.acc.extend_from_slice(&matches);
+                    st.awaiting = st.awaiting.saturating_sub(1);
+                }
+                self.maybe_finish_echo(qid, ctx);
+            }
+            ServeMsg::Descend { template, riders } => {
+                if let Some(hit) = self.cache.get(&template) {
+                    ctx.metrics().inc("wl.cache.hit");
+                    let matches = hit.clone();
+                    self.reply_subtree(template, &riders, matches, ctx);
+                } else if let Some(ev) = self.evals.get_mut(&template) {
+                    // The cluster-tree parent is single-flight per template
+                    // so a duplicate descent cannot arrive; merge riders
+                    // defensively all the same.
+                    ev.riders.extend(riders);
+                } else {
+                    ctx.metrics().inc("wl.cache.miss");
+                    self.evals.insert(
+                        template,
+                        EvalState {
+                            riders,
+                            awaiting: None,
+                            acc: Vec::new(),
+                            epoch0: self.inval_epoch,
+                        },
+                    );
+                    // Internal nodes descend immediately: their rider set
+                    // is fixed by the incoming packet.
+                    self.launch_descent(template, ctx);
+                }
+            }
+            ServeMsg::AggUp { template, matches } => {
+                let Some(mut ev) = self.evals.remove(&template) else {
+                    return;
+                };
+                ev.acc.extend_from_slice(&matches);
+                let left = ev.awaiting.unwrap_or(1) - 1;
+                if left == 0 {
+                    self.complete_eval(template, ev, ctx);
+                } else {
+                    ev.awaiting = Some(left);
+                    self.evals.insert(template, ev);
+                }
+            }
+            ServeMsg::Down { qid, matches } => self.deliver_answer(qid, matches, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<'_, ServeMsg>) {
+        if timer == SCRIPT_TIMER {
+            if let Some(e) = self.script.pop_front() {
+                self.submit(e.qid, e.template, ctx);
+            }
+        } else {
+            // Batch-window flush for a template descent at a cluster root.
+            self.launch_descent(timer as u16, ctx);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: under arbitrary sequential interleavings of queries and
+//! maintenance updates, every served answer — cached or not — equals the
+//! brute-force ground truth over the fleet's anchor features.
+
+use elink_datasets::TerrainDataset;
+use elink_metric::Absolute;
+use elink_workload::{expected_matches, ServeOptions, WorkloadSim, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build(topo_seed: u64, spec: &WorkloadSpec, delta: f64, cache: bool) -> WorkloadSim {
+    let data = TerrainDataset::generate(72, 5, 0.55, topo_seed);
+    let mut opts = ServeOptions::for_delta(delta);
+    opts.cache_enabled = cache;
+    WorkloadSim::build(
+        data.topology().clone(),
+        data.features(),
+        Arc::new(Absolute),
+        delta,
+        spec,
+        opts,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sequential replay: queries interleaved with random slack-exceeding
+    /// and absorbable updates always answer exactly over current anchors,
+    /// with the cache enabled.
+    #[test]
+    fn served_answers_always_match_anchor_ground_truth(
+        topo_seed in 0u64..50,
+        wl_seed in 0u64..1000,
+        delta in 200.0f64..500.0,
+        drift_frac in 0.1f64..2.0,
+    ) {
+        let mut spec = WorkloadSpec::quick(wl_seed);
+        spec.n_queries = 18;
+        spec.n_updates = 10;
+        spec.drift_frac = drift_frac;
+        let mut sim = build(topo_seed, &spec, delta, true);
+        let submissions = sim.schedule().submissions.clone();
+        let templates = sim.schedule().templates.clone();
+        let updates = sim.schedule().updates.clone();
+        let mut upd = updates.into_iter().peekable();
+        for s in submissions {
+            while upd.peek().is_some_and(|u| u.at <= s.at) {
+                let u = upd.next().expect("peeked");
+                let at = u.at.max(sim.sim().now());
+                sim.inject_update(at, u.node, u.feature);
+                sim.quiesce();
+            }
+            let truth = expected_matches(
+                &templates[s.template as usize],
+                &sim.anchors(),
+                &Absolute,
+            );
+            let at = s.at.max(sim.sim().now());
+            sim.inject_query(at, s.initiator, s.qid, s.template);
+            sim.quiesce();
+            let got = sim
+                .sim()
+                .nodes()
+                .iter()
+                .flat_map(|n| n.completed().iter())
+                .find(|c| c.qid == s.qid)
+                .expect("query completed")
+                .matches
+                .clone();
+            prop_assert_eq!(got, truth, "qid {} template {}", s.qid, s.template);
+        }
+    }
+
+    /// Cache on vs cache off: identical answers for the same interleaving.
+    #[test]
+    fn cache_transparency_under_random_interleavings(
+        topo_seed in 0u64..50,
+        wl_seed in 0u64..1000,
+    ) {
+        let mut spec = WorkloadSpec::quick(wl_seed);
+        spec.n_queries = 14;
+        spec.n_updates = 8;
+        let a = build(topo_seed, &spec, 300.0, true).run_sequential();
+        let b = build(topo_seed, &spec, 300.0, false).run_sequential();
+        prop_assert_eq!(a.completed.len(), b.completed.len());
+        for (c, u) in a.completed.iter().zip(&b.completed) {
+            prop_assert_eq!(c.qid, u.qid);
+            prop_assert_eq!(&c.matches, &u.matches, "qid {}", c.qid);
+            prop_assert_eq!(&c.path, &u.path, "qid {}", c.qid);
+        }
+    }
+}
