@@ -24,4 +24,7 @@ cargo run --release -q -p elink-bench --bin bench_report -- --check --out target
 echo "== workload_report --check (serving-layer SLO smoke)"
 cargo run --release -q -p elink-bench --bin workload_report -- --check --out target/BENCH_workload.json
 
+echo "== chaos_report --check (fault-campaign soundness + determinism smoke)"
+cargo run --release -q -p elink-bench --bin chaos_report -- --check --out target/BENCH_chaos.json
+
 echo "ci.sh: all green"

@@ -1,0 +1,168 @@
+//! Runs the seeded fault campaign and writes `BENCH_chaos.json` (schema
+//! `elink-chaos/v1`).
+//!
+//! ```text
+//! chaos_report [--check] [--out PATH]
+//! ```
+//!
+//! * `--out PATH` — where to write the report (default `BENCH_chaos.json`).
+//! * `--check` — run the campaign twice and fail (exit 1) unless the
+//!   reports are byte-identical. This is the CI smoke gate for the
+//!   recovery layer: same-seed chaos runs must be fully deterministic.
+//!
+//! Independent of `--check`, the run fails (exit 1) if any cell breaks
+//! liveness (a surviving initiator's query wedged) or soundness (an answer
+//! disagreed with ground truth), or if the pure-loss cells degraded any
+//! answer — loss alone must be invisible behind the ARQ sublayer.
+
+use elink_metric::{Absolute, Metric};
+use elink_workload::{run_campaign, ChaosReport, FaultSpec};
+use std::sync::Arc;
+
+/// The benchmark campaign: a 192-node terrain deployment, 60 queries per
+/// cell, over drop ∈ {0, 250}‰ × crash ∈ {0, 150}‰ plus one partition
+/// cell — the fault classes the recovery layer must survive, kept to five
+/// cells so the double-run `--check` stays in CI budget.
+fn grid() -> Vec<FaultSpec> {
+    vec![
+        FaultSpec {
+            drop_milli: 0,
+            crash_milli: 0,
+            partition: None,
+        },
+        FaultSpec {
+            drop_milli: 250,
+            crash_milli: 0,
+            partition: None,
+        },
+        FaultSpec {
+            drop_milli: 0,
+            crash_milli: 150,
+            partition: None,
+        },
+        FaultSpec {
+            drop_milli: 250,
+            crash_milli: 150,
+            partition: None,
+        },
+        FaultSpec {
+            drop_milli: 100,
+            crash_milli: 0,
+            partition: Some((400, 900)),
+        },
+    ]
+}
+
+fn run_once() -> ChaosReport {
+    let data = elink_datasets::TerrainDataset::generate(192, 6, 0.55, 7);
+    let metric: Arc<dyn Metric> = Arc::new(Absolute);
+    run_campaign(
+        data.topology(),
+        &data.features(),
+        &metric,
+        300.0,
+        60,
+        42,
+        &grid(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut out_path = String::from("BENCH_chaos.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: chaos_report [--check] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = run_once();
+    println!(
+        "chaos n={} queries/cell={} seed={} cells={}",
+        report.n_nodes,
+        report.n_queries,
+        report.seed,
+        report.cells.len()
+    );
+    for c in &report.cells {
+        println!(
+            "  drop={}m crash={}m part={} | done={}/{} exact={} partial={} cov_mean={}m | retx={} timeouts={} failovers={} violations={}",
+            c.fault.drop_milli,
+            c.fault.crash_milli,
+            c.fault.partition.is_some(),
+            c.done,
+            c.expected,
+            c.exact,
+            c.partial,
+            c.coverage_mean_milli,
+            c.retx,
+            c.timeouts,
+            c.failovers,
+            c.violations
+        );
+    }
+
+    if !report.all_sound() {
+        eprintln!("ACCEPTANCE FAILURE: a cell broke liveness or soundness");
+        std::process::exit(1);
+    }
+    for c in &report.cells {
+        if c.fault.crash_milli == 0 && c.fault.partition.is_none() && c.partial > 0 {
+            eprintln!(
+                "ACCEPTANCE FAILURE: pure loss (drop={}m) degraded {} answers — ARQ must absorb loss completely",
+                c.fault.drop_milli, c.partial
+            );
+            std::process::exit(1);
+        }
+        if c.fault.crash_milli > 0 && c.failovers == 0 {
+            eprintln!(
+                "ACCEPTANCE FAILURE: crash cell (crash={}m) performed no failover",
+                c.fault.crash_milli
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        eprintln!("--check: re-running the campaign to verify determinism...");
+        let again = run_once();
+        let a = report.deterministic_json();
+        let b = again.deterministic_json();
+        if a != b {
+            eprintln!("DETERMINISM FAILURE: chaos reports differ across same-seed runs");
+            eprintln!("  run 1: {a}");
+            eprintln!("  run 2: {b}");
+            std::process::exit(1);
+        }
+        eprintln!("--check: reports byte-identical across two runs");
+    }
+
+    let json = report.deterministic_json();
+    if json.matches('{').count() != json.matches('}').count() {
+        eprintln!("MALFORMED REPORT: unbalanced braces in {json}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

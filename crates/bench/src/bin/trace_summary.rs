@@ -45,10 +45,14 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-/// Per-query event tallies for `qid`-tagged events.
+/// Per-query event tallies for `qid`-tagged events. `sends` counts first
+/// transmissions only; ARQ retransmissions (send lines carrying the
+/// `retx` marker) are tallied separately so a lossy run's per-query
+/// reliability overhead is visible at a glance.
 #[derive(Default, Clone, Copy)]
 struct QueryRow {
     sends: u64,
+    retx: u64,
     delivers: u64,
     drops: u64,
     first_t: u64,
@@ -67,7 +71,13 @@ fn summarize_queries(text: &str) -> BTreeMap<u64, QueryRow> {
             ..QueryRow::default()
         });
         match field_str(line, "ev") {
-            Some("send") => row.sends += 1,
+            Some("send") => {
+                if field_u64(line, "retx") == Some(1) {
+                    row.retx += 1;
+                } else {
+                    row.sends += 1;
+                }
+            }
             Some("deliver") => row.delivers += 1,
             Some("drop") => row.drops += 1,
             _ => continue,
@@ -86,8 +96,8 @@ fn render_queries(rows: &BTreeMap<u64, QueryRow>) {
     }
     println!();
     println!(
-        "{:>7} {:>8} {:>10} {:>7} {:>8}",
-        "query", "sends", "delivers", "drops", "span"
+        "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
+        "query", "sends", "retx", "delivers", "drops", "span"
     );
     for (qid, r) in rows {
         let span = if r.first_t == u64::MAX {
@@ -96,8 +106,8 @@ fn render_queries(rows: &BTreeMap<u64, QueryRow>) {
             r.last_t - r.first_t
         };
         println!(
-            "{:>7} {:>8} {:>10} {:>7} {:>8}",
-            qid, r.sends, r.delivers, r.drops, span
+            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
+            qid, r.sends, r.retx, r.delivers, r.drops, span
         );
     }
     eprintln!("{} tagged queries", rows.len());
@@ -224,4 +234,51 @@ fn main() {
     let (rows, total, bad) = summarize(&text);
     render(&rows, total, bad);
     render_queries(&summarize_queries(&text));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic JSONL in the exact shape [`elink_netsim::JsonlTrace`]
+    /// emits: first-attempt sends have no `retx` field, ARQ
+    /// retransmissions carry `"retx":1`, and query-tagged lines carry
+    /// `qid`.
+    const SYNTHETIC: &str = concat!(
+        "{\"t\":0,\"ev\":\"send\",\"from\":0,\"to\":1,\"qid\":7}\n",
+        "{\"t\":1,\"ev\":\"drop\",\"from\":0,\"to\":1,\"reason\":\"loss\",\"qid\":7}\n",
+        "{\"t\":5,\"ev\":\"send\",\"from\":0,\"to\":1,\"retx\":1,\"qid\":7}\n",
+        "{\"t\":6,\"ev\":\"deliver\",\"from\":0,\"to\":1,\"qid\":7}\n",
+        "{\"t\":6,\"ev\":\"send\",\"from\":1,\"to\":2,\"qid\":9}\n",
+        "{\"t\":8,\"ev\":\"deliver\",\"from\":1,\"to\":2,\"qid\":9}\n",
+        "{\"t\":9,\"ev\":\"send\",\"from\":2,\"to\":3}\n",
+        "{\"t\":10,\"ev\":\"timer\",\"node\":2}\n",
+    );
+
+    #[test]
+    fn per_query_rows_split_first_sends_from_retransmissions() {
+        let rows = summarize_queries(SYNTHETIC);
+        assert_eq!(rows.len(), 2, "untagged lines must not create rows");
+        let q7 = &rows[&7];
+        assert_eq!(q7.sends, 1, "retransmission counted as a first send");
+        assert_eq!(q7.retx, 1);
+        assert_eq!(q7.drops, 1);
+        assert_eq!(q7.delivers, 1);
+        assert_eq!((q7.first_t, q7.last_t), (0, 6));
+        let q9 = &rows[&9];
+        assert_eq!((q9.sends, q9.retx, q9.delivers, q9.drops), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn node_tallies_ignore_qid_and_retx_markers() {
+        let (rows, total, bad) = summarize(SYNTHETIC);
+        assert_eq!(total, 8);
+        assert_eq!(bad, 0);
+        // Node 0: the first attempt and the retransmission are both wire
+        // sends, plus the drop.
+        assert_eq!(rows[0].sends, 2);
+        assert_eq!(rows[0].drops, 1);
+        assert_eq!(rows[1].delivers, 1);
+        assert_eq!(rows[2].timers, 1);
+    }
 }

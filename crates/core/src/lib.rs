@@ -48,4 +48,6 @@ pub use clustering::{validate_delta_clustering, ClusterInfo, Clustering, Validat
 pub use config::ElinkConfig;
 pub use maintenance::{MaintenanceSim, UpdateOutcome};
 pub use maintenance_protocol::{maintenance_nodes, slack_conditions_hold, MaintMsg, MaintNode};
-pub use runner::{run_explicit, run_implicit, run_unordered, run_with_link, ElinkOutcome};
+pub use runner::{
+    run_explicit, run_implicit, run_unordered, run_with_link, run_with_link_arq, ElinkOutcome,
+};

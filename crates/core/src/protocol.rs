@@ -232,10 +232,12 @@ impl ElinkNode {
         }
     }
 
-    /// Conservative leaf-detection timeout: an `ack1` takes at most two hop
-    /// delays (expand out, ack back) plus slack.
+    /// Conservative leaf-detection timeout: an `ack1` takes at most two
+    /// worst-case deliveries (expand out, ack back) plus slack. Under ARQ a
+    /// delivery may spend several backoff rounds in flight, so this scales
+    /// by [`Ctx::max_delivery_delay`], not the raw hop delay.
     fn leaf_timeout(&self, ctx: &Ctx<'_, ElinkMsg>) -> u64 {
-        2 * ctx.max_hop_delay() + 2
+        2 * ctx.max_delivery_delay() + 2
     }
 
     /// The ELink procedure of Fig 16: invoked on a sentinel when signalled.
@@ -456,7 +458,7 @@ impl ElinkNode {
     fn handle_start(&mut self, cell: CellId, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
         ctx.phase_exit("sync.quadtree");
         let budget = self.start_budget();
-        let wait = budget.saturating_sub(elapsed) * ctx.max_hop_delay();
+        let wait = budget.saturating_sub(elapsed) * ctx.max_delivery_delay();
         ctx.set_timer(wait, TIMER_START_BASE + cell as u64);
     }
 

@@ -5,7 +5,9 @@ use crate::config::ElinkConfig;
 use crate::protocol::{ElinkNode, SignalMode};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{CostBook, DelayModel, LinkModel, Metrics, SimNetwork, SimTime, Simulator};
+use elink_netsim::{
+    ArqConfig, CostBook, DelayModel, LinkModel, Metrics, SimNetwork, SimTime, Simulator,
+};
 use std::sync::Arc;
 
 /// Result of an ELink run: the clustering, the message bill, the observability
@@ -39,6 +41,27 @@ pub fn run_with_link(
     link: impl Into<Box<dyn LinkModel>>,
     seed: u64,
 ) -> ElinkOutcome {
+    run_with_link_arq(network, features, metric, config, mode, link, seed, None)
+}
+
+/// [`run_with_link`] with an optional ARQ layer: when `arq` is `Some`, every
+/// protocol message rides the engine's reliable-delivery sublayer
+/// ([`elink_netsim::reliable`]) — per-link ack/retransmit/dedup — and the
+/// protocol's conservative timeouts automatically stretch to the ARQ
+/// worst-case envelope via [`elink_netsim::Ctx::max_delivery_delay`]. This is
+/// how Explicit ELink survives lossy links with the *same* output clustering
+/// as a loss-free run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_link_arq(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    mode: SignalMode,
+    link: impl Into<Box<dyn LinkModel>>,
+    seed: u64,
+    arq: Option<ArqConfig>,
+) -> ElinkOutcome {
     let topo = network.topology();
     let n = topo.n();
     assert_eq!(features.len(), n, "one feature per node");
@@ -57,6 +80,9 @@ pub fn run_with_link(
         })
         .collect();
     let mut sim = Simulator::new(network.clone(), link, seed, nodes);
+    if let Some(arq_config) = arq {
+        sim.enable_arq(arq_config);
+    }
     let elapsed = sim.run_to_completion();
     let mut metrics = sim.take_metrics();
     let states: Vec<_> = sim

@@ -4,9 +4,9 @@
 
 use elink_core::maintenance_protocol::{maintenance_nodes, MaintMsg};
 use elink_core::protocol::SignalMode;
-use elink_core::{run_implicit, run_with_link, ElinkConfig, ElinkOutcome};
+use elink_core::{run_implicit, run_with_link, run_with_link_arq, ElinkConfig, ElinkOutcome};
 use elink_metric::{Absolute, Feature, Metric};
-use elink_netsim::{DelayModel, LinkModel, LossyLink, SimNetwork, Simulator};
+use elink_netsim::{ArqConfig, DelayModel, LinkModel, LossyLink, SimNetwork, Simulator};
 use elink_topology::Topology;
 use std::sync::Arc;
 
@@ -19,22 +19,31 @@ fn grid_scenario() -> (SimNetwork, Vec<Feature>) {
     (SimNetwork::new(topo), features)
 }
 
-/// The three link regimes each determinism test sweeps. Implicit signalling
-/// is used under loss (timer-driven, so dropped messages cannot stall the
-/// run); explicit signalling under the loss-free asynchronous model it was
-/// designed for.
-fn link_regimes() -> Vec<(&'static str, Box<dyn LinkModel>, SignalMode)> {
+/// One swept link regime: name, transport, signalling mode, ARQ config.
+type LinkRegime = (
+    &'static str,
+    Box<dyn LinkModel>,
+    SignalMode,
+    Option<ArqConfig>,
+);
+
+/// The three link regimes each determinism test sweeps. Explicit signalling
+/// runs everywhere — under loss it rides the engine's ARQ sublayer, which
+/// retransmits each dropped hop instead of letting the handshake stall.
+fn link_regimes() -> Vec<LinkRegime> {
     vec![
-        ("sync", DelayModel::Sync.into(), SignalMode::Explicit),
+        ("sync", DelayModel::Sync.into(), SignalMode::Explicit, None),
         (
             "async",
             DelayModel::Async { min: 1, max: 4 }.into(),
             SignalMode::Explicit,
+            None,
         ),
         (
             "lossy",
             LossyLink::new(1, 3).with_drop_prob(0.15).into(),
-            SignalMode::Implicit,
+            SignalMode::Explicit,
+            Some(ArqConfig::default()),
         ),
     ]
 }
@@ -56,16 +65,16 @@ fn snapshot(outcome: &ElinkOutcome) -> RunSnapshot {
 
 #[test]
 fn elink_is_deterministic_per_seed_under_every_link_model() {
-    for (name, _, mode) in link_regimes() {
+    for (name, _, mode, arq) in link_regimes() {
         let runs: Vec<_> = (0..2)
             .map(|_| {
                 let (network, features) = grid_scenario();
                 let link = link_regimes()
                     .into_iter()
-                    .find(|(n, _, _)| *n == name)
+                    .find(|(n, _, _, _)| *n == name)
                     .unwrap()
                     .1;
-                let outcome = run_with_link(
+                let outcome = run_with_link_arq(
                     &network,
                     &features,
                     Arc::new(Absolute),
@@ -73,6 +82,7 @@ fn elink_is_deterministic_per_seed_under_every_link_model() {
                     mode,
                     link,
                     9,
+                    arq,
                 );
                 snapshot(&outcome)
             })
@@ -103,17 +113,20 @@ fn maintenance_protocol_is_deterministic_per_seed_under_every_link_model() {
         })
         .collect();
 
-    for (name, _, _) in link_regimes() {
+    for (name, _, _, arq) in link_regimes() {
         let runs: Vec<_> = (0..2)
             .map(|_| {
                 let link = link_regimes()
                     .into_iter()
-                    .find(|(n, _, _)| *n == name)
+                    .find(|(n, _, _, _)| *n == name)
                     .unwrap()
                     .1;
                 let nodes =
                     maintenance_nodes(&clustering, Arc::clone(&metric), &features, 10.0, 1.0);
                 let mut sim = Simulator::new(network.clone(), link, 9, nodes);
+                if let Some(arq_config) = arq {
+                    sim.enable_arq(arq_config);
+                }
                 sim.run_to_completion();
                 for &(node, value) in &stream {
                     let now = sim.now();
@@ -148,16 +161,16 @@ fn elink_is_deterministic_per_seed_on_random_uniform_topology() {
     let features: Vec<Feature> = (0..topo.n())
         .map(|v| Feature::scalar(((v * 7) % 3) as f64 * 40.0))
         .collect();
-    for (name, _, mode) in link_regimes() {
+    for (name, _, mode, arq) in link_regimes() {
         let runs: Vec<ElinkOutcome> = (0..2)
             .map(|_| {
                 let network = SimNetwork::new(topo.clone());
                 let link = link_regimes()
                     .into_iter()
-                    .find(|(n, _, _)| *n == name)
+                    .find(|(n, _, _, _)| *n == name)
                     .unwrap()
                     .1;
-                run_with_link(
+                run_with_link_arq(
                     &network,
                     &features,
                     Arc::new(Absolute),
@@ -165,6 +178,7 @@ fn elink_is_deterministic_per_seed_on_random_uniform_topology() {
                     mode,
                     link,
                     7,
+                    arq,
                 )
             })
             .collect();
@@ -181,6 +195,44 @@ fn elink_is_deterministic_per_seed_on_random_uniform_topology() {
             "{name}: completion times diverge on random topology"
         );
     }
+}
+
+/// The reliability headline: handshake-driven Explicit ELink, run over links
+/// that drop 20% of all transmissions, produces the *same cluster
+/// assignment* as the loss-free run with the same transport — the ARQ
+/// sublayer absorbs every loss with bounded retries (no protocol changes),
+/// and the protocol's conservative timeouts stretch to the ARQ delivery
+/// envelope. The transport is held fixed on both sides because the timeout
+/// scale is part of Explicit ELink's timing (exactly as sync vs async
+/// networks may resolve expansion races differently); the claim under test
+/// is that *loss itself* is invisible.
+#[test]
+fn explicit_over_arq_at_drop_02_matches_loss_free_assignment() {
+    let config = ElinkConfig::for_delta(10.0);
+    let run = |drop: f64| {
+        let (network, features) = grid_scenario();
+        run_with_link_arq(
+            &network,
+            &features,
+            Arc::new(Absolute),
+            config,
+            SignalMode::Explicit,
+            LossyLink::new(1, 1).with_drop_prob(drop),
+            11,
+            Some(ArqConfig::default()),
+        )
+    };
+    let loss_free = run(0.0);
+    let lossy = run(0.2);
+    assert_eq!(
+        loss_free.clustering.assignment, lossy.clustering.assignment,
+        "ARQ must make the lossy run converge to the loss-free clusters"
+    );
+    // The recovery was real: retransmissions happened, and none of the link
+    // transfers exhausted its retry budget (no livelock, no lost handshake).
+    assert_eq!(loss_free.metrics.counter("net.retx"), 0);
+    assert!(lossy.metrics.counter("net.retx") > 0);
+    assert_eq!(lossy.metrics.counter("net.timeout"), 0);
 }
 
 #[test]

@@ -1,0 +1,4 @@
+//! Regenerates the fault-campaign table; writes results/ext_chaos.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_chaos::run(Default::default()));
+}

@@ -26,10 +26,12 @@
 //! | `ext_kmedoids` | §9's distributed k-medoids communication argument |
 //! | `ext_failure` | node-failure robustness during maintenance (§1) |
 //! | `ext_workload` | serving-layer SLOs vs template skew (concurrent queries) |
+//! | `ext_chaos` | seeded fault campaign: drop × crash × partition grid |
 
 pub mod common;
 pub mod csv_io;
 pub mod ext_ablation;
+pub mod ext_chaos;
 pub mod ext_failure;
 pub mod ext_kmedoids;
 pub mod ext_path;
@@ -69,5 +71,6 @@ pub fn run_all() -> Vec<Table> {
         ext_kmedoids::run(Default::default()),
         ext_failure::run(Default::default()),
         ext_workload::run(Default::default()),
+        ext_chaos::run(Default::default()),
     ]
 }

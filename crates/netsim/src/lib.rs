@@ -52,6 +52,11 @@
 //!   ([`JsonlTrace`] streams JSON Lines). Traces count per *logical
 //!   message*; `CostBook` bills per *hop* — see the [`trace`] module docs
 //!   for the contract.
+//! * [`reliable`] holds the configuration and timing policy of the engine's
+//!   optional ARQ sublayer ([`Simulator::enable_arq`]): per-link
+//!   ack/retransmit/dedup that makes `send`/`unicast` survive lossy links
+//!   without any protocol changes, billed first-class through [`CostBook`]
+//!   (`net.retx`/`net.ack` kinds).
 //! * [`metrics`] is the deterministic observability registry: named
 //!   counters, gauges, [`Histogram`]s (e.g. `net.unicast_hops`) and
 //!   [`PhaseStats`] simulated-time phase envelopes, fed by the engine and
@@ -74,11 +79,13 @@
 pub mod engine;
 pub mod link;
 pub mod metrics;
+pub mod reliable;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{Ctx, Protocol, QueryId, SimNetwork, SimTime, Simulator};
 pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
 pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
+pub use reliable::{ArqConfig, KIND_ACK, KIND_RETX};
 pub use stats::{CostBook, KindStats, MessageStats, NodeStats};
 pub use trace::{CountingTrace, DropReason, JsonlTrace, RingBufferTrace, TraceEvent, TraceSink};

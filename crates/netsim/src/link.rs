@@ -41,6 +41,17 @@ pub trait LinkModel {
     fn is_alive(&self, _node: usize, _time: SimTime) -> bool {
         true
     }
+
+    /// Whether `node` went down at any point in the window `(after, upto]`.
+    /// The engine uses this to clear timers (and ARQ sender state) that were
+    /// scheduled before a crash: a reboot loses volatile state, so a timer
+    /// armed before the outage must not fire after recovery. `after` is the
+    /// scheduling time (the node was necessarily alive then); a crash
+    /// starting exactly at `upto` is also covered, though the plain
+    /// [`LinkModel::is_alive`] check catches that case first.
+    fn crashed_in_window(&self, _node: usize, _after: SimTime, _upto: SimTime) -> bool {
+        false
+    }
 }
 
 /// Per-hop delay model (legacy configuration shorthand; loss-free).
@@ -233,6 +244,12 @@ impl LinkModel for LossyLink {
             .iter()
             .any(|c| c.node == node && time >= c.from && c.until.is_none_or(|u| time < u))
     }
+
+    fn crashed_in_window(&self, node: usize, after: SimTime, upto: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && c.from > after && c.from <= upto)
+    }
 }
 
 impl From<DelayModel> for Box<dyn LinkModel> {
@@ -317,6 +334,24 @@ mod tests {
         assert!(link.is_alive(5, 14));
         assert!(!link.is_alive(5, 1_000_000));
         assert!(link.is_alive(6, 12));
+    }
+
+    #[test]
+    fn crashed_in_window_detects_outages_between_schedule_and_fire() {
+        let link = LossyLink::new(1, 1).with_crash(4, 10, Some(20));
+        // Window strictly before the crash opens: clean.
+        assert!(!link.crashed_in_window(4, 0, 9));
+        // Crash opens inside the window — even if the node is back up by the
+        // end of it.
+        assert!(link.crashed_in_window(4, 0, 10));
+        assert!(link.crashed_in_window(4, 5, 30));
+        // Scheduled while the node was already alive again: the crash at 10
+        // predates the window, so state armed at 20 survives.
+        assert!(!link.crashed_in_window(4, 20, 100));
+        // Other nodes are unaffected.
+        assert!(!link.crashed_in_window(3, 0, 100));
+        // Loss-free models never crash.
+        assert!(!SyncLink.crashed_in_window(0, 0, u64::MAX));
     }
 
     #[test]

@@ -236,6 +236,14 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Registers counter `name` at zero without incrementing it, so it
+    /// appears in [`Metrics::counters`] dumps even when the event it counts
+    /// never happens (e.g. `net.retx` on a run that needed no
+    /// retransmissions). A no-op if the counter already exists.
+    pub fn declare_counter(&mut self, name: &'static str) {
+        self.counters.entry(name).or_insert(0);
+    }
+
     /// Iterates `(name, value)` over counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))

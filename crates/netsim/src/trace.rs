@@ -61,6 +61,12 @@ pub enum TraceEvent {
         to: usize,
         /// Query this message serves, if any.
         query: Option<u64>,
+        /// Whether this is an ARQ retransmission of an earlier attempt.
+        /// Retransmissions are *extra* events on top of the one-`Send`-per-
+        /// logical-message contract and are flagged so analyzers (e.g.
+        /// `trace_summary`) can separate protocol traffic from reliability
+        /// overhead; unreliable runs never set this.
+        retx: bool,
     },
     /// A message was handed to `to`'s protocol callback.
     Deliver {
@@ -164,7 +170,7 @@ impl TraceSink for RingBufferTrace {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingTrace {
     /// Logical messages sent (one per `Ctx::send`/`Ctx::unicast`, not per
-    /// hop).
+    /// hop; ARQ retransmissions are counted in `retx` instead).
     pub sends: u64,
     /// Messages delivered to protocol callbacks.
     pub delivers: u64,
@@ -172,6 +178,8 @@ pub struct CountingTrace {
     pub drops: u64,
     /// Timers fired.
     pub timers: u64,
+    /// ARQ retransmission events (`Send` with the retx flag).
+    pub retx: u64,
 }
 
 impl CountingTrace {
@@ -184,6 +192,7 @@ impl CountingTrace {
 impl TraceSink for CountingTrace {
     fn record(&mut self, event: TraceEvent) {
         match event {
+            TraceEvent::Send { retx: true, .. } => self.retx += 1,
             TraceEvent::Send { .. } => self.sends += 1,
             TraceEvent::Deliver { .. } => self.delivers += 1,
             TraceEvent::Drop { .. } => self.drops += 1,
@@ -203,10 +212,12 @@ impl TraceSink for CountingTrace {
 /// {"t":3,"ev":"send","from":3,"to":5,"qid":12}
 /// {"t":4,"ev":"drop","from":1,"to":2,"reason":"loss"}
 /// {"t":5,"ev":"timer","node":1,"id":7}
+/// {"t":9,"ev":"send","from":3,"to":5,"retx":1,"qid":12}
 /// ```
 ///
-/// The `qid` field appears only on query-tagged message events, so logs
-/// produced before query tagging existed keep the exact same shape.
+/// The `qid` field appears only on query-tagged message events, and the
+/// `retx` field only on ARQ retransmissions, so logs produced before query
+/// tagging or reliable delivery existed keep the exact same shape.
 ///
 /// Write failures never panic (the engine forbids panics in this crate);
 /// they are tallied in [`write_errors`](Self::write_errors) and the sink
@@ -224,8 +235,8 @@ impl TraceSink for CountingTrace {
 /// let sink = Arc::new(Mutex::new(JsonlTrace::new(Vec::new())));
 /// let mut handle = Arc::clone(&sink);
 /// // A simulator would do this on every event: sim.set_trace(handle).
-/// handle.record(TraceEvent::Send { time: 0, from: 0, to: 3, query: None });
-/// handle.record(TraceEvent::Send { time: 1, from: 3, to: 5, query: Some(12) });
+/// handle.record(TraceEvent::Send { time: 0, from: 0, to: 3, query: None, retx: false });
+/// handle.record(TraceEvent::Send { time: 1, from: 3, to: 5, query: Some(12), retx: false });
 /// handle.record(TraceEvent::Timer { time: 5, node: 1, id: 7 });
 ///
 /// let log = sink.lock().unwrap().writer().clone();
@@ -293,9 +304,11 @@ impl<W: Write> TraceSink for JsonlTrace<W> {
                 from,
                 to,
                 query,
+                retx,
             } => {
+                let retx = if retx { ",\"retx\":1" } else { "" };
                 let qid = qid_fragment(query);
-                format!("{{\"t\":{time},\"ev\":\"send\",\"from\":{from},\"to\":{to}{qid}}}\n")
+                format!("{{\"t\":{time},\"ev\":\"send\",\"from\":{from},\"to\":{to}{retx}{qid}}}\n")
             }
             TraceEvent::Deliver {
                 time,
@@ -371,6 +384,14 @@ mod tests {
             from: 0,
             to: 1,
             query: None,
+            retx: false,
+        });
+        trace.record(TraceEvent::Send {
+            time: 3,
+            from: 0,
+            to: 1,
+            query: None,
+            retx: true,
         });
         trace.record(TraceEvent::Deliver {
             time: 1,
@@ -394,6 +415,7 @@ mod tests {
                 delivers: 1,
                 drops: 1,
                 timers: 2,
+                retx: 1,
             }
         );
     }
@@ -415,6 +437,7 @@ mod tests {
             from: 0,
             to: 3,
             query: None,
+            retx: false,
         });
         sink.record(TraceEvent::Deliver {
             time: 2,
@@ -454,6 +477,7 @@ mod tests {
             from: 4,
             to: 7,
             query: Some(42),
+            retx: false,
         });
         sink.record(TraceEvent::Deliver {
             time: 3,
@@ -474,6 +498,31 @@ mod tests {
             "{\"t\":1,\"ev\":\"send\",\"from\":4,\"to\":7,\"qid\":42}\n\
              {\"t\":3,\"ev\":\"deliver\",\"from\":4,\"to\":7,\"qid\":42}\n\
              {\"t\":4,\"ev\":\"drop\",\"from\":7,\"to\":9,\"reason\":\"loss\",\"qid\":42}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_trace_flags_retransmissions() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(TraceEvent::Send {
+            time: 9,
+            from: 3,
+            to: 5,
+            query: Some(12),
+            retx: true,
+        });
+        sink.record(TraceEvent::Send {
+            time: 11,
+            from: 3,
+            to: 5,
+            query: None,
+            retx: true,
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":9,\"ev\":\"send\",\"from\":3,\"to\":5,\"retx\":1,\"qid\":12}\n\
+             {\"t\":11,\"ev\":\"send\",\"from\":3,\"to\":5,\"retx\":1}\n"
         );
     }
 

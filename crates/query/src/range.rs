@@ -77,6 +77,14 @@ pub struct RangeQueryResult {
     pub clusters_included: usize,
     /// Clusters that required an M-tree descent.
     pub clusters_drilled: usize,
+    /// Coverage of the answer in integer milli-units — the same contract
+    /// the serving layer's `CompletedQuery` carries: `1000` means every
+    /// node's membership was determined and `matches` equals the
+    /// brute-force ground truth. The analytic query path visits every
+    /// cluster on a fault-free snapshot, so it always reports `1000`; the
+    /// field exists so result consumers can treat analytic and simulated
+    /// (possibly degraded) answers uniformly.
+    pub coverage_milli: u16,
 }
 
 /// Executes a range query through the ELink infrastructure.
@@ -170,6 +178,7 @@ pub fn elink_range_query(
         clusters_excluded,
         clusters_included,
         clusters_drilled,
+        coverage_milli: 1000,
     }
 }
 
@@ -279,6 +288,9 @@ mod tests {
             );
             let truth = brute_force_range(&f.features, &Absolute, &q, r);
             assert_eq!(result.matches, truth, "query ({qv}, {r})");
+            // The analytic path must uphold the coverage contract: full
+            // coverage reported exactly when the answer equals the truth.
+            assert_eq!(result.coverage_milli, 1000);
         }
     }
 

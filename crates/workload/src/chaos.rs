@@ -1,0 +1,362 @@
+//! Seeded fault campaigns over the serving layer: a deterministic grid of
+//! (drop rate × crash fraction × partition window) cells, each driving the
+//! full concurrent workload over a faulty [`LossyLink`] with the ARQ
+//! sublayer and the recovery layer armed, and checking every completed
+//! answer against the soundness contract:
+//!
+//! * every answer is a subset of the brute-force ground truth over anchors
+//!   (crashed nodes keep matching by their *frozen* anchor when a parent
+//!   M-tree entry determines them — answers are defined over last-known
+//!   anchors, not liveness);
+//! * an answer reporting full coverage (`coverage_milli == 1000`) equals
+//!   the ground truth exactly;
+//! * every query submitted at a surviving initiator completes — partial if
+//!   it must, wedged never.
+//!
+//! Campaign schedules are query-only (`n_updates = 0`) so the ground truth
+//! is the initial anchor snapshot regardless of event interleaving. Cells
+//! are pure functions of their [`FaultSpec`] and the campaign seed: the
+//! `chaos_report --check` CI gate reruns the whole grid and requires
+//! byte-identical reports.
+
+use crate::engine::{expected_matches, ServeOptions, WorkloadSim};
+use crate::gen::WorkloadSpec;
+use elink_metric::{Feature, Metric};
+use elink_netsim::{ArqConfig, LossyLink, SimTime};
+use elink_topology::{NodeId, Topology};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Schema identifier of the `BENCH_chaos.json` document.
+pub const CHAOS_SCHEMA: &str = "elink-chaos/v1";
+
+/// One cell of the fault grid. All faults are active from the start of
+/// serving: deployment (clustering, index, backbone, plan distribution)
+/// happens on the pristine network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Per-hop independent drop probability, milli-units.
+    pub drop_milli: u64,
+    /// Fraction of nodes crashed permanently from tick 1, milli-units.
+    pub crash_milli: u64,
+    /// Optional half/half network partition window `[from, until)`.
+    pub partition: Option<(SimTime, SimTime)>,
+}
+
+impl FaultSpec {
+    /// The deterministic crash victim set: `⌊n · crash_milli / 1000⌋`
+    /// distinct nodes picked by a fixed stride walk, independent of any
+    /// RNG so the same cell always kills the same nodes.
+    pub fn victims(&self, n: usize) -> Vec<NodeId> {
+        let count = n * self.crash_milli as usize / 1000;
+        let mut picked = BTreeSet::new();
+        let mut v = 13 % n.max(1);
+        while picked.len() < count {
+            while picked.contains(&v) {
+                v = (v + 1) % n;
+            }
+            picked.insert(v);
+            v = (v + 97) % n;
+        }
+        picked.into_iter().collect()
+    }
+
+    fn link(&self, n: usize) -> LossyLink {
+        let mut link = LossyLink::new(1, 2).with_drop_prob(self.drop_milli as f64 / 1000.0);
+        for &victim in &self.victims(n) {
+            link = link.with_crash(victim, 1, None);
+        }
+        if let Some((from, until)) = self.partition {
+            let side: Vec<bool> = (0..n).map(|v| 2 * v < n).collect();
+            link = link.with_partition(side, from, Some(until));
+        }
+        link
+    }
+}
+
+/// Aggregated outcome of one campaign cell, plus its contract audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosCell {
+    /// The faults this cell ran under.
+    pub fault: FaultSpec,
+    /// Nodes crashed in this cell.
+    pub crashed: u64,
+    /// Queries whose initiator survived (the liveness obligation).
+    pub expected: u64,
+    /// Queries completed (with full or partial coverage).
+    pub done: u64,
+    /// Completed answers with full coverage (equal to ground truth).
+    pub exact: u64,
+    /// Completed answers that admitted a coverage gap.
+    pub partial: u64,
+    /// Mean coverage over completed answers, milli-units.
+    pub coverage_mean_milli: u64,
+    /// Minimum coverage over completed answers, milli-units.
+    pub coverage_min_milli: u64,
+    /// Initiator watchdogs that resorted to an empty coverage-0 answer.
+    pub gave_up: u64,
+    /// ARQ retransmissions.
+    pub retx: u64,
+    /// ARQ transfers that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Leader failover takeovers.
+    pub failovers: u64,
+    /// Soundness-contract violations (must be zero).
+    pub violations: u64,
+}
+
+impl ChaosCell {
+    fn json(&self) -> String {
+        let (pfrom, puntil) = self.fault.partition.unwrap_or((0, 0));
+        format!(
+            concat!(
+                "{{\"drop_milli\":{},\"crash_milli\":{},",
+                "\"partition_from\":{},\"partition_until\":{},",
+                "\"crashed\":{},\"expected\":{},\"done\":{},",
+                "\"exact\":{},\"partial\":{},",
+                "\"coverage_mean_milli\":{},\"coverage_min_milli\":{},",
+                "\"gave_up\":{},\"retx\":{},\"timeouts\":{},",
+                "\"failovers\":{},\"violations\":{}}}"
+            ),
+            self.fault.drop_milli,
+            self.fault.crash_milli,
+            pfrom,
+            puntil,
+            self.crashed,
+            self.expected,
+            self.done,
+            self.exact,
+            self.partial,
+            self.coverage_mean_milli,
+            self.coverage_min_milli,
+            self.gave_up,
+            self.retx,
+            self.timeouts,
+            self.failovers,
+            self.violations,
+        )
+    }
+}
+
+/// A whole campaign: the grid of cells over one deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Fleet size.
+    pub n_nodes: usize,
+    /// Queries per cell.
+    pub n_queries: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// One entry per grid cell, in grid order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// Every field of the report is deterministic; two runs of the same
+    /// campaign must produce byte-identical documents.
+    pub fn deterministic_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(ChaosCell::json).collect();
+        format!(
+            "{{\"schema\":\"{}\",\"n_nodes\":{},\"n_queries\":{},\"seed\":{},\"cells\":[{}]}}",
+            CHAOS_SCHEMA,
+            self.n_nodes,
+            self.n_queries,
+            self.seed,
+            cells.join(",")
+        )
+    }
+
+    /// True when every cell upheld liveness (`done == expected`) and
+    /// soundness (`violations == 0`).
+    pub fn all_sound(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.done == c.expected && c.violations == 0)
+    }
+}
+
+/// Runs one campaign cell: deploy on the pristine network, serve the
+/// query-only schedule under the cell's faults with ARQ + recovery armed,
+/// audit every completed answer against ground truth.
+pub fn run_cell(
+    topology: &Topology,
+    features: &[Feature],
+    metric: &Arc<dyn Metric>,
+    delta: f64,
+    spec: &WorkloadSpec,
+    fault: FaultSpec,
+) -> ChaosCell {
+    assert_eq!(
+        spec.n_updates, 0,
+        "chaos cells must run query-only schedules (truth = initial anchors)"
+    );
+    let n = topology.n();
+    let victims: BTreeSet<NodeId> = fault.victims(n).into_iter().collect();
+    let mut opts = ServeOptions::for_delta(delta);
+    opts.recovery = true;
+    let sim = WorkloadSim::build_with_link(
+        topology.clone(),
+        features.to_vec(),
+        Arc::clone(metric),
+        delta,
+        spec,
+        opts,
+        fault.link(n),
+        Some(ArqConfig::default()),
+    );
+    let templates = sim.schedule().templates.clone();
+    let expected = sim
+        .schedule()
+        .submissions
+        .iter()
+        .filter(|s| !victims.contains(&s.initiator))
+        .count() as u64;
+    let run = sim.run_concurrent();
+
+    let mut exact = 0u64;
+    let mut partial = 0u64;
+    let mut violations = 0u64;
+    let mut cov_sum = 0u64;
+    let mut cov_min = 1000u64;
+    for c in &run.completed {
+        let truth = expected_matches(&templates[c.template as usize], features, metric.as_ref());
+        let sound = c.matches.iter().all(|m| truth.contains(m));
+        let full = c.coverage_milli == 1000;
+        if full {
+            exact += 1;
+            if c.matches != truth {
+                violations += 1;
+            }
+        } else {
+            partial += 1;
+            if !sound {
+                violations += 1;
+            }
+        }
+        cov_sum += u64::from(c.coverage_milli);
+        cov_min = cov_min.min(u64::from(c.coverage_milli));
+    }
+    let done = run.completed.len() as u64;
+    ChaosCell {
+        fault,
+        crashed: victims.len() as u64,
+        expected,
+        done,
+        exact,
+        partial,
+        coverage_mean_milli: cov_sum.checked_div(done).unwrap_or(0),
+        coverage_min_milli: if done == 0 { 0 } else { cov_min },
+        gave_up: run.metrics.counter("wl.recover.query_gaveup"),
+        retx: run.metrics.counter("net.retx"),
+        timeouts: run.metrics.counter("net.timeout"),
+        failovers: run.metrics.counter("maint.failover"),
+        violations,
+    }
+}
+
+/// The default campaign grid: drop ∈ {0, 100, 250}‰ × crash ∈ {0, 150}‰ ×
+/// partition ∈ {none, one mid-run window}. The partition window is short
+/// relative to the ARQ retry envelope, so most cross-cut transfers ride it
+/// out on retransmissions alone.
+pub fn default_grid() -> Vec<FaultSpec> {
+    let mut grid = Vec::new();
+    for &drop_milli in &[0u64, 100, 250] {
+        for &crash_milli in &[0u64, 150] {
+            for &partition in &[None, Some((400, 900))] {
+                grid.push(FaultSpec {
+                    drop_milli,
+                    crash_milli,
+                    partition,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Runs a full campaign over a terrain deployment.
+pub fn run_campaign(
+    topology: &Topology,
+    features: &[Feature],
+    metric: &Arc<dyn Metric>,
+    delta: f64,
+    n_queries: usize,
+    seed: u64,
+    grid: &[FaultSpec],
+) -> ChaosReport {
+    let mut spec = WorkloadSpec::quick(seed);
+    spec.n_queries = n_queries;
+    spec.n_updates = 0;
+    let cells = grid
+        .iter()
+        .map(|&fault| run_cell(topology, features, metric, delta, &spec, fault))
+        .collect();
+    ChaosReport {
+        n_nodes: topology.n(),
+        n_queries,
+        seed,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_sets_are_deterministic_distinct_and_sized() {
+        let f = FaultSpec {
+            drop_milli: 0,
+            crash_milli: 200,
+            partition: None,
+        };
+        let a = f.victims(96);
+        let b = f.victims(96);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 96 * 200 / 1000);
+        let set: BTreeSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len(), "victims must be distinct");
+    }
+
+    #[test]
+    fn zero_crash_fraction_kills_nobody() {
+        let f = FaultSpec {
+            drop_milli: 250,
+            crash_milli: 0,
+            partition: None,
+        };
+        assert!(f.victims(96).is_empty());
+    }
+
+    #[test]
+    fn report_json_is_schema_tagged_and_balanced() {
+        let report = ChaosReport {
+            n_nodes: 96,
+            n_queries: 10,
+            seed: 7,
+            cells: vec![ChaosCell {
+                fault: FaultSpec {
+                    drop_milli: 100,
+                    crash_milli: 150,
+                    partition: Some((400, 900)),
+                },
+                crashed: 14,
+                expected: 9,
+                done: 9,
+                exact: 5,
+                partial: 4,
+                coverage_mean_milli: 870,
+                coverage_min_milli: 0,
+                gave_up: 1,
+                retx: 42,
+                timeouts: 3,
+                failovers: 2,
+                violations: 0,
+            }],
+        };
+        let json = report.deterministic_json();
+        assert!(json.contains("\"schema\":\"elink-chaos/v1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.all_sound());
+    }
+}

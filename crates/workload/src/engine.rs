@@ -18,7 +18,9 @@ use crate::plan::ServingPlan;
 use crate::protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
 use elink_core::{run_implicit, ElinkConfig};
 use elink_metric::{Feature, Metric};
-use elink_netsim::{CostBook, DelayModel, Metrics, SimNetwork, SimTime, Simulator};
+use elink_netsim::{
+    ArqConfig, CostBook, DelayModel, LinkModel, Metrics, SimNetwork, SimTime, Simulator,
+};
 use elink_query::{Backbone, DistributedIndex};
 use elink_topology::{NodeId, RoutingTable, Topology};
 use std::sync::Arc;
@@ -32,16 +34,22 @@ pub struct ServeOptions {
     pub batch_window: SimTime,
     /// Maintenance slack Δ handed to the §6 absorption rule.
     pub slack: f64,
+    /// Arm the failure-recovery layer: per-query deadlines with partial
+    /// answers, convergecast re-issue, and leader failover. Off by default
+    /// so fault-free runs behave (and bill) exactly as before; turn it on
+    /// for any run whose link model can crash or partition nodes.
+    pub recovery: bool,
 }
 
 impl ServeOptions {
     /// Defaults for a clustering threshold δ: caches on, zero batch window
-    /// (same-tick coalescing only), Δ = δ/4.
+    /// (same-tick coalescing only), Δ = δ/4, recovery off.
     pub fn for_delta(delta: f64) -> ServeOptions {
         ServeOptions {
             cache_enabled: true,
             batch_window: 0,
             slack: delta / 4.0,
+            recovery: false,
         }
     }
 }
@@ -85,6 +93,35 @@ impl WorkloadSim {
         spec: &WorkloadSpec,
         opts: ServeOptions,
     ) -> WorkloadSim {
+        Self::build_with_link(
+            topology,
+            features,
+            metric,
+            delta,
+            spec,
+            opts,
+            DelayModel::Sync,
+            None,
+        )
+    }
+
+    /// [`WorkloadSim::build`] over an arbitrary serving-time link model,
+    /// optionally with the engine's ARQ sublayer. Deployment (clustering,
+    /// index, backbone, plan distribution) still happens on the pristine
+    /// network — faults begin at serve time. This is the entry point for
+    /// chaos runs: a lossy/crashy/partitioning `LossyLink` plus
+    /// `Some(ArqConfig)` plus `opts.recovery = true`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_link(
+        topology: Topology,
+        features: Vec<Feature>,
+        metric: Arc<dyn Metric>,
+        delta: f64,
+        spec: &WorkloadSpec,
+        opts: ServeOptions,
+        link: impl Into<Box<dyn LinkModel>>,
+        arq: Option<ArqConfig>,
+    ) -> WorkloadSim {
         let net = SimNetwork::new(topology.clone());
         let outcome = run_implicit(
             &net,
@@ -105,6 +142,41 @@ impl WorkloadSim {
             &features,
             &schedule.templates,
         );
+        let n = topology.n();
+        let n_clusters = outcome.clustering.cluster_count();
+        let leaders: Vec<NodeId> = outcome.clustering.clusters.iter().map(|c| c.root).collect();
+        let cluster_of: Vec<usize> = (0..n).map(|v| outcome.clustering.cluster_of(v)).collect();
+        let members_of: Vec<Vec<NodeId>> = outcome
+            .clustering
+            .clusters
+            .iter()
+            .map(|c| {
+                let mut m = c.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        let tree_parent: Vec<Option<NodeId>> = outcome.clustering.tree_parent.clone();
+        let mut tree_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (v, parent) in tree_parent.iter().enumerate() {
+            if let Some(p) = *parent {
+                tree_children[p].push(v);
+            }
+        }
+        let backbone_peers_of: Vec<Vec<NodeId>> = (0..n_clusters)
+            .map(|ci| {
+                backbone
+                    .neighbors(ci)
+                    .iter()
+                    .map(|&(peer_ci, _)| leaders[peer_ci])
+                    .collect()
+            })
+            .collect();
+        let diameter: u64 = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .filter_map(|(a, b)| routing.hops(a, b))
+            .max()
+            .unwrap_or(0) as u64;
         let shared = Arc::new(Shared {
             templates: schedule.templates.clone(),
             metric,
@@ -113,8 +185,16 @@ impl WorkloadSim {
             slack: opts.slack,
             cache_enabled: opts.cache_enabled,
             batch_window: opts.batch_window,
+            recovery: opts.recovery,
+            cluster_of,
+            leaders,
+            members_of,
+            tree_parent,
+            tree_children,
+            backbone_peers_of,
+            diameter,
+            n_clusters,
         });
-        let n = topology.n();
         let nodes: Vec<ServeNode> = (0..n)
             .map(|v| {
                 let node_plan = plan.nodes[v].clone();
@@ -135,12 +215,14 @@ impl WorkloadSim {
                 )
             })
             .collect();
-        let sim = Simulator::new(
-            SimNetwork::new((*topology).clone()),
-            DelayModel::Sync,
-            spec.seed,
-            nodes,
-        );
+        let mut sim = Simulator::new(SimNetwork::new((*topology).clone()), link, spec.seed, nodes);
+        if let Some(arq_config) = arq {
+            sim.enable_arq(arq_config);
+        }
+        // Recovery-layer counters are registered up front so every run's
+        // metrics dump carries them (zero-valued when nothing failed).
+        sim.metrics_mut().declare_counter("wl.query.partial");
+        sim.metrics_mut().declare_counter("maint.failover");
         WorkloadSim {
             sim,
             schedule,

@@ -22,12 +22,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod gen;
 pub mod plan;
 pub mod protocol;
 pub mod report;
 
+pub use chaos::{
+    default_grid, run_campaign, run_cell, ChaosCell, ChaosReport, FaultSpec, CHAOS_SCHEMA,
+};
 pub use engine::{expected_matches, ServeOptions, WorkloadRun, WorkloadSim};
 pub use gen::{build_schedule, Arrival, Schedule, Template, WorkloadSpec};
 pub use plan::{ChildEntry, NodePlan, ServingPlan};

@@ -34,20 +34,57 @@
 //! In-flight descents are epoch-guarded: a completion whose invalidation
 //! epoch is stale still answers its riders (stale-read, bounded by the
 //! in-flight window) but is not written back to the cache.
+//!
+//! # Failure recovery (`Shared::recovery`)
+//!
+//! When the recovery layer is armed (off by default — fault-free runs
+//! behave and bill exactly as before), three mechanisms keep every query
+//! answered under crashes and partitions (DESIGN.md §10):
+//!
+//! * **Deadlines + partial answers.** The initiator, echo coordinator, and
+//!   every descent node arm deadlines derived from the ARQ delivery
+//!   envelope; each level performs one re-issue round to alive outstanding
+//!   peers, then finalizes *partial*. Every [`CompletedQuery`] carries
+//!   `coverage_milli` — `1000` certifies equality with brute-force ground
+//!   truth over anchors, lower values are sound subsets. Forced-partial
+//!   results are never cached.
+//! * **Leader failover.** The successor of a dead cluster leader is the
+//!   lexicographically-least surviving member (deterministic from the
+//!   shared member table + the liveness oracle; no election messages). On
+//!   first contact it re-attaches the dead root's surviving children under
+//!   itself ([`ServeMsg::Reattach`]/[`ServeMsg::Adopt`]), inflates its
+//!   covering radius, and serves degraded: always drill, probe unspanned
+//!   members, never count the dead ex-root — whose current anchor is
+//!   unknowable — as covered.
+//! * **Routed fallbacks.** Adopted children and failover parents are
+//!   generally not topology neighbors, so those descents and replies
+//!   travel as routed unicasts.
 
 use crate::gen::{ScriptEntry, Template};
-use crate::plan::NodePlan;
+use crate::plan::{ChildEntry, NodePlan};
 use elink_core::slack_conditions_hold;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol, QueryId, SimTime};
 use elink_query::{cluster_decision, descend_decision, ClusterDecision, DescendDecision};
 use elink_topology::{NodeId, Topology};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Timer id for closed-loop script submissions (template flush timers use
 /// the template index itself, far below this bit).
 const SCRIPT_TIMER: u64 = 1 << 63;
+
+/// Timer-id namespace bit: per-query echo deadline at an echo participant.
+/// The payload (low bits) is the query id.
+const ECHO_DEADLINE: u64 = 1 << 44;
+/// Timer-id namespace bit: per-template descent deadline at the node that
+/// launched the descent. The payload is the template index.
+const EVAL_DEADLINE: u64 = 1 << 45;
+/// Timer-id namespace bit: per-query watchdog at the initiator. The payload
+/// is the query id.
+const INIT_DEADLINE: u64 = 1 << 46;
+/// Mask extracting a deadline timer's payload (qid or template index).
+const DEADLINE_PAYLOAD: u64 = ECHO_DEADLINE - 1;
 
 /// Tables shared by every node (read-only at run time).
 pub struct Shared {
@@ -68,6 +105,31 @@ pub struct Shared {
     /// still batches same-tick arrivals (the flush timer fires after all
     /// deliveries already queued for the current tick).
     pub batch_window: SimTime,
+    /// Whether the failure-recovery layer is armed: deadline timers,
+    /// convergecast re-issue, leader failover. Off by default so fault-free
+    /// runs behave (and bill) exactly as before.
+    pub recovery: bool,
+    /// Cluster index of every node (plan-time snapshot).
+    pub cluster_of: Vec<usize>,
+    /// Original leader of every cluster (plan-time snapshot).
+    pub leaders: Vec<NodeId>,
+    /// Members of every cluster, ascending. The failover successor of a
+    /// cluster is its lexicographically-least surviving member — a rule
+    /// every detector evaluates identically, so no election messages are
+    /// needed.
+    pub members_of: Vec<Vec<NodeId>>,
+    /// Static cluster-tree parents (plan-time snapshot).
+    pub tree_parent: Vec<Option<NodeId>>,
+    /// Static cluster-tree children (plan-time snapshot); a failover
+    /// successor uses this to adopt the dead root's surviving children.
+    pub tree_children: Vec<Vec<NodeId>>,
+    /// Backbone-adjacent original leaders per cluster (plan-time snapshot);
+    /// a successor inherits the dead leader's backbone seat from this.
+    pub backbone_peers_of: Vec<Vec<NodeId>>,
+    /// Network diameter in hops — deadline bounds scale with it.
+    pub diameter: u64,
+    /// Number of clusters (echo-tree depth bound for deadline sizing).
+    pub n_clusters: usize,
 }
 
 /// Messages of the serving protocol.
@@ -111,6 +173,8 @@ pub enum ServeMsg {
         qid: QueryId,
         /// Matches from the sender's backbone subtree.
         matches: Vec<NodeId>,
+        /// Nodes whose membership in the answer this subtree determined.
+        covered: u64,
     },
     /// M-tree descent into a child subtree, shared by all riders.
     Descend {
@@ -119,12 +183,15 @@ pub enum ServeMsg {
         /// Queries riding this descent.
         riders: Vec<QueryId>,
     },
-    /// Subtree answer back up the cluster tree.
+    /// Subtree answer back up the cluster tree (also the reply format of
+    /// [`ServeMsg::Probe`], with `covered == 1`).
     AggUp {
         /// Template index.
         template: u16,
         /// Matches within the sender's subtree.
         matches: Vec<NodeId>,
+        /// Nodes whose membership in the answer this subtree determined.
+        covered: u64,
     },
     /// Coordinator → initiator: the final match set.
     Down {
@@ -132,6 +199,29 @@ pub enum ServeMsg {
         qid: QueryId,
         /// The full match set, ascending.
         matches: Vec<NodeId>,
+        /// Nodes whose membership in the answer the wave determined.
+        covered: u64,
+    },
+    /// Degraded-mode direct evaluation request: a failover successor whose
+    /// adopted index does not span the whole cluster asks a member for its
+    /// own match bit. Answered with a one-node [`ServeMsg::AggUp`].
+    Probe {
+        /// Template index.
+        template: u16,
+    },
+    /// Failover successor → surviving child of the dead root: re-parent
+    /// yourself under me and report your M-tree entry.
+    Reattach,
+    /// Reply to [`ServeMsg::Reattach`]: the child's anchor, covering radius
+    /// and static subtree, from which the successor builds an adopted
+    /// [`ChildEntry`] and inflates its own covering radius.
+    Adopt {
+        /// The child's current anchor.
+        feature: Feature,
+        /// The child's covering radius.
+        radius: f64,
+        /// The child's static subtree membership.
+        subtree: Vec<NodeId>,
     },
 }
 
@@ -150,6 +240,13 @@ pub struct CompletedQuery {
     pub matches: Vec<NodeId>,
     /// For path templates: a safe source→dest path if one exists.
     pub path: Option<Vec<NodeId>>,
+    /// Coverage of the answer in integer milli-units: `1000` means every
+    /// node's membership in the match set was determined (the answer equals
+    /// the brute-force ground truth over anchors); anything lower means the
+    /// wave gave up on part of the network — crashed subtrees, an
+    /// unreachable leader, or a dead ex-root whose current anchor is
+    /// unknowable — and the answer is a sound *subset* of the truth.
+    pub coverage_milli: u16,
 }
 
 /// One single-flight M-tree descent in progress at a node.
@@ -157,14 +254,40 @@ pub struct CompletedQuery {
 struct EvalState {
     /// Queries sharing this descent.
     riders: Vec<QueryId>,
-    /// Outstanding child `AggUp`s; `None` until the descent is launched
-    /// (cluster roots hold the eval for the batch window first).
-    awaiting: Option<usize>,
+    /// Whether the descent has been launched (cluster roots hold the eval
+    /// for the batch window first).
+    launched: bool,
+    /// Children (and degraded-mode probe targets) whose answer is still
+    /// outstanding. Answers from nodes not listed here are late duplicates
+    /// and are ignored.
+    outstanding: Vec<NodeId>,
     /// Matches accumulated so far.
     acc: Vec<NodeId>,
+    /// Nodes whose membership the descent has determined so far.
+    covered: u64,
     /// Invalidation epoch at eval start — a stale epoch at completion
     /// suppresses the cache fill.
     epoch0: u64,
+    /// Set when the descent gave up on somebody (dead child skipped, or a
+    /// deadline forced completion): the result must not be cached.
+    partial: bool,
+    /// Whether the one re-issue round has been spent.
+    reissued: bool,
+}
+
+impl EvalState {
+    fn new(riders: Vec<QueryId>, epoch0: u64) -> EvalState {
+        EvalState {
+            riders,
+            launched: false,
+            outstanding: Vec::new(),
+            acc: Vec::new(),
+            covered: 0,
+            epoch0,
+            partial: false,
+            reissued: false,
+        }
+    }
 }
 
 /// Per-query echo (fan-out/convergecast) state at a cluster root.
@@ -174,20 +297,60 @@ struct EchoState {
     parent: Option<NodeId>,
     /// The initiator (meaningful at the coordinator only).
     initiator: NodeId,
-    /// Outstanding peer `BackAgg`s.
-    awaiting: usize,
+    /// Template index (kept for the re-issue round).
+    template: u16,
+    /// Peer *clusters* whose `BackAgg` is still outstanding. Tracking the
+    /// cluster rather than the leader node lets a re-issued fanout go to a
+    /// failover successor while a late answer from the original leader is
+    /// still deduplicated.
+    outstanding: Vec<usize>,
     /// Whether the local cluster answer is still being computed.
     local_pending: bool,
     /// Matches accumulated so far.
     acc: Vec<NodeId>,
+    /// Nodes whose membership the wave has determined so far.
+    covered: u64,
+    /// Whether the one re-issue round has been spent.
+    reissued: bool,
+}
+
+/// A query submitted here and not yet answered.
+#[derive(Debug)]
+struct PendingQuery {
+    template: u16,
+    submitted: SimTime,
+    /// Whether the one resubmission round has been spent.
+    resubmitted: bool,
 }
 
 /// Outcome of a cluster root's local evaluation attempt.
 enum LocalEval {
-    /// The local cluster answer is known now.
-    Resolved(Vec<NodeId>),
+    /// The local cluster answer is known now: (matches, covered nodes).
+    Resolved(Vec<NodeId>, u64),
     /// A descent is in flight; the query rides it.
     Pending,
+}
+
+/// The lexicographically-least surviving member of `cluster` — the
+/// deterministic failover successor. Every detector evaluates this rule
+/// against the same shared tables and the same liveness oracle, so all
+/// nodes agree on the successor without election traffic.
+fn successor(shared: &Shared, cluster: usize, ctx: &Ctx<'_, ServeMsg>) -> Option<NodeId> {
+    shared.members_of[cluster]
+        .iter()
+        .copied()
+        .find(|&m| ctx.is_alive(m))
+}
+
+/// Where cluster-root traffic for `cluster` should be addressed right now:
+/// the original leader while it lives, otherwise the failover successor.
+fn current_root(shared: &Shared, cluster: usize, ctx: &Ctx<'_, ServeMsg>) -> Option<NodeId> {
+    let leader = shared.leaders[cluster];
+    if ctx.is_alive(leader) {
+        Some(leader)
+    } else {
+        successor(shared, cluster, ctx)
+    }
 }
 
 /// Per-node serving protocol state.
@@ -208,14 +371,27 @@ pub struct ServeNode {
     /// Bumped whenever this node's subtree state changes (own re-anchor or
     /// a descendant's invalidation climb).
     inval_epoch: u64,
-    /// Per-template cached subtree answers.
-    cache: BTreeMap<u16, Vec<NodeId>>,
+    /// Per-template cached subtree answers with their covered-node count.
+    cache: BTreeMap<u16, (Vec<NodeId>, u64)>,
     /// Single-flight descents, keyed by template.
     evals: BTreeMap<u16, EvalState>,
     /// Echo states for queries this root participates in.
     echo: BTreeMap<QueryId, EchoState>,
-    /// Queries submitted here and not yet answered: template + submit tick.
-    pending: BTreeMap<QueryId, (u16, SimTime)>,
+    /// Queries submitted here and not yet answered.
+    pending: BTreeMap<QueryId, PendingQuery>,
+    /// `Some(dead leader)` after this node performed a failover takeover:
+    /// it serves its cluster in degraded mode (always drill, probe members
+    /// the adopted index does not span, and never count the dead ex-root —
+    /// whose current anchor is unknowable — as covered).
+    dead_root: Option<NodeId>,
+    /// Children adopted through failover (`Reattach`/`Adopt`). Adopted
+    /// children are generally not topology neighbors, so descents to them
+    /// go as routed unicasts instead of link sends.
+    adopted: BTreeSet<NodeId>,
+    /// True once this node has been re-attached under a failover successor:
+    /// the new parent is generally not a neighbor, so subtree replies go as
+    /// routed unicasts.
+    routed_parent: bool,
     /// Closed-loop script (empty for open-loop runs).
     script: VecDeque<ScriptEntry>,
     /// Queries finished at this initiator.
@@ -296,9 +472,47 @@ impl ServeNode {
             evals: BTreeMap::new(),
             echo: BTreeMap::new(),
             pending: BTreeMap::new(),
+            dead_root: None,
+            adopted: BTreeSet::new(),
+            routed_parent: false,
             script: script.into(),
             completed: Vec::new(),
         }
+    }
+
+    // -- recovery deadlines ----------------------------------------------
+    //
+    // Each bound is *sound* under the current transport: on a loss-only run
+    // (ARQ absorbing every drop within its delivery envelope,
+    // `Ctx::max_delivery_delay`) the guarded wave always completes before
+    // its deadline, so a deadline firing against live state implies a
+    // crash or partition. That is what keeps lossy answers identical to
+    // loss-free ones while still bounding every fault.
+
+    /// Worst-case one-way transit of a single routed (multi-hop) message.
+    fn transit_bound(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
+        (self.shared.diameter + 1) * ctx.max_delivery_delay()
+    }
+
+    /// Descent bound: down and up a cluster tree of at most `n` edges, plus
+    /// a degraded-mode probe round trip.
+    fn eval_deadline_ticks(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
+        2 * (ctx.n() as u64 + 1) * ctx.max_delivery_delay() + 2 * self.transit_bound(ctx)
+    }
+
+    /// Echo bound: the backbone tree has at most `n_clusters` levels, each
+    /// costing a batch window, a local descent and a fanout/convergecast
+    /// round trip.
+    fn echo_deadline_ticks(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
+        (self.shared.n_clusters as u64 + 1)
+            * (self.eval_deadline_ticks(ctx)
+                + self.shared.batch_window
+                + 2 * self.transit_bound(ctx))
+    }
+
+    /// Initiator watchdog: a full echo plus its re-issue round plus routing.
+    fn init_deadline_ticks(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
+        2 * self.echo_deadline_ticks(ctx) + 4 * self.transit_bound(ctx)
     }
 
     /// Queries completed at this initiator, in completion order.
@@ -339,19 +553,133 @@ impl ServeNode {
     // -- submission -------------------------------------------------------
 
     fn submit(&mut self, qid: QueryId, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
-        self.pending.insert(qid, (template, ctx.now()));
+        debug_assert!(qid < DEADLINE_PAYLOAD, "qid collides with timer namespace");
+        self.pending.insert(
+            qid,
+            PendingQuery {
+                template,
+                submitted: ctx.now(),
+                resubmitted: false,
+            },
+        );
         ctx.metrics().inc("wl.query.submitted");
-        let root = self.plan.cluster_root;
+        let root = if self.shared.recovery {
+            let shared = Arc::clone(&self.shared);
+            current_root(&shared, shared.cluster_of[self.id], ctx).unwrap_or(self.id)
+        } else {
+            self.plan.cluster_root
+        };
         if root == self.id {
+            self.ensure_root(ctx);
             self.start_echo(qid, template, None, self.id, ctx);
         } else if ctx.unicast_tagged(root, ServeMsg::ToRoot { qid, template }, "wl_route", 2, qid) {
-            // routed; the root takes over as coordinator
+            // Routed; the root takes over as coordinator. Under recovery the
+            // initiator also arms a watchdog in case the root dies on us.
+            if self.shared.recovery {
+                let dl = self.init_deadline_ticks(ctx);
+                ctx.set_timer(dl, INIT_DEADLINE | qid);
+            }
         } else {
             self.pending.remove(&qid);
             ctx.metrics().inc("wl.query.lost");
             // Keep a closed-loop client alive even when a query is lost.
             if let Some(e) = self.script.front() {
                 ctx.set_timer(e.think, SCRIPT_TIMER);
+            }
+        }
+    }
+
+    /// Initiator watchdog: one resubmission round (re-resolved against the
+    /// current leader — this is what routes around a crashed coordinator),
+    /// then a guaranteed empty zero-coverage answer so closed loops never
+    /// wedge.
+    fn on_init_deadline(&mut self, qid: QueryId, ctx: &mut Ctx<'_, ServeMsg>) {
+        let Some(p) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        let template = p.template;
+        if !p.resubmitted {
+            p.resubmitted = true;
+            ctx.metrics().inc("wl.recover.resubmit");
+            let shared = Arc::clone(&self.shared);
+            let root = current_root(&shared, shared.cluster_of[self.id], ctx).unwrap_or(self.id);
+            if root == self.id {
+                self.ensure_root(ctx);
+                if !self.echo.contains_key(&qid) {
+                    self.start_echo(qid, template, None, self.id, ctx);
+                }
+            } else {
+                ctx.unicast_tagged(root, ServeMsg::ToRoot { qid, template }, "wl_route", 2, qid);
+                let dl = self.init_deadline_ticks(ctx);
+                ctx.set_timer(dl, INIT_DEADLINE | qid);
+            }
+        } else {
+            ctx.metrics().inc("wl.recover.query_gaveup");
+            self.deliver_answer(qid, Vec::new(), 0, ctx);
+        }
+    }
+
+    // -- failover ---------------------------------------------------------
+
+    /// Returns whether this node may act as its cluster's root, performing
+    /// the failover takeover first if it is the designated successor of a
+    /// dead leader. Messages addressed to a node that is neither are
+    /// misrouted (stale address during a takeover) and dropped — the
+    /// sender's deadline machinery recovers.
+    fn ensure_root(&mut self, ctx: &mut Ctx<'_, ServeMsg>) -> bool {
+        if self.plan.cluster_root == self.id {
+            return true;
+        }
+        if !self.shared.recovery {
+            return false;
+        }
+        let shared = Arc::clone(&self.shared);
+        let cluster = shared.cluster_of[self.id];
+        if current_root(&shared, cluster, ctx) == Some(self.id) {
+            self.perform_takeover(ctx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deterministic leader failover: adopt the dead root's role. The
+    /// successor inherits the membership list and backbone seat from the
+    /// shared plan tables, re-parents the dead root's surviving cluster-tree
+    /// children under itself ([`ServeMsg::Reattach`]), and — reusing the
+    /// invalidation-climb rule — bumps its epoch and evicts its cache, since
+    /// its M-tree scope is about to grow. Until the `Adopt` replies land,
+    /// queries are answered by direct probes; the dead ex-root itself is
+    /// permanently uncovered (its current anchor is unknowable), so every
+    /// post-failover answer honestly reports partial coverage.
+    fn perform_takeover(&mut self, ctx: &mut Ctx<'_, ServeMsg>) {
+        ctx.metrics().inc("maint.failover");
+        let shared = Arc::clone(&self.shared);
+        let cluster = shared.cluster_of[self.id];
+        let dead = shared.leaders[cluster];
+        self.dead_root = Some(dead);
+        self.plan.cluster_root = self.id;
+        self.plan.parent = None;
+        self.plan.members = shared.members_of[cluster].clone();
+        self.plan.backbone_peers = shared.backbone_peers_of[cluster].clone();
+        self.adopted.clear();
+        self.inval_epoch += 1;
+        ctx.metrics().inc("wl.cache.inval");
+        ctx.metrics().add("wl.cache.evict", self.cache.len() as u64);
+        self.cache.clear();
+        // Walk up the static tree to find our own branch directly under the
+        // dead root; every *other* surviving child of the dead root is
+        // re-attached beneath us.
+        let mut branch = self.id;
+        while let Some(p) = shared.tree_parent[branch] {
+            if p == dead {
+                break;
+            }
+            branch = p;
+        }
+        for &child in &shared.tree_children[dead] {
+            if child != branch && ctx.is_alive(child) {
+                ctx.unicast(child, ServeMsg::Reattach, "wl_failover", 1);
             }
         }
     }
@@ -366,32 +694,104 @@ impl ServeNode {
         initiator: NodeId,
         ctx: &mut Ctx<'_, ServeMsg>,
     ) {
-        let mut awaiting = 0;
-        let peers: Vec<NodeId> = self
-            .plan
-            .backbone_peers
-            .iter()
-            .copied()
-            .filter(|&p| Some(p) != parent)
-            .collect();
+        let shared = Arc::clone(&self.shared);
+        // The echo spans the backbone tree; the parent is excluded by
+        // *cluster* so a fanout from a failover successor is recognized.
+        let parent_cluster = parent.map(|p| shared.cluster_of[p]);
+        let mut outstanding = Vec::new();
+        let peers = self.plan.backbone_peers.clone();
         for p in peers {
-            if ctx.unicast_tagged(p, ServeMsg::Fanout { qid, template }, "wl_fanout", 2, qid) {
-                awaiting += 1;
+            let pc = shared.cluster_of[p];
+            if Some(pc) == parent_cluster {
+                continue;
+            }
+            // Under recovery, re-resolve the peer seat against liveness: a
+            // dead leader's fanout goes straight to its successor. A fully
+            // dead peer cluster is skipped and stays uncovered.
+            let addr = if shared.recovery {
+                current_root(&shared, pc, ctx)
+            } else {
+                Some(p)
+            };
+            let Some(addr) = addr else {
+                continue;
+            };
+            if ctx.unicast_tagged(
+                addr,
+                ServeMsg::Fanout { qid, template },
+                "wl_fanout",
+                2,
+                qid,
+            ) {
+                outstanding.push(pc);
             }
         }
         let mut st = EchoState {
             parent,
             initiator,
-            awaiting,
+            template,
+            outstanding,
             local_pending: false,
             acc: Vec::new(),
+            covered: 0,
+            reissued: false,
         };
         match self.local_cluster_eval(qid, template, ctx) {
-            LocalEval::Resolved(m) => st.acc.extend(m),
+            LocalEval::Resolved(m, covered) => {
+                st.acc.extend(m);
+                st.covered += covered;
+            }
             LocalEval::Pending => st.local_pending = true,
         }
         self.echo.insert(qid, st);
+        if shared.recovery {
+            let dl = self.echo_deadline_ticks(ctx);
+            ctx.set_timer(dl, ECHO_DEADLINE | qid);
+        }
         self.maybe_finish_echo(qid, ctx);
+    }
+
+    /// Echo deadline at an echo participant: one re-issue round to the
+    /// outstanding peer clusters (re-resolved, so a crashed leader's seat is
+    /// retried at its successor), then a forced partial convergecast so the
+    /// wave always terminates.
+    fn on_echo_deadline(&mut self, qid: QueryId, ctx: &mut Ctx<'_, ServeMsg>) {
+        let reissue = {
+            let Some(st) = self.echo.get_mut(&qid) else {
+                return;
+            };
+            if st.reissued {
+                false
+            } else {
+                st.reissued = true;
+                true
+            }
+        };
+        if reissue {
+            let (template, outstanding) = {
+                let st = &self.echo[&qid];
+                (st.template, st.outstanding.clone())
+            };
+            ctx.metrics().inc("wl.recover.reissue");
+            let shared = Arc::clone(&self.shared);
+            for pc in outstanding {
+                if let Some(addr) = current_root(&shared, pc, ctx) {
+                    ctx.unicast_tagged(
+                        addr,
+                        ServeMsg::Fanout { qid, template },
+                        "wl_fanout",
+                        2,
+                        qid,
+                    );
+                }
+            }
+            let dl = self.echo_deadline_ticks(ctx);
+            ctx.set_timer(dl, ECHO_DEADLINE | qid);
+        } else {
+            let st = self.echo.remove(&qid).expect("checked above");
+            ctx.metrics().inc("wl.recover.echo_gaveup");
+            self.finish_echo(qid, st, ctx);
+        }
     }
 
     /// Answers the local cluster (this root's subtree) for `template`,
@@ -406,34 +806,36 @@ impl ServeNode {
         let shared = Arc::clone(&self.shared);
         let (center, r, strict) = params(&shared.templates[template as usize]);
         let d_root = shared.metric.distance(center, &self.anchor);
-        match effective_cluster(d_root, r, self.plan.radius, strict) {
+        let full = self.plan.members.len() as u64;
+        // A degraded (post-failover) root must always drill: its covering
+        // radius and membership no longer justify the whole-cluster
+        // shortcuts (the dead ex-root in particular must never be claimed).
+        let decision = if self.dead_root.is_some() {
+            ClusterDecision::Drill
+        } else {
+            effective_cluster(d_root, r, self.plan.radius, strict)
+        };
+        match decision {
             ClusterDecision::Exclude => {
                 ctx.metrics().inc("wl.cluster.exclude");
-                LocalEval::Resolved(Vec::new())
+                LocalEval::Resolved(Vec::new(), full)
             }
             ClusterDecision::IncludeAll => {
                 ctx.metrics().inc("wl.cluster.include_all");
-                LocalEval::Resolved(self.plan.members.clone())
+                LocalEval::Resolved(self.plan.members.clone(), full)
             }
             ClusterDecision::Drill => {
-                if let Some(hit) = self.cache.get(&template) {
+                if let Some((hit, covered)) = self.cache.get(&template) {
                     ctx.metrics().inc("wl.cache.hit");
-                    return LocalEval::Resolved(hit.clone());
+                    return LocalEval::Resolved(hit.clone(), *covered);
                 }
                 if let Some(ev) = self.evals.get_mut(&template) {
                     ev.riders.push(qid);
                     ctx.metrics().inc("wl.batch.riders");
                 } else {
                     ctx.metrics().inc("wl.cache.miss");
-                    self.evals.insert(
-                        template,
-                        EvalState {
-                            riders: vec![qid],
-                            awaiting: None,
-                            acc: Vec::new(),
-                            epoch0: self.inval_epoch,
-                        },
-                    );
+                    self.evals
+                        .insert(template, EvalState::new(vec![qid], self.inval_epoch));
                     // Flush after the batch window; a zero window still
                     // coalesces everything already queued for this tick.
                     ctx.set_timer(shared.batch_window, u64::from(template));
@@ -447,13 +849,16 @@ impl ServeNode {
         let done = self
             .echo
             .get(&qid)
-            .is_some_and(|st| st.awaiting == 0 && !st.local_pending);
+            .is_some_and(|st| st.outstanding.is_empty() && !st.local_pending);
         if !done {
             return;
         }
-        let Some(mut st) = self.echo.remove(&qid) else {
-            return;
-        };
+        let st = self.echo.remove(&qid).expect("checked above");
+        self.finish_echo(qid, st, ctx);
+    }
+
+    /// Converges the (possibly partial) echo result towards whoever asked.
+    fn finish_echo(&mut self, qid: QueryId, mut st: EchoState, ctx: &mut Ctx<'_, ServeMsg>) {
         st.acc.sort_unstable();
         st.acc.dedup();
         let scalars = st.acc.len() as u64 + 1;
@@ -463,19 +868,21 @@ impl ServeNode {
                 ServeMsg::BackAgg {
                     qid,
                     matches: st.acc,
+                    covered: st.covered,
                 },
                 "wl_backagg",
                 scalars,
                 qid,
             );
         } else if st.initiator == self.id {
-            self.deliver_answer(qid, st.acc, ctx);
+            self.deliver_answer(qid, st.acc, st.covered, ctx);
         } else {
             ctx.unicast_tagged(
                 st.initiator,
                 ServeMsg::Down {
                     qid,
                     matches: st.acc,
+                    covered: st.covered,
                 },
                 "wl_down",
                 scalars,
@@ -497,57 +904,186 @@ impl ServeNode {
         let shared = Arc::clone(&self.shared);
         let (center, r, strict) = params(&shared.templates[template as usize]);
         let d_node = shared.metric.distance(center, &self.anchor);
+        ev.launched = true;
+        ev.covered += 1;
         if node_matches(d_node, r, strict) {
             ev.acc.push(self.id);
         }
-        let mut awaiting = 0;
         for entry in &self.plan.entries {
             let d_pc = shared.metric.distance(&self.anchor, &entry.feature);
             match effective_descend(d_node, d_pc, r, entry.radius, strict) {
-                DescendDecision::Prune => ctx.metrics().inc("wl.mtree.prune"),
+                DescendDecision::Prune => {
+                    ctx.metrics().inc("wl.mtree.prune");
+                    ev.covered += entry.subtree.len() as u64;
+                }
                 DescendDecision::IncludeAll => {
                     ctx.metrics().inc("wl.mtree.include_all");
                     ev.acc.extend_from_slice(&entry.subtree);
+                    ev.covered += entry.subtree.len() as u64;
                 }
                 DescendDecision::Descend => {
+                    // A detected-dead child is skipped outright: its subtree
+                    // stays uncovered and the result is marked partial.
+                    if shared.recovery && !ctx.is_alive(entry.child) {
+                        ctx.metrics().inc("wl.recover.dead_child");
+                        ev.partial = true;
+                        continue;
+                    }
                     let scalars = 1 + ev.riders.len() as u64;
-                    ctx.send_tagged(
-                        entry.child,
-                        ServeMsg::Descend {
-                            template,
-                            riders: ev.riders.clone(),
-                        },
-                        "wl_descend",
-                        scalars,
-                        ev.riders[0],
-                    );
+                    let msg = ServeMsg::Descend {
+                        template,
+                        riders: ev.riders.clone(),
+                    };
+                    if self.adopted.contains(&entry.child) {
+                        // Adopted (failover) children are not neighbors.
+                        if !ctx.unicast_tagged(
+                            entry.child,
+                            msg,
+                            "wl_descend",
+                            scalars,
+                            ev.riders[0],
+                        ) {
+                            ev.partial = true;
+                            continue;
+                        }
+                    } else {
+                        ctx.send_tagged(entry.child, msg, "wl_descend", scalars, ev.riders[0]);
+                    }
                     for &q in &ev.riders[1..] {
                         ctx.attribute_query(q, 1, scalars);
                     }
-                    awaiting += 1;
+                    ev.outstanding.push(entry.child);
                 }
             }
         }
-        if awaiting == 0 {
+        // A degraded root's (original + adopted) entries may not span the
+        // whole membership yet; the stragglers are evaluated by direct
+        // probes. The dead ex-root is never probed and never covered.
+        if let Some(dead) = self.dead_root {
+            if self.plan.parent.is_none() {
+                let mut spanned: BTreeSet<NodeId> = self
+                    .plan
+                    .entries
+                    .iter()
+                    .flat_map(|e| e.subtree.iter().copied())
+                    .collect();
+                spanned.insert(self.id);
+                let members = self.plan.members.clone();
+                for m in members {
+                    if m == dead || spanned.contains(&m) {
+                        continue;
+                    }
+                    if ctx.is_alive(m)
+                        && ctx.unicast_tagged(
+                            m,
+                            ServeMsg::Probe { template },
+                            "wl_probe",
+                            1,
+                            ev.riders[0],
+                        )
+                    {
+                        ctx.metrics().inc("wl.recover.probe");
+                        ev.outstanding.push(m);
+                    } else {
+                        ev.partial = true;
+                    }
+                }
+                // The dead ex-root's current anchor is unknowable: honest
+                // coverage excludes it forever (covered stays short of full).
+            }
+        }
+        if ev.outstanding.is_empty() {
             self.complete_eval(template, ev, ctx);
         } else {
-            ev.awaiting = Some(awaiting);
+            if shared.recovery {
+                let dl = self.eval_deadline_ticks(ctx);
+                ctx.set_timer(dl, EVAL_DEADLINE | u64::from(template));
+            }
             self.evals.insert(template, ev);
         }
     }
 
+    /// Descent deadline: one re-issue round to the still-live outstanding
+    /// children/probes (a rebooted child lost its eval state; a re-issued
+    /// `Descend` restarts it), then a forced partial completion. Forced
+    /// results are never cached, so the next query retries the subtree.
+    fn on_eval_deadline(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let Some(ev) = self.evals.get_mut(&template) else {
+            return;
+        };
+        if !ev.launched || ev.outstanding.is_empty() {
+            return;
+        }
+        if !ev.reissued {
+            ev.reissued = true;
+            ctx.metrics().inc("wl.recover.reissue");
+            let riders = ev.riders.clone();
+            let outstanding = std::mem::take(&mut ev.outstanding);
+            let mut partial = ev.partial;
+            let mut kept = Vec::new();
+            for target in outstanding {
+                if !ctx.is_alive(target) {
+                    partial = true;
+                    continue;
+                }
+                kept.push(target);
+                let is_child = self.plan.entries.iter().any(|e| e.child == target);
+                if is_child {
+                    let scalars = 1 + riders.len() as u64;
+                    let msg = ServeMsg::Descend {
+                        template,
+                        riders: riders.clone(),
+                    };
+                    if self.adopted.contains(&target) {
+                        if !ctx.unicast_tagged(target, msg, "wl_descend", scalars, riders[0]) {
+                            kept.pop();
+                            partial = true;
+                        }
+                    } else {
+                        ctx.send_tagged(target, msg, "wl_descend", scalars, riders[0]);
+                    }
+                } else {
+                    ctx.unicast_tagged(
+                        target,
+                        ServeMsg::Probe { template },
+                        "wl_probe",
+                        1,
+                        riders[0],
+                    );
+                }
+            }
+            let ev = self.evals.get_mut(&template).expect("still present");
+            ev.outstanding = kept;
+            ev.partial = partial;
+            if ev.outstanding.is_empty() {
+                let ev = self.evals.remove(&template).expect("still present");
+                self.complete_eval(template, ev, ctx);
+            } else {
+                let dl = self.eval_deadline_ticks(ctx);
+                ctx.set_timer(dl, EVAL_DEADLINE | u64::from(template));
+            }
+        } else {
+            let mut ev = self.evals.remove(&template).expect("checked above");
+            ctx.metrics().inc("wl.recover.eval_gaveup");
+            ev.partial = true;
+            ev.outstanding.clear();
+            self.complete_eval(template, ev, ctx);
+        }
+    }
+
     /// A descent finished at this node: fill the cache (unless the epoch
-    /// went stale mid-flight), then answer upward or resolve echo riders.
+    /// went stale mid-flight or the result is partial), then answer upward
+    /// or resolve echo riders.
     fn complete_eval(&mut self, template: u16, mut ev: EvalState, ctx: &mut Ctx<'_, ServeMsg>) {
         ev.acc.sort_unstable();
         ev.acc.dedup();
-        if ev.epoch0 != self.inval_epoch {
+        if ev.epoch0 != self.inval_epoch || ev.partial {
             ctx.metrics().inc("wl.cache.skip_fill");
         } else if self.shared.cache_enabled {
             ctx.metrics().inc("wl.cache.fill");
-            self.cache.insert(template, ev.acc.clone());
+            self.cache.insert(template, (ev.acc.clone(), ev.covered));
         }
-        self.reply_subtree(template, &ev.riders, ev.acc, ctx);
+        self.reply_subtree(template, &ev.riders, ev.acc, ev.covered, ctx);
     }
 
     /// Sends a subtree answer to the parent (internal nodes) or resolves
@@ -557,6 +1093,7 @@ impl ServeNode {
         template: u16,
         riders: &[QueryId],
         matches: Vec<NodeId>,
+        covered: u64,
         ctx: &mut Ctx<'_, ServeMsg>,
     ) {
         if let Some(p) = self.plan.parent {
@@ -564,13 +1101,18 @@ impl ServeNode {
                 return;
             };
             let scalars = matches.len() as u64 + 1;
-            ctx.send_tagged(
-                p,
-                ServeMsg::AggUp { template, matches },
-                "wl_aggup",
-                scalars,
-                first,
-            );
+            let msg = ServeMsg::AggUp {
+                template,
+                matches,
+                covered,
+            };
+            if self.routed_parent {
+                // A failover parent is not a neighbor; if it is unroutable
+                // its eval deadline degrades the wave to partial.
+                ctx.unicast_tagged(p, msg, "wl_aggup", scalars, first);
+            } else {
+                ctx.send_tagged(p, msg, "wl_aggup", scalars, first);
+            }
             for &q in &riders[1..] {
                 ctx.attribute_query(q, 1, scalars);
             }
@@ -580,6 +1122,7 @@ impl ServeNode {
             for &qid in riders {
                 if let Some(st) = self.echo.get_mut(&qid) {
                     st.acc.extend_from_slice(&matches);
+                    st.covered += covered;
                     st.local_pending = false;
                 }
             }
@@ -667,11 +1210,20 @@ impl ServeNode {
     // -- answers ----------------------------------------------------------
 
     /// Records the final answer at the initiator; for path templates also
-    /// runs the local safe-path search over the unsafe set.
-    fn deliver_answer(&mut self, qid: QueryId, matches: Vec<NodeId>, ctx: &mut Ctx<'_, ServeMsg>) {
-        let Some((template, submitted)) = self.pending.remove(&qid) else {
+    /// runs the local safe-path search over the unsafe set. `covered` is the
+    /// number of nodes whose membership the wave determined; it becomes the
+    /// answer's [`CompletedQuery::coverage_milli`].
+    fn deliver_answer(
+        &mut self,
+        qid: QueryId,
+        matches: Vec<NodeId>,
+        covered: u64,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let Some(p) = self.pending.remove(&qid) else {
             return;
         };
+        let (template, submitted) = (p.template, p.submitted);
         let path = match &self.shared.templates[template as usize] {
             Template::Range { .. } => None,
             Template::Path { source, dest, .. } => {
@@ -687,6 +1239,11 @@ impl ServeNode {
         let finished = ctx.now();
         ctx.metrics().observe("wl.latency", finished - submitted);
         ctx.metrics().inc("wl.query.done");
+        let n = ctx.n() as u64;
+        let coverage_milli = (covered.min(n) * 1000 / n.max(1)) as u16;
+        if coverage_milli < 1000 {
+            ctx.metrics().inc("wl.query.partial");
+        }
         self.completed.push(CompletedQuery {
             qid,
             template,
@@ -694,6 +1251,7 @@ impl ServeNode {
             finished,
             matches,
             path,
+            coverage_milli,
         });
         // Closed loop: schedule the next scripted query after think time.
         if let Some(e) = self.script.front() {
@@ -759,57 +1317,165 @@ impl Protocol for ServeNode {
                 self.on_invalidate(from, feature, radius, ctx)
             }
             ServeMsg::Submit { qid, template } => self.submit(qid, template, ctx),
-            ServeMsg::ToRoot { qid, template } => self.start_echo(qid, template, None, from, ctx),
-            ServeMsg::Fanout { qid, template } => {
-                self.start_echo(qid, template, Some(from), from, ctx)
+            ServeMsg::ToRoot { qid, template } => {
+                if self.ensure_root(ctx) {
+                    // A resubmission may race the original echo: first wins.
+                    if !self.echo.contains_key(&qid) {
+                        self.start_echo(qid, template, None, from, ctx);
+                    }
+                } else {
+                    ctx.metrics().inc("wl.misroute");
+                }
             }
-            ServeMsg::BackAgg { qid, matches } => {
+            ServeMsg::Fanout { qid, template } => {
+                if self.ensure_root(ctx) {
+                    // A re-issued fanout for an in-flight echo is a no-op.
+                    if !self.echo.contains_key(&qid) {
+                        self.start_echo(qid, template, Some(from), from, ctx);
+                    }
+                } else {
+                    ctx.metrics().inc("wl.misroute");
+                }
+            }
+            ServeMsg::BackAgg {
+                qid,
+                matches,
+                covered,
+            } => {
                 if let Some(st) = self.echo.get_mut(&qid) {
-                    st.acc.extend_from_slice(&matches);
-                    st.awaiting = st.awaiting.saturating_sub(1);
+                    // Deduplicate by peer *cluster*: after a re-issue both
+                    // the slow original leader and its successor may answer.
+                    let pc = self.shared.cluster_of[from];
+                    if let Some(pos) = st.outstanding.iter().position(|&c| c == pc) {
+                        st.outstanding.remove(pos);
+                        st.acc.extend_from_slice(&matches);
+                        st.covered += covered;
+                    }
                 }
                 self.maybe_finish_echo(qid, ctx);
             }
             ServeMsg::Descend { template, riders } => {
-                if let Some(hit) = self.cache.get(&template) {
+                if let Some((hit, covered)) = self.cache.get(&template) {
                     ctx.metrics().inc("wl.cache.hit");
-                    let matches = hit.clone();
-                    self.reply_subtree(template, &riders, matches, ctx);
+                    let (matches, covered) = (hit.clone(), *covered);
+                    self.reply_subtree(template, &riders, matches, covered, ctx);
                 } else if let Some(ev) = self.evals.get_mut(&template) {
-                    // The cluster-tree parent is single-flight per template
-                    // so a duplicate descent cannot arrive; merge riders
-                    // defensively all the same.
+                    // Single-flight per template: a duplicate descent (e.g.
+                    // a parent's re-issue round) just merges its riders.
                     ev.riders.extend(riders);
                 } else {
                     ctx.metrics().inc("wl.cache.miss");
-                    self.evals.insert(
-                        template,
-                        EvalState {
-                            riders,
-                            awaiting: None,
-                            acc: Vec::new(),
-                            epoch0: self.inval_epoch,
-                        },
-                    );
+                    self.evals
+                        .insert(template, EvalState::new(riders, self.inval_epoch));
                     // Internal nodes descend immediately: their rider set
                     // is fixed by the incoming packet.
                     self.launch_descent(template, ctx);
                 }
             }
-            ServeMsg::AggUp { template, matches } => {
-                let Some(mut ev) = self.evals.remove(&template) else {
+            ServeMsg::AggUp {
+                template,
+                matches,
+                covered,
+            } => {
+                let Some(ev) = self.evals.get_mut(&template) else {
                     return;
                 };
+                // Answers from nodes no longer awaited (late duplicates
+                // after a re-issue or forced completion) are dropped.
+                let Some(pos) = ev.outstanding.iter().position(|&c| c == from) else {
+                    return;
+                };
+                ev.outstanding.remove(pos);
                 ev.acc.extend_from_slice(&matches);
-                let left = ev.awaiting.unwrap_or(1) - 1;
-                if left == 0 {
+                ev.covered += covered;
+                if ev.launched && ev.outstanding.is_empty() {
+                    let ev = self.evals.remove(&template).expect("just seen");
                     self.complete_eval(template, ev, ctx);
-                } else {
-                    ev.awaiting = Some(left);
-                    self.evals.insert(template, ev);
                 }
             }
-            ServeMsg::Down { qid, matches } => self.deliver_answer(qid, matches, ctx),
+            ServeMsg::Down {
+                qid,
+                matches,
+                covered,
+            } => self.deliver_answer(qid, matches, covered, ctx),
+            ServeMsg::Probe { template } => {
+                let shared = Arc::clone(&self.shared);
+                let (center, r, strict) = params(&shared.templates[template as usize]);
+                let d = shared.metric.distance(center, &self.anchor);
+                let matches = if node_matches(d, r, strict) {
+                    vec![self.id]
+                } else {
+                    Vec::new()
+                };
+                let scalars = matches.len() as u64 + 1;
+                ctx.unicast(
+                    from,
+                    ServeMsg::AggUp {
+                        template,
+                        matches,
+                        covered: 1,
+                    },
+                    "wl_probe",
+                    scalars,
+                );
+            }
+            ServeMsg::Reattach => {
+                if !self.shared.recovery {
+                    return;
+                }
+                self.plan.parent = Some(from);
+                self.routed_parent = true;
+                let mut subtree: Vec<NodeId> = self
+                    .plan
+                    .entries
+                    .iter()
+                    .flat_map(|e| e.subtree.iter().copied())
+                    .collect();
+                subtree.push(self.id);
+                subtree.sort_unstable();
+                subtree.dedup();
+                let scalars = self.anchor.scalar_cost() + 1 + subtree.len() as u64;
+                ctx.unicast(
+                    from,
+                    ServeMsg::Adopt {
+                        feature: self.anchor.clone(),
+                        radius: self.plan.radius,
+                        subtree,
+                    },
+                    "wl_failover",
+                    scalars,
+                );
+            }
+            ServeMsg::Adopt {
+                feature,
+                radius,
+                subtree,
+            } => {
+                if !self.shared.recovery {
+                    return;
+                }
+                let required = self.shared.metric.distance(&self.anchor, &feature) + radius;
+                self.adopted.insert(from);
+                if let Some(e) = self.plan.entries.iter_mut().find(|e| e.child == from) {
+                    e.feature = feature;
+                    e.radius = radius;
+                    e.subtree = subtree;
+                } else {
+                    self.plan.entries.push(ChildEntry {
+                        child: from,
+                        feature,
+                        radius,
+                        subtree,
+                    });
+                }
+                // M-tree covering-radius inflation plus the PR-4 climb rule
+                // (epoch bump + cache eviction); as the new root the climb
+                // terminates here.
+                if required > self.plan.radius {
+                    self.plan.radius = required;
+                }
+                self.invalidate_and_climb(ctx);
+            }
         }
     }
 
@@ -818,6 +1484,12 @@ impl Protocol for ServeNode {
             if let Some(e) = self.script.pop_front() {
                 self.submit(e.qid, e.template, ctx);
             }
+        } else if timer & INIT_DEADLINE != 0 {
+            self.on_init_deadline(timer & DEADLINE_PAYLOAD, ctx);
+        } else if timer & EVAL_DEADLINE != 0 {
+            self.on_eval_deadline((timer & DEADLINE_PAYLOAD) as u16, ctx);
+        } else if timer & ECHO_DEADLINE != 0 {
+            self.on_echo_deadline(timer & DEADLINE_PAYLOAD, ctx);
         } else {
             // Batch-window flush for a template descent at a cluster root.
             self.launch_descent(timer as u16, ctx);
