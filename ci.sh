@@ -18,13 +18,35 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test"
 cargo test -q --workspace
 
+# The --check smokes below need release binaries: debug builds are ~10x
+# slower and `cargo run --release -q` would silently rebuild half the
+# workspace with no indication of why CI stalled. Build once, loudly, then
+# invoke the produced binaries directly — and fail with a pointed message
+# if one is missing rather than letting cargo's bin resolution guess.
+echo "== cargo build --release -p elink-bench (bench bins for the --check smokes)"
+cargo build --release -q -p elink-bench
+
+run_bench_bin() {
+  local bin="$1"
+  shift
+  if [[ ! -x "target/release/$bin" ]]; then
+    echo "ci.sh: target/release/$bin not found — the bench bins must be built before the --check smokes." >&2
+    echo "       Build it with: cargo build --release -p elink-bench --bin $bin" >&2
+    exit 1
+  fi
+  "target/release/$bin" "$@"
+}
+
 echo "== bench_report --check (deterministic bench harness smoke)"
-cargo run --release -q -p elink-bench --bin bench_report -- --check --out target/BENCH_elink.json
+run_bench_bin bench_report --check --out target/BENCH_elink.json
 
 echo "== workload_report --check (serving-layer SLO smoke)"
-cargo run --release -q -p elink-bench --bin workload_report -- --check --out target/BENCH_workload.json
+run_bench_bin workload_report --check --out target/BENCH_workload.json
 
 echo "== chaos_report --check (fault-campaign soundness + determinism smoke)"
-cargo run --release -q -p elink-bench --bin chaos_report -- --check --out target/BENCH_chaos.json
+run_bench_bin chaos_report --check --out target/BENCH_chaos.json
+
+echo "== scale_report --check (scheduler-differential scaling smoke)"
+run_bench_bin scale_report --check --out target/BENCH_scale.json
 
 echo "ci.sh: all green"

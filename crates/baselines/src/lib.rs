@@ -19,6 +19,10 @@
 //! graph — the same §8.2 cost model the netsim engine charges (see
 //! DESIGN.md).
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod centralized;
 pub mod hierarchical;
 pub mod kmedoids;

@@ -9,11 +9,11 @@
 //! the accounting used by the experiment harness (DESIGN.md §2).
 
 use crate::BaselineOutcome;
+use elink_core::node_table::{FlatMap, NodeHandle, NodeTable};
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, DelayModel, Protocol, SimNetwork, Simulator};
 use elink_topology::NodeId;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Protocol messages.
@@ -42,7 +42,10 @@ pub struct SfNode {
     feature: Feature,
     metric: Arc<dyn Metric>,
     delta: f64,
-    neighbor_features: BTreeMap<NodeId, Feature>,
+    /// Registry translating neighbor ids to the dense handles keying
+    /// `neighbor_features`.
+    nodes: NodeTable,
+    neighbor_features: FlatMap<NodeHandle, Feature>,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     pending_reports: usize,
@@ -54,12 +57,13 @@ pub struct SfNode {
 }
 
 impl SfNode {
-    fn new(feature: Feature, metric: Arc<dyn Metric>, delta: f64) -> SfNode {
+    fn new(n: usize, feature: Feature, metric: Arc<dyn Metric>, delta: f64) -> SfNode {
         SfNode {
             feature,
             metric,
             delta,
-            neighbor_features: BTreeMap::new(),
+            nodes: NodeTable::new(n),
+            neighbor_features: FlatMap::new(),
             parent: None,
             children: Vec::new(),
             pending_reports: 0,
@@ -124,8 +128,9 @@ impl Protocol for SfNode {
                 let best = self
                     .neighbor_features
                     .iter()
-                    .filter(|(&w, _)| w < me)
-                    .map(|(&w, f)| (w, self.metric.distance(&self.feature, f)))
+                    .map(|(&w, f)| (self.nodes.id(w), f))
+                    .filter(|&(w, _)| w < me)
+                    .map(|(w, f)| (w, self.metric.distance(&self.feature, f)))
                     .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 if let Some((w, _)) = best {
                     self.parent = Some(w);
@@ -144,7 +149,7 @@ impl Protocol for SfNode {
     fn on_message(&mut self, from: NodeId, msg: SfMsg, ctx: &mut Ctx<'_, SfMsg>) {
         match msg {
             SfMsg::Feature(f) => {
-                self.neighbor_features.insert(from, f);
+                self.neighbor_features.insert(self.nodes.handle(from), f);
             }
             SfMsg::ParentNotify => {
                 self.children.push(from);
@@ -187,7 +192,7 @@ pub fn spanning_forest_protocol(
     let n = network.topology().n();
     assert_eq!(features.len(), n);
     let nodes: Vec<SfNode> = (0..n)
-        .map(|v| SfNode::new(features[v].clone(), Arc::clone(&metric), delta))
+        .map(|v| SfNode::new(n, features[v].clone(), Arc::clone(&metric), delta))
         .collect();
     let mut sim = Simulator::new(network.clone(), DelayModel::Sync, 0, nodes);
     sim.run_to_completion();

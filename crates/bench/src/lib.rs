@@ -18,9 +18,15 @@
 //! * `trace_summary` — renders a [`elink_netsim::JsonlTrace`] event log as
 //!   per-node send/deliver/drop tables.
 //!
+//! The [`scale`] module backs `scale_report`, the 1k→64k fleet-size sweep
+//! behind `BENCH_scale.json`: msgs/node and bytes/node curves against the
+//! paper's O(N) claim, plus wall-clock for both scheduler backends (the
+//! calendar-queue speedup scoreboard).
+//!
 //! This crate is deliberately outside simlint's protocol-crate set: it is
 //! the one place in the workspace allowed to measure host wall-clock.
 
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod scale;

@@ -1,5 +1,6 @@
 //! Clustering results and δ-clustering validation (Definition 1).
 
+use crate::node_table::NodeTable;
 use elink_metric::{Feature, Metric};
 use elink_topology::{NodeId, Topology};
 use std::collections::VecDeque;
@@ -49,18 +50,34 @@ impl Clustering {
     ) -> Clustering {
         let n = topology.n();
         assert_eq!(states.len(), n);
-        // Group nodes by recorded root id.
-        let mut groups: std::collections::BTreeMap<NodeId, Vec<NodeId>> = Default::default();
-        for (node, (root, _)) in states.iter().enumerate() {
-            groups.entry(*root).or_default().push(node);
-        }
+        let table = NodeTable::new(n);
+        // Group nodes by recorded root id: one sort of dense handles by
+        // `(root, id)` replaces the old BTreeMap-of-Vecs grouping and
+        // yields the identical (ascending root, ascending member) visit
+        // order with a single allocation.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| (states[v as usize].0, v));
 
         let mut assignment = vec![usize::MAX; n];
         let mut clusters = Vec::new();
         let mut tree_parent = vec![None; n];
         let graph = topology.graph();
+        // Struct-of-arrays scratch reused across components: cleared by
+        // touched index, so the whole build does O(Σ|C|) scratch work
+        // instead of O(n · #clusters) fresh allocations.
+        let mut in_cluster = table.column(false);
+        let mut seen = table.column(false);
+        let mut queue = VecDeque::new();
 
-        for (root_id, members) in groups {
+        let mut lo = 0;
+        while lo < n {
+            let root_id = states[order[lo] as usize].0;
+            let mut hi = lo;
+            while hi < n && states[order[hi] as usize].0 == root_id {
+                hi += 1;
+            }
+            let members: Vec<NodeId> = order[lo..hi].iter().map(|&v| v as usize).collect();
+            lo = hi;
             let root_feature = states[members[0]].1.clone();
             for component in graph.induced_components(&members) {
                 // Root: the recorded root if present, else the member
@@ -87,12 +104,9 @@ impl Clustering {
                     assignment[m] = cluster_id;
                 }
                 // BFS tree from the root, restricted to the component.
-                let mut in_cluster = vec![false; n];
                 for &m in &component {
                     in_cluster[m] = true;
                 }
-                let mut seen = vec![false; n];
-                let mut queue = VecDeque::new();
                 seen[root] = true;
                 queue.push_back(root);
                 while let Some(v) = queue.pop_front() {
@@ -104,6 +118,11 @@ impl Clustering {
                             queue.push_back(w);
                         }
                     }
+                }
+                // Reset scratch for the next component (touched cells only).
+                for &m in &component {
+                    in_cluster[m] = false;
+                    seen[m] = false;
                 }
                 let mut members = component;
                 members.sort_unstable();

@@ -40,6 +40,7 @@ pub mod clustering;
 pub mod config;
 pub mod maintenance;
 pub mod maintenance_protocol;
+pub mod node_table;
 pub mod protocol;
 pub mod quadinfo;
 pub mod runner;
@@ -48,6 +49,8 @@ pub use clustering::{validate_delta_clustering, ClusterInfo, Clustering, Validat
 pub use config::ElinkConfig;
 pub use maintenance::{MaintenanceSim, UpdateOutcome};
 pub use maintenance_protocol::{maintenance_nodes, slack_conditions_hold, MaintMsg, MaintNode};
+pub use node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 pub use runner::{
-    run_explicit, run_implicit, run_unordered, run_with_link, run_with_link_arq, ElinkOutcome,
+    run_explicit, run_implicit, run_unordered, run_with_link, run_with_link_arq, run_with_options,
+    ElinkOutcome, RunOptions,
 };

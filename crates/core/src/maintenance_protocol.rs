@@ -16,10 +16,10 @@
 //! is also how the experiment harness replays measurements.
 
 use crate::clustering::Clustering;
+use crate::node_table::{FlatMap, NodeHandle, NodeTable};
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol};
 use elink_topology::NodeId;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Protocol messages.
@@ -132,8 +132,11 @@ pub struct MaintNode {
     pub tree_parent: Option<NodeId>,
     /// Cluster-tree children.
     tree_children: Vec<NodeId>,
+    /// Registry translating fetch-origin ids to the dense handles keying
+    /// `fetch_return`.
+    nodes: NodeTable,
     /// In-flight fetch return paths: origin → the child to reply to.
-    fetch_return: BTreeMap<NodeId, NodeId>,
+    fetch_return: FlatMap<NodeHandle, NodeId>,
     /// Pending update awaiting the fetched root feature.
     pending_update: Option<Feature>,
     /// Pending merge state: collected neighbor root info.
@@ -211,14 +214,15 @@ impl MaintNode {
         );
     }
 
+    // simlint: hot
     fn on_root_update(&mut self, new_feature: Feature, ctx: &mut Ctx<'_, MaintMsg>) {
         let drift = self.metric.distance(&self.anchor, &new_feature);
-        self.feature = new_feature.clone();
-        self.cached_root_feature = new_feature.clone();
+        self.feature = new_feature.clone(); // simlint: allow(no-hot-path-alloc): Feature dim <= 4 is inline storage; clone is a memcpy
+        self.cached_root_feature = new_feature.clone(); // simlint: allow(no-hot-path-alloc): inline Feature memcpy
         if drift <= self.slack {
             return;
         }
-        self.set_anchor(new_feature.clone());
+        self.set_anchor(new_feature.clone()); // simlint: allow(no-hot-path-alloc): inline Feature memcpy
         if self.tree_children.is_empty() {
             // Singleton root: §6 merge attempt via neighbor probes.
             self.start_merge(new_feature, ctx);
@@ -227,10 +231,10 @@ impl MaintNode {
         // Metrics: root-drift broadcast envelope — [release, last receipt].
         ctx.phase_enter("maint.root_bcast");
         let dim = self.dim();
-        for &c in &self.tree_children.clone() {
+        for &c in &self.tree_children {
             ctx.send(
                 c,
-                MaintMsg::NewRootFeature(new_feature.clone()),
+                MaintMsg::NewRootFeature(new_feature.clone()), // simlint: allow(no-hot-path-alloc): inline Feature memcpy into each child's payload
                 "maint_root_bcast",
                 dim,
             );
@@ -317,7 +321,7 @@ impl Protocol for MaintNode {
                         dim,
                     );
                 } else {
-                    self.fetch_return.insert(origin, from);
+                    self.fetch_return.insert(self.nodes.handle(origin), from);
                     let Some(parent) = self.tree_parent else {
                         debug_assert!(false, "non-root {} lost its parent", ctx.id());
                         return;
@@ -353,7 +357,7 @@ impl Protocol for MaintNode {
                     }
                     self.start_merge(new_feature, ctx);
                 } else {
-                    let Some(child) = self.fetch_return.remove(&origin) else {
+                    let Some(child) = self.fetch_return.remove(&self.nodes.handle(origin)) else {
                         debug_assert!(false, "fetch reply at {} with no recorded path", ctx.id());
                         return;
                     };
@@ -444,7 +448,7 @@ impl Protocol for MaintNode {
                         ctx.send(c, MaintMsg::ParentDetached, "maint_detach", dim);
                     }
                 } else {
-                    for &c in &self.tree_children.clone() {
+                    for &c in &self.tree_children {
                         ctx.send(
                             c,
                             MaintMsg::NewRootFeature(f.clone()),
@@ -465,7 +469,7 @@ impl Protocol for MaintNode {
                 self.set_anchor(self.feature.clone());
                 self.cached_root_feature = self.feature.clone();
                 let dim = self.dim();
-                for &c in &self.tree_children.clone() {
+                for &c in &self.tree_children {
                     ctx.send(
                         c,
                         MaintMsg::DetachedRoot {
@@ -482,7 +486,7 @@ impl Protocol for MaintNode {
                 self.root = root;
                 self.cached_root_feature = feature.clone();
                 let dim = self.dim();
-                for &c in &self.tree_children.clone() {
+                for &c in &self.tree_children {
                     ctx.send(
                         c,
                         MaintMsg::DetachedRoot {
@@ -522,7 +526,8 @@ pub fn maintenance_nodes(
                 cached_root_feature: features[root].clone(),
                 tree_parent: clustering.tree_parent[v],
                 tree_children: children[v].clone(),
-                fetch_return: BTreeMap::new(),
+                nodes: NodeTable::new(clustering.n()),
+                fetch_return: FlatMap::new(),
                 pending_update: None,
                 pending_merge: None,
             }

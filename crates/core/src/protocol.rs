@@ -23,11 +23,11 @@
 //! back into a cluster it has left (see DESIGN.md for the rationale).
 
 use crate::config::ElinkConfig;
+use crate::node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol};
 use elink_topology::{CellId, NodeId};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Messages exchanged by ELink.
@@ -131,6 +131,15 @@ fn growth_phase(level: usize) -> &'static str {
     GROWTH_PHASES[level.min(GROWTH_PHASES.len() - 1)]
 }
 
+/// Packs a `(cell, level)` phase-1 key into one `u64`. Quadtree depth is
+/// `O(log₄ N)` so levels fit 16 bits with room to spare; packed keys sort
+/// exactly like the `(CellId, usize)` tuples they replace.
+fn phase1_key(cell: CellId, level: usize) -> u64 {
+    debug_assert!(level < (1 << 16), "quadtree level {level} out of range");
+    debug_assert!((cell as u64) < (1 << 48), "cell id {cell} out of range");
+    ((cell as u64) << 16) | level as u64
+}
+
 /// Per-cluster bookkeeping for the explicit completion waves.
 #[derive(Debug, Clone)]
 struct Subtree {
@@ -171,15 +180,21 @@ pub struct ElinkNode {
     /// Remaining cluster switches (Fig 16 `counter`).
     pub switches_left: u32,
 
-    subtrees: BTreeMap<NodeId, Subtree>,
-    phase1_pending: BTreeMap<(CellId, usize), usize>,
+    /// Registry translating cluster-root [`NodeId`]s to the dense
+    /// [`NodeHandle`]s that key the flat tables below.
+    nodes: NodeTable,
+    subtrees: FlatMap<NodeHandle, Subtree>,
+    /// Keyed by `(cell, level)` packed into one `u64` (see
+    /// [`phase1_key`]) — one contiguous allocation instead of a tree of
+    /// two-word tuples.
+    phase1_pending: FlatMap<u64, usize>,
     /// Roots of every cluster this node has ever joined. A node never
     /// re-joins a cluster it left: distances to roots are fixed, so a
     /// re-join can never be a quality gain, and (in explicit mode) it would
     /// corrupt the per-cluster `ack` bookkeeping — the Fig 16 `+φ`
     /// tolerance otherwise allows A→B→A oscillation, deadlocking the
     /// completion wave.
-    ever_joined: std::collections::BTreeSet<NodeId>,
+    ever_joined: FlatSet<NodeHandle>,
     /// Introspection: simulated times at which this node's ELink procedure
     /// was invoked, with the level it was invoked for.
     pub elink_invocations: Vec<(u64, usize)>,
@@ -210,9 +225,10 @@ impl ElinkNode {
             joined_level: 0,
             parent: id,
             switches_left: config.max_switches,
-            subtrees: BTreeMap::new(),
-            phase1_pending: BTreeMap::new(),
-            ever_joined: std::collections::BTreeSet::new(),
+            nodes: NodeTable::new(n),
+            subtrees: FlatMap::new(),
+            phase1_pending: FlatMap::new(),
+            ever_joined: FlatSet::new(),
             elink_invocations: Vec::new(),
         }
     }
@@ -241,6 +257,7 @@ impl ElinkNode {
     }
 
     /// The ELink procedure of Fig 16: invoked on a sentinel when signalled.
+    // simlint: hot
     fn elink_start(
         &mut self,
         level: usize,
@@ -263,12 +280,12 @@ impl ElinkNode {
         ctx.phase_enter(growth_phase(level));
         self.clustered = true;
         self.root = id;
-        self.root_feature = self.feature.clone();
+        self.root_feature = self.feature.clone(); // simlint: allow(no-hot-path-alloc): Feature dim <= 4 is inline storage; clone is a memcpy
         self.joined_level = level;
         self.parent = id;
-        self.ever_joined.insert(id);
+        self.ever_joined.insert(self.nodes.handle(id));
         self.subtrees.insert(
-            id,
+            self.nodes.handle(id),
             Subtree {
                 parent: None,
                 pending_children: 0,
@@ -279,7 +296,7 @@ impl ElinkNode {
         );
         let msg = ElinkMsg::Expand {
             root: id,
-            root_feature: self.feature.clone(),
+            root_feature: self.feature.clone(), // simlint: allow(no-hot-path-alloc): inline Feature memcpy into the broadcast payload
             level,
         };
         let scalars = self.feature.scalar_cost();
@@ -290,7 +307,10 @@ impl ElinkNode {
         }
     }
 
-    /// Handles an incoming `expand` (the join/switch rule of Fig 16).
+    /// Handles an incoming `expand` (the join/switch rule of Fig 16) — the
+    /// hottest function in the tree: every node runs it once per neighbor
+    /// expand at every level.
+    // simlint: hot
     fn on_expand(
         &mut self,
         from: NodeId,
@@ -299,7 +319,9 @@ impl ElinkNode {
         level: usize,
         ctx: &mut Ctx<'_, ElinkMsg>,
     ) {
-        if (self.clustered && self.root == root) || self.ever_joined.contains(&root) {
+        if (self.clustered && self.root == root)
+            || self.ever_joined.contains(&self.nodes.handle(root))
+        {
             return; // current or former member; re-joining gains nothing
         }
         let d_new = self.metric.distance(&root_feature, &self.feature);
@@ -328,10 +350,10 @@ impl ElinkNode {
         }
         self.clustered = true;
         self.root = root;
-        self.root_feature = root_feature.clone();
+        self.root_feature = root_feature.clone(); // simlint: allow(no-hot-path-alloc): Feature dim <= 4 is inline storage; clone is a memcpy
         self.joined_level = level;
         self.parent = from;
-        self.ever_joined.insert(root);
+        self.ever_joined.insert(self.nodes.handle(root));
         // Metrics: every join stretches the level's growth envelope.
         ctx.phase_exit(growth_phase(level));
 
@@ -339,7 +361,7 @@ impl ElinkNode {
             ctx.phase_enter("sync.acks");
             ctx.send(from, ElinkMsg::Ack1 { root }, "ack1", 1);
             self.subtrees.insert(
-                root,
+                self.nodes.handle(root),
                 Subtree {
                     parent: Some(from),
                     pending_children: 0,
@@ -362,7 +384,7 @@ impl ElinkNode {
 
     /// Completion check for the `ack2` wave of one cluster.
     fn check_completion(&mut self, root: NodeId, ctx: &mut Ctx<'_, ElinkMsg>) {
-        let Some(sub) = self.subtrees.get_mut(&root) else {
+        let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) else {
             return;
         };
         if sub.acked || !sub.wait_done || sub.pending_children > 0 {
@@ -468,9 +490,9 @@ impl ElinkNode {
             debug_assert!(false, "phase1 addressed to non-leader {}", ctx.id());
             return;
         };
-        let key = (cell, level);
+        let key = phase1_key(cell, level);
         let fanin = led.phase1_fanin(level, &self.quad);
-        let pending = self.phase1_pending.entry(key).or_insert(fanin);
+        let pending = self.phase1_pending.or_insert_with(key, || fanin);
         debug_assert!(*pending > 0, "phase1 overflow at cell {cell}");
         *pending -= 1;
         if *pending > 0 {
@@ -578,7 +600,7 @@ impl Protocol for ElinkNode {
             self.elink_start(level, None, ctx);
         } else {
             let root = (timer - TIMER_LEAF_BASE) as NodeId;
-            if let Some(sub) = self.subtrees.get_mut(&root) {
+            if let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) {
                 sub.wait_done = true;
             }
             self.check_completion(root, ctx);
@@ -593,13 +615,13 @@ impl Protocol for ElinkNode {
                 level,
             } => self.on_expand(from, root, root_feature, level, ctx),
             ElinkMsg::Ack1 { root } => {
-                if let Some(sub) = self.subtrees.get_mut(&root) {
+                if let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) {
                     sub.pending_children += 1;
                 }
             }
             ElinkMsg::Ack2 { root } => {
                 ctx.phase_exit("sync.acks");
-                if let Some(sub) = self.subtrees.get_mut(&root) {
+                if let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) {
                     sub.pending_children = sub.pending_children.saturating_sub(1);
                 }
                 self.check_completion(root, ctx);

@@ -6,7 +6,8 @@ use crate::protocol::{ElinkNode, SignalMode};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{
-    ArqConfig, CostBook, DelayModel, LinkModel, Metrics, SimNetwork, SimTime, Simulator,
+    ArqConfig, CostBook, DelayModel, LinkModel, Metrics, SchedulerKind, SimNetwork, SimTime,
+    Simulator,
 };
 use std::sync::Arc;
 
@@ -25,6 +26,21 @@ pub struct ElinkOutcome {
     pub metrics: Metrics,
     /// Simulated time at which the protocol quiesced.
     pub elapsed: SimTime,
+    /// High-water mark of simultaneously live events in the scheduler —
+    /// the arena footprint the scaling bench reports.
+    pub peak_live_events: usize,
+}
+
+/// Extended run knobs beyond the link model: the optional ARQ sublayer and
+/// the event-scheduler backend (differential testing and the scale bench
+/// run the same workload under both [`SchedulerKind`]s).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// When `Some`, every protocol message rides the reliable-delivery
+    /// (ack/retransmit/dedup) sublayer.
+    pub arq: Option<ArqConfig>,
+    /// Event-queue backend (default [`SchedulerKind::Calendar`]).
+    pub scheduler: SchedulerKind,
 }
 
 /// Runs ELink in any [`SignalMode`] over an arbitrary [`LinkModel`] — the
@@ -62,6 +78,34 @@ pub fn run_with_link_arq(
     seed: u64,
     arq: Option<ArqConfig>,
 ) -> ElinkOutcome {
+    run_with_options(
+        network,
+        features,
+        metric,
+        config,
+        mode,
+        link,
+        seed,
+        RunOptions {
+            arq,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// The fully-general runner: [`run_with_link_arq`] plus scheduler-backend
+/// selection via [`RunOptions`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_options(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    mode: SignalMode,
+    link: impl Into<Box<dyn LinkModel>>,
+    seed: u64,
+    options: RunOptions,
+) -> ElinkOutcome {
     let topo = network.topology();
     let n = topo.n();
     assert_eq!(features.len(), n, "one feature per node");
@@ -80,7 +124,8 @@ pub fn run_with_link_arq(
         })
         .collect();
     let mut sim = Simulator::new(network.clone(), link, seed, nodes);
-    if let Some(arq_config) = arq {
+    sim.set_scheduler(options.scheduler);
+    if let Some(arq_config) = options.arq {
         sim.enable_arq(arq_config);
     }
     let elapsed = sim.run_to_completion();
@@ -104,6 +149,7 @@ pub fn run_with_link_arq(
         costs: sim.costs().clone(),
         metrics,
         elapsed,
+        peak_live_events: sim.peak_live_events(),
     }
 }
 

@@ -28,6 +28,10 @@
 //! | `ext_workload` | serving-layer SLOs vs template skew (concurrent queries) |
 //! | `ext_chaos` | seeded fault campaign: drop × crash × partition grid |
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 pub mod common;
 pub mod csv_io;
 pub mod ext_ablation;

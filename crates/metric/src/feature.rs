@@ -1,45 +1,86 @@
 //! Node features: the model-coefficient vectors that clustering operates on.
 
+/// Inline capacity of [`Feature`]: the paper's AR models use order ≤ 4
+/// (§2.2/§8.1), so four coefficients cover every experiment without heap
+/// storage.
+const INLINE_DIM: usize = 4;
+
+/// Backing storage for a [`Feature`]: a fixed inline buffer for the common
+/// small dimensions, a heap vector beyond [`INLINE_DIM`].
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    /// `len` live components at the front of a fixed array.
+    Inline { len: u8, buf: [f64; INLINE_DIM] },
+    /// Arbitrary dimension (rare — only synthetic high-dim tests).
+    Heap(Vec<f64>),
+}
+
 /// A feature vector at a sensor node — typically the coefficients of its AR
 /// model (§2.2). Small (order ≤ 4 in the paper's experiments), cloneable and
 /// comparable.
+///
+/// Features up to dimension 4 are stored inline — no heap allocation —
+/// which makes [`Clone`] on the expand/descent broadcast hot paths a plain
+/// memcpy. Higher dimensions transparently fall back to a heap vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Feature {
-    components: Vec<f64>,
+    repr: Repr,
 }
 
 impl Feature {
     /// Creates a feature from its components.
     pub fn new(components: Vec<f64>) -> Self {
-        Feature { components }
+        Feature {
+            repr: if components.len() <= INLINE_DIM {
+                let mut buf = [0.0; INLINE_DIM];
+                buf[..components.len()].copy_from_slice(&components);
+                Repr::Inline {
+                    len: components.len() as u8,
+                    buf,
+                }
+            } else {
+                Repr::Heap(components)
+            },
+        }
     }
 
     /// Creates a 1-dimensional feature (e.g. Death Valley elevation).
     pub fn scalar(value: f64) -> Self {
+        let mut buf = [0.0; INLINE_DIM];
+        buf[0] = value;
         Feature {
-            components: vec![value],
+            repr: Repr::Inline { len: 1, buf },
         }
     }
 
     /// Dimension (number of model coefficients).
     pub fn dim(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Borrow the components.
     pub fn components(&self) -> &[f64] {
-        &self.components
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Mutably borrow the components (used by online model updates).
     pub fn components_mut(&mut self) -> &mut [f64] {
-        &mut self.components
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Number of scalars a message carrying this feature must transmit.
     /// The paper's cost model charges one message per coefficient (§8.2).
     pub fn scalar_cost(&self) -> u64 {
-        self.components.len() as u64
+        self.dim() as u64
     }
 }
 
@@ -52,7 +93,7 @@ impl From<Vec<f64>> for Feature {
 impl std::fmt::Display for Feature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.components().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -96,5 +137,23 @@ mod tests {
         let mut f = Feature::scalar(1.0);
         f.components_mut()[0] = 2.0;
         assert_eq!(f.components(), &[2.0]);
+    }
+
+    /// Inline and heap representations must behave identically across the
+    /// capacity boundary — equality compares components, not storage.
+    #[test]
+    fn inline_and_heap_agree_across_boundary() {
+        for dim in 1..=8usize {
+            let v: Vec<f64> = (0..dim).map(|i| i as f64 * 0.5).collect();
+            let f = Feature::new(v.clone());
+            assert_eq!(f.dim(), dim);
+            assert_eq!(f.components(), v.as_slice());
+            assert_eq!(f.scalar_cost(), dim as u64);
+            let g = f.clone();
+            assert_eq!(f, g);
+        }
+        // Padding must not leak into equality: same prefix, different
+        // construction path.
+        assert_eq!(Feature::scalar(2.0), Feature::new(vec![2.0]));
     }
 }

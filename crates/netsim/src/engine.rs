@@ -21,13 +21,13 @@
 use crate::link::{HopOutcome, LinkModel};
 use crate::metrics::Metrics;
 use crate::reliable::{ArqConfig, KIND_ACK, KIND_RETX};
+use crate::scheduler::{PoppedEvent, Scheduler, SchedulerKind};
 use crate::stats::{CostBook, MessageStats};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
 use elink_topology::{RoutingTable, Topology};
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
 
 /// Simulated time in ticks. In synchronous mode one hop = one tick, matching
 /// the paper's "worst-case delay over a hop is a single time unit" (§4).
@@ -62,20 +62,22 @@ pub trait Protocol {
 /// A topology plus its (expensive, shareable) routing table.
 ///
 /// Build once per topology and share across simulator runs with `clone()`
-/// (both members are `Arc`s).
+/// (both members are `Arc`s). The routing table — `O(n²)` storage, one BFS
+/// per node to build — is constructed lazily on first use: protocols that
+/// only ever `send`/`broadcast_neighbors` (e.g. implicit-mode ELink, the
+/// regime of the 64k-node scaling bench) never pay for it.
 #[derive(Clone)]
 pub struct SimNetwork {
     topology: Arc<Topology>,
-    routing: Arc<RoutingTable>,
+    routing: Arc<OnceLock<RoutingTable>>,
 }
 
 impl SimNetwork {
     /// Builds the network support structures for a topology.
     pub fn new(topology: Topology) -> Self {
-        let routing = RoutingTable::build(topology.graph());
         SimNetwork {
             topology: Arc::new(topology),
-            routing: Arc::new(routing),
+            routing: Arc::new(OnceLock::new()),
         }
     }
 
@@ -89,9 +91,16 @@ impl SimNetwork {
         &self.topology
     }
 
-    /// The routing table.
+    /// The routing table, built on first call and shared across clones.
     pub fn routing(&self) -> &RoutingTable {
-        &self.routing
+        self.routing
+            .get_or_init(|| RoutingTable::build(self.topology.graph()))
+    }
+
+    /// Whether the routing table has been materialized — the 64k scaling
+    /// bench asserts it stays `false` on broadcast-only runs.
+    pub fn routing_built(&self) -> bool {
+        self.routing.get().is_some()
     }
 }
 
@@ -121,22 +130,34 @@ enum EventKind<M> {
         kind: &'static str,
         scalars: u64,
         query: Option<QueryId>,
+        /// The sender's slab slot for this transfer, echoed back in the
+        /// ack so the sender can clear it without a map lookup.
+        xfer: u32,
     },
     /// ARQ link-level acknowledgment arriving back at a link sender.
     ArqAck {
         seq: u64,
+        /// Slab slot of the transfer being acknowledged (validated against
+        /// `(seq, holder)` — slots are recycled, stale acks are ignored).
+        xfer: u32,
     },
     /// ARQ retransmission timeout at a link sender.
     ArqRetx {
         seq: u64,
+        xfer: u32,
         scheduled: SimTime,
     },
 }
 
-/// One in-progress stop-and-wait link transfer of the ARQ sublayer, keyed by
-/// `(seq, holder)` — a logical message's `seq` is constant along its route,
-/// so the holder (current link sender) disambiguates chained transfers.
+/// One in-progress stop-and-wait link transfer of the ARQ sublayer,
+/// identified by `(seq, holder)` — a logical message's `seq` is constant
+/// along its route, so the holder (current link sender) disambiguates
+/// chained transfers. Transfers live in a free-listed slab; the identity
+/// pair is stored in the slot so events addressing a recycled slot are
+/// recognized as stale.
 struct LinkXfer<M> {
+    seq: u64,
+    holder: usize,
     src: usize,
     next: usize,
     dst: usize,
@@ -152,43 +173,60 @@ struct LinkXfer<M> {
 struct ArqState<M> {
     config: ArqConfig,
     next_seq: u64,
-    /// Active link transfers awaiting an ack, keyed `(seq, holder)`.
-    pending: BTreeMap<(u64, usize), LinkXfer<M>>,
+    /// Active link transfers awaiting an ack: a dense slab addressed by
+    /// the `xfer` slot index carried in ARQ events.
+    pending: Vec<Option<LinkXfer<M>>>,
+    /// Recycled `pending` slots.
+    free: Vec<u32>,
     /// Receiver-side dedup: `(receiver, seq)` pairs already accepted.
     seen: BTreeSet<(usize, u64)>,
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    node: usize,
-    kind: EventKind<M>,
-}
+impl<M> ArqState<M> {
+    fn alloc(&mut self, x: LinkXfer<M>) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                self.pending[h as usize] = Some(x);
+                h
+            }
+            None => {
+                let h = u32::try_from(self.pending.len()).expect("ARQ slab overflow"); // simlint: allow(no-panic-in-protocol): structural capacity invariant (u32 ids), not a fault path
+                self.pending.push(Some(x));
+                h
+            }
+        }
+    }
 
-// Ordering for the binary heap: by (time, seq). Implemented on a key pair to
-// avoid requiring Ord on messages.
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+    /// Validated lookup: `None` if the slot is empty or was recycled for a
+    /// different `(seq, holder)` transfer since the event was scheduled.
+    fn get(&self, h: u32, seq: u64, holder: usize) -> Option<&LinkXfer<M>> {
+        self.pending
+            .get(h as usize)?
+            .as_ref()
+            .filter(|x| x.seq == seq && x.holder == holder)
     }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn get_mut(&mut self, h: u32, seq: u64, holder: usize) -> Option<&mut LinkXfer<M>> {
+        self.pending
+            .get_mut(h as usize)?
+            .as_mut()
+            .filter(|x| x.seq == seq && x.holder == holder)
     }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    /// Clears the transfer if the slot still holds it (stale events are
+    /// no-ops, matching the old map's `remove(&(seq, holder))`).
+    fn remove(&mut self, h: u32, seq: u64, holder: usize) {
+        if self.get(h, seq, holder).is_some() {
+            self.pending[h as usize] = None;
+            self.free.push(h);
+        }
     }
 }
 
 /// Engine internals shared between the run loop and [`Ctx`].
 struct Core<M> {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: Scheduler<EventKind<M>>,
     costs: CostBook,
     metrics: Metrics,
     link: Box<dyn LinkModel>,
@@ -201,14 +239,7 @@ struct Core<M> {
 
 impl<M> Core<M> {
     fn push(&mut self, time: SimTime, node: usize, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            seq,
-            node,
-            kind,
-        }));
+        self.queue.push(time, node, kind);
     }
 
     fn trace(&mut self, event: TraceEvent) {
@@ -250,8 +281,8 @@ impl<M: Clone> Core<M> {
         self.arq_begin_link(seq, src, first_next, src, dst, msg, kind, scalars, query);
     }
 
-    /// Creates the `(seq, holder)` link transfer and fires its first
-    /// attempt.
+    /// Creates the `(seq, holder)` link transfer in the slab and fires its
+    /// first attempt.
     #[allow(clippy::too_many_arguments)]
     fn arq_begin_link(
         &mut self,
@@ -266,30 +297,29 @@ impl<M: Clone> Core<M> {
         query: Option<QueryId>,
     ) {
         let Some(arq) = &mut self.arq else { return };
-        arq.pending.insert(
-            (seq, holder),
-            LinkXfer {
-                src,
-                next,
-                dst,
-                msg,
-                kind,
-                scalars,
-                query,
-                attempt: 0,
-            },
-        );
-        self.arq_attempt(seq, holder);
+        let xfer = arq.alloc(LinkXfer {
+            seq,
+            holder,
+            src,
+            next,
+            dst,
+            msg,
+            kind,
+            scalars,
+            query,
+            attempt: 0,
+        });
+        self.arq_attempt(xfer, seq, holder);
     }
 
     /// One transmission attempt of an active link transfer: bills the radio
     /// (original kind on the first attempt, `net.retx` afterwards), rolls
     /// the link dice, and arms the next retransmission timeout with seeded
     /// backoff jitter.
-    fn arq_attempt(&mut self, seq: u64, holder: usize) {
+    fn arq_attempt(&mut self, xfer: u32, seq: u64, holder: usize) {
         let Some(arq) = &self.arq else { return };
         let config = arq.config;
-        let Some(x) = arq.pending.get(&(seq, holder)) else {
+        let Some(x) = arq.get(xfer, seq, holder) else {
             return;
         };
         let (next, src, dst, kind, scalars, query, attempt) =
@@ -325,6 +355,7 @@ impl<M: Clone> Core<M> {
                         kind,
                         scalars,
                         query,
+                        xfer,
                     },
                 );
             }
@@ -341,20 +372,22 @@ impl<M: Clone> Core<M> {
             holder,
             EventKind::ArqRetx {
                 seq,
+                xfer,
                 scheduled: now,
             },
         );
     }
 
-    /// Transmits a link-level ack `from → to` for `seq`. Acks are billed
-    /// under `net.ack` but are engine overhead, not logical messages: they
-    /// are never traced and never query-attributed.
-    fn arq_send_ack(&mut self, from: usize, to: usize, seq: u64) {
+    /// Transmits a link-level ack `from → to` for `seq` (clearing slab slot
+    /// `xfer` on arrival). Acks are billed under `net.ack` but are engine
+    /// overhead, not logical messages: they are never traced and never
+    /// query-attributed.
+    fn arq_send_ack(&mut self, from: usize, to: usize, seq: u64, xfer: u32) {
         let now = self.now;
         self.costs.record_tx(from, KIND_ACK, 1, 0);
         match self.link.hop(from, to, now, &mut self.rng) {
             HopOutcome::Deliver { delay } => {
-                self.push(now + delay, to, EventKind::ArqAck { seq });
+                self.push(now + delay, to, EventKind::ArqAck { seq, xfer });
             }
             HopOutcome::Drop => {
                 self.metrics.inc("net.drops.loss");
@@ -590,7 +623,11 @@ impl<'a, M: Clone> Ctx<'a, M> {
             query,
             retx: false,
         });
+        // Materialize the lazy table up front, then walk it through a
+        // cloned handle so the loop below can borrow `core` mutably.
+        self.core.network.routing();
         let routing = Arc::clone(&self.core.network.routing);
+        let routing = routing.get().expect("routing table just built"); // simlint: allow(no-panic-in-protocol): populated by the routing() call two lines up, cannot fail
         let mut cur = src;
         let mut t = now;
         loop {
@@ -737,8 +774,7 @@ impl<P: Protocol> Simulator<P> {
             nodes,
             core: Core {
                 now: 0,
-                seq: 0,
-                queue: BinaryHeap::new(),
+                queue: Scheduler::new(SchedulerKind::Calendar),
                 costs: CostBook::with_nodes(n),
                 metrics: Metrics::new(),
                 link: link.into(),
@@ -766,9 +802,36 @@ impl<P: Protocol> Simulator<P> {
         self.core.arq = Some(ArqState {
             config,
             next_seq: 0,
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
+            free: Vec::new(),
             seen: BTreeSet::new(),
         });
+    }
+
+    /// Selects the event-queue backend (default:
+    /// [`SchedulerKind::Calendar`]). Both kinds produce byte-identical
+    /// runs; see [`SchedulerKind`]. Call before the run starts.
+    ///
+    /// # Panics
+    /// Panics if events are already queued (mid-run switches would lose
+    /// them).
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        assert!(
+            !self.started && self.core.queue.is_empty(),
+            "set_scheduler must be called before the run starts"
+        );
+        self.core.queue = Scheduler::new(kind);
+    }
+
+    /// The event-queue backend in force.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.core.queue.kind()
+    }
+
+    /// High-water mark of simultaneously queued events over the run — the
+    /// arena footprint the scaling bench reports as `peak_live_events`.
+    pub fn peak_live_events(&self) -> usize {
+        self.core.queue.peak_live()
     }
 
     /// The ARQ configuration in force, if reliable delivery is enabled.
@@ -796,8 +859,8 @@ impl<P: Protocol> Simulator<P> {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.ensure_started();
         loop {
-            match self.core.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
+            match self.core.queue.next_time() {
+                Some(t) if t <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -823,24 +886,28 @@ impl<P: Protocol> Simulator<P> {
     /// armed before a crash window are cleared even if the node recovered
     /// before the firing time.
     fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.core.queue.pop() else {
+        let Some(PoppedEvent {
+            time,
+            node,
+            payload: event_kind,
+        }) = self.core.queue.pop()
+        else {
             return false;
         };
-        self.core.now = event.time;
+        self.core.now = time;
         self.core.events_processed += 1;
         assert!(
             self.core.events_processed <= self.max_events,
             "simulation exceeded {} events — livelock?",
             self.max_events
         );
-        let node = event.node;
-        if !self.core.link.is_alive(node, event.time) {
-            match &event.kind {
+        if !self.core.link.is_alive(node, time) {
+            match &event_kind {
                 // Engine-internal ARQ bookkeeping is silent: the sender-side
                 // state is simply lost with the crashed radio.
-                EventKind::ArqRetx { seq, .. } => {
+                EventKind::ArqRetx { seq, xfer, .. } => {
                     if let Some(arq) = &mut self.core.arq {
-                        arq.pending.remove(&(*seq, node));
+                        arq.remove(*xfer, *seq, node);
                     }
                 }
                 EventKind::ArqAck { .. } => {}
@@ -850,7 +917,7 @@ impl<P: Protocol> Simulator<P> {
                     self.core.metrics.inc("net.drops.node_down");
                     let (from, query) = (*link_from, *query);
                     self.core.trace(TraceEvent::Drop {
-                        time: event.time,
+                        time,
                         from,
                         to: node,
                         reason: DropReason::NodeDown,
@@ -858,13 +925,13 @@ impl<P: Protocol> Simulator<P> {
                     });
                 }
                 _ => {
-                    let (from, query) = match &event.kind {
+                    let (from, query) = match &event_kind {
                         EventKind::Deliver { from, query, .. } => (*from, *query),
                         _ => (node, None),
                     };
                     self.core.metrics.inc("net.drops.node_down");
                     self.core.trace(TraceEvent::Drop {
-                        time: event.time,
+                        time,
                         from,
                         to: node,
                         reason: DropReason::NodeDown,
@@ -874,7 +941,7 @@ impl<P: Protocol> Simulator<P> {
             }
             return true;
         }
-        match event.kind {
+        match event_kind {
             EventKind::Start => {
                 let mut ctx = Ctx {
                     core: &mut self.core,
@@ -885,7 +952,7 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Deliver { from, msg, query } => {
                 self.core.costs.record_rx(node);
                 self.core.trace(TraceEvent::Deliver {
-                    time: event.time,
+                    time,
                     from,
                     to: node,
                     query,
@@ -897,16 +964,12 @@ impl<P: Protocol> Simulator<P> {
                 self.nodes[node].on_message(from, msg, &mut ctx);
             }
             EventKind::Timer { id, scheduled } => {
-                if self
-                    .core
-                    .link
-                    .crashed_in_window(node, scheduled, event.time)
-                {
+                if self.core.link.crashed_in_window(node, scheduled, time) {
                     // The node rebooted between arming and firing: the timer
                     // died with the volatile state that armed it.
                     self.core.metrics.inc("net.timers.cleared");
                     self.core.trace(TraceEvent::Drop {
-                        time: event.time,
+                        time,
                         from: node,
                         to: node,
                         reason: DropReason::NodeDown,
@@ -914,11 +977,7 @@ impl<P: Protocol> Simulator<P> {
                     });
                     return true;
                 }
-                self.core.trace(TraceEvent::Timer {
-                    time: event.time,
-                    node,
-                    id,
-                });
+                self.core.trace(TraceEvent::Timer { time, node, id });
                 let mut ctx = Ctx {
                     core: &mut self.core,
                     node,
@@ -934,11 +993,12 @@ impl<P: Protocol> Simulator<P> {
                 kind,
                 scalars,
                 query,
+                xfer,
             } => {
                 self.core.costs.record_rx(node);
                 // Ack every copy — the sender may be retrying because a
                 // previous ack was lost.
-                self.core.arq_send_ack(node, link_from, seq);
+                self.core.arq_send_ack(node, link_from, seq, xfer);
                 let fresh = match &mut self.core.arq {
                     Some(arq) => arq.seen.insert((node, seq)),
                     None => true,
@@ -947,7 +1007,7 @@ impl<P: Protocol> Simulator<P> {
                     self.core.metrics.inc("net.ack.dup");
                 } else if node == dst {
                     self.core.trace(TraceEvent::Deliver {
-                        time: event.time,
+                        time,
                         from: src,
                         to: node,
                         query,
@@ -967,41 +1027,44 @@ impl<P: Protocol> Simulator<P> {
                         .arq_begin_link(seq, node, next, src, dst, msg, kind, scalars, query);
                 }
             }
-            EventKind::ArqAck { seq } => {
+            EventKind::ArqAck { seq, xfer } => {
                 if let Some(arq) = &mut self.core.arq {
-                    arq.pending.remove(&(seq, node));
+                    arq.remove(xfer, seq, node);
                 }
             }
-            EventKind::ArqRetx { seq, scheduled } => {
-                if self
-                    .core
-                    .link
-                    .crashed_in_window(node, scheduled, event.time)
-                {
+            EventKind::ArqRetx {
+                seq,
+                xfer,
+                scheduled,
+            } => {
+                if self.core.link.crashed_in_window(node, scheduled, time) {
                     // Crashed mid-transfer: the retransmission buffer is gone.
                     if let Some(arq) = &mut self.core.arq {
-                        arq.pending.remove(&(seq, node));
+                        arq.remove(xfer, seq, node);
                     }
                     return true;
                 }
                 let (give_up, retry) = match &mut self.core.arq {
-                    Some(arq) => match arq.pending.get_mut(&(seq, node)) {
-                        Some(x) if x.attempt >= arq.config.max_retries => (true, false),
-                        Some(x) => {
-                            x.attempt += 1;
-                            (false, true)
+                    Some(arq) => {
+                        let max_retries = arq.config.max_retries;
+                        match arq.get_mut(xfer, seq, node) {
+                            Some(x) if x.attempt >= max_retries => (true, false),
+                            Some(x) => {
+                                x.attempt += 1;
+                                (false, true)
+                            }
+                            None => (false, false),
                         }
-                        None => (false, false),
-                    },
+                    }
                     None => (false, false),
                 };
                 if give_up {
                     if let Some(arq) = &mut self.core.arq {
-                        arq.pending.remove(&(seq, node));
+                        arq.remove(xfer, seq, node);
                     }
                     self.core.metrics.inc("net.timeout");
                 } else if retry {
-                    self.core.arq_attempt(seq, node);
+                    self.core.arq_attempt(xfer, seq, node);
                 }
             }
         }

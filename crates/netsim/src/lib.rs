@@ -80,6 +80,7 @@ pub mod engine;
 pub mod link;
 pub mod metrics;
 pub mod reliable;
+pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
@@ -87,5 +88,6 @@ pub use engine::{Ctx, Protocol, QueryId, SimNetwork, SimTime, Simulator};
 pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
 pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
 pub use reliable::{ArqConfig, KIND_ACK, KIND_RETX};
+pub use scheduler::{EventHandle, Scheduler, SchedulerKind};
 pub use stats::{CostBook, KindStats, MessageStats, NodeStats};
 pub use trace::{CountingTrace, DropReason, JsonlTrace, RingBufferTrace, TraceEvent, TraceSink};

@@ -7,6 +7,7 @@
 //! information from all its children to compute its own routing feature and
 //! covering radius," recursively to the cluster root.
 
+use elink_core::node_table::NodeTable;
 use elink_core::Clustering;
 use elink_metric::{Feature, Metric};
 use elink_netsim::CostBook;
@@ -65,15 +66,39 @@ impl DistributedIndex {
     ) -> (DistributedIndex, CostBook) {
         let n = clustering.n();
         assert_eq!(features.len(), n);
+        let table = NodeTable::new(n);
         let children = clustering.tree_children();
-        let mut covering_radius = vec![0.0_f64; n];
+        let mut covering_radius = table.column(0.0_f64);
         let mut stats = CostBook::new();
         let dim = features.first().map_or(1, Feature::scalar_cost);
 
-        // Process nodes deepest-first so children finish before parents.
+        // Depths as a dense column in O(n): memoized parent-chain walks
+        // (each node is labelled exactly once) instead of one
+        // root-to-leaf walk per node.
+        let mut depths: Vec<u32> = table.column(u32::MAX);
+        let mut chain: Vec<NodeId> = Vec::new();
+        for v in 0..n {
+            let mut cur = v;
+            while depths[cur] == u32::MAX {
+                match clustering.tree_parent[cur] {
+                    Some(p) => {
+                        chain.push(cur);
+                        cur = p;
+                    }
+                    None => depths[cur] = 0,
+                }
+            }
+            let mut d = depths[cur];
+            while let Some(x) = chain.pop() {
+                d += 1;
+                depths[x] = d;
+            }
+        }
+
+        // Process nodes deepest-first so children finish before parents
+        // (ties in ascending id order, as before).
         let mut order: Vec<NodeId> = (0..n).collect();
-        let depths: Vec<usize> = (0..n).map(|v| clustering.tree_depth(v)).collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(depths[v]));
+        order.sort_unstable_by_key(|&v| (std::cmp::Reverse(depths[v]), v));
         for &v in &order {
             let mut r = 0.0_f64;
             for &c in &children[v] {

@@ -65,6 +65,9 @@ pub struct LexedFile {
     pub tokens: Vec<Token>,
     /// All `simlint:` directives, in source order.
     pub allows: Vec<AllowDirective>,
+    /// Lines of `// simlint: hot` markers: each tags the next `fn` item as a
+    /// hot path (checked by the no-hot-path-alloc rule).
+    pub hots: Vec<u32>,
 }
 
 /// Two-character operators fused into a single `Punct` token.
@@ -115,6 +118,8 @@ pub fn lex(src: &str) -> LexedFile {
                         text: String::new(),
                         line,
                     });
+                } else if is_hot_marker(&text) {
+                    out.hots.push(line);
                 } else if let Some(d) = parse_allow(&text, line, last_token_line == line) {
                     out.allows.push(d);
                 }
@@ -335,6 +340,15 @@ fn consume_char(chars: &[char], mut i: usize) -> usize {
     i
 }
 
+/// Whether a line comment is a `// simlint: hot` marker (checked before
+/// [`parse_allow`] so markers are not misread as malformed allows).
+fn is_hot_marker(comment: &str) -> bool {
+    comment
+        .find("simlint:")
+        .map(|idx| comment[idx + "simlint:".len()..].trim() == "hot")
+        .unwrap_or(false)
+}
+
 /// Parses a line comment into an [`AllowDirective`] if it carries the
 /// `simlint:` marker. Malformed directives (no `allow(...)`, or a missing
 /// justification) are returned with empty `rules`/`justification` so the
@@ -516,6 +530,14 @@ mod tests {
         let lexed = lex(src);
         assert_eq!(lexed.allows.len(), 1);
         assert!(lexed.allows[0].justification.is_empty());
+    }
+
+    #[test]
+    fn hot_markers_are_collected_not_misread_as_allows() {
+        let src = "// simlint: hot\nfn fast() {}\nfn slow() {} // simlint: hot\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.hots, vec![1, 3]);
+        assert!(lexed.allows.is_empty());
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub const RULES: &[Rule] = &[
         check: no_stats_bypass,
     },
     Rule {
+        name: "no-hot-path-alloc",
+        summary: "Box::new/Vec::new/.clone() are banned inside `// simlint: hot` functions in protocol crates: per-message allocations dominate large-fleet runs",
+        check: no_hot_path_alloc,
+    },
+    Rule {
         name: "pub-doc-coverage",
         summary: "every pub fn/struct/enum/trait/type/const/static in library code needs a doc comment",
         check: pub_doc_coverage,
@@ -400,6 +405,77 @@ fn no_stats_bypass(f: &SourceFile, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+fn no_hot_path_alloc(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !PROTOCOL_CRATES.contains(&f.krate.as_str()) {
+        return;
+    }
+    let toks = &f.lex.tokens;
+    for &hot_line in &f.lex.hots {
+        // The marker tags the next `fn` item (same line for a trailing
+        // marker on the signature, next lines for a standalone one).
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident && t.text == "fn" && t.line >= hot_line)
+        else {
+            continue;
+        };
+        let Some((open, close)) = body_extent(toks, fn_idx + 1) else {
+            continue;
+        };
+        for i in open..close {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident && t.text != "." {
+                continue;
+            }
+            if f.is_test_line(t.line) {
+                continue;
+            }
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let then = toks.get(i + 2).map(|n| n.text.as_str());
+            let (offence, line) = match t.text.as_str() {
+                "Box" | "Vec" if next == Some("::") && then == Some("new") => {
+                    (format!("`{}::new`", t.text), t.line)
+                }
+                "." if next == Some("clone") && then == Some("(") => {
+                    ("`.clone()`".to_string(), toks[i + 1].line)
+                }
+                _ => continue,
+            };
+            out.push(f.finding(
+                "no-hot-path-alloc",
+                line,
+                format!(
+                    "{offence} inside a `// simlint: hot` function allocates per message; hoist the allocation, use inline/SoA storage, or justify with an allow comment"
+                ),
+            ));
+        }
+    }
+}
+
+/// Token extent `(open_brace, close_brace)` of the body of the item whose
+/// signature starts at `start`; `None` for bodiless items (trait methods).
+fn body_extent(toks: &[Token], start: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut k = start;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                let close = matching(toks, k, "{", "}")?;
+                return Some((k, close));
+            }
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
 }
 
 fn pub_doc_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
@@ -701,7 +777,52 @@ mod tests {
         assert_eq!(report.allowed.len(), 1);
     }
 
-    // -- rule 5: pub-doc-coverage ------------------------------------------
+    // -- rule 5: no-hot-path-alloc -----------------------------------------
+
+    #[test]
+    fn hot_function_allocations_hit() {
+        let src = "// simlint: hot\nfn f(&mut self) {\n    let b = Box::new(1);\n    let v: Vec<u32> = Vec::new();\n    let c = self.feature.clone();\n}\n";
+        let v = violations("crates/core/src/x.rs", src);
+        let hits: Vec<u32> = v
+            .iter()
+            .filter(|(r, _)| r == "no-hot-path-alloc")
+            .map(|&(_, l)| l)
+            .collect();
+        assert_eq!(hits, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn unmarked_functions_and_non_protocol_crates_are_exempt() {
+        let alloc_fn = "fn f() { let v: Vec<u32> = Vec::new(); let c = x.clone(); }\n";
+        assert!(violations("crates/core/src/x.rs", alloc_fn).is_empty());
+        let marked = "// simlint: hot\nfn f() { let v: Vec<u32> = Vec::new(); }\n";
+        assert!(violations("crates/experiments/src/x.rs", marked).is_empty());
+    }
+
+    #[test]
+    fn hot_marker_scope_ends_at_function_close() {
+        // Allocations in the *next* function are not the marked one's.
+        let src =
+            "// simlint: hot\nfn fast() { step(); }\nfn slow() { let v: Vec<u32> = Vec::new(); }\n";
+        assert!(violations("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_hot_marker_tags_its_own_signature_line() {
+        let src = "fn f() { // simlint: hot\n    x.clone();\n}\n";
+        let v = violations("crates/workload/src/x.rs", src);
+        assert_eq!(v, vec![("no-hot-path-alloc".to_string(), 2)]);
+    }
+
+    #[test]
+    fn hot_path_alloc_allow_comment_suppresses() {
+        let src = "// simlint: hot\nfn f(&self) {\n    let c = self.feature.clone(); // simlint: allow(no-hot-path-alloc): Feature dim <= 4 is inline, clone is a memcpy\n}\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 6: pub-doc-coverage ------------------------------------------
 
     #[test]
     fn undocumented_pub_items_hit() {
@@ -784,7 +905,7 @@ mod tests {
         assert_eq!(report.allowed.len(), 1);
     }
 
-    // -- rule 6: allow-hygiene ---------------------------------------------
+    // -- rule 7: allow-hygiene ---------------------------------------------
 
     #[test]
     fn allow_without_justification_is_flagged_and_suppresses_nothing() {

@@ -62,12 +62,13 @@
 
 use crate::gen::{ScriptEntry, Template};
 use crate::plan::{ChildEntry, NodePlan};
+use elink_core::node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 use elink_core::slack_conditions_hold;
 use elink_metric::{Feature, Metric};
 use elink_netsim::{Ctx, Protocol, QueryId, SimTime};
 use elink_query::{cluster_decision, descend_decision, ClusterDecision, DescendDecision};
 use elink_topology::{NodeId, Topology};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Timer id for closed-loop script submissions (template flush timers use
@@ -371,14 +372,17 @@ pub struct ServeNode {
     /// Bumped whenever this node's subtree state changes (own re-anchor or
     /// a descendant's invalidation climb).
     inval_epoch: u64,
+    /// Registry translating adopted-child ids to the dense handles keying
+    /// `adopted`.
+    nodes: NodeTable,
     /// Per-template cached subtree answers with their covered-node count.
-    cache: BTreeMap<u16, (Vec<NodeId>, u64)>,
+    cache: FlatMap<u16, (Vec<NodeId>, u64)>,
     /// Single-flight descents, keyed by template.
-    evals: BTreeMap<u16, EvalState>,
+    evals: FlatMap<u16, EvalState>,
     /// Echo states for queries this root participates in.
-    echo: BTreeMap<QueryId, EchoState>,
+    echo: FlatMap<QueryId, EchoState>,
     /// Queries submitted here and not yet answered.
-    pending: BTreeMap<QueryId, PendingQuery>,
+    pending: FlatMap<QueryId, PendingQuery>,
     /// `Some(dead leader)` after this node performed a failover takeover:
     /// it serves its cluster in degraded mode (always drill, probe members
     /// the adopted index does not span, and never count the dead ex-root —
@@ -387,7 +391,7 @@ pub struct ServeNode {
     /// Children adopted through failover (`Reattach`/`Adopt`). Adopted
     /// children are generally not topology neighbors, so descents to them
     /// go as routed unicasts instead of link sends.
-    adopted: BTreeSet<NodeId>,
+    adopted: FlatSet<NodeHandle>,
     /// True once this node has been re-attached under a failover successor:
     /// the new parent is generally not a neighbor, so subtree replies go as
     /// routed unicasts.
@@ -459,6 +463,7 @@ impl ServeNode {
         root_feature: Feature,
         script: Vec<ScriptEntry>,
     ) -> ServeNode {
+        let nodes = NodeTable::new(shared.topology.n());
         ServeNode {
             id,
             plan,
@@ -468,12 +473,13 @@ impl ServeNode {
             root_feature,
             anchor_epoch: 0,
             inval_epoch: 0,
-            cache: BTreeMap::new(),
-            evals: BTreeMap::new(),
-            echo: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            nodes,
+            cache: FlatMap::new(),
+            evals: FlatMap::new(),
+            echo: FlatMap::new(),
+            pending: FlatMap::new(),
             dead_root: None,
-            adopted: BTreeSet::new(),
+            adopted: FlatSet::new(),
             routed_parent: false,
             script: script.into(),
             completed: Vec::new(),
@@ -769,7 +775,7 @@ impl ServeNode {
         };
         if reissue {
             let (template, outstanding) = {
-                let st = &self.echo[&qid];
+                let st = self.echo.get(&qid).expect("checked above");
                 (st.template, st.outstanding.clone())
             };
             ctx.metrics().inc("wl.recover.reissue");
@@ -934,7 +940,7 @@ impl ServeNode {
                         template,
                         riders: ev.riders.clone(),
                     };
-                    if self.adopted.contains(&entry.child) {
+                    if self.adopted.contains(&self.nodes.handle(entry.child)) {
                         // Adopted (failover) children are not neighbors.
                         if !ctx.unicast_tagged(
                             entry.child,
@@ -961,12 +967,12 @@ impl ServeNode {
         // probes. The dead ex-root is never probed and never covered.
         if let Some(dead) = self.dead_root {
             if self.plan.parent.is_none() {
-                let mut spanned: BTreeSet<NodeId> = self
-                    .plan
-                    .entries
-                    .iter()
-                    .flat_map(|e| e.subtree.iter().copied())
-                    .collect();
+                let mut spanned: FlatSet<NodeId> = FlatSet::new();
+                for e in &self.plan.entries {
+                    for &m in &e.subtree {
+                        spanned.insert(m);
+                    }
+                }
                 spanned.insert(self.id);
                 let members = self.plan.members.clone();
                 for m in members {
@@ -1034,7 +1040,7 @@ impl ServeNode {
                         template,
                         riders: riders.clone(),
                     };
-                    if self.adopted.contains(&target) {
+                    if self.adopted.contains(&self.nodes.handle(target)) {
                         if !ctx.unicast_tagged(target, msg, "wl_descend", scalars, riders[0]) {
                             kept.pop();
                             partial = true;
@@ -1088,6 +1094,7 @@ impl ServeNode {
 
     /// Sends a subtree answer to the parent (internal nodes) or resolves
     /// each rider's echo state (cluster roots).
+    // simlint: hot
     fn reply_subtree(
         &mut self,
         template: u16,
@@ -1455,7 +1462,7 @@ impl Protocol for ServeNode {
                     return;
                 }
                 let required = self.shared.metric.distance(&self.anchor, &feature) + radius;
-                self.adopted.insert(from);
+                self.adopted.insert(self.nodes.handle(from));
                 if let Some(e) = self.plan.entries.iter_mut().find(|e| e.child == from) {
                     e.feature = feature;
                     e.radius = radius;
