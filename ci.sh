@@ -49,4 +49,7 @@ run_bench_bin chaos_report --check --out target/BENCH_chaos.json
 echo "== scale_report --check (scheduler-differential scaling smoke)"
 run_bench_bin scale_report --check --out target/BENCH_scale.json
 
+echo "== mc_report --check (exhaustive model-checking gate on the small-topology suite)"
+run_bench_bin mc_report --check --out target/BENCH_mc.json
+
 echo "ci.sh: all green"

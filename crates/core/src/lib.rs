@@ -50,7 +50,8 @@ pub use config::ElinkConfig;
 pub use maintenance::{MaintenanceSim, UpdateOutcome};
 pub use maintenance_protocol::{maintenance_nodes, slack_conditions_hold, MaintMsg, MaintNode};
 pub use node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
+pub use protocol::{stray, ElinkMsg, ElinkNode, SignalMode};
 pub use runner::{
-    run_explicit, run_implicit, run_unordered, run_with_link, run_with_link_arq, run_with_options,
-    ElinkOutcome, RunOptions,
+    build_sim, run_explicit, run_implicit, run_unordered, run_with_link, run_with_link_arq,
+    run_with_options, ElinkOutcome, RunOptions,
 };

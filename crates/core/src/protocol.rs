@@ -26,7 +26,7 @@ use crate::config::ElinkConfig;
 use crate::node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 use crate::quadinfo::QuadInfo;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{Ctx, Protocol};
+use elink_netsim::{canon_f64, Canonicalize, Ctx, Protocol};
 use elink_topology::{CellId, NodeId};
 use std::sync::Arc;
 
@@ -158,7 +158,48 @@ struct Subtree {
     sentinel_cell: Option<CellId>,
 }
 
+/// Named silent-drop sites (see [`ElinkNode::stray_drops`]).
+///
+/// Every guard in the protocol that discards an event instead of handling
+/// it records one of these markers. The model checker's
+/// `no-unexpected-strays` invariant asserts that only the sites justified
+/// for the explored fault budget ever fire; anything else is a routing or
+/// bookkeeping bug, not benign noise. The rationale per site:
+///
+/// * `SITE_SENTINEL_NOT_LEADER`, `SITE_PHASE1_NOT_LEADER`,
+///   `SITE_PHASE2_NOT_LEADER`, `SITE_START_NOT_LEADER` — quadtree messages
+///   are addressed by the static [`QuadInfo`] tables, so a leader mismatch
+///   cannot arise from delay, loss, duplication or crash faults; these
+///   remain `debug_assert`ed and are expected to stay silent under any
+///   fault budget.
+/// * `SITE_PHASE1_AFTER_COMPLETE` — a `phase 1` report for a `(cell,
+///   level)` wave that already completed. Unreachable without duplication;
+///   under duplicate faults the dedup below absorbs it (justified allow).
+/// * `SITE_ACK1_UNKNOWN_ROOT`, `SITE_ACK2_UNKNOWN_ROOT`,
+///   `SITE_COMPLETION_UNKNOWN_ROOT` — `ack` bookkeeping for a cluster this
+///   node never joined. Unreachable without message corruption (acks flow
+///   strictly child → recruiting parent).
+pub mod stray {
+    /// `sentinel_complete` for a cell this node does not lead.
+    pub const SITE_SENTINEL_NOT_LEADER: &str = "sentinel-complete-not-leader";
+    /// `phase 1` addressed to a non-leader.
+    pub const SITE_PHASE1_NOT_LEADER: &str = "phase1-not-leader";
+    /// `phase 2` addressed to a non-leader.
+    pub const SITE_PHASE2_NOT_LEADER: &str = "phase2-not-leader";
+    /// Aligned-start timer for a cell this node does not lead.
+    pub const SITE_START_NOT_LEADER: &str = "start-timer-not-leader";
+    /// `phase 1` for an already-completed `(cell, level)` wave.
+    pub const SITE_PHASE1_AFTER_COMPLETE: &str = "phase1-after-complete";
+    /// `ack1` for a cluster without local subtree state.
+    pub const SITE_ACK1_UNKNOWN_ROOT: &str = "ack1-unknown-root";
+    /// `ack2` for a cluster without local subtree state.
+    pub const SITE_ACK2_UNKNOWN_ROOT: &str = "ack2-unknown-root";
+    /// Completion check for a cluster without local subtree state.
+    pub const SITE_COMPLETION_UNKNOWN_ROOT: &str = "completion-unknown-root";
+}
+
 /// The ELink protocol state at one node.
+#[derive(Clone)]
 pub struct ElinkNode {
     feature: Feature,
     metric: Arc<dyn Metric>,
@@ -195,9 +236,19 @@ pub struct ElinkNode {
     /// tolerance otherwise allows A→B→A oscillation, deadlocking the
     /// completion wave.
     ever_joined: FlatSet<NodeHandle>,
+    /// `(cell, level)` fan-in waves that already completed (see
+    /// [`phase1_key`]). A duplicated `phase 1` arriving after its wave's
+    /// counter was removed would otherwise re-open the counter at full
+    /// fan-in and deadlock the synchronization.
+    phase1_done: FlatSet<u64>,
     /// Introspection: simulated times at which this node's ELink procedure
     /// was invoked, with the level it was invoked for.
     pub elink_invocations: Vec<(u64, usize)>,
+    /// Audit trail of silently discarded events, one [`stray`] marker per
+    /// drop. The model checker asserts which sites may fire under a given
+    /// fault budget; the vector is part of canonical state so a stray is
+    /// never confused with the clean state that ignored it.
+    pub stray_drops: Vec<&'static str>,
 }
 
 impl ElinkNode {
@@ -229,13 +280,21 @@ impl ElinkNode {
             subtrees: FlatMap::new(),
             phase1_pending: FlatMap::new(),
             ever_joined: FlatSet::new(),
+            phase1_done: FlatSet::new(),
             elink_invocations: Vec::new(),
+            stray_drops: Vec::new(),
         }
     }
 
     /// This node's feature.
     pub fn feature(&self) -> &Feature {
         &self.feature
+    }
+
+    /// Number of per-cluster subtree entries whose `ack2` wave has not
+    /// completed (explicit mode) — zero at a clean quiescence.
+    pub fn unsettled_subtrees(&self) -> usize {
+        self.subtrees.values().filter(|s| !s.acked).count()
     }
 
     /// Extraction hook: `(root, root_feature)`; unclustered nodes (possible
@@ -385,6 +444,7 @@ impl ElinkNode {
     /// Completion check for the `ack2` wave of one cluster.
     fn check_completion(&mut self, root: NodeId, ctx: &mut Ctx<'_, ElinkMsg>) {
         let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) else {
+            self.stray_drops.push(stray::SITE_COMPLETION_UNKNOWN_ROOT);
             return;
         };
         if sub.acked || !sub.wait_done || sub.pending_children > 0 {
@@ -414,6 +474,7 @@ impl ElinkNode {
             // A sentinel completion for a cell this node does not lead can
             // only arise from a misrouted or stale message; drop it rather
             // than abort the simulation.
+            self.stray_drops.push(stray::SITE_SENTINEL_NOT_LEADER);
             debug_assert!(
                 false,
                 "sentinel_complete on a cell node {} does not lead",
@@ -487,10 +548,18 @@ impl ElinkNode {
     /// Fan-in of `phase 1` messages at an intermediate (or root) cell.
     fn on_phase1(&mut self, cell: CellId, level: usize, ctx: &mut Ctx<'_, ElinkMsg>) {
         let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
+            self.stray_drops.push(stray::SITE_PHASE1_NOT_LEADER);
             debug_assert!(false, "phase1 addressed to non-leader {}", ctx.id());
             return;
         };
         let key = phase1_key(cell, level);
+        if self.phase1_done.contains(&key) {
+            // A duplicated `phase 1` after its wave completed: absorbing it
+            // here keeps the (removed) fan-in counter from re-opening at
+            // full fan-in and deadlocking the next wave.
+            self.stray_drops.push(stray::SITE_PHASE1_AFTER_COMPLETE);
+            return;
+        }
         let fanin = led.phase1_fanin(level, &self.quad);
         let pending = self.phase1_pending.or_insert_with(key, || fanin);
         debug_assert!(*pending > 0, "phase1 overflow at cell {cell}");
@@ -499,6 +568,7 @@ impl ElinkNode {
             return;
         }
         self.phase1_pending.remove(&key);
+        self.phase1_done.insert(key);
         match (led.parent_cell, led.parent_leader) {
             (Some(pcell), Some(pleader)) => {
                 ctx.unicast(
@@ -518,6 +588,7 @@ impl ElinkNode {
     /// `phase 2` down-sweep (Fig 18), threading the alignment counter.
     fn on_phase2(&mut self, cell: CellId, level: usize, elapsed: u64, ctx: &mut Ctx<'_, ElinkMsg>) {
         let Some(led) = self.quad.led_cell(ctx.id(), cell).cloned() else {
+            self.stray_drops.push(stray::SITE_PHASE2_NOT_LEADER);
             debug_assert!(false, "phase2 addressed to non-leader {}", ctx.id());
             return;
         };
@@ -580,6 +651,7 @@ impl Protocol for ElinkNode {
         if timer >= TIMER_START_BASE {
             let cell = (timer - TIMER_START_BASE) as CellId;
             let Some(level) = self.quad.led_cell(ctx.id(), cell).map(|led| led.level) else {
+                self.stray_drops.push(stray::SITE_START_NOT_LEADER);
                 debug_assert!(
                     false,
                     "start timer for a cell node {} does not lead",
@@ -615,16 +687,31 @@ impl Protocol for ElinkNode {
                 level,
             } => self.on_expand(from, root, root_feature, level, ctx),
             ElinkMsg::Ack1 { root } => {
+                // Acks flow strictly child → recruiting parent, so the
+                // subtree entry must exist; a miss is a misrouted message.
+                // Note a *duplicated* ack1 does hit the entry and inflates
+                // `pending_children` — a protocol-level non-tolerance that
+                // deadlocks completion. That is deliberate: duplicate
+                // suppression is the reliable transport's job (ARQ dedups
+                // by sequence number), and the regression tests +
+                // checker scenarios pin the failure shape.
                 if let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) {
                     sub.pending_children += 1;
+                } else {
+                    self.stray_drops.push(stray::SITE_ACK1_UNKNOWN_ROOT);
                 }
             }
             ElinkMsg::Ack2 { root } => {
                 ctx.phase_exit("sync.acks");
+                // Same contract as ack1: a duplicated ack2 double-decrements
+                // and completes the wave before the real children report —
+                // detected by the checker, prevented in deployment by ARQ.
                 if let Some(sub) = self.subtrees.get_mut(&self.nodes.handle(root)) {
                     sub.pending_children = sub.pending_children.saturating_sub(1);
+                    self.check_completion(root, ctx);
+                } else {
+                    self.stray_drops.push(stray::SITE_ACK2_UNKNOWN_ROOT);
                 }
-                self.check_completion(root, ctx);
             }
             ElinkMsg::Phase1 { cell, level } => self.on_phase1(cell, level, ctx),
             ElinkMsg::Phase2 {
@@ -633,6 +720,68 @@ impl Protocol for ElinkNode {
                 elapsed,
             } => self.on_phase2(cell, level, elapsed, ctx),
             ElinkMsg::Start { cell, elapsed } => self.handle_start(cell, elapsed, ctx),
+        }
+    }
+}
+
+/// Canonical state for model-checker fingerprinting.
+///
+/// Soundness: the rendering must cover every field a handler *reads* to
+/// decide future behavior — two states with equal canonical forms are
+/// merged, so an omitted behavior-relevant field would unsoundly prune
+/// genuinely distinct schedules. Covered: the Fig 16 join state
+/// (`clustered`, `root`, `root_feature`, `joined_level`, `parent`,
+/// `switches_left`), the explicit-mode bookkeeping (`subtrees`,
+/// `phase1_pending`, `phase1_done`, `ever_joined`), and the stray-drop
+/// audit trail (part of observable state: predicates read it).
+///
+/// Deliberately excluded, with why each exclusion is sound:
+///
+/// * `feature`, `metric`, `config`, `mode`, `quad`, `n`, `nodes` — fixed at
+///   construction and never written by any handler; identical across all
+///   states of one exploration.
+/// * `elink_invocations` — introspection only (timing metrics); no handler
+///   ever reads it, so it cannot influence any successor state.
+impl Canonicalize for ElinkNode {
+    fn canonicalize(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "c{}r{}l{}p{}s{}F",
+            self.clustered as u8, self.root, self.joined_level, self.parent, self.switches_left
+        );
+        for &w in self.root_feature.components() {
+            canon_f64(out, w);
+        }
+        out.push_str("|st:");
+        for (h, sub) in self.subtrees.iter() {
+            let _ = write!(
+                out,
+                "[{}>{:?}c{}w{}a{}s{:?}]",
+                h.index(),
+                sub.parent,
+                sub.pending_children,
+                sub.wait_done as u8,
+                sub.acked as u8,
+                sub.sentinel_cell
+            );
+        }
+        out.push_str("|p1:");
+        for (k, pending) in self.phase1_pending.iter() {
+            let _ = write!(out, "[{k}:{pending}]");
+        }
+        out.push_str("|p1d:");
+        for k in self.phase1_done.iter() {
+            let _ = write!(out, "{k},");
+        }
+        out.push_str("|ej:");
+        for h in self.ever_joined.iter() {
+            let _ = write!(out, "{},", h.index());
+        }
+        out.push_str("|x:");
+        for site in &self.stray_drops {
+            out.push_str(site);
+            out.push(',');
         }
     }
 }

@@ -93,10 +93,11 @@ pub fn run_with_link_arq(
     )
 }
 
-/// The fully-general runner: [`run_with_link_arq`] plus scheduler-backend
-/// selection via [`RunOptions`].
-#[allow(clippy::too_many_arguments)]
-pub fn run_with_options(
+/// Constructs the ELink simulator without running it — the seam the model
+/// checker uses to drive the real protocol through its own schedules. The
+/// construction is shared with [`run_with_options`], so checked state and
+/// production state cannot drift.
+pub fn build_sim(
     network: &SimNetwork,
     features: &[Feature],
     metric: Arc<dyn Metric>,
@@ -104,8 +105,7 @@ pub fn run_with_options(
     mode: SignalMode,
     link: impl Into<Box<dyn LinkModel>>,
     seed: u64,
-    options: RunOptions,
-) -> ElinkOutcome {
+) -> Simulator<ElinkNode> {
     let topo = network.topology();
     let n = topo.n();
     assert_eq!(features.len(), n, "one feature per node");
@@ -123,7 +123,32 @@ pub fn run_with_options(
             )
         })
         .collect();
-    let mut sim = Simulator::new(network.clone(), link, seed, nodes);
+    Simulator::new(network.clone(), link, seed, nodes)
+}
+
+/// The fully-general runner: [`run_with_link_arq`] plus scheduler-backend
+/// selection via [`RunOptions`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_options(
+    network: &SimNetwork,
+    features: &[Feature],
+    metric: Arc<dyn Metric>,
+    config: ElinkConfig,
+    mode: SignalMode,
+    link: impl Into<Box<dyn LinkModel>>,
+    seed: u64,
+    options: RunOptions,
+) -> ElinkOutcome {
+    let topo = network.topology();
+    let mut sim = build_sim(
+        network,
+        features,
+        Arc::clone(&metric),
+        config,
+        mode,
+        link,
+        seed,
+    );
     sim.set_scheduler(options.scheduler);
     if let Some(arq_config) = options.arq {
         sim.enable_arq(arq_config);

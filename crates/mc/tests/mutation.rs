@@ -1,0 +1,73 @@
+//! Mutation smoke test: the checker must *catch* a seeded protocol bug.
+//!
+//! The mutation hooks out the covering-radius inflation on failover
+//! adoption (`SKIP_ADOPT_RADIUS_INFLATION` in the workload crate): when a
+//! takeover successor adopts a reattached child, it silently skips growing
+//! its own M-tree covering radius to span the adopted subtree. A fault-free
+//! run never notices — the bug is only reachable through the crash-recovery
+//! path — so this is exactly the kind of defect schedule exploration exists
+//! for. The `mtree-covering` invariant must fire, with a counterexample
+//! that replays to the same violation under the production engine.
+//!
+//! Kept in its own test binary: the hook is a process-global static, and a
+//! sibling test exploring the healthy protocol in parallel would race it.
+
+use std::sync::atomic::Ordering;
+
+use elink_mc::scenarios::serving;
+use elink_mc::{FaultBudget, McConfig, Strategy};
+use elink_workload::protocol::SKIP_ADOPT_RADIUS_INFLATION;
+
+/// Clears the mutation on drop so a panicking assertion cannot leak the
+/// broken protocol into any future test added to this binary.
+struct MutationGuard;
+
+impl Drop for MutationGuard {
+    fn drop(&mut self) {
+        SKIP_ADOPT_RADIUS_INFLATION.store(false, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn checker_catches_skipped_adoption_radius_inflation() {
+    SKIP_ADOPT_RADIUS_INFLATION.store(true, Ordering::Relaxed);
+    let _guard = MutationGuard;
+
+    let mut config = McConfig::fault_free(2);
+    config.faults = FaultBudget {
+        max_crashes: 1,
+        ..FaultBudget::default()
+    };
+    config.max_depth = 512;
+    config.max_states = 4_000_000;
+    let outcome = serving::four_node().check(&config, &serving::predicates(), Strategy::Bfs);
+
+    let violation = outcome
+        .report
+        .violation
+        .as_ref()
+        .expect("the mutated protocol must violate an invariant");
+    assert_eq!(
+        violation.predicate, "mtree-covering",
+        "wrong predicate caught the mutation: {violation:?}"
+    );
+
+    // BFS counterexamples are length-minimal; the shortest path to the bug
+    // needs the crash plus the takeover/adopt exchange on top of the
+    // fault-free spine, and must reproduce under the production engine.
+    let (spec, replay) = outcome.counterexample.expect("violation compiles");
+    assert!(
+        replay.reproduced,
+        "counterexample did not reproduce: {:?} (schedule: {:#?})",
+        replay.message, spec.schedule
+    );
+    assert!(
+        !replay.trace_jsonl.is_empty(),
+        "replay must produce a JSONL trace"
+    );
+    assert!(
+        violation.path.len() >= 3,
+        "suspiciously short counterexample: {:?}",
+        violation.path
+    );
+}

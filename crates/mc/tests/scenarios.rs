@@ -1,0 +1,92 @@
+//! End-to-end checks of the concrete scenarios: the real ELink growth and
+//! workload serving protocols driven through the checker's schedules.
+
+use elink_mc::scenarios::{elink_growth, serving};
+use elink_mc::{FaultBudget, McConfig, Strategy};
+
+#[test]
+fn elink_growth_fault_free_is_exhaustive_and_clean() {
+    let config = McConfig::fault_free(2);
+    let outcome =
+        elink_growth::three_node().check(&config, &elink_growth::predicates(&[]), Strategy::Bfs);
+    let report = &outcome.report;
+    assert!(
+        report.violation.is_none(),
+        "unexpected violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhaustive(), "exploration truncated: {report:?}");
+    assert!(report.quiescent > 0, "no quiescent state reached");
+
+    // Determinism: the same exploration twice returns identical counts.
+    let again =
+        elink_growth::three_node().check(&config, &elink_growth::predicates(&[]), Strategy::Bfs);
+    assert_eq!(report.explored, again.report.explored);
+    assert_eq!(report.pruned, again.report.pruned);
+    assert_eq!(report.quiescent, again.report.quiescent);
+}
+
+#[test]
+fn elink_growth_drop_deadlocks_and_counterexample_replays() {
+    // One message loss without ARQ deadlocks the explicit-mode ack waves:
+    // the checker must find a losing schedule and the compiled
+    // counterexample must reproduce it under the production engine.
+    let mut config = McConfig::fault_free(2);
+    config.faults = FaultBudget {
+        max_drops: 1,
+        ..FaultBudget::default()
+    };
+    let outcome =
+        elink_growth::three_node().check(&config, &elink_growth::predicates(&[]), Strategy::Bfs);
+    let violation = outcome
+        .report
+        .violation
+        .as_ref()
+        .expect("a single drop must break growth");
+    let (spec, replay) = outcome.counterexample.expect("violation compiles");
+    assert!(
+        replay.reproduced,
+        "counterexample for '{}' did not reproduce: {:?} (schedule: {:#?})",
+        violation.predicate, replay.message, spec.schedule
+    );
+    assert!(
+        !replay.trace_jsonl.is_empty(),
+        "replay must produce a JSONL trace"
+    );
+}
+
+#[test]
+fn serving_fault_free_is_exhaustive_and_clean() {
+    let config = McConfig::fault_free(2);
+    let outcome = serving::four_node().check(&config, &serving::predicates(), Strategy::Bfs);
+    let report = &outcome.report;
+    assert!(
+        report.violation.is_none(),
+        "unexpected violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhaustive(), "exploration truncated: {report:?}");
+    assert!(report.quiescent > 0, "no quiescent state reached");
+}
+
+#[test]
+fn serving_survives_one_crash_exhaustively() {
+    // The recovery layer's contract: under any single crash at any point,
+    // every surviving initiator still gets a sound answer, caches stay
+    // exact, and the M-tree covering invariant holds.
+    let mut config = McConfig::fault_free(2);
+    config.faults = FaultBudget {
+        max_crashes: 1,
+        ..FaultBudget::default()
+    };
+    config.max_depth = 512;
+    config.max_states = 4_000_000;
+    let outcome = serving::four_node().check(&config, &serving::predicates(), Strategy::Dfs);
+    let report = &outcome.report;
+    assert!(
+        report.violation.is_none(),
+        "unexpected violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhaustive(), "exploration truncated: {report:?}");
+}

@@ -1,0 +1,70 @@
+//! State canonicalization for exhaustive exploration.
+//!
+//! The `elink-mc` model checker prunes its search by fingerprinting states:
+//! two states with equal fingerprints have identical future behaviour, so
+//! the second is never expanded. Soundness of that pruning rests on the
+//! canonical form capturing *everything* the protocol's future behaviour can
+//! depend on — see DESIGN.md §12 for the argument. Protocol crates implement
+//! [`Canonicalize`] for their node types; the checker combines the node
+//! strings with the canonicalized pending-event multiset
+//! ([`crate::engine::McEvent::describe`]) and hashes the result with
+//! [`fnv1a`].
+
+/// Renders the complete behavioural state of a protocol node as a canonical
+/// string.
+///
+/// Contract: if two nodes canonicalize identically, every handler invocation
+/// produces identical sends/timers/state transitions on both. Fields that
+/// cannot influence future behaviour (pure introspection counters, derived
+/// caches rebuilt on read) may be excluded — each exclusion needs a
+/// soundness note at the impl site. Floating-point fields must be rendered
+/// via bit patterns (`f64::to_bits`), never `Display`, so distinct NaNs or
+/// signed zeros cannot collide.
+pub trait Canonicalize {
+    /// Appends this value's canonical form to `out`.
+    fn canonicalize(&self, out: &mut String);
+}
+
+/// FNV-1a 64-bit hash — the checker's fingerprint function. Small, fast,
+/// dependency-free, and deterministic across platforms; collisions are
+/// possible in principle (64-bit), which bounds the "exhaustive" claim the
+/// same way it does in dslab-style checkers.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends an `f64` to a canonical string via its bit pattern.
+pub fn canon_f64(out: &mut String, x: f64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{:016x}", x.to_bits());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canon_f64_distinguishes_bitwise_unequal_values() {
+        let mut a = String::new();
+        let mut b = String::new();
+        canon_f64(&mut a, 0.0);
+        canon_f64(&mut b, -0.0);
+        assert_ne!(a, b, "signed zeros must not collide");
+        let mut c = String::new();
+        canon_f64(&mut c, 1.5);
+        assert_eq!(c.len(), 16);
+    }
+}

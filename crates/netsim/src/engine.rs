@@ -104,6 +104,7 @@ impl SimNetwork {
     }
 }
 
+#[derive(Clone)]
 enum EventKind<M> {
     Start,
     Deliver {
@@ -147,6 +148,134 @@ enum EventKind<M> {
         xfer: u32,
         scheduled: SimTime,
     },
+}
+
+/// A captured engine event: what the engine *would* have enqueued, handed
+/// to an external driver (the `elink-mc` model checker) instead. Opaque —
+/// the payload stays engine-internal so the checker cannot construct
+/// deliveries the engine itself could not produce; the only way to mint one
+/// from outside is [`McEvent::external`], which mirrors
+/// [`Simulator::inject`].
+///
+/// `time` is the *earliest* tick the event can fire (the engine's own
+/// scheduling time under the capture link); a checker may dispatch a
+/// message event later, within its delivery window.
+pub struct McEvent<M> {
+    time: SimTime,
+    node: usize,
+    kind: EventKind<M>,
+}
+
+impl<M: Clone> Clone for McEvent<M> {
+    fn clone(&self) -> Self {
+        McEvent {
+            time: self.time,
+            node: self.node,
+            kind: self.kind.clone(),
+        }
+    }
+}
+
+impl<M> McEvent<M> {
+    /// Earliest tick this event can fire.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The node the event is addressed to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Whether this is a message-class event (a logical delivery or an ARQ
+    /// data/ack copy) — the class with a flexible delivery window that a
+    /// checker may reorder, drop or duplicate.
+    pub fn is_message(&self) -> bool {
+        matches!(
+            self.kind,
+            EventKind::Deliver { .. } | EventKind::ArqData { .. } | EventKind::ArqAck { .. }
+        )
+    }
+
+    /// Whether this is a timer-class event (protocol timer or ARQ
+    /// retransmission timeout) — fires at exactly [`McEvent::time`], never
+    /// reordered against other timers and never dropped by the fault layer.
+    pub fn is_timer(&self) -> bool {
+        matches!(
+            self.kind,
+            EventKind::Timer { .. } | EventKind::ArqRetx { .. }
+        )
+    }
+
+    /// Logical origin of a message-class event (`None` for timers/boot).
+    pub fn origin(&self) -> Option<usize> {
+        match &self.kind {
+            EventKind::Deliver { from, .. } => Some(*from),
+            EventKind::ArqData { src, .. } => Some(*src),
+            _ => None,
+        }
+    }
+
+    /// The message payload, for deliveries (`None` for timers/boot/ARQ
+    /// bookkeeping). Replay harnesses clone this to re-inject duplicates.
+    pub fn message(&self) -> Option<&M> {
+        match &self.kind {
+            EventKind::Deliver { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// Builds an external-injection event: delivery of `msg` to `node` at
+    /// `time` from a fictitious source (`from = node`), exactly what
+    /// [`Simulator::inject`] enqueues. The one constructor available outside
+    /// the engine.
+    pub fn external(time: SimTime, node: usize, msg: M) -> Self {
+        McEvent {
+            time,
+            node,
+            kind: EventKind::Deliver {
+                from: node,
+                msg,
+                query: None,
+            },
+        }
+    }
+}
+
+impl<M: std::fmt::Debug> McEvent<M> {
+    /// Canonical description of the event with times expressed relative to
+    /// `origin_time`, for state fingerprinting: two pending sets that differ
+    /// only by a uniform time shift describe identically. Excludes
+    /// scheduling-order identifiers and the `Timer::scheduled` arm time
+    /// (both invisible to future protocol behaviour under a crash-free
+    /// capture link).
+    pub fn describe(&self, origin_time: SimTime) -> String {
+        let rel = self.time as i128 - origin_time as i128;
+        match &self.kind {
+            EventKind::Start => format!("start n{}", self.node),
+            EventKind::Deliver { from, msg, query } => format!(
+                "deliver n{} t{rel} from{} q{:?} {:?}",
+                self.node, from, query, msg
+            ),
+            EventKind::Timer { id, .. } => format!("timer n{} t{rel} id{id}", self.node),
+            EventKind::ArqData {
+                seq,
+                src,
+                link_from,
+                dst,
+                msg,
+                kind,
+                scalars,
+                query,
+                ..
+            } => format!(
+                "arqdata n{} t{rel} seq{seq} src{src} lf{link_from} dst{dst} k{kind} s{scalars} q{query:?} {msg:?}",
+                self.node
+            ),
+            EventKind::ArqAck { seq, .. } => format!("arqack n{} t{rel} seq{seq}", self.node),
+            EventKind::ArqRetx { seq, .. } => format!("arqretx n{} t{rel} seq{seq}", self.node),
+        }
+    }
 }
 
 /// One in-progress stop-and-wait link transfer of the ARQ sublayer,
@@ -235,10 +364,27 @@ struct Core<M> {
     network: SimNetwork,
     events_processed: u64,
     arq: Option<ArqState<M>>,
+    /// When present, [`Core::push`] appends to this buffer instead of the
+    /// event queue — the model checker's capture seam. Everything else
+    /// (billing, tracing, link decisions) runs unchanged, so a captured
+    /// dispatch is bit-for-bit the engine's own dispatch.
+    capture: Option<Vec<McEvent<M>>>,
+    /// Nodes forced dead for liveness queries regardless of the link
+    /// model. The model checker's capture link is pristine — crash state
+    /// lives in the explored path, not in link crash windows — so the
+    /// checker installs the explored state's crashed set here before each
+    /// captured dispatch; otherwise protocol-level failure detection
+    /// ([`Ctx::is_alive`]) would diverge between exploration and replay.
+    /// Empty outside the capture seam.
+    dead_override: BTreeSet<usize>,
 }
 
 impl<M> Core<M> {
     fn push(&mut self, time: SimTime, node: usize, kind: EventKind<M>) {
+        if let Some(buf) = &mut self.capture {
+            buf.push(McEvent { time, node, kind });
+            return;
+        }
         self.queue.push(time, node, kind);
     }
 
@@ -452,9 +598,10 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.core.arq.is_some()
     }
 
-    /// Whether `node` is up right now under the link model.
+    /// Whether `node` is up right now under the link model (and not forced
+    /// dead by the model checker's override).
     pub fn is_alive(&self, node: usize) -> bool {
-        self.core.link.is_alive(node, self.core.now)
+        !self.core.dead_override.contains(&node) && self.core.link.is_alive(node, self.core.now)
     }
 
     /// Sends a single-hop message to a direct neighbor. Charged as one
@@ -783,6 +930,8 @@ impl<P: Protocol> Simulator<P> {
                 network,
                 events_processed: 0,
                 arq: None,
+                capture: None,
+                dead_override: BTreeSet::new(),
             },
             started: false,
             max_events: 500_000_000,
@@ -894,6 +1043,14 @@ impl<P: Protocol> Simulator<P> {
         else {
             return false;
         };
+        self.dispatch_event(time, node, event_kind);
+        true
+    }
+
+    /// Dispatches one event exactly as [`Simulator::step`] would — the
+    /// single delivery path shared by the run loop and the model checker's
+    /// capture mode.
+    fn dispatch_event(&mut self, time: SimTime, node: usize, event_kind: EventKind<P::Msg>) {
         self.core.now = time;
         self.core.events_processed += 1;
         assert!(
@@ -939,7 +1096,7 @@ impl<P: Protocol> Simulator<P> {
                     });
                 }
             }
-            return true;
+            return;
         }
         match event_kind {
             EventKind::Start => {
@@ -975,7 +1132,7 @@ impl<P: Protocol> Simulator<P> {
                         reason: DropReason::NodeDown,
                         query: None,
                     });
-                    return true;
+                    return;
                 }
                 self.core.trace(TraceEvent::Timer { time, node, id });
                 let mut ctx = Ctx {
@@ -1021,7 +1178,7 @@ impl<P: Protocol> Simulator<P> {
                     // Relay: chain the next link transfer towards dst.
                     let Some(next) = self.core.network.routing().next_hop(node, dst) else {
                         debug_assert!(false, "relay without a route to dst");
-                        return true;
+                        return;
                     };
                     self.core
                         .arq_begin_link(seq, node, next, src, dst, msg, kind, scalars, query);
@@ -1042,7 +1199,7 @@ impl<P: Protocol> Simulator<P> {
                     if let Some(arq) = &mut self.core.arq {
                         arq.remove(xfer, seq, node);
                     }
-                    return true;
+                    return;
                 }
                 let (give_up, retry) = match &mut self.core.arq {
                     Some(arq) => {
@@ -1068,7 +1225,6 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
         }
-        true
     }
 
     /// Current simulated time.
@@ -1105,9 +1261,22 @@ impl<P: Protocol> Simulator<P> {
         std::mem::take(&mut self.core.metrics)
     }
 
-    /// Whether `node` is up at the current simulated time.
+    /// Whether `node` is up at the current simulated time (honouring the
+    /// model checker's dead-node override, see
+    /// [`Simulator::set_dead_override`]).
     pub fn is_alive(&self, node: usize) -> bool {
-        self.core.link.is_alive(node, self.core.now)
+        !self.core.dead_override.contains(&node) && self.core.link.is_alive(node, self.core.now)
+    }
+
+    /// Replaces the set of nodes forced dead for liveness queries,
+    /// irrespective of the link model. The model checker's capture link is
+    /// pristine (crash state lives in its explored path), so the checker
+    /// installs the current state's crashed set here before every captured
+    /// dispatch — keeping protocol-level failure detection identical
+    /// between exploration and counterexample replay (where crashes are
+    /// scripted into the link instead).
+    pub fn set_dead_override(&mut self, dead: impl IntoIterator<Item = usize>) {
+        self.core.dead_override = dead.into_iter().collect();
     }
 
     /// Immutable access to the protocol instances (for extracting results).
@@ -1145,6 +1314,95 @@ impl<P: Protocol> Simulator<P> {
                 query: None,
             },
         );
+    }
+
+    /// Like [`Simulator::inject`], but the delivery carries an explicit
+    /// logical sender, free of charge. Counterexample replay uses this to
+    /// re-deliver a duplicated message with its true origin — duplication is
+    /// a fault of the checker's virtual network that no [`LinkModel`] can
+    /// produce on its own.
+    pub fn inject_from(&mut self, time: SimTime, from: usize, node: usize, msg: P::Msg) {
+        assert!(time >= self.core.now, "cannot inject into the past");
+        self.core.push(
+            time,
+            node,
+            EventKind::Deliver {
+                from,
+                msg,
+                query: None,
+            },
+        );
+    }
+
+    /// Boots every node in id order under capture: each `on_start` runs
+    /// through the ordinary dispatch path, but everything the handlers
+    /// enqueue is returned to the caller instead of entering the event
+    /// queue. First half of the model checker's drive cycle; pair with
+    /// [`Simulator::capture_dispatch`].
+    ///
+    /// # Panics
+    /// Panics if the run already started — capture and the run loop cannot
+    /// share a boot.
+    pub fn capture_boot(&mut self) -> Vec<McEvent<P::Msg>> {
+        assert!(
+            !self.started && self.core.queue.is_empty(),
+            "capture_boot on an already-started simulator"
+        );
+        self.started = true;
+        self.core.capture = Some(Vec::new());
+        for node in 0..self.nodes.len() {
+            self.dispatch_event(0, node, EventKind::Start);
+        }
+        self.core.capture.take().unwrap_or_default()
+    }
+
+    /// Dispatches one captured event at tick `at` (the checker's chosen
+    /// delivery time, ≥ the event's earliest time) and returns the events
+    /// the handler enqueued. Billing, tracing and link decisions run exactly
+    /// as in [`Simulator::run_to_completion`] — this *is* the engine's
+    /// dispatch, with only the queue swapped for the returned buffer.
+    ///
+    /// The caller owns scheduling: it must not dispatch into the past
+    /// (`at ≥` the previous dispatch time) and is responsible for honouring
+    /// delivery windows and timer exactness. State between dispatches lives
+    /// in [`Simulator::nodes_mut`], which a checker may save and restore to
+    /// branch the execution — node state is the *whole* protocol state by
+    /// the determinism discipline (no RNG draws under a deterministic link
+    /// without ARQ jitter).
+    pub fn capture_dispatch(&mut self, at: SimTime, ev: &McEvent<P::Msg>) -> Vec<McEvent<P::Msg>>
+    where
+        P::Msg: Clone,
+    {
+        debug_assert!(at >= ev.time, "dispatch before the event's earliest time");
+        self.started = true;
+        self.core.capture = Some(Vec::new());
+        self.dispatch_event(at, ev.node, ev.kind.clone());
+        self.core.capture.take().unwrap_or_default()
+    }
+
+    /// Whether the link model in force is deterministic (no RNG draws), the
+    /// precondition for branching exploration over captured dispatches.
+    pub fn link_deterministic(&self) -> bool {
+        self.core.link.is_deterministic()
+    }
+
+    /// The link model's delay bound (see [`LinkModel::max_hop_delay`]).
+    pub fn max_hop_delay(&self) -> u64 {
+        self.core.link.max_hop_delay()
+    }
+
+    /// Runs at most `k` dispatches (after booting all nodes, which counts
+    /// its `n` `on_start` dispatches against `k`); returns how many ran.
+    /// Counterexample replay uses this to halt the engine mid-schedule at
+    /// the checker's violation point — `run_until` cannot split a tick, but
+    /// a dispatch count can.
+    pub fn run_events(&mut self, k: u64) -> u64 {
+        self.ensure_started();
+        let mut done = 0;
+        while done < k && self.step() {
+            done += 1;
+        }
+        done
     }
 }
 

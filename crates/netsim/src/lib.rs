@@ -76,6 +76,7 @@
 // enforces the same invariant pre-rustdoc).
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod engine;
 pub mod link;
 pub mod metrics;
@@ -84,8 +85,11 @@ pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{Ctx, Protocol, QueryId, SimNetwork, SimTime, Simulator};
-pub use link::{AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, SyncLink};
+pub use canon::{canon_f64, fnv1a, Canonicalize};
+pub use engine::{Ctx, McEvent, Protocol, QueryId, SimNetwork, SimTime, Simulator};
+pub use link::{
+    AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, ScriptedLink, SyncLink,
+};
 pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
 pub use reliable::{ArqConfig, KIND_ACK, KIND_RETX};
 pub use scheduler::{EventHandle, Scheduler, SchedulerKind};

@@ -10,6 +10,7 @@
 use crate::engine::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::VecDeque;
 
 /// Outcome of one attempted link-level transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,14 @@ pub trait LinkModel {
     fn crashed_in_window(&self, _node: usize, _after: SimTime, _upto: SimTime) -> bool {
         false
     }
+
+    /// Whether this model never consumes the engine RNG. Branching
+    /// exploration (the `elink-mc` checker) requires a deterministic link:
+    /// it re-dispatches from saved node state, and an RNG-consuming link
+    /// would make sibling branches observe different streams.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
 }
 
 /// Per-hop delay model (legacy configuration shorthand; loss-free).
@@ -92,6 +101,10 @@ impl LinkModel for SyncLink {
 
     fn hop(&self, _from: usize, _to: usize, _now: SimTime, _rng: &mut StdRng) -> HopOutcome {
         HopOutcome::Deliver { delay: 1 }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
     }
 }
 
@@ -249,6 +262,98 @@ impl LinkModel for LossyLink {
         self.crashes
             .iter()
             .any(|c| c.node == node && c.from > after && c.from <= upto)
+    }
+}
+
+/// A fully scripted link: per-directed-pair FIFO queues of hop outcomes,
+/// permanent crash points, and a configurable delay bound. The model
+/// checker's two hats in one type:
+///
+/// * **Capture mode** ([`ScriptedLink::pristine`]): empty script — every hop
+///   delivers with delay 1, but [`LinkModel::max_hop_delay`] still reports
+///   the configured bound `d`, so protocol timeouts are computed for the
+///   same delay envelope the checker explores (deliveries reordered within
+///   `[send+1, send+d]`).
+/// * **Replay mode**: a counterexample compiled into per-pair outcome queues
+///   plus crash points makes the ordinary [`crate::Simulator`] reproduce the exact
+///   schedule the checker found.
+///
+/// Unscripted hops (queue exhausted or pair absent) deliver with delay 1.
+/// Deterministic: never touches the RNG.
+#[derive(Debug, Clone)]
+pub struct ScriptedLink {
+    max_delay: u64,
+    /// Interior-mutable because [`LinkModel::hop`] takes `&self`; the engine
+    /// calls it single-threaded.
+    script: std::cell::RefCell<std::collections::BTreeMap<(usize, usize), VecDeque<HopOutcome>>>,
+    crashes: Vec<(usize, SimTime)>,
+}
+
+impl ScriptedLink {
+    /// An empty script with the given delay bound (`max_delay ≥ 1`): every
+    /// hop delivers with delay 1.
+    pub fn pristine(max_delay: u64) -> Self {
+        assert!(max_delay >= 1, "delay bound must be at least 1");
+        ScriptedLink {
+            max_delay,
+            script: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Appends the outcome of the next transmission `from → to`.
+    pub fn push_hop(&mut self, from: usize, to: usize, outcome: HopOutcome) {
+        if let HopOutcome::Deliver { delay } = outcome {
+            assert!(
+                delay >= 1 && delay <= self.max_delay,
+                "scripted delay {delay} outside [1, {}]",
+                self.max_delay
+            );
+        }
+        self.script
+            .borrow_mut()
+            .entry((from, to))
+            .or_default()
+            .push_back(outcome);
+    }
+
+    /// Crashes `node` permanently from tick `at` onwards.
+    pub fn crash(&mut self, node: usize, at: SimTime) {
+        self.crashes.push((node, at));
+    }
+}
+
+impl LinkModel for ScriptedLink {
+    fn max_hop_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    fn hop(&self, from: usize, to: usize, _now: SimTime, _rng: &mut StdRng) -> HopOutcome {
+        self.script
+            .borrow_mut()
+            .get_mut(&(from, to))
+            .and_then(|q| q.pop_front())
+            .unwrap_or(HopOutcome::Deliver { delay: 1 })
+    }
+
+    fn is_alive(&self, node: usize, time: SimTime) -> bool {
+        !self.crashes.iter().any(|&(v, at)| v == node && time >= at)
+    }
+
+    fn crashed_in_window(&self, node: usize, after: SimTime, upto: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|&(v, at)| v == node && at > after && at <= upto)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+impl From<ScriptedLink> for Box<dyn LinkModel> {
+    fn from(link: ScriptedLink) -> Self {
+        Box::new(link)
     }
 }
 

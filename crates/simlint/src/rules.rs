@@ -122,8 +122,13 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "no-hot-path-alloc",
-        summary: "Box::new/Vec::new/.clone() are banned inside `// simlint: hot` functions in protocol crates: per-message allocations dominate large-fleet runs",
+        summary: "Box::new/Vec::new/.clone()/format!/.to_string()/.to_vec()/collect::<Vec<_>>() are banned inside `// simlint: hot` functions in protocol crates: per-message allocations dominate large-fleet runs",
         check: no_hot_path_alloc,
+    },
+    Rule {
+        name: "exhaustive-message-match",
+        summary: "`_ =>` wildcard arms are banned in matches over message enums in protocol crates: a new variant must fail to compile, not be silently swallowed",
+        check: exhaustive_message_match,
     },
     Rule {
         name: "pub-doc-coverage",
@@ -438,8 +443,22 @@ fn no_hot_path_alloc(f: &SourceFile, out: &mut Vec<Finding>) {
                 "Box" | "Vec" if next == Some("::") && then == Some("new") => {
                     (format!("`{}::new`", t.text), t.line)
                 }
+                "format" if next == Some("!") => ("`format!`".to_string(), t.line),
                 "." if next == Some("clone") && then == Some("(") => {
                     ("`.clone()`".to_string(), toks[i + 1].line)
+                }
+                "." if matches!(next, Some("to_string") | Some("to_vec")) && then == Some("(") => {
+                    (format!("`.{}()`", toks[i + 1].text), toks[i + 1].line)
+                }
+                // `.collect::<Vec<_>>()`: only the Vec turbofish is flagged
+                // (collecting into a preallocated/arena-backed type is the
+                // sanctioned alternative).
+                "." if next == Some("collect")
+                    && then == Some("::")
+                    && toks.get(i + 3).map(|n| n.text == "<").unwrap_or(false)
+                    && toks.get(i + 4).map(|n| n.text == "Vec").unwrap_or(false) =>
+                {
+                    ("`.collect::<Vec<_>>()`".to_string(), toks[i + 1].line)
                 }
                 _ => continue,
             };
@@ -450,6 +469,84 @@ fn no_hot_path_alloc(f: &SourceFile, out: &mut Vec<Finding>) {
                     "{offence} inside a `// simlint: hot` function allocates per message; hoist the allocation, use inline/SoA storage, or justify with an allow comment"
                 ),
             ));
+        }
+    }
+}
+
+fn exhaustive_message_match(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !PROTOCOL_CRATES.contains(&f.krate.as_str()) {
+        return;
+    }
+    let toks = &f.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "match") || f.is_test_line(t.line) {
+            continue;
+        }
+        // Body of the match: the first top-level `{` after the scrutinee.
+        let Some((open, close)) = body_extent(toks, i + 1) else {
+            continue;
+        };
+        // A *message* match: the scrutinee or some arm *pattern* names a
+        // message enum — by repo convention every protocol message enum is
+        // `*Msg` (`ElinkMsg`, `ServeMsg`, `MaintMsg`, …). Arm bodies are
+        // excluded so a match that merely *constructs* messages does not
+        // count; pattern position is tracked lexically (true after the
+        // opening brace and each top-level `,`, false after each top-level
+        // `=>`).
+        let mut enum_name: Option<&str> = toks[i + 1..open]
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text.ends_with("Msg"))
+            .map(|t| t.text.as_str());
+        let mut wildcards: Vec<u32> = Vec::new();
+        let mut brace = 0i64;
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut in_pattern = true;
+        for k in open..close {
+            let top = brace == 1 && paren == 0 && bracket == 0;
+            match toks[k].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    // A block-bodied arm (`=> { … }`) needs no trailing
+                    // comma; its closing brace re-enters pattern position.
+                    if brace == 1 && paren == 0 && bracket == 0 && !in_pattern {
+                        in_pattern = true;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "=>" if top => in_pattern = false,
+                "," if top => in_pattern = true,
+                "_" if top
+                    && in_pattern
+                    && toks.get(k + 1).map(|n| n.text == "=>").unwrap_or(false) =>
+                {
+                    wildcards.push(toks[k].line);
+                }
+                text => {
+                    if in_pattern
+                        && enum_name.is_none()
+                        && toks[k].kind == TokenKind::Ident
+                        && text.ends_with("Msg")
+                    {
+                        enum_name = Some(text);
+                    }
+                }
+            }
+        }
+        if let Some(enum_name) = enum_name {
+            for line in wildcards {
+                out.push(f.finding(
+                    "exhaustive-message-match",
+                    line,
+                    format!(
+                        "`_ =>` wildcard in a match over message enum `{enum_name}` silently swallows future variants; list every variant (adding a variant must fail to compile here) or justify with an allow comment"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -822,7 +919,87 @@ mod tests {
         assert_eq!(report.allowed.len(), 1);
     }
 
-    // -- rule 6: pub-doc-coverage ------------------------------------------
+    #[test]
+    fn hot_function_string_and_collect_allocations_hit() {
+        let src = "// simlint: hot\nfn f(&self) {\n    let s = format!(\"{}\", self.id);\n    let t = name.to_string();\n    let w = bytes.to_vec();\n    let v = iter.collect::<Vec<_>>();\n}\n";
+        let v = violations("crates/core/src/x.rs", src);
+        let hits: Vec<u32> = v
+            .iter()
+            .filter(|(r, _)| r == "no-hot-path-alloc")
+            .map(|&(_, l)| l)
+            .collect();
+        assert_eq!(hits, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn hot_function_non_vec_collect_does_not_hit() {
+        // Collecting into a caller-provided/bounded structure is the
+        // sanctioned pattern; only the Vec turbofish allocates unboundedly.
+        let src = "// simlint: hot\nfn f(&self) {\n    let s = iter.collect::<BTreeSet<u64>>();\n    out.extend(iter);\n}\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_string_alloc_allow_comment_suppresses() {
+        let src = "// simlint: hot\nfn f(&self) {\n    let s = format!(\"n{}\", self.id); // simlint: allow(no-hot-path-alloc): error path only, executes at most once per run\n}\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    // -- rule 6: exhaustive-message-match ----------------------------------
+
+    #[test]
+    fn wildcard_arm_in_message_match_hits() {
+        let src = "fn f(&mut self, msg: ElinkMsg) {\n    match msg {\n        ElinkMsg::Grow { root } => self.grow(root),\n        _ => {}\n    }\n}\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(v, vec![("exhaustive-message-match".to_string(), 4)]);
+    }
+
+    #[test]
+    fn exhaustive_message_match_does_not_hit() {
+        let src = "fn f(&mut self, msg: ServeMsg) {\n    match msg {\n        ServeMsg::Submit { qid } => self.submit(qid),\n        ServeMsg::Down(p) => self.down(p),\n    }\n}\n";
+        assert!(violations("crates/workload/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_non_message_enum_does_not_hit() {
+        // Constructing messages in arm *bodies* does not make it a message
+        // match; only the scrutinee/pattern position counts.
+        let src = "fn f(&mut self, d: Dir) {\n    match d {\n        Dir::Up => ctx.send(peer, ElinkMsg::Grow { root: 0 }, \"k\", 1),\n        _ => {}\n    }\n}\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_wildcards_inside_message_patterns_do_not_hit() {
+        let src = "fn f(&mut self, msg: ElinkMsg) {\n    match msg {\n        ElinkMsg::Grow { root: _ } => self.grow(),\n        ElinkMsg::Ack(_) => self.ack(),\n    }\n}\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_after_block_bodied_arm_hits() {
+        // rustfmt drops the comma after `=> { … }` arms; pattern position
+        // must resume at the closing brace.
+        let src = "fn f(&mut self, msg: ElinkMsg) {\n    match msg {\n        ElinkMsg::Grow { root } => {\n            self.grow(root);\n        }\n        _ => {}\n    }\n}\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(v, vec![("exhaustive-message-match".to_string(), 6)]);
+    }
+
+    #[test]
+    fn message_match_wildcard_allow_comment_suppresses() {
+        let src = "fn f(&mut self, msg: ElinkMsg) {\n    match msg {\n        ElinkMsg::Grow { root } => self.grow(root),\n        // simlint: allow(exhaustive-message-match): relay node forwards all other variants verbatim\n        _ => self.forward(msg),\n    }\n}\n";
+        let report = check_file("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    #[test]
+    fn message_match_outside_protocol_crates_is_exempt() {
+        let src = "fn f(msg: ElinkMsg) {\n    match msg {\n        ElinkMsg::Grow { .. } => 1,\n        _ => 0,\n    };\n}\n";
+        assert!(violations("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    // -- rule 7: pub-doc-coverage ------------------------------------------
 
     #[test]
     fn undocumented_pub_items_hit() {
@@ -905,7 +1082,7 @@ mod tests {
         assert_eq!(report.allowed.len(), 1);
     }
 
-    // -- rule 7: allow-hygiene ---------------------------------------------
+    // -- rule 8: allow-hygiene ---------------------------------------------
 
     #[test]
     fn allow_without_justification_is_flagged_and_suppresses_nothing() {

@@ -251,6 +251,14 @@ impl WorkloadSim {
         &self.sim
     }
 
+    /// Tears the deployment apart and hands out the bare serving simulator
+    /// — the model checker drives it through its own schedules instead of
+    /// [`run_concurrent`](WorkloadSim::run_concurrent). The deployment
+    /// (clustering, index, plans) is already installed in the node states.
+    pub fn into_sim(self) -> Simulator<ServeNode> {
+        self.sim
+    }
+
     /// Injects one query submission at `at` (must be ≥ current time).
     pub fn inject_query(&mut self, at: SimTime, node: NodeId, qid: u64, template: u16) {
         self.sim

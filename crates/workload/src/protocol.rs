@@ -65,7 +65,7 @@ use crate::plan::{ChildEntry, NodePlan};
 use elink_core::node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 use elink_core::slack_conditions_hold;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{Ctx, Protocol, QueryId, SimTime};
+use elink_netsim::{canon_f64, Canonicalize, Ctx, Protocol, QueryId, SimTime};
 use elink_query::{cluster_decision, descend_decision, ClusterDecision, DescendDecision};
 use elink_topology::{NodeId, Topology};
 use std::collections::VecDeque;
@@ -251,7 +251,7 @@ pub struct CompletedQuery {
 }
 
 /// One single-flight M-tree descent in progress at a node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EvalState {
     /// Queries sharing this descent.
     riders: Vec<QueryId>,
@@ -292,7 +292,7 @@ impl EvalState {
 }
 
 /// Per-query echo (fan-out/convergecast) state at a cluster root.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EchoState {
     /// Backbone peer to reply to (`None` at the coordinator).
     parent: Option<NodeId>,
@@ -316,7 +316,7 @@ struct EchoState {
 }
 
 /// A query submitted here and not yet answered.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingQuery {
     template: u16,
     submitted: SimTime,
@@ -355,6 +355,7 @@ fn current_root(shared: &Shared, cluster: usize, ctx: &Ctx<'_, ServeMsg>) -> Opt
 }
 
 /// Per-node serving protocol state.
+#[derive(Clone)]
 pub struct ServeNode {
     id: NodeId,
     plan: NodePlan,
@@ -401,6 +402,16 @@ pub struct ServeNode {
     /// Queries finished at this initiator.
     completed: Vec<CompletedQuery>,
 }
+
+/// Mutation hook for the model checker's smoke test: when set, the `Adopt`
+/// handler skips M-tree covering-radius inflation on failover adoption —
+/// the seeded bug the checker must catch (an under-inflated radius lets a
+/// degraded root claim `IncludeAll`/`Exclude` coverage over members its
+/// entry no longer bounds, breaking answer soundness). Test-only; never set
+/// in production code paths.
+#[doc(hidden)]
+pub static SKIP_ADOPT_RADIUS_INFLATION: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// Node-level match predicate: strict templates (path unsafe sets) require
 /// `d < r`, range templates `d ≤ r`.
@@ -549,6 +560,18 @@ impl ServeNode {
     /// Number of cached templates at this routing node.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The cached subtree answer for `template`, if any: `(matches,
+    /// covered-node count)`.
+    pub fn cached(&self, template: u16) -> Option<&(Vec<NodeId>, u64)> {
+        self.cache.get(&template)
+    }
+
+    /// The node's live serving plan (M-tree entries, covering radius,
+    /// failover re-parenting) — read-only, for invariant checking.
+    pub fn plan(&self) -> &NodePlan {
+        &self.plan
     }
 
     /// Queries submitted here that have not completed.
@@ -1478,7 +1501,8 @@ impl Protocol for ServeNode {
                 // M-tree covering-radius inflation plus the PR-4 climb rule
                 // (epoch bump + cache eviction); as the new root the climb
                 // terminates here.
-                if required > self.plan.radius {
+                let skip = SKIP_ADOPT_RADIUS_INFLATION.load(std::sync::atomic::Ordering::Relaxed);
+                if !skip && required > self.plan.radius {
                     self.plan.radius = required;
                 }
                 self.invalidate_and_climb(ctx);
@@ -1500,6 +1524,74 @@ impl Protocol for ServeNode {
         } else {
             // Batch-window flush for a template descent at a cluster root.
             self.launch_descent(timer as u16, ctx);
+        }
+    }
+}
+
+/// Canonical state for model-checker fingerprinting.
+///
+/// Soundness: every field a handler reads to decide future behavior is
+/// rendered — the mutable plan (parent, radius, child entries), the anchor
+/// / sensed / root-feature triple and both epochs, the cache, in-flight
+/// descent and echo state, pending queries, the failover state
+/// (`dead_root`, `adopted`, `routed_parent`), the remaining script, and
+/// completed answers (predicates read them).
+///
+/// Deliberately excluded: `id`, `shared`, and `nodes` — all fixed at
+/// construction and identical across every state of one exploration.
+/// Floats are rendered as IEEE bit patterns ([`canon_f64`]), never via
+/// `Display`, so distinct values can never collide.
+impl Canonicalize for ServeNode {
+    fn canonicalize(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for &w in self.anchor.components() {
+            canon_f64(out, w);
+        }
+        out.push(';');
+        for &w in self.feature.components() {
+            canon_f64(out, w);
+        }
+        out.push(';');
+        for &w in self.root_feature.components() {
+            canon_f64(out, w);
+        }
+        let _ = write!(out, "|e{}i{}", self.anchor_epoch, self.inval_epoch);
+        let _ = write!(out, "|pl:p{:?}r", self.plan.parent);
+        canon_f64(out, self.plan.radius);
+        for e in &self.plan.entries {
+            let _ = write!(out, "[c{}f", e.child);
+            for &w in e.feature.components() {
+                canon_f64(out, w);
+            }
+            out.push('r');
+            canon_f64(out, e.radius);
+            let _ = write!(out, "s{:?}]", e.subtree);
+        }
+        out.push_str("|ca:");
+        for (t, (m, cov)) in self.cache.iter() {
+            let _ = write!(out, "[{t}:{m:?}:{cov}]");
+        }
+        out.push_str("|ev:");
+        for (t, e) in self.evals.iter() {
+            let _ = write!(out, "[{t}:{e:?}]");
+        }
+        out.push_str("|ec:");
+        for (q, e) in self.echo.iter() {
+            let _ = write!(out, "[{q}:{e:?}]");
+        }
+        out.push_str("|pq:");
+        for (q, p) in self.pending.iter() {
+            let _ = write!(out, "[{q}:{p:?}]");
+        }
+        let _ = write!(out, "|dr{:?}rp{}", self.dead_root, self.routed_parent as u8);
+        out.push_str("|ad:");
+        for h in self.adopted.iter() {
+            let _ = write!(out, "{},", h.index());
+        }
+        let _ = write!(out, "|sc{:?}", self.script);
+        out.push_str("|cq:");
+        for c in &self.completed {
+            let _ = write!(out, "{c:?}");
         }
     }
 }
