@@ -12,8 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== simlint (determinism & protocol-purity invariants)"
 cargo run -q -p simlint -- check
 
-echo "== cargo doc (deny warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "== cargo doc (deny warnings + broken intra-doc links)"
+RUSTDOCFLAGS="-D warnings -D rustdoc::broken_intra_doc_links" cargo doc --workspace --no-deps --quiet
 
 echo "== cargo test"
 cargo test -q --workspace
@@ -45,6 +45,9 @@ run_bench_bin workload_report --check --out target/BENCH_workload.json
 
 echo "== chaos_report --check (fault-campaign soundness + determinism smoke)"
 run_bench_bin chaos_report --check --out target/BENCH_chaos.json
+
+echo "== contention_report --check (queueing-knee + flow-model determinism smoke)"
+run_bench_bin contention_report --check --out target/BENCH_contention.json
 
 echo "== scale_report --check (scheduler-differential scaling smoke)"
 run_bench_bin scale_report --check --out target/BENCH_scale.json

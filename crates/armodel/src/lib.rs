@@ -21,8 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod ar;
+/// AR(p)/ARMA model representation and one-step prediction.
 pub mod arma;
+/// Recursive least-squares coefficient fitting.
 pub mod rls;
+/// TAO-style periodic signal generators for model-fit tests.
 pub mod tao;
 
 pub use ar::ArModel;

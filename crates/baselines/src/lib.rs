@@ -24,10 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod centralized;
+/// Centralized agglomerative hierarchical clustering baseline.
 pub mod hierarchical;
+/// Centralized k-medoids (PAM) baseline.
 pub mod kmedoids;
+/// Exact optimal clusterings for tiny instances (brute force).
 pub mod optimal;
+/// Analytic spanning-forest clustering baseline.
 pub mod spanning_forest;
+/// Message-passing spanning-forest protocol baseline.
 pub mod spanning_forest_protocol;
 
 pub use centralized::{CentralizedClustering, CentralizedUpdateSim};

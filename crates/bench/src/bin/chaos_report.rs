@@ -29,26 +29,31 @@ fn grid() -> Vec<FaultSpec> {
             drop_milli: 0,
             crash_milli: 0,
             partition: None,
+            capacity: None,
         },
         FaultSpec {
             drop_milli: 250,
             crash_milli: 0,
             partition: None,
+            capacity: None,
         },
         FaultSpec {
             drop_milli: 0,
             crash_milli: 150,
             partition: None,
+            capacity: None,
         },
         FaultSpec {
             drop_milli: 250,
             crash_milli: 150,
             partition: None,
+            capacity: None,
         },
         FaultSpec {
             drop_milli: 100,
             crash_milli: 0,
             partition: Some((400, 900)),
+            capacity: None,
         },
     ]
 }

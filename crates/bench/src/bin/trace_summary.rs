@@ -16,10 +16,14 @@ use elink_netsim::{Ctx, JsonlTrace, LossyLink, Protocol, SimNetwork, Simulator};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-/// Per-node event tallies extracted from a trace.
+/// Per-node event tallies extracted from a trace. `sends` counts first
+/// transmissions only; ARQ retransmissions (send lines carrying the
+/// `retx` marker) land in `retx` so reliability overhead never inflates a
+/// node's apparent protocol traffic.
 #[derive(Default, Clone, Copy)]
 struct NodeRow {
     sends: u64,
+    retx: u64,
     delivers: u64,
     drops: u64,
     timers: u64,
@@ -60,10 +64,18 @@ struct QueryRow {
 }
 
 /// Tallies `qid`-tagged events per query, tracking the event-time span.
-fn summarize_queries(text: &str) -> BTreeMap<u64, QueryRow> {
+/// Retransmission sends *without* a `qid` (ARQ copies whose attribution
+/// was lost) are folded into the second return value rather than silently
+/// dropped — rendered as an explicit `retx` row so contention-induced
+/// retries stay visible in the per-query breakdown.
+fn summarize_queries(text: &str) -> (BTreeMap<u64, QueryRow>, u64) {
     let mut rows: BTreeMap<u64, QueryRow> = BTreeMap::new();
+    let mut untagged_retx = 0u64;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let Some(qid) = field_u64(line, "qid") else {
+            if field_str(line, "ev") == Some("send") && field_u64(line, "retx") == Some(1) {
+                untagged_retx += 1;
+            }
             continue;
         };
         let row = rows.entry(qid).or_insert(QueryRow {
@@ -87,11 +99,11 @@ fn summarize_queries(text: &str) -> BTreeMap<u64, QueryRow> {
             row.last_t = row.last_t.max(t);
         }
     }
-    rows
+    (rows, untagged_retx)
 }
 
-fn render_queries(rows: &BTreeMap<u64, QueryRow>) {
-    if rows.is_empty() {
+fn render_queries(rows: &BTreeMap<u64, QueryRow>, untagged_retx: u64) {
+    if rows.is_empty() && untagged_retx == 0 {
         return;
     }
     println!();
@@ -108,6 +120,14 @@ fn render_queries(rows: &BTreeMap<u64, QueryRow>) {
         println!(
             "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
             qid, r.sends, r.retx, r.delivers, r.drops, span
+        );
+    }
+    if untagged_retx > 0 {
+        // Retransmissions whose query attribution was lost: an explicit
+        // row, never folded into any query's (or any kind's) sends.
+        println!(
+            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
+            "retx", 0, untagged_retx, 0, 0, 0
         );
     }
     eprintln!("{} tagged queries", rows.len());
@@ -130,7 +150,14 @@ fn summarize(text: &str) -> (Vec<NodeRow>, u64, u64) {
         let ev = field_str(line, "ev");
         let ok = match ev {
             Some("send") => field_u64(line, "from")
-                .map(|f| at(&mut rows, f).sends += 1)
+                .map(|f| {
+                    let row = at(&mut rows, f);
+                    if field_u64(line, "retx") == Some(1) {
+                        row.retx += 1;
+                    } else {
+                        row.sends += 1;
+                    }
+                })
                 .is_some(),
             Some("deliver") => field_u64(line, "to")
                 .map(|t| at(&mut rows, t).delivers += 1)
@@ -152,26 +179,27 @@ fn summarize(text: &str) -> (Vec<NodeRow>, u64, u64) {
 
 fn render(rows: &[NodeRow], total: u64, bad: u64) {
     println!(
-        "{:>5} {:>8} {:>10} {:>7} {:>7}",
-        "node", "sends", "delivers", "drops", "timers"
+        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
+        "node", "sends", "retx", "delivers", "drops", "timers"
     );
     let mut sum = NodeRow::default();
     for (node, r) in rows.iter().enumerate() {
-        if r.sends + r.delivers + r.drops + r.timers == 0 {
+        if r.sends + r.retx + r.delivers + r.drops + r.timers == 0 {
             continue;
         }
         println!(
-            "{:>5} {:>8} {:>10} {:>7} {:>7}",
-            node, r.sends, r.delivers, r.drops, r.timers
+            "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
+            node, r.sends, r.retx, r.delivers, r.drops, r.timers
         );
         sum.sends += r.sends;
+        sum.retx += r.retx;
         sum.delivers += r.delivers;
         sum.drops += r.drops;
         sum.timers += r.timers;
     }
     println!(
-        "{:>5} {:>8} {:>10} {:>7} {:>7}",
-        "total", sum.sends, sum.delivers, sum.drops, sum.timers
+        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
+        "total", sum.sends, sum.retx, sum.delivers, sum.drops, sum.timers
     );
     eprintln!("{total} events ({bad} unparseable)");
 }
@@ -233,7 +261,8 @@ fn main() {
     };
     let (rows, total, bad) = summarize(&text);
     render(&rows, total, bad);
-    render_queries(&summarize_queries(&text));
+    let (qrows, untagged_retx) = summarize_queries(&text);
+    render_queries(&qrows, untagged_retx);
 }
 
 #[cfg(test)]
@@ -252,12 +281,13 @@ mod tests {
         "{\"t\":6,\"ev\":\"send\",\"from\":1,\"to\":2,\"qid\":9}\n",
         "{\"t\":8,\"ev\":\"deliver\",\"from\":1,\"to\":2,\"qid\":9}\n",
         "{\"t\":9,\"ev\":\"send\",\"from\":2,\"to\":3}\n",
+        "{\"t\":11,\"ev\":\"send\",\"from\":2,\"to\":3,\"retx\":1}\n",
         "{\"t\":10,\"ev\":\"timer\",\"node\":2}\n",
     );
 
     #[test]
     fn per_query_rows_split_first_sends_from_retransmissions() {
-        let rows = summarize_queries(SYNTHETIC);
+        let (rows, untagged_retx) = summarize_queries(SYNTHETIC);
         assert_eq!(rows.len(), 2, "untagged lines must not create rows");
         let q7 = &rows[&7];
         assert_eq!(q7.sends, 1, "retransmission counted as a first send");
@@ -267,18 +297,25 @@ mod tests {
         assert_eq!((q7.first_t, q7.last_t), (0, 6));
         let q9 = &rows[&9];
         assert_eq!((q9.sends, q9.retx, q9.delivers, q9.drops), (1, 0, 1, 0));
+        // The qid-less retransmission is not lost: it lands in the
+        // explicit untagged-retx tally, not under any query or kind.
+        assert_eq!(untagged_retx, 1);
     }
 
     #[test]
-    fn node_tallies_ignore_qid_and_retx_markers() {
+    fn node_tallies_split_retransmissions_from_first_sends() {
         let (rows, total, bad) = summarize(SYNTHETIC);
-        assert_eq!(total, 8);
+        assert_eq!(total, 9);
         assert_eq!(bad, 0);
-        // Node 0: the first attempt and the retransmission are both wire
-        // sends, plus the drop.
-        assert_eq!(rows[0].sends, 2);
+        // Node 0: one first attempt, one retransmission, one drop — the
+        // retransmission must not inflate `sends`.
+        assert_eq!(rows[0].sends, 1);
+        assert_eq!(rows[0].retx, 1);
         assert_eq!(rows[0].drops, 1);
         assert_eq!(rows[1].delivers, 1);
+        // Node 2: one untagged first send, one untagged retransmission.
+        assert_eq!(rows[2].sends, 1);
+        assert_eq!(rows[2].retx, 1);
         assert_eq!(rows[2].timers, 1);
     }
 }

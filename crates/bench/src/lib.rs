@@ -23,10 +23,19 @@
 //! paper's O(N) claim, plus wall-clock for both scheduler backends (the
 //! calendar-queue speedup scoreboard).
 //!
+//! The [`contention`] module backs `contention_report`, the offered-load ×
+//! capacity sweep behind `BENCH_contention.json`: the 1k-node serving
+//! benchmark over a contention-aware `FairShareLink`, showing the queueing
+//! knee (p99 superlinear past saturation).
+//!
 //! This crate is deliberately outside simlint's protocol-crate set: it is
 //! the one place in the workspace allowed to measure host wall-clock.
 
 #![warn(missing_docs)]
 
+/// The offered-load × capacity contention sweep behind `BENCH_contention.json`.
+pub mod contention;
+/// Quick experiment presets behind `BENCH_elink.json` and `trace_summary`.
 pub mod report;
+/// The 1k→64k fleet-size scaling bench behind `BENCH_scale.json`.
 pub mod scale;

@@ -1,15 +1,15 @@
 //! Machine-readable benchmark reports: the data behind `BENCH_elink.json`.
 //!
-//! [`run_benches`] executes quick presets of the paper experiments
+//! [`run_benches`](crate::report::run_benches) executes quick presets of the paper experiments
 //! (fig08/fig09/fig11) plus a substrate microbench, each returning a
-//! [`BenchResult`] with wall-clock, simulated time, message totals and the
+//! [`BenchResult`](crate::report::BenchResult) with wall-clock, simulated time, message totals and the
 //! per-phase breakdown from the [`elink_netsim::metrics`] registry.
 //!
 //! Two JSON views exist on purpose:
 //!
-//! * [`report_json`] — the full report written to `BENCH_elink.json`,
+//! * [`report_json`](crate::report::report_json) — the full report written to `BENCH_elink.json`,
 //!   including `wall_ms`;
-//! * [`deterministic_json`] — the same report with every wall-clock field
+//! * [`deterministic_json`](crate::report::deterministic_json) — the same report with every wall-clock field
 //!   removed. Same-seed runs must produce **byte-identical** deterministic
 //!   views (`bench_report --check` and a unit test both enforce this);
 //!   wall-clock is reported for trend tracking but never part of the

@@ -6,7 +6,7 @@
 //! and doubles as the scheduler-refactor scoreboard:
 //!
 //! * every size runs the identical workload under **both**
-//!   [`SchedulerKind`]s; the run digests (per-kind `CostBook`, per-node
+//!   [`SchedulerKind`](elink_netsim::SchedulerKind)s; the run digests (per-kind `CostBook`, per-node
 //!   tallies, assignments, quiescence time) must be byte-identical, which
 //!   is the determinism contract of the calendar-queue refactor;
 //! * `wall_ms` is recorded per backend, so the report itself carries the

@@ -37,12 +37,19 @@
 #![warn(missing_docs)]
 
 pub mod clustering;
+/// ELink protocol parameters (δ, switching budget, thresholds).
 pub mod config;
+/// Analytic §6 maintenance cost model (updates, slack rule).
 pub mod maintenance;
+/// Message-passing maintenance layer (updates, re-anchoring, failover).
 pub mod maintenance_protocol;
+/// Per-node neighbor/cluster bookkeeping tables.
 pub mod node_table;
+/// The ELink growth protocol (§4–§5): expand, merge, switch waves.
 pub mod protocol;
+/// Static quadtree leadership metadata shared by all nodes.
 pub mod quadinfo;
+/// One-call drivers that wire nodes, network and simulator together.
 pub mod runner;
 
 pub use clustering::{validate_delta_clustering, ClusterInfo, Clustering, ValidationError};

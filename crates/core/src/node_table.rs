@@ -10,7 +10,8 @@
 //! This module provides the memory-lean replacements used across `core`,
 //! `workload` and `baselines`:
 //!
-//! * [`NodeTable`] — the explicit registry mapping public [`NodeId`]s to
+//! * [`NodeTable`] — the explicit registry mapping public
+//!   [`NodeId`](elink_topology::NodeId)s to
 //!   dense [`NodeHandle`]s (`u32`). Node ids in this codebase are already
 //!   dense `0..n`, so the mapping is a checked cast; the registry makes the
 //!   narrowing explicit, owns the `n ≤ u32::MAX` invariant, and gives

@@ -1,0 +1,5 @@
+//! Regenerates the load × capacity contention table; writes
+//! results/ext_contention.csv.
+fn main() {
+    elink_experiments::common::emit(&elink_experiments::ext_contention::run(Default::default()));
+}

@@ -27,30 +27,52 @@
 //! | `ext_failure` | node-failure robustness during maintenance (§1) |
 //! | `ext_workload` | serving-layer SLOs vs template skew (concurrent queries) |
 //! | `ext_chaos` | seeded fault campaign: drop × crash × partition grid |
+//! | `ext_contention` | load × capacity sweep over the contention-aware link |
 
 // Every public item must carry a doc comment (simlint pub-doc-coverage
 // enforces the same invariant pre-rustdoc).
 #![warn(missing_docs)]
 
 pub mod common;
+/// CSV reading/writing for the results directory.
 pub mod csv_io;
+/// Ext — switching budget c and threshold φ ablations.
 pub mod ext_ablation;
+/// Ext — seeded fault campaign over the serving layer.
 pub mod ext_chaos;
+/// Ext — offered-load × capacity sweep over the contention-aware link.
+pub mod ext_contention;
+/// Ext — node-failure robustness during maintenance.
 pub mod ext_failure;
+/// Ext — distributed k-medoids communication argument (§9).
 pub mod ext_kmedoids;
+/// Ext — path-query cost (deferred to \[21\] in the paper).
 pub mod ext_path;
+/// Ext — representative sampling: acquisition saving vs error.
 pub mod ext_repr;
+/// Ext — greedy geographic routing stretch (the §4 γ band).
 pub mod ext_stretch;
+/// Ext — Theorem 2/3 growth empirics.
 pub mod ext_theory;
+/// Ext — serving-layer SLOs vs template skew.
 pub mod ext_workload;
+/// Fig. 8 — clustering quality vs δ, Tao data.
 pub mod fig08;
+/// Fig. 9 — clustering quality vs δ, Death Valley terrain.
 pub mod fig09;
+/// Fig. 10 — update cost vs slack (ELink vs centralized).
 pub mod fig10;
+/// Fig. 11 — clustering quality vs slack.
 pub mod fig11;
+/// Fig. 12 — cumulative message cost over time, Tao stream.
 pub mod fig12;
+/// Fig. 13 — clustering cost vs network size, synthetic.
 pub mod fig13;
+/// Fig. 14 — range-query cost vs radius, Tao.
 pub mod fig14;
+/// Fig. 15 — range-query cost vs radius, synthetic.
 pub mod fig15;
+/// Minimal SVG plotting for the results directory.
 pub mod svg;
 
 pub use common::{Scenario, ScenarioBuilder, Table};
@@ -76,5 +98,6 @@ pub fn run_all() -> Vec<Table> {
         ext_failure::run(Default::default()),
         ext_workload::run(Default::default()),
         ext_chaos::run(Default::default()),
+        ext_contention::run(Default::default()),
     ]
 }

@@ -19,11 +19,17 @@
 #![warn(missing_docs)]
 
 pub mod cholesky;
+/// Symmetric eigensolvers (Jacobi, Lanczos).
 pub mod eigen;
+/// Seeded k-means over embedded points.
 pub mod kmeans;
+/// LU decomposition and linear solves.
 pub mod lu;
+/// Dense row-major matrix type.
 pub mod matrix;
+/// Compressed sparse-row matrices.
 pub mod sparse;
+/// Small vector helpers (dot, norm, axpy).
 pub mod vecops;
 
 pub use cholesky::cholesky_solve;

@@ -31,9 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+/// Safety/liveness predicates evaluated at every explored state.
 pub mod predicates;
+/// Counterexample replay: re-drives a recorded schedule through the engine.
 pub mod replay;
+/// Canned model-checking scenarios (protocol + topology + predicate sets).
 pub mod scenarios;
+/// The explorable system: capture seam over the real protocol handlers.
 pub mod system;
 
 pub use explore::{explore, ExploreReport, Strategy, ViolationReport};

@@ -1,27 +1,27 @@
 //! Counterexample compilation: a checker path becomes a concrete run of the
-//! normal [`Simulator`].
+//! normal [`Simulator`](elink_netsim::Simulator).
 //!
 //! The explorer's [`ViolationReport`](crate::ViolationReport) is a sequence
 //! of abstract transitions. [`compile`] re-executes that path against a
 //! fresh [`McSystem`] with fate logging on, and turns what happened into:
 //!
-//! * a [`ScriptedLink`] script — per-hop outcomes, in the exact order the
+//! * a [`ScriptedLink`](elink_netsim::ScriptedLink) script — per-hop outcomes, in the exact order the
 //!   engine will consume them (handler execution order × send order ×
 //!   route order), with the slack that realizes each delivery time pushed
-//!   onto the *last* hop, and a first-hop [`HopOutcome::Drop`] for every
+//!   onto the *last* hop, and a first-hop [`HopOutcome::Drop`](elink_netsim::HopOutcome::Drop) for every
 //!   message the schedule lost (fault drop, crash purge, or still in
 //!   flight at the violation — the engine never observes the difference in
 //!   node state);
 //! * crash windows (`ScriptedLink::crash`) for the checker's crash faults;
 //! * the pre-run injections (external stimuli and duplicate copies, in
 //!   engine pop order);
-//! * an event-count cutoff `k` for [`Simulator::run_events`] — `run_until`
+//! * an event-count cutoff `k` for [`Simulator::run_events`](elink_netsim::Simulator::run_events) — `run_until`
 //!   cannot split a tick, but the violation may sit mid-tick, so the replay
 //!   counts queue pops instead: boot starts, every dispatched event, and
 //!   every dead-node drop the crash windows will cause before the final
 //!   step.
 //!
-//! [`replay`] then builds a simulator over that script, runs exactly `k`
+//! [`replay`](crate::replay::replay) then builds a simulator over that script, runs exactly `k`
 //! events, and re-evaluates the violated predicate on the resulting node
 //! states — `reproduced == true` is the contract that the abstract
 //! counterexample is a real execution.

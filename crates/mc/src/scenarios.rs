@@ -4,14 +4,14 @@
 //!
 //! The one invariant a scenario must keep is that `build` is a pure
 //! function of the link it is handed: the exploration runs over a pristine
-//! [`ScriptedLink`] (all-ones delays) with the scenario's `delay_bound`,
+//! [`ScriptedLink`](elink_netsim::ScriptedLink) (all-ones delays) with the scenario's `delay_bound`,
 //! and the replay runs over the compiled script — everything else
 //! (topology, seed, protocol parameters) must be identical, or the replay
 //! contract is void. Protocol timeouts computed from
 //! `Ctx::max_hop_delay` see `delay_bound`, exactly as explored.
 //!
 //! Concrete scenario constructors for the elink growth protocol and the
-//! workload serving stack live in [`elink_growth`] and [`serving`].
+//! workload serving stack live in [`elink_growth`](crate::scenarios::elink_growth) and [`serving`](crate::scenarios::serving).
 
 use std::fmt::Debug;
 

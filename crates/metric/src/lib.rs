@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+/// Dense pairwise distance matrices over feature sets.
 pub mod distance_matrix;
+/// The `Feature` value type (scalar/vector signals).
 pub mod feature;
 
 pub use axioms::{check_metric_axioms, MetricViolation};

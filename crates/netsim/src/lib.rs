@@ -40,6 +40,15 @@
 //!   (drop probability, scheduled node crash/recover windows, partition
 //!   masks) — all seeded and deterministic. The legacy [`DelayModel`] enum
 //!   remains as config shorthand and converts `Into<Box<dyn LinkModel>>`.
+//! * [`flow`] is the contention-aware fourth model: [`FairShareLink`]
+//!   gives each directed link an integer capacity shared max-min-fairly
+//!   across in-flight transfers. A link advertising
+//!   [`link::FlowParams`] switches the engine from per-message `hop()`
+//!   pricing to a [`FlowTable`] of tentative-completion events —
+//!   messages queue behind each other, [`Ctx::max_delivery_delay`]
+//!   stretches with the backlog, and `net.queued_ms` /
+//!   [`Simulator::link_utilization`] expose the congestion. See
+//!   `docs/SUBSTRATE.md` for the substrate contract.
 //! * [`stats`] is the unified accounting layer. [`CostBook`] records §8.2
 //!   per-kind costs ("a message can transmit a single coefficient or a data
 //!   value": `scalars × hops`, at least 1 per hop) plus per-node tx/rx
@@ -77,18 +86,29 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+/// Event queue, dispatch loop and the `Ctx` protocol handle.
 pub mod engine;
+/// Flow-level contention model: fair-shared link capacity (`FairShareLink`).
+pub mod flow;
+/// Per-hop link models: sync, bounded-async, lossy, scripted.
 pub mod link;
+/// Deterministic counters, gauges, histograms and phase spans.
 pub mod metrics;
+/// ARQ sublayer configuration and retransmission timing policy.
 pub mod reliable;
+/// Event schedulers: binary heap and calendar queue.
 pub mod scheduler;
+/// Unified cost accounting (`CostBook`): per-kind and per-node bills.
 pub mod stats;
+/// Optional event-stream observers (ring buffer, counting, JSONL).
 pub mod trace;
 
 pub use canon::{canon_f64, fnv1a, Canonicalize};
 pub use engine::{Ctx, McEvent, Protocol, QueryId, SimNetwork, SimTime, Simulator};
+pub use flow::{FairShareLink, FlowTable, LinkUtil};
 pub use link::{
-    AsyncUniformLink, DelayModel, HopOutcome, LinkModel, LossyLink, ScriptedLink, SyncLink,
+    AsyncUniformLink, DelayModel, FlowParams, HopOutcome, LinkModel, LossyLink, ScriptedLink,
+    SyncLink,
 };
 pub use metrics::{Histogram, Metrics, PhaseGuard, PhaseStats};
 pub use reliable::{ArqConfig, KIND_ACK, KIND_RETX};

@@ -24,6 +24,19 @@ pub enum HopOutcome {
     Drop,
 }
 
+/// Parameters a flow-model link advertises to the engine (see
+/// [`LinkModel::flow_params`] and [`crate::FairShareLink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowParams {
+    /// Per-directed-link capacity in **milli-scalars per tick** (≥ 1): a
+    /// message of `s` payload scalars carries `max(1, s) × 1000`
+    /// milli-scalars of service demand.
+    pub capacity_milli: u64,
+    /// Fixed propagation tail (ticks) added after a transfer's service
+    /// completes.
+    pub base_delay: u64,
+}
+
 /// Per-hop behaviour of the network: latency, loss, and node liveness.
 ///
 /// Implementations must be deterministic given the RNG stream: the engine
@@ -61,6 +74,16 @@ pub trait LinkModel {
     fn is_deterministic(&self) -> bool {
         false
     }
+
+    /// `Some` iff this is a flow-level (capacity-sharing) model. When a
+    /// link advertises flow parameters, the engine stops calling
+    /// [`LinkModel::hop`] and instead prices every transmission through
+    /// its [`FlowTable`](crate::FlowTable) — messages share the link's
+    /// capacity and queue behind each other. Per-message models keep the
+    /// default `None`.
+    fn flow_params(&self) -> Option<FlowParams> {
+        None
+    }
 }
 
 /// Per-hop delay model (legacy configuration shorthand; loss-free).
@@ -91,6 +114,19 @@ impl DelayModel {
 
 /// Synchronous loss-free links: every hop takes exactly one tick (§4's
 /// "worst-case delay over a hop is a single time unit").
+///
+/// # Examples
+///
+/// ```
+/// use elink_netsim::{HopOutcome, LinkModel, SyncLink};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // Every hop delivers after exactly one tick, for every pair and time.
+/// assert_eq!(SyncLink.hop(3, 7, 42, &mut rng), HopOutcome::Deliver { delay: 1 });
+/// assert_eq!(SyncLink.max_hop_delay(), 1);
+/// assert!(SyncLink.is_deterministic());
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SyncLink;
 
@@ -110,6 +146,25 @@ impl LinkModel for SyncLink {
 
 /// Asynchronous loss-free links: uniform random per-hop delay in
 /// `[min, max]` ticks (§5's bounded asynchronous setting).
+///
+/// # Examples
+///
+/// ```
+/// use elink_netsim::{AsyncUniformLink, HopOutcome, LinkModel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let link = AsyncUniformLink::new(2, 7);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // Each hop draws a delay from the seeded RNG, always within bounds.
+/// match link.hop(0, 1, 0, &mut rng) {
+///     HopOutcome::Deliver { delay } => assert!((2..=7).contains(&delay)),
+///     HopOutcome::Drop => unreachable!("loss-free model never drops"),
+/// }
+/// assert_eq!(link.max_hop_delay(), 7);
+/// // With min == max the draw is degenerate: a fixed-delay network.
+/// let fixed = AsyncUniformLink::new(3, 3);
+/// assert_eq!(fixed.hop(0, 1, 0, &mut rng), HopOutcome::Deliver { delay: 3 });
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AsyncUniformLink {
     /// Minimum hop delay (≥ 1).
@@ -161,6 +216,23 @@ struct Partition {
 /// Lossy/faulty links: bounded uniform delays plus independent per-hop drop
 /// probability, scheduled node crashes, and an optional partition window.
 /// All randomness comes from the engine's seeded RNG.
+///
+/// # Examples
+///
+/// ```
+/// use elink_netsim::{LinkModel, LossyLink};
+///
+/// // Delays in [1, 4], 20% independent loss, node 5 down during [10, 20).
+/// let link = LossyLink::new(1, 4)
+///     .with_drop_prob(0.2)
+///     .with_crash(5, 10, Some(20));
+/// assert_eq!(link.max_hop_delay(), 4);
+/// assert!(link.is_alive(5, 9));
+/// assert!(!link.is_alive(5, 15));   // down during the window
+/// assert!(link.is_alive(5, 20));    // recovered (exclusive end)
+/// // State armed before the outage is invalidated by it:
+/// assert!(link.crashed_in_window(5, 0, 15));
+/// ```
 #[derive(Debug, Clone)]
 pub struct LossyLink {
     delay_min: u64,

@@ -24,9 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod backbone;
+/// The distributed M-tree index over cluster anchors.
 pub mod mtree;
+/// Path (safe-corridor) query evaluation.
 pub mod path;
+/// Range query evaluation over the index.
 pub mod range;
+/// Query identifiers and attribution tags.
 pub mod tag;
 
 pub use backbone::Backbone;

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+/// The lint rules and the per-file check driver.
 pub mod rules;
 
 use std::fs;

@@ -132,7 +132,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "pub-doc-coverage",
-        summary: "every pub fn/struct/enum/trait/type/const/static in library code needs a doc comment",
+        summary: "every pub fn/struct/enum/trait/type/mod/const/static in library code needs a doc comment",
         check: pub_doc_coverage,
     },
     Rule {
@@ -623,7 +623,7 @@ fn pub_doc_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
                 let Some(item) = toks.get(j) else { continue };
                 if !matches!(
                     item.text.as_str(),
-                    "fn" | "struct" | "enum" | "trait" | "type"
+                    "fn" | "struct" | "enum" | "trait" | "type" | "mod"
                 ) {
                     continue;
                 }
@@ -1065,6 +1065,20 @@ mod tests {
             .map(|f| f.message.as_str())
             .collect();
         assert_eq!(msgs, vec!["public fn `f` has no doc comment"]);
+    }
+
+    #[test]
+    fn undocumented_pub_mod_hits_and_documented_does_not() {
+        let src =
+            "pub mod flow;\n/// Docs.\npub mod link;\nmod private;\npub(crate) mod internal;\n";
+        let report = check_file("crates/metric/src/x.rs", src);
+        let msgs: Vec<&str> = report
+            .violations
+            .iter()
+            .filter(|f| f.rule == "pub-doc-coverage")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(msgs, vec!["public mod `flow` has no doc comment"]);
     }
 
     #[test]

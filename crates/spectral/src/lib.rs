@@ -25,6 +25,10 @@
 //! whole smallest-k search and across δ values — this is what makes the
 //! Fig 9 sweep (2500 nodes × 5 seeds × several δ) tractable.
 
+// Every public item must carry a doc comment (simlint pub-doc-coverage
+// enforces the same invariant pre-rustdoc).
+#![warn(missing_docs)]
+
 use elink_linalg::{jacobi_eigen, kmeans, top_eigenvectors, Matrix, SymCsr};
 use elink_metric::{Feature, Metric};
 use elink_topology::Topology;

@@ -10,9 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod georoute;
+/// Adjacency-list communication graph and BFS routing.
 pub mod graph;
+/// 2-D points and distance helpers.
 pub mod point;
+/// Recursive spatial quadtree decomposition (§4.1).
 pub mod quadtree;
+/// Topology constructors: grids, random disks, synthetic deployments.
 pub mod topo;
 
 pub use georoute::{greedy_route, measure_stretch, GreedyRoute, StretchStats};

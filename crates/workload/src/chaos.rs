@@ -22,7 +22,7 @@
 use crate::engine::{expected_matches, ServeOptions, WorkloadSim};
 use crate::gen::WorkloadSpec;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{ArqConfig, LossyLink, SimTime};
+use elink_netsim::{ArqConfig, FairShareLink, LinkModel, LossyLink, SimTime};
 use elink_topology::{NodeId, Topology};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -41,6 +41,11 @@ pub struct FaultSpec {
     pub crash_milli: u64,
     /// Optional half/half network partition window `[from, until)`.
     pub partition: Option<(SimTime, SimTime)>,
+    /// Optional per-link capacity (scalars per tick). `Some(c)` swaps the
+    /// `LossyLink` for a contention-aware [`FairShareLink`] — a *load*
+    /// cell rather than a *loss* cell, so the other fault knobs must stay
+    /// zero (the flow model has no drop/crash/partition machinery).
+    pub capacity: Option<u64>,
 }
 
 impl FaultSpec {
@@ -61,7 +66,16 @@ impl FaultSpec {
         picked.into_iter().collect()
     }
 
-    fn link(&self, n: usize) -> LossyLink {
+    fn link(&self, n: usize) -> Box<dyn LinkModel> {
+        if let Some(capacity) = self.capacity {
+            assert!(
+                self.drop_milli == 0 && self.crash_milli == 0 && self.partition.is_none(),
+                "capacity cells model load, not loss: drop/crash/partition \
+                 must be zero when `capacity` is set (FairShareLink has no \
+                 fault machinery)"
+            );
+            return FairShareLink::new(capacity).into();
+        }
         let mut link = LossyLink::new(1, 2).with_drop_prob(self.drop_milli as f64 / 1000.0);
         for &victim in &self.victims(n) {
             link = link.with_crash(victim, 1, None);
@@ -70,7 +84,7 @@ impl FaultSpec {
             let side: Vec<bool> = (0..n).map(|v| 2 * v < n).collect();
             link = link.with_partition(side, from, Some(until));
         }
-        link
+        link.into()
     }
 }
 
@@ -99,6 +113,9 @@ pub struct ChaosCell {
     pub retx: u64,
     /// ARQ transfers that exhausted their retry budget.
     pub timeouts: u64,
+    /// Total excess queueing (ticks spent waiting behind other transfers);
+    /// always zero for per-message cells, meaningful under `capacity`.
+    pub queued_ms: u64,
     /// Leader failover takeovers.
     pub failovers: u64,
     /// Soundness-contract violations (must be zero).
@@ -112,16 +129,20 @@ impl ChaosCell {
             concat!(
                 "{{\"drop_milli\":{},\"crash_milli\":{},",
                 "\"partition_from\":{},\"partition_until\":{},",
+                "\"capacity\":{},",
                 "\"crashed\":{},\"expected\":{},\"done\":{},",
                 "\"exact\":{},\"partial\":{},",
                 "\"coverage_mean_milli\":{},\"coverage_min_milli\":{},",
                 "\"gave_up\":{},\"retx\":{},\"timeouts\":{},",
+                "\"queued_ms\":{},",
                 "\"failovers\":{},\"violations\":{}}}"
             ),
             self.fault.drop_milli,
             self.fault.crash_milli,
             pfrom,
             puntil,
+            // 0 = per-message cell (no capacity limit in play).
+            self.fault.capacity.unwrap_or(0),
             self.crashed,
             self.expected,
             self.done,
@@ -132,6 +153,7 @@ impl ChaosCell {
             self.gave_up,
             self.retx,
             self.timeouts,
+            self.queued_ms,
             self.failovers,
             self.violations,
         )
@@ -249,6 +271,7 @@ pub fn run_cell(
         gave_up: run.metrics.counter("wl.recover.query_gaveup"),
         retx: run.metrics.counter("net.retx"),
         timeouts: run.metrics.counter("net.timeout"),
+        queued_ms: run.metrics.counter("net.queued_ms"),
         failovers: run.metrics.counter("maint.failover"),
         violations,
     }
@@ -267,6 +290,7 @@ pub fn default_grid() -> Vec<FaultSpec> {
                     drop_milli,
                     crash_milli,
                     partition,
+                    capacity: None,
                 });
             }
         }
@@ -309,6 +333,7 @@ mod tests {
             drop_milli: 0,
             crash_milli: 200,
             partition: None,
+            capacity: None,
         };
         let a = f.victims(96);
         let b = f.victims(96);
@@ -324,6 +349,7 @@ mod tests {
             drop_milli: 250,
             crash_milli: 0,
             partition: None,
+            capacity: None,
         };
         assert!(f.victims(96).is_empty());
     }
@@ -339,6 +365,7 @@ mod tests {
                     drop_milli: 100,
                     crash_milli: 150,
                     partition: Some((400, 900)),
+                    capacity: None,
                 },
                 crashed: 14,
                 expected: 9,
@@ -350,6 +377,7 @@ mod tests {
                 gave_up: 1,
                 retx: 42,
                 timeouts: 3,
+                queued_ms: 0,
                 failovers: 2,
                 violations: 0,
             }],

@@ -321,6 +321,9 @@ impl WorkloadSim {
 
     fn finish(mut self) -> WorkloadRun {
         let sim_ticks = self.sim.now();
+        // Fold the per-link utilization table into summary gauges so the
+        // metrics dump carries them (no-op for per-message links).
+        self.sim.record_flow_gauges();
         let mut completed: Vec<CompletedQuery> = self
             .sim
             .nodes()

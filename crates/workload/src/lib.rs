@@ -23,10 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+/// Deployment + concurrent serving driver (`WorkloadSim`).
 pub mod engine;
+/// Seeded workload generation: templates, arrivals, updates.
 pub mod gen;
+/// Per-node serving plans distributed at deployment.
 pub mod plan;
+/// The serving protocol: descents, replies, caching, recovery.
 pub mod protocol;
+/// SLO folding: latency percentiles and the `elink-workload/v1` document.
 pub mod report;
 
 pub use chaos::{

@@ -178,3 +178,49 @@ fn leader_crash_fails_over_and_answers_remain_exact_over_survivors() {
         run.completed.len() as u64
     );
 }
+
+/// A load cell rather than a loss cell: serve the query-only campaign
+/// schedule over a capacity-1 `FairShareLink`. Contention stretches the
+/// clock and queues real ticks, but it must never cost correctness —
+/// every query completes with the exact ground-truth answer, and the cell
+/// audit reports zero violations.
+#[test]
+fn contended_capacity_cell_stays_sound_and_queues() {
+    let (topo, features, delta) = fixture(7);
+    let metric: Arc<dyn Metric> = Arc::new(Absolute);
+    let mut spec = WorkloadSpec::quick(11);
+    spec.n_queries = 12;
+    spec.n_updates = 0;
+    let cell = |capacity: Option<u64>| {
+        elink_workload::run_cell(
+            &topo,
+            &features,
+            &metric,
+            delta,
+            &spec,
+            elink_workload::FaultSpec {
+                drop_milli: 0,
+                crash_milli: 0,
+                partition: None,
+                capacity,
+            },
+        )
+    };
+    let contended = cell(Some(1));
+    let uncontended = cell(None);
+
+    // Liveness and soundness survive the backlog.
+    assert_eq!(contended.done, contended.expected, "a query wedged");
+    assert_eq!(contended.violations, 0, "an answer broke soundness");
+    assert_eq!(contended.exact, contended.done, "coverage degraded");
+    // The load actually bit: real queueing was recorded, none for the
+    // per-message baseline.
+    assert!(
+        contended.queued_ms > 0,
+        "capacity-1 cell recorded no queueing"
+    );
+    assert_eq!(uncontended.queued_ms, 0);
+    // Same answers either way — contention shifts time, not results.
+    assert_eq!(contended.exact, uncontended.exact);
+    assert_eq!(contended.partial, uncontended.partial);
+}
