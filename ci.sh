@@ -55,4 +55,7 @@ run_bench_bin scale_report --check --out target/BENCH_scale.json
 echo "== mc_report --check (exhaustive model-checking gate on the small-topology suite)"
 run_bench_bin mc_report --check --out target/BENCH_mc.json
 
+echo "== sub_report --check (standing-query push-vs-requery smoke)"
+run_bench_bin sub_report --check --out target/BENCH_sub.json
+
 echo "ci.sh: all green"

@@ -1,5 +1,5 @@
 //! Runs the seeded fault campaign and writes `BENCH_chaos.json` (schema
-//! `elink-chaos/v1`).
+//! `elink-chaos/v2`).
 //!
 //! ```text
 //! chaos_report [--check] [--out PATH]
@@ -13,10 +13,13 @@
 //! Independent of `--check`, the run fails (exit 1) if any cell breaks
 //! liveness (a surviving initiator's query wedged) or soundness (an answer
 //! disagreed with ground truth), or if the pure-loss cells degraded any
-//! answer — loss alone must be invisible behind the ARQ sublayer.
+//! answer — loss alone must be invisible behind the ARQ sublayer. The
+//! standing-subscription cells (leader crash mid-subscription) must each
+//! observe a real failover, keep at least one subscription alive, and
+//! report zero push-soundness violations.
 
 use elink_metric::{Absolute, Metric};
-use elink_workload::{run_campaign, ChaosReport, FaultSpec};
+use elink_workload::{default_sub_grid, run_campaign, run_sub_cell, ChaosReport, FaultSpec};
 use std::sync::Arc;
 
 /// The benchmark campaign: a 192-node terrain deployment, 60 queries per
@@ -61,7 +64,7 @@ fn grid() -> Vec<FaultSpec> {
 fn run_once() -> ChaosReport {
     let data = elink_datasets::TerrainDataset::generate(192, 6, 0.55, 7);
     let metric: Arc<dyn Metric> = Arc::new(Absolute);
-    run_campaign(
+    let mut report = run_campaign(
         data.topology(),
         &data.features(),
         &metric,
@@ -69,7 +72,15 @@ fn run_once() -> ChaosReport {
         60,
         42,
         &grid(),
-    )
+    );
+    report.sub_cells = default_sub_grid()
+        .into_iter()
+        .map(|fault| {
+            run_sub_cell(data.topology(), &data.features(), &metric, 300.0, 42, fault)
+                .expect("campaign fixture offers no isolatable (non-relay) coordinator victim")
+        })
+        .collect();
+    report
 }
 
 fn main() {
@@ -124,6 +135,26 @@ fn main() {
             c.violations
         );
     }
+    for c in &report.sub_cells {
+        println!(
+            "  sub drop={}m crash_at={} leader={} | reg={} adm={} active={} ended={} exact={} subset={} | pushes={} repairs={} resyncs={} gaveup={} failovers={} violations={}",
+            c.fault.drop_milli,
+            c.crash_at,
+            c.crashed_leader,
+            c.registered,
+            c.admitted,
+            c.active,
+            c.ended,
+            c.exact,
+            c.subset,
+            c.pushes,
+            c.repairs,
+            c.resyncs,
+            c.contrib_gaveup,
+            c.failovers,
+            c.violations
+        );
+    }
 
     if !report.all_sound() {
         eprintln!("ACCEPTANCE FAILURE: a cell broke liveness or soundness");
@@ -141,6 +172,15 @@ fn main() {
             eprintln!(
                 "ACCEPTANCE FAILURE: crash cell (crash={}m) performed no failover",
                 c.fault.crash_milli
+            );
+            std::process::exit(1);
+        }
+    }
+    for c in &report.sub_cells {
+        if c.failovers == 0 || c.active == 0 || c.pushes == 0 {
+            eprintln!(
+                "ACCEPTANCE FAILURE: sub cell (drop={}m) broke the failover serving contract (failovers={} active={} pushes={})",
+                c.fault.drop_milli, c.failovers, c.active, c.pushes
             );
             std::process::exit(1);
         }

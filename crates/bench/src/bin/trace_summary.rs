@@ -102,6 +102,51 @@ fn summarize_queries(text: &str) -> (BTreeMap<u64, QueryRow>, u64) {
     (rows, untagged_retx)
 }
 
+/// Folds the per-query rows into per-serving-kind totals
+/// (`oneshot`/`push`/`repair`/`control`, via [`elink_netsim::qid_kind`]'s
+/// namespace bits) so a standing-query trace shows at a glance how much
+/// traffic each pipeline produced.
+fn summarize_kinds(rows: &BTreeMap<u64, QueryRow>) -> BTreeMap<&'static str, QueryRow> {
+    let mut kinds: BTreeMap<&'static str, QueryRow> = BTreeMap::new();
+    for (&qid, r) in rows {
+        let k = kinds
+            .entry(elink_netsim::qid_kind(qid))
+            .or_insert(QueryRow {
+                first_t: u64::MAX,
+                ..QueryRow::default()
+            });
+        k.sends += r.sends;
+        k.retx += r.retx;
+        k.delivers += r.delivers;
+        k.drops += r.drops;
+        k.first_t = k.first_t.min(r.first_t);
+        k.last_t = k.last_t.max(r.last_t);
+    }
+    kinds
+}
+
+fn render_kinds(kinds: &BTreeMap<&'static str, QueryRow>) {
+    if kinds.is_empty() {
+        return;
+    }
+    println!();
+    println!(
+        "{:>8} {:>8} {:>7} {:>10} {:>7} {:>8}",
+        "kind", "sends", "retx", "delivers", "drops", "span"
+    );
+    for (kind, r) in kinds {
+        let span = if r.first_t == u64::MAX {
+            0
+        } else {
+            r.last_t - r.first_t
+        };
+        println!(
+            "{:>8} {:>8} {:>7} {:>10} {:>7} {:>8}",
+            kind, r.sends, r.retx, r.delivers, r.drops, span
+        );
+    }
+}
+
 fn render_queries(rows: &BTreeMap<u64, QueryRow>, untagged_retx: u64) {
     if rows.is_empty() && untagged_retx == 0 {
         return;
@@ -263,6 +308,7 @@ fn main() {
     render(&rows, total, bad);
     let (qrows, untagged_retx) = summarize_queries(&text);
     render_queries(&qrows, untagged_retx);
+    render_kinds(&summarize_kinds(&qrows));
 }
 
 #[cfg(test)]
@@ -300,6 +346,44 @@ mod tests {
         // The qid-less retransmission is not lost: it lands in the
         // explicit untagged-retx tally, not under any query or kind.
         assert_eq!(untagged_retx, 1);
+    }
+
+    /// Query-tagged lines across all four serving namespaces: two one-shot
+    /// qids, one push (bit 40), one repair (bit 41), one control (bit 42).
+    const SYNTHETIC_KINDS: &str = concat!(
+        "{\"t\":0,\"ev\":\"send\",\"from\":0,\"to\":1,\"qid\":7}\n",
+        "{\"t\":1,\"ev\":\"deliver\",\"from\":0,\"to\":1,\"qid\":7}\n",
+        "{\"t\":2,\"ev\":\"send\",\"from\":1,\"to\":2,\"qid\":8}\n",
+        "{\"t\":3,\"ev\":\"send\",\"from\":3,\"to\":4,\"qid\":1099511627781}\n", // push | sid 5
+        "{\"t\":4,\"ev\":\"deliver\",\"from\":3,\"to\":4,\"qid\":1099511627781}\n",
+        "{\"t\":5,\"ev\":\"send\",\"from\":4,\"to\":3,\"qid\":2199023255554}\n", // repair | template 2
+        "{\"t\":6,\"ev\":\"drop\",\"from\":4,\"to\":3,\"reason\":\"loss\",\"qid\":2199023255554}\n",
+        "{\"t\":7,\"ev\":\"send\",\"from\":4,\"to\":3,\"retx\":1,\"qid\":2199023255554}\n",
+        "{\"t\":8,\"ev\":\"send\",\"from\":5,\"to\":6,\"qid\":4398046511109}\n", // control | sid 5
+    );
+
+    #[test]
+    fn kind_rows_split_serving_pipelines_by_qid_namespace() {
+        use elink_netsim::{QID_SUB_CONTROL, QID_SUB_PUSH, QID_SUB_REPAIR};
+        // The literals above are the namespace bits; keep them honest.
+        assert_eq!(QID_SUB_PUSH | 5, 1099511627781);
+        assert_eq!(QID_SUB_REPAIR | 2, 2199023255554);
+        assert_eq!(QID_SUB_CONTROL | 5, 4398046511109);
+        let (rows, _) = summarize_queries(SYNTHETIC_KINDS);
+        let kinds = summarize_kinds(&rows);
+        assert_eq!(
+            kinds.keys().copied().collect::<Vec<_>>(),
+            ["control", "oneshot", "push", "repair"]
+        );
+        let oneshot = &kinds["oneshot"];
+        assert_eq!((oneshot.sends, oneshot.delivers), (2, 1), "qids 7 and 8");
+        let push = &kinds["push"];
+        assert_eq!((push.sends, push.delivers, push.retx), (1, 1, 0));
+        let repair = &kinds["repair"];
+        assert_eq!((repair.sends, repair.retx, repair.drops), (1, 1, 1));
+        assert_eq!((repair.first_t, repair.last_t), (5, 7));
+        let control = &kinds["control"];
+        assert_eq!((control.sends, control.delivers), (1, 0));
     }
 
     #[test]

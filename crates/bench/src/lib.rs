@@ -39,3 +39,5 @@ pub mod contention;
 pub mod report;
 /// The 1k→64k fleet-size scaling bench behind `BENCH_scale.json`.
 pub mod scale;
+/// The standing-query push-vs-requery bench behind `BENCH_sub.json`.
+pub mod subbench;

@@ -272,6 +272,7 @@ pub mod serving {
             n_updates: 0,
             update_gap: 1,
             drift_frac: 0.0,
+            n_subscribers: 0,
         }
     }
 

@@ -273,6 +273,41 @@ impl CostBook {
     }
 }
 
+// -- query-id attribution namespaces ----------------------------------------
+//
+// One-shot queries use small dense ids (0..n_queries, far below bit 40).
+// Standing-query (subscription) traffic reuses the same per-query
+// attribution channel — `CostBook` ledgers and trace `qid` tags — with a
+// namespace bit set, so offline tooling (`trace_summary`) can split wire
+// traffic by serving kind without a side table.
+
+/// Namespace bit tagging subscription *push* traffic (coordinator →
+/// subscriber delta pushes and their acks). Payload: subscription id.
+pub const QID_SUB_PUSH: u64 = 1 << 40;
+
+/// Namespace bit tagging incremental *repair* traffic (watcher-root
+/// re-descents and cluster contributions). Payload: template index.
+pub const QID_SUB_REPAIR: u64 = 1 << 41;
+
+/// Namespace bit tagging subscription *control* traffic (registration,
+/// watch fan-out, takeover re-announcements). Payload: subscription id or
+/// template index.
+pub const QID_SUB_CONTROL: u64 = 1 << 42;
+
+/// Classifies a tagged query id into its serving kind: `"push"`,
+/// `"repair"`, `"control"`, or `"oneshot"` for plain query ids.
+pub fn qid_kind(qid: u64) -> &'static str {
+    if qid & QID_SUB_PUSH != 0 {
+        "push"
+    } else if qid & QID_SUB_REPAIR != 0 {
+        "repair"
+    } else if qid & QID_SUB_CONTROL != 0 {
+        "control"
+    } else {
+        "oneshot"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,14 @@
 //! are pure functions of their [`FaultSpec`] and the campaign seed: the
 //! `chaos_report --check` CI gate reruns the whole grid and requires
 //! byte-identical reports.
+//!
+//! The campaign also carries **standing-subscription cells**
+//! ([`run_sub_cell`]): drop faults plus one leader crash landing *mid-
+//! subscription*, i.e. after the initial snapshots but while churn is
+//! still being served. These cells audit the push pipeline's soundness
+//! after failover — every surviving client's materialized view must be a
+//! subset of the brute-force truth over last-known anchors, and equal to
+//! it whenever the view reports full coverage.
 
 use crate::engine::{expected_matches, ServeOptions, WorkloadSim};
 use crate::gen::WorkloadSpec;
@@ -27,8 +35,9 @@ use elink_topology::{NodeId, Topology};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Schema identifier of the `BENCH_chaos.json` document.
-pub const CHAOS_SCHEMA: &str = "elink-chaos/v1";
+/// Schema identifier of the `BENCH_chaos.json` document. v2 added the
+/// `sub_cells` array (standing-subscription fault cells).
+pub const CHAOS_SCHEMA: &str = "elink-chaos/v2";
 
 /// One cell of the fault grid. All faults are active from the start of
 /// serving: deployment (clustering, index, backbone, plan distribution)
@@ -160,6 +169,89 @@ impl ChaosCell {
     }
 }
 
+/// Fault knobs of a standing-subscription cell: a per-hop drop rate plus
+/// one leader crash landing mid-subscription. Neither the victim nor the
+/// crash tick is a knob — the cell always kills the coordinator of the
+/// first scheduled subscription, scheduled one tick after the initial
+/// snapshots quiesce (measured on a crash-free dry run of the same lossy
+/// transport, which shares the dry run's RNG stream tick for tick until
+/// the crash), so the failover path is exercised by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubFaultSpec {
+    /// Per-hop independent drop probability, milli-units.
+    pub drop_milli: u64,
+}
+
+/// Aggregated outcome of one standing-subscription fault cell, plus its
+/// push-soundness audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubChaosCell {
+    /// The faults this cell ran under.
+    pub fault: SubFaultSpec,
+    /// The tick the coordinator crashed at (one past the initial-snapshot
+    /// quiescence of the crash-free dry run).
+    pub crash_at: SimTime,
+    /// The coordinator killed at `crash_at`.
+    pub crashed_leader: NodeId,
+    /// Client-side subscription registrations (the schedule's plus the
+    /// post-crash trigger).
+    pub registered: u64,
+    /// Coordinator-side admissions. Exceeds `registered` when the takeover
+    /// solicited re-registrations that the successor re-admitted.
+    pub admitted: u64,
+    /// Surviving client subscriptions still active at quiescence.
+    pub active: u64,
+    /// Surviving client subscriptions ended by the engine (shed, evicted,
+    /// or unreachable after push-retry exhaustion).
+    pub ended: u64,
+    /// Active views reporting full coverage (must equal ground truth).
+    pub exact: u64,
+    /// Active views admitting a coverage gap (must be sound subsets).
+    pub subset: u64,
+    /// Delta/snapshot pushes applied at surviving clients.
+    pub pushes: u64,
+    /// Incremental repair descents at watcher roots.
+    pub repairs: u64,
+    /// Client resync round-trips (push version gaps healed by snapshot).
+    pub resyncs: u64,
+    /// Contributions abandoned after retry exhaustion (traffic addressed
+    /// to the dead coordinator before the takeover announcement landed).
+    pub contrib_gaveup: u64,
+    /// Leader failover takeovers (must be ≥ 1: the cell crashes one).
+    pub failovers: u64,
+    /// Push-soundness violations (must be zero).
+    pub violations: u64,
+}
+
+impl SubChaosCell {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"drop_milli\":{},\"crash_at\":{},\"crashed_leader\":{},",
+                "\"registered\":{},\"admitted\":{},\"active\":{},\"ended\":{},",
+                "\"exact\":{},\"subset\":{},",
+                "\"pushes\":{},\"repairs\":{},\"resyncs\":{},",
+                "\"contrib_gaveup\":{},\"failovers\":{},\"violations\":{}}}"
+            ),
+            self.fault.drop_milli,
+            self.crash_at,
+            self.crashed_leader,
+            self.registered,
+            self.admitted,
+            self.active,
+            self.ended,
+            self.exact,
+            self.subset,
+            self.pushes,
+            self.repairs,
+            self.resyncs,
+            self.contrib_gaveup,
+            self.failovers,
+            self.violations,
+        )
+    }
+}
+
 /// A whole campaign: the grid of cells over one deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosReport {
@@ -171,6 +263,8 @@ pub struct ChaosReport {
     pub seed: u64,
     /// One entry per grid cell, in grid order.
     pub cells: Vec<ChaosCell>,
+    /// Standing-subscription fault cells (empty for query-only campaigns).
+    pub sub_cells: Vec<SubChaosCell>,
 }
 
 impl ChaosReport {
@@ -178,22 +272,26 @@ impl ChaosReport {
     /// campaign must produce byte-identical documents.
     pub fn deterministic_json(&self) -> String {
         let cells: Vec<String> = self.cells.iter().map(ChaosCell::json).collect();
+        let sub_cells: Vec<String> = self.sub_cells.iter().map(SubChaosCell::json).collect();
         format!(
-            "{{\"schema\":\"{}\",\"n_nodes\":{},\"n_queries\":{},\"seed\":{},\"cells\":[{}]}}",
+            "{{\"schema\":\"{}\",\"n_nodes\":{},\"n_queries\":{},\"seed\":{},\"cells\":[{}],\"sub_cells\":[{}]}}",
             CHAOS_SCHEMA,
             self.n_nodes,
             self.n_queries,
             self.seed,
-            cells.join(",")
+            cells.join(","),
+            sub_cells.join(",")
         )
     }
 
     /// True when every cell upheld liveness (`done == expected`) and
-    /// soundness (`violations == 0`).
+    /// soundness (`violations == 0`), including the push-soundness audit
+    /// of every standing-subscription cell.
     pub fn all_sound(&self) -> bool {
         self.cells
             .iter()
             .all(|c| c.done == c.expected && c.violations == 0)
+            && self.sub_cells.iter().all(|c| c.violations == 0)
     }
 }
 
@@ -277,6 +375,215 @@ pub fn run_cell(
     }
 }
 
+/// Sid of the post-crash subscription that flushes the failover out: it is
+/// addressed to the dead coordinator's cluster, so routing it lands on the
+/// designated successor and triggers the takeover. Far above any schedule
+/// sid.
+pub const SUB_CHAOS_TRIGGER_SID: u64 = 1 << 32;
+
+/// Runs one standing-subscription fault cell.
+///
+/// Drive: (1) every scheduled subscription registers and takes its initial
+/// snapshot on the healthy (but already lossy) network — a crash-free dry
+/// run of the same transport measures when that settles, placing the crash
+/// tick just past it; (2) the coordinator of the first subscription
+/// crashes, and a fresh subscription from one of its clients routes to the
+/// failover successor — whose `ensure_root` gate performs the takeover,
+/// floods `SubTakeover` over the backbone and asks the cluster's clients
+/// to re-register; (3) the schedule's churn is then driven through the
+/// repair → contribution → delta-push pipeline under the drop faults.
+///
+/// Audit: answers are defined over last-known anchors (the dead
+/// coordinator keeps matching by its frozen anchor), so every surviving
+/// client's view must be a subset of the brute-force truth, and equal to
+/// it when the view reports full coverage.
+///
+/// The victim must not be a shortest-path relay between any surviving
+/// pair: routing is static (built on the pristine topology), so crashing
+/// a relay permanently partitions the transport between survivors and
+/// conflates that with the recovery-layer contract this cell isolates —
+/// the same exclusion the leader-crash failover test applies. Returns
+/// `None` when no scheduled subscription has an isolatable coordinator.
+pub fn run_sub_cell(
+    topology: &Topology,
+    features: &[Feature],
+    metric: &Arc<dyn Metric>,
+    delta: f64,
+    seed: u64,
+    fault: SubFaultSpec,
+) -> Option<SubChaosCell> {
+    let mut spec = WorkloadSpec::quick(seed);
+    spec.n_queries = 0;
+    spec.n_updates = 10;
+    spec.update_gap = 16;
+    spec.n_subscribers = 6;
+
+    // Probe deployment on the pristine transport, never run: clustering and
+    // plan distribution are pure functions of (topology, features, delta),
+    // so the probe's per-node plans identify the crash victim — the
+    // coordinator of the first scheduled subscription whose client is not
+    // itself the cluster root (the client must survive to be audited).
+    let probe = WorkloadSim::build(
+        topology.clone(),
+        features.to_vec(),
+        Arc::clone(metric),
+        delta,
+        &spec,
+        ServeOptions::for_delta(delta),
+    );
+    let subs = probe.schedule().subscriptions.clone();
+    let updates = probe.schedule().updates.clone();
+    let routing = elink_topology::RoutingTable::build(topology.graph());
+    let n_all = topology.n();
+    let is_relay = |leader: NodeId| {
+        let alive: Vec<NodeId> = (0..n_all).filter(|&v| v != leader).collect();
+        alive.iter().any(|&a| {
+            alive
+                .iter()
+                .filter(|&&b| a < b)
+                .any(|&b| routing.path(a, b).is_some_and(|p| p.contains(&leader)))
+        })
+    };
+    let (victim, trigger_client, trigger_template) = subs.iter().find_map(|s| {
+        let root = probe.sim().nodes()[s.client].plan().cluster_root;
+        (root != s.client && !is_relay(root)).then_some((root, s.client, s.template))
+    })?;
+
+    let recovery_opts = || {
+        let mut opts = ServeOptions::for_delta(delta);
+        opts.recovery = true;
+        opts.subscriptions = true;
+        opts
+    };
+    let lossy = || LossyLink::new(1, 2).with_drop_prob(fault.drop_milli as f64 / 1000.0);
+
+    // Dry run on the same lossy (but crash-free) transport: measures when
+    // the initial snapshots quiesce, including the burn-off of every
+    // recovery deadline they arm. The real run replays the identical RNG
+    // stream, so the crash scheduled one tick later lands strictly after
+    // every phase-1 event — mid-subscription, not mid-registration.
+    let crash_at = {
+        let mut dry = WorkloadSim::build_with_link(
+            topology.clone(),
+            features.to_vec(),
+            Arc::clone(metric),
+            delta,
+            &spec,
+            recovery_opts(),
+            lossy(),
+            Some(ArqConfig::default()),
+        );
+        for s in &subs {
+            dry.inject_subscribe(s.at, s.client, s.sid, s.template);
+        }
+        dry.quiesce() + 1
+    };
+
+    let mut sim = WorkloadSim::build_with_link(
+        topology.clone(),
+        features.to_vec(),
+        Arc::clone(metric),
+        delta,
+        &spec,
+        recovery_opts(),
+        lossy().with_crash(victim, crash_at, None),
+        Some(ArqConfig::default()),
+    );
+
+    // Phase 1: initial snapshots while every coordinator is alive.
+    for s in &subs {
+        sim.inject_subscribe(s.at, s.client, s.sid, s.template);
+    }
+    sim.quiesce();
+
+    // Phase 2: the coordinator is dead. A fresh subscription from one of
+    // its clients routes to the successor and flushes the takeover out.
+    sim.inject_subscribe(
+        crash_at + 1,
+        trigger_client,
+        SUB_CHAOS_TRIGGER_SID,
+        trigger_template,
+    );
+    sim.quiesce();
+
+    // Phase 3: churn against the failed-over subscription fabric, one
+    // quiesced update at a time. Updates that target the crashed node are
+    // skipped — a dead sensor does not sense, and its anchor stays frozen.
+    for u in &updates {
+        if u.node == victim {
+            continue;
+        }
+        let at = sim.sim().now().max(crash_at) + 1;
+        sim.inject_update(at, u.node, u.feature.clone());
+        sim.quiesce();
+    }
+
+    // Audit: push soundness after failover, over last-known anchors.
+    let templates = sim.schedule().templates.clone();
+    let anchors = sim.anchors();
+    let n = topology.n() as u64;
+    let mut active = 0u64;
+    let mut ended = 0u64;
+    let mut exact = 0u64;
+    let mut subset = 0u64;
+    let mut pushes = 0u64;
+    let mut violations = 0u64;
+    for node in sim.sim().nodes() {
+        if node.id() == victim {
+            continue;
+        }
+        for (_sid, c) in node.client_subs() {
+            if !c.active {
+                ended += 1;
+                continue;
+            }
+            active += 1;
+            pushes += c.pushes;
+            let truth =
+                expected_matches(&templates[c.template as usize], &anchors, metric.as_ref());
+            if c.covered == n {
+                exact += 1;
+                if c.view != truth {
+                    violations += 1;
+                }
+            } else {
+                subset += 1;
+                if !c.view.iter().all(|m| truth.contains(m)) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    let m = sim.sim().metrics();
+    Some(SubChaosCell {
+        fault,
+        crash_at,
+        crashed_leader: victim,
+        registered: m.counter("wl.sub.registered"),
+        admitted: m.counter("wl.sub.admitted"),
+        active,
+        ended,
+        exact,
+        subset,
+        pushes,
+        repairs: m.counter("wl.sub.repair"),
+        resyncs: m.counter("wl.sub.resync"),
+        contrib_gaveup: m.counter("wl.sub.contrib.gaveup"),
+        failovers: m.counter("maint.failover"),
+        violations,
+    })
+}
+
+/// The default standing-subscription fault grid: a loss-free crash cell
+/// (pure failover semantics) and a lossy crash cell (failover under drop
+/// faults, contributions and pushes riding ARQ).
+pub fn default_sub_grid() -> Vec<SubFaultSpec> {
+    vec![
+        SubFaultSpec { drop_milli: 0 },
+        SubFaultSpec { drop_milli: 150 },
+    ]
+}
+
 /// The default campaign grid: drop ∈ {0, 100, 250}‰ × crash ∈ {0, 150}‰ ×
 /// partition ∈ {none, one mid-run window}. The partition window is short
 /// relative to the ARQ retry envelope, so most cross-cut transfers ride it
@@ -320,6 +627,7 @@ pub fn run_campaign(
         n_queries,
         seed,
         cells,
+        sub_cells: Vec::new(),
     }
 }
 
@@ -381,10 +689,34 @@ mod tests {
                 failovers: 2,
                 violations: 0,
             }],
+            sub_cells: vec![SubChaosCell {
+                fault: SubFaultSpec { drop_milli: 150 },
+                crash_at: 5000,
+                crashed_leader: 3,
+                registered: 7,
+                admitted: 9,
+                active: 6,
+                ended: 1,
+                exact: 2,
+                subset: 4,
+                pushes: 19,
+                repairs: 30,
+                resyncs: 1,
+                contrib_gaveup: 2,
+                failovers: 1,
+                violations: 0,
+            }],
         };
         let json = report.deterministic_json();
-        assert!(json.contains("\"schema\":\"elink-chaos/v1\""));
+        assert!(json.contains("\"schema\":\"elink-chaos/v2\""));
+        assert!(json.contains("\"sub_cells\":[{\"drop_milli\":150"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.all_sound());
+        let mut broken = report.clone();
+        broken.sub_cells[0].violations = 1;
+        assert!(
+            !broken.all_sound(),
+            "sub-cell violations must fail the report"
+        );
     }
 }

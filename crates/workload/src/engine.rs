@@ -16,6 +16,7 @@
 use crate::gen::{Schedule, Template, WorkloadSpec};
 use crate::plan::ServingPlan;
 use crate::protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
+use crate::qos::QosConfig;
 use elink_core::{run_implicit, ElinkConfig};
 use elink_metric::{Feature, Metric};
 use elink_netsim::{
@@ -39,17 +40,26 @@ pub struct ServeOptions {
     /// so fault-free runs behave (and bill) exactly as before; turn it on
     /// for any run whose link model can crash or partition nodes.
     pub recovery: bool,
+    /// Serving-QoS knobs of the standing-query subscription engine
+    /// (admission ladder, table bounds, adaptive windows).
+    pub qos: QosConfig,
+    /// Force-arm the subscription machinery (takeover announcements on
+    /// failover) even when the schedule carries no subscriptions — used by
+    /// harnesses that inject subscriptions manually.
+    pub subscriptions: bool,
 }
 
 impl ServeOptions {
     /// Defaults for a clustering threshold δ: caches on, zero batch window
-    /// (same-tick coalescing only), Δ = δ/4, recovery off.
+    /// (same-tick coalescing only), Δ = δ/4, recovery off, default QoS.
     pub fn for_delta(delta: f64) -> ServeOptions {
         ServeOptions {
             cache_enabled: true,
             batch_window: 0,
             slack: delta / 4.0,
             recovery: false,
+            qos: QosConfig::default(),
+            subscriptions: false,
         }
     }
 }
@@ -60,6 +70,32 @@ pub struct WorkloadSim {
     schedule: Schedule,
     plan_costs: CostBook,
     n_clusters: usize,
+}
+
+/// Final state of one standing subscription, read off its client node at
+/// the end of a run.
+#[derive(Debug, Clone)]
+pub struct SubOutcome {
+    /// Subscription id.
+    pub sid: u64,
+    /// Subscribing client node.
+    pub client: NodeId,
+    /// Watched template index.
+    pub template: u16,
+    /// Whether the subscription was still live at the end (false after a
+    /// shed, an eviction, or an unreachable-client give-up).
+    pub active: bool,
+    /// Termination reason ([`crate::subscribe::end_reason`]; 0 if active).
+    pub end_reason: u8,
+    /// Last applied push version (0 = never received a snapshot).
+    pub version: u64,
+    /// Pushes applied at this client.
+    pub pushes: u64,
+    /// Covered-node count the last applied push claimed (the client-side
+    /// `coverage_milli` numerator).
+    pub covered: u64,
+    /// The client's final materialized view (sorted node ids).
+    pub view: Vec<NodeId>,
 }
 
 /// Everything a run produced, ready for reporting.
@@ -77,6 +113,9 @@ pub struct WorkloadRun {
     pub n_clusters: usize,
     /// Number of nodes.
     pub n_nodes: usize,
+    /// Final client-side state of every standing subscription, ascending by
+    /// sid (empty for runs without subscriptions).
+    pub subscriptions: Vec<SubOutcome>,
 }
 
 impl WorkloadSim {
@@ -194,6 +233,8 @@ impl WorkloadSim {
             backbone_peers_of,
             diameter,
             n_clusters,
+            qos: opts.qos,
+            expect_subs: opts.subscriptions || !schedule.subscriptions.is_empty(),
         });
         let nodes: Vec<ServeNode> = (0..n)
             .map(|v| {
@@ -223,6 +264,26 @@ impl WorkloadSim {
         // metrics dump carries them (zero-valued when nothing failed).
         sim.metrics_mut().declare_counter("wl.query.partial");
         sim.metrics_mut().declare_counter("maint.failover");
+        // Subscription-engine counters likewise, so dumps are schema-stable
+        // whether or not a run carries standing queries.
+        for c in [
+            "wl.sub.registered",
+            "wl.sub.admitted",
+            "wl.sub.shed",
+            "wl.sub.degraded",
+            "wl.sub.evicted",
+            "wl.sub.gaveup",
+            "wl.sub.push",
+            "wl.sub.push.retry",
+            "wl.sub.resync",
+            "wl.sub.repair",
+            "wl.sub.repair.stale",
+            "wl.sub.contrib",
+            "wl.sub.contrib.retry",
+            "wl.sub.contrib.gaveup",
+        ] {
+            sim.metrics_mut().declare_counter(c);
+        }
         WorkloadSim {
             sim,
             schedule,
@@ -234,6 +295,11 @@ impl WorkloadSim {
     /// The materialized schedule this deployment will execute.
     pub fn schedule(&self) -> &Schedule {
         &self.schedule
+    }
+
+    /// Number of clusters in the deployment.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
     }
 
     /// Current anchor features across the fleet (the ground-truth state
@@ -270,6 +336,16 @@ impl WorkloadSim {
         self.sim.inject(at, node, ServeMsg::Update(feature));
     }
 
+    /// Injects one standing-subscription registration at `at` (must be ≥
+    /// current time). Only meaningful when the deployment was built with
+    /// subscriptions armed ([`ServeOptions::subscriptions`] or a schedule
+    /// with `n_subscribers > 0`) — otherwise leader failover will not
+    /// announce takeovers to the subscription layer.
+    pub fn inject_subscribe(&mut self, at: SimTime, client: NodeId, sid: u64, template: u16) {
+        self.sim
+            .inject(at, client, ServeMsg::Subscribe { sid, template });
+    }
+
     /// Runs the pending event queue dry and returns the simulated time.
     pub fn quiesce(&mut self) -> SimTime {
         self.sim.run_to_completion()
@@ -286,6 +362,10 @@ impl WorkloadSim {
         let updates = std::mem::take(&mut self.schedule.updates);
         for u in updates {
             self.inject_update(u.at, u.node, u.feature);
+        }
+        let subs = std::mem::take(&mut self.schedule.subscriptions);
+        for s in &subs {
+            self.inject_subscribe(s.at, s.client, s.sid, s.template);
         }
         self.sim.run_to_completion();
         self.finish()
@@ -331,6 +411,26 @@ impl WorkloadSim {
             .flat_map(|n| n.completed().iter().cloned())
             .collect();
         completed.sort_by_key(|c| c.qid);
+        let mut subscriptions: Vec<SubOutcome> = self
+            .sim
+            .nodes()
+            .iter()
+            .flat_map(|n| {
+                let client = n.id();
+                n.client_subs().map(move |(sid, c)| SubOutcome {
+                    sid,
+                    client,
+                    template: c.template,
+                    active: c.active,
+                    end_reason: c.end_reason,
+                    version: c.version,
+                    pushes: c.pushes,
+                    covered: c.covered,
+                    view: c.view.clone(),
+                })
+            })
+            .collect();
+        subscriptions.sort_by_key(|s| s.sid);
         let mut costs = self.sim.costs().clone();
         costs.merge(&self.plan_costs);
         WorkloadRun {
@@ -340,6 +440,7 @@ impl WorkloadSim {
             sim_ticks,
             n_clusters: self.n_clusters,
             n_nodes: self.sim.nodes().len(),
+            subscriptions,
         }
     }
 }
@@ -470,6 +571,61 @@ mod tests {
         assert!(
             run.metrics.counter("wl.cache.hit") > 0,
             "zipf-skewed stream should hit the cache"
+        );
+    }
+
+    #[test]
+    fn subscriptions_converge_to_ground_truth_after_churn() {
+        let (topo, features, delta) = fixture(8);
+        let mut spec = quick_spec(17);
+        spec.n_subscribers = 6;
+        let metric: Arc<dyn Metric> = Arc::new(Absolute);
+        let mut sim = WorkloadSim::build(
+            topo,
+            features,
+            Arc::clone(&metric),
+            delta,
+            &spec,
+            ServeOptions::for_delta(delta),
+        );
+        let templates = sim.schedule().templates.clone();
+        let run = {
+            // Drive manually so we can snapshot final anchors.
+            let subs = std::mem::take(&mut sim.schedule.subscriptions);
+            for s in &subs {
+                sim.inject_subscribe(s.at, s.client, s.sid, s.template);
+            }
+            let updates = std::mem::take(&mut sim.schedule.updates);
+            for u in updates {
+                sim.inject_update(u.at, u.node, u.feature);
+            }
+            sim.quiesce();
+            let anchors = sim.anchors();
+            let run = sim.finish();
+            (run, anchors)
+        };
+        let (run, anchors) = run;
+        assert_eq!(run.subscriptions.len(), spec.n_subscribers);
+        let n = anchors.len() as u64;
+        for s in &run.subscriptions {
+            assert!(s.active, "sid {} ended with reason {}", s.sid, s.end_reason);
+            assert!(s.version >= 1, "sid {} never received a push", s.sid);
+            assert_eq!(
+                s.covered, n,
+                "fault-free subscription must reach full coverage"
+            );
+            let truth =
+                expected_matches(&templates[s.template as usize], &anchors, metric.as_ref());
+            assert_eq!(s.view, truth, "sid {} template {}", s.sid, s.template);
+        }
+        assert!(
+            run.metrics.counter("wl.sub.repair") > 0,
+            "updates must trigger incremental repairs"
+        );
+        assert_eq!(
+            run.metrics.counter("wl.sub.push.retry"),
+            0,
+            "fault-free runs must not retransmit pushes"
         );
     }
 

@@ -95,6 +95,9 @@ pub struct WorkloadSpec {
     pub update_gap: u64,
     /// Drift magnitude of each update relative to δ.
     pub drift_frac: f64,
+    /// Standing subscriptions to register early in the run (0 disables the
+    /// subscription engine for this schedule).
+    pub n_subscribers: usize,
 }
 
 impl WorkloadSpec {
@@ -111,6 +114,7 @@ impl WorkloadSpec {
             n_updates: 20,
             update_gap: 24,
             drift_frac: 0.6,
+            n_subscribers: 0,
         }
     }
 }
@@ -149,6 +153,20 @@ pub struct ClientScript {
     pub entries: Vec<ScriptEntry>,
 }
 
+/// One scheduled standing-subscription registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionStart {
+    /// Subscription id (unique across the run, disjoint from query ids by
+    /// namespace — sids live in their own messages/timers).
+    pub sid: u64,
+    /// Registration tick.
+    pub at: SimTime,
+    /// Subscribing client node.
+    pub client: NodeId,
+    /// Watched template index.
+    pub template: u16,
+}
+
 /// One scheduled background feature update.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateEvent {
@@ -171,6 +189,9 @@ pub struct Schedule {
     pub scripts: Vec<ClientScript>,
     /// Background updates, ascending by time.
     pub updates: Vec<UpdateEvent>,
+    /// Standing-subscription registrations, ascending by time (empty unless
+    /// [`WorkloadSpec::n_subscribers`] > 0).
+    pub subscriptions: Vec<SubscriptionStart>,
 }
 
 /// Draws a zipf-distributed rank in `0..n` with exponent `s` (rank 0 most
@@ -216,6 +237,7 @@ pub fn build_schedule(spec: &WorkloadSpec, features: &[Feature], delta: f64) -> 
     let mut rng_t = StdRng::seed_from_u64(spec.seed ^ 0x7431_0001);
     let mut rng_q = StdRng::seed_from_u64(spec.seed ^ 0x7431_0002);
     let mut rng_u = StdRng::seed_from_u64(spec.seed ^ 0x7431_0003);
+    let mut rng_s = StdRng::seed_from_u64(spec.seed ^ 0x7431_0004);
 
     // Template table: centers are jittered node features; every template is
     // usable as both a popular and an unpopular rank.
@@ -294,11 +316,29 @@ pub fn build_schedule(spec: &WorkloadSpec, features: &[Feature], delta: f64) -> 
         });
     }
 
+    // Subscriptions register early (spread over the first few ticks, zipf
+    // templates like queries) so the run exercises both the initial snapshot
+    // and the incremental repairs the updates trigger afterwards.
+    let mut subscriptions = Vec::with_capacity(spec.n_subscribers);
+    let mut t: SimTime = 1;
+    for sid in 0..spec.n_subscribers as u64 {
+        let template = zipf_rank(&weights, total, &mut rng_s) as u16;
+        let client = rng_s.gen_range(0..n);
+        subscriptions.push(SubscriptionStart {
+            sid,
+            at: t,
+            client,
+            template,
+        });
+        t += gap(2, &mut rng_s);
+    }
+
     Schedule {
         templates,
         submissions,
         scripts,
         updates,
+        subscriptions,
     }
 }
 

@@ -31,14 +31,21 @@ pub mod gen;
 pub mod plan;
 /// The serving protocol: descents, replies, caching, recovery.
 pub mod protocol;
+/// Serving QoS policy: admission ladder, eviction, adaptive windows.
+pub mod qos;
 /// SLO folding: latency percentiles and the `elink-workload/v1` document.
 pub mod report;
+/// Standing-query subscription state machines (client/coordinator/watcher).
+pub mod subscribe;
 
 pub use chaos::{
-    default_grid, run_campaign, run_cell, ChaosCell, ChaosReport, FaultSpec, CHAOS_SCHEMA,
+    default_grid, default_sub_grid, run_campaign, run_cell, run_sub_cell, ChaosCell, ChaosReport,
+    FaultSpec, SubChaosCell, SubFaultSpec, CHAOS_SCHEMA,
 };
 pub use engine::{expected_matches, ServeOptions, WorkloadRun, WorkloadSim};
 pub use gen::{build_schedule, Arrival, Schedule, Template, WorkloadSpec};
 pub use plan::{ChildEntry, NodePlan, ServingPlan};
 pub use protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
+pub use qos::{AdaptiveWindow, Admission, QosConfig};
 pub use report::{LatencySummary, SloReport, SCHEMA};
+pub use subscribe::{ClientSub, PushVerdict, SubState};

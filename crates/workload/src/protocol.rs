@@ -62,10 +62,15 @@
 
 use crate::gen::{ScriptEntry, Template};
 use crate::plan::{ChildEntry, NodePlan};
+use crate::qos::{self, Admission, QosConfig};
+use crate::subscribe::{end_reason, ClientSub, PushVerdict, SubState, TemplateView, WatchState};
 use elink_core::node_table::{FlatMap, FlatSet, NodeHandle, NodeTable};
 use elink_core::slack_conditions_hold;
 use elink_metric::{Feature, Metric};
-use elink_netsim::{canon_f64, Canonicalize, Ctx, Protocol, QueryId, SimTime};
+use elink_netsim::{
+    canon_f64, Canonicalize, Ctx, Protocol, QueryId, SimTime, QID_SUB_CONTROL, QID_SUB_PUSH,
+    QID_SUB_REPAIR,
+};
 use elink_query::{cluster_decision, descend_decision, ClusterDecision, DescendDecision};
 use elink_topology::{NodeId, Topology};
 use std::collections::VecDeque;
@@ -84,7 +89,18 @@ const EVAL_DEADLINE: u64 = 1 << 45;
 /// Timer-id namespace bit: per-query watchdog at the initiator. The payload
 /// is the query id.
 const INIT_DEADLINE: u64 = 1 << 46;
-/// Mask extracting a deadline timer's payload (qid or template index).
+/// Timer-id namespace bit: push flush at a coordinator. Payload: template.
+const SUB_FLUSH: u64 = 1 << 47;
+/// Timer-id namespace bit: repair flush at a watcher root. Payload:
+/// template.
+const SUB_REPAIR: u64 = 1 << 48;
+/// Timer-id namespace bit: contribution retransmit deadline at a watcher
+/// root (recovery only). Payload: template.
+const SUB_CONTRIB_RETRY: u64 = 1 << 49;
+/// Timer-id namespace bit: push retransmit deadline at a coordinator
+/// (recovery only). Payload: subscription id.
+const SUB_PUSH_RETRY: u64 = 1 << 50;
+/// Mask extracting a deadline timer's payload (qid, sid or template index).
 const DEADLINE_PAYLOAD: u64 = ECHO_DEADLINE - 1;
 
 /// Tables shared by every node (read-only at run time).
@@ -131,6 +147,12 @@ pub struct Shared {
     pub diameter: u64,
     /// Number of clusters (echo-tree depth bound for deadline sizing).
     pub n_clusters: usize,
+    /// Serving-QoS knobs of the subscription engine.
+    pub qos: QosConfig,
+    /// Whether this deployment serves standing subscriptions — gates the
+    /// takeover announcements (`SubTakeover`/`SubReregister`) so
+    /// subscription-free runs bill exactly as before.
+    pub expect_subs: bool,
 }
 
 /// Messages of the serving protocol.
@@ -224,6 +246,109 @@ pub enum ServeMsg {
         /// The child's static subtree membership.
         subtree: Vec<NodeId>,
     },
+    /// Harness → client: register a standing subscription.
+    Subscribe {
+        /// Subscription id (unique across the run).
+        sid: u64,
+        /// Template index.
+        template: u16,
+    },
+    /// Client → coordinator (its cluster root): admit this subscription.
+    /// Idempotent: re-registration after a coordinator failover resets the
+    /// push stream with a fresh snapshot.
+    SubRegister {
+        /// Subscription id.
+        sid: u64,
+        /// Template index.
+        template: u16,
+        /// The subscribing client node.
+        client: NodeId,
+    },
+    /// Backbone flood: `coordinator` wants contributions for `template`
+    /// from every cluster root.
+    SubWatch {
+        /// Template index.
+        template: u16,
+        /// Coordinator node to report to.
+        coordinator: NodeId,
+    },
+    /// Watcher root → coordinator: this cluster's *absolute* contribution
+    /// (the coordinator computes deltas itself, so a lost or reordered
+    /// contribution can never corrupt the merged view).
+    SubContrib {
+        /// Template index.
+        template: u16,
+        /// Watcher's cluster index.
+        cluster: usize,
+        /// Per-origin contribution sequence number.
+        cseq: u64,
+        /// Matching members of that cluster, ascending.
+        matches: Vec<NodeId>,
+        /// Members whose membership the watcher determined (honesty).
+        covered: u64,
+        /// Dirty-mark time of the oldest repaired change (latency base).
+        trigger: SimTime,
+    },
+    /// Coordinator → watcher root: contribution `cseq` accepted (recovery
+    /// only — fault-free runs skip the ack round entirely).
+    SubContribAck {
+        /// Template index.
+        template: u16,
+        /// Acknowledged sequence number.
+        cseq: u64,
+    },
+    /// Coordinator → client: a result push (snapshot or delta).
+    SubPush {
+        /// Subscription id.
+        sid: u64,
+        /// Version this push advances the client to.
+        version: u64,
+        /// The exact view version the delta was computed against.
+        base_version: u64,
+        /// Snapshot: `adds` is the full view, `removes` empty.
+        snapshot: bool,
+        /// Nodes entering the result, ascending.
+        adds: Vec<NodeId>,
+        /// Nodes leaving the result, ascending.
+        removes: Vec<NodeId>,
+        /// Covered-node count behind this view (coverage honesty).
+        covered: u64,
+        /// Trigger time for the push-latency histogram.
+        trigger: SimTime,
+    },
+    /// Client → coordinator: push `version` applied (recovery only).
+    SubAck {
+        /// Subscription id.
+        sid: u64,
+        /// Applied version.
+        version: u64,
+    },
+    /// Client → coordinator: view diverged (delta base mismatch); send a
+    /// fresh snapshot.
+    SubResync {
+        /// Subscription id.
+        sid: u64,
+    },
+    /// Coordinator → client: the subscription ended (shed, evicted, or the
+    /// client became unreachable). See [`end_reason`].
+    SubEnd {
+        /// Subscription id.
+        sid: u64,
+        /// [`end_reason`] code.
+        reason: u8,
+    },
+    /// Backbone flood announcing a leader-failover takeover, so
+    /// coordinators drop the dead root's (now unverifiable) contributions
+    /// and re-register their watches with the successor.
+    SubTakeover {
+        /// The cluster that failed over.
+        cluster: usize,
+        /// Its successor root.
+        successor: NodeId,
+    },
+    /// Failover successor → its cluster's live members: re-register your
+    /// subscriptions with me (the dead root's table died with it).
+    SubReregister,
 }
 
 /// A finished query at its initiator.
@@ -401,6 +526,8 @@ pub struct ServeNode {
     script: VecDeque<ScriptEntry>,
     /// Queries finished at this initiator.
     completed: Vec<CompletedQuery>,
+    /// Standing-subscription state (client, coordinator and watcher roles).
+    subs: SubState,
 }
 
 /// Mutation hook for the model checker's smoke test: when set, the `Adopt`
@@ -494,6 +621,7 @@ impl ServeNode {
             routed_parent: false,
             script: script.into(),
             completed: Vec::new(),
+            subs: SubState::default(),
         }
     }
 
@@ -530,6 +658,11 @@ impl ServeNode {
     /// Initiator watchdog: a full echo plus its re-issue round plus routing.
     fn init_deadline_ticks(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
         2 * self.echo_deadline_ticks(ctx) + 4 * self.transit_bound(ctx)
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
     }
 
     /// Queries completed at this initiator, in completion order.
@@ -577,6 +710,21 @@ impl ServeNode {
     /// Queries submitted here that have not completed.
     pub fn unanswered(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Client-side subscription records of this node, by subscription id.
+    pub fn client_subs(&self) -> impl Iterator<Item = (u64, &ClientSub)> {
+        self.subs.client.iter().map(|(&sid, c)| (sid, c))
+    }
+
+    /// One client-side subscription record, if present.
+    pub fn client_sub(&self, sid: u64) -> Option<&ClientSub> {
+        self.subs.client.get(&sid)
+    }
+
+    /// Coordinator-side subscription table size at this node.
+    pub fn sub_table_len(&self) -> usize {
+        self.subs.table.len()
     }
 
     // -- submission -------------------------------------------------------
@@ -709,6 +857,36 @@ impl ServeNode {
         for &child in &shared.tree_children[dead] {
             if child != branch && ctx.is_alive(child) {
                 ctx.unicast(child, ServeMsg::Reattach, "wl_failover", 1);
+            }
+        }
+        // Standing subscriptions: the dead root's subscription table and
+        // watch registrations died with it. Announce the takeover on the
+        // backbone (coordinators drop its unverifiable contributions and
+        // re-register global watches with us) and ask our own cluster's
+        // clients to re-register their subscriptions.
+        if shared.expect_subs {
+            self.subs.seen_takeover.insert(cluster, self.id);
+            let peers = self.plan.backbone_peers.clone();
+            for p in peers {
+                let pc = shared.cluster_of[p];
+                if let Some(addr) = current_root(&shared, pc, ctx) {
+                    ctx.unicast_tagged(
+                        addr,
+                        ServeMsg::SubTakeover {
+                            cluster,
+                            successor: self.id,
+                        },
+                        "wl_subwatch",
+                        2,
+                        QID_SUB_CONTROL | cluster as u64,
+                    );
+                }
+            }
+            let members = self.plan.members.clone();
+            for m in members {
+                if m != self.id && ctx.is_alive(m) {
+                    ctx.unicast_tagged(m, ServeMsg::SubReregister, "wl_subctl", 1, QID_SUB_CONTROL);
+                }
             }
         }
     }
@@ -1106,11 +1284,27 @@ impl ServeNode {
     fn complete_eval(&mut self, template: u16, mut ev: EvalState, ctx: &mut Ctx<'_, ServeMsg>) {
         ev.acc.sort_unstable();
         ev.acc.dedup();
-        if ev.epoch0 != self.inval_epoch || ev.partial {
+        let stale = ev.epoch0 != self.inval_epoch;
+        if stale || ev.partial {
             ctx.metrics().inc("wl.cache.skip_fill");
         } else if self.shared.cache_enabled {
             ctx.metrics().inc("wl.cache.fill");
             self.cache.insert(template, (ev.acc.clone(), ev.covered));
+        }
+        // Subscription repair riders resolve at the cluster root only
+        // (internal nodes carry them for attribution). A repair that raced
+        // an epoch bump is suppressed — the climb that bumped the epoch
+        // re-dirtied the watch, so a fresh repair follows.
+        if self.plan.parent.is_none() && ev.riders.iter().any(|&q| q & QID_SUB_REPAIR != 0) {
+            ev.riders.retain(|&q| q & QID_SUB_REPAIR == 0);
+            if stale {
+                self.repair_went_stale(template, ctx);
+            } else {
+                self.finish_repair(template, ev.acc.clone(), ev.covered, ctx);
+            }
+            if ev.riders.is_empty() {
+                return;
+            }
         }
         self.reply_subtree(template, &ev.riders, ev.acc, ev.covered, ctx);
     }
@@ -1202,6 +1396,13 @@ impl ServeNode {
     ) {
         let required = {
             let Some(entry) = self.plan.entries.iter_mut().find(|e| e.child == child) else {
+                // A failover redirect can land a climb at a node that never
+                // parented the sender (the successor inherits the dead
+                // root's role, not its M-tree entries). Keep climbing so
+                // caches above still evict and watches still re-repair.
+                if self.shared.recovery {
+                    self.invalidate_and_climb(ctx);
+                }
                 return;
             };
             entry.feature = feature;
@@ -1217,7 +1418,9 @@ impl ServeNode {
     /// Evicts the local cache and forwards the climb to the parent. The
     /// climb always reaches the cluster root even when no radius grows: a
     /// descendant's anchor moved, so every ancestor's cached answer may
-    /// now include or exclude the wrong nodes.
+    /// now include or exclude the wrong nodes. At the root the climb also
+    /// dirties every standing-query watch — the same signal that evicts
+    /// caches now *drives* incremental repair.
     fn invalidate_and_climb(&mut self, ctx: &mut Ctx<'_, ServeMsg>) {
         self.inval_epoch += 1;
         ctx.metrics().inc("wl.cache.inval");
@@ -1225,16 +1428,32 @@ impl ServeNode {
         self.cache.clear();
         if let Some(p) = self.plan.parent {
             let scalars = self.anchor.scalar_cost() + 1;
-            ctx.send(
-                p,
-                ServeMsg::Invalidate {
-                    feature: self.anchor.clone(),
-                    radius: self.plan.radius,
-                },
-                "wl_inval",
-                scalars,
-            );
+            let msg = ServeMsg::Invalidate {
+                feature: self.anchor.clone(),
+                radius: self.plan.radius,
+            };
+            if self.shared.recovery && !ctx.is_alive(p) {
+                // Dead parent: route the climb around it, straight to the
+                // cluster's current (failover) root, so standing queries
+                // keep repairing while the tree is broken.
+                let shared = Arc::clone(&self.shared);
+                let cluster = shared.cluster_of[self.id];
+                if let Some(root) = current_root(&shared, cluster, ctx) {
+                    if root != self.id {
+                        ctx.unicast(root, msg, "wl_inval", scalars);
+                        return;
+                    }
+                    // We *are* the acting root: fall through to the root
+                    // case below.
+                } else {
+                    return;
+                }
+            } else {
+                ctx.send(p, msg, "wl_inval", scalars);
+                return;
+            }
         }
+        self.mark_all_watches_dirty(ctx);
     }
 
     // -- answers ----------------------------------------------------------
@@ -1286,6 +1505,834 @@ impl ServeNode {
         // Closed loop: schedule the next scripted query after think time.
         if let Some(e) = self.script.front() {
             ctx.set_timer(e.think, SCRIPT_TIMER);
+        }
+    }
+
+    // -- standing subscriptions -------------------------------------------
+
+    /// Deadline for one push/contribution round trip, derived from the
+    /// *current* [`Ctx::max_delivery_delay`]. Under `FairShareLink`
+    /// contention that envelope stretches with the flow-table backlog, so
+    /// retransmit timers sized here never fire against a transfer (or its
+    /// ARQ retries) that is merely queued behind other traffic.
+    fn sub_rt_deadline(&self, ctx: &Ctx<'_, ServeMsg>) -> u64 {
+        2 * self.transit_bound(ctx) + 1
+    }
+
+    /// Client: harness injected a subscription — record it and register
+    /// with the coordinator (the client's cluster root).
+    fn on_subscribe(&mut self, sid: u64, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        debug_assert!(sid < DEADLINE_PAYLOAD, "sid collides with timer namespace");
+        self.subs.client.insert(sid, ClientSub::new(template));
+        ctx.metrics().inc("wl.sub.registered");
+        let shared = Arc::clone(&self.shared);
+        let root = if shared.recovery {
+            current_root(&shared, shared.cluster_of[self.id], ctx).unwrap_or(self.id)
+        } else {
+            self.plan.cluster_root
+        };
+        if root == self.id {
+            if self.ensure_root(ctx) {
+                self.on_sub_register(sid, template, self.id, ctx);
+            }
+        } else {
+            ctx.unicast_tagged(
+                root,
+                ServeMsg::SubRegister {
+                    sid,
+                    template,
+                    client: self.id,
+                },
+                "wl_subctl",
+                3,
+                QID_SUB_CONTROL | sid,
+            );
+        }
+    }
+
+    /// Coordinator: admit (or refuse) a subscription through the QoS
+    /// ladder, register the template watch, and schedule the initial push.
+    fn on_sub_register(
+        &mut self,
+        sid: u64,
+        template: u16,
+        client: NodeId,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let now = ctx.now();
+        let shared = Arc::clone(&self.shared);
+        if let Some(e) = self.subs.table.get_mut(&sid) {
+            // Idempotent re-registration (e.g. after a failover hand-off
+            // elsewhere): restart the push stream from a snapshot.
+            e.acked = None;
+            e.sent = None;
+            e.retries = 0;
+            e.last_active = now;
+            self.schedule_flush(template, ctx);
+            return;
+        }
+        match qos::admit(
+            &shared.qos,
+            self.subs.table.len(),
+            self.subs.client_load(client),
+        ) {
+            Admission::Shed => {
+                ctx.metrics().inc("wl.sub.shed");
+                self.send_sub_end(sid, client, end_reason::SHED, ctx);
+            }
+            Admission::Degraded => {
+                ctx.metrics().inc("wl.sub.degraded");
+                self.admit_sub(sid, template, client, true, ctx);
+            }
+            Admission::Full => self.admit_sub(sid, template, client, false, ctx),
+        }
+    }
+
+    /// Inserts the table row (evicting the LRU/popularity victim from a
+    /// full table first), registers the watches, and schedules the initial
+    /// snapshot push.
+    fn admit_sub(
+        &mut self,
+        sid: u64,
+        template: u16,
+        client: NodeId,
+        degraded: bool,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        if self.subs.table.len() >= shared.qos.max_subs {
+            if let Some(victim) = qos::evict_victim(self.subs.eviction_rows()) {
+                let e = self.subs.table.remove(&victim).expect("victim exists");
+                ctx.metrics().inc("wl.sub.evicted");
+                self.send_sub_end(victim, e.client, end_reason::EVICTED, ctx);
+            }
+        }
+        self.subs.table.insert(
+            sid,
+            crate::subscribe::SubEntry::new(client, template, degraded, ctx.now()),
+        );
+        ctx.metrics().inc("wl.sub.admitted");
+        let q = shared.qos;
+        self.subs
+            .views
+            .or_insert_with(template, || TemplateView::new(q.window_min, q.window_max));
+        // This root is always its own cluster's watcher; full admissions
+        // additionally flood the watch over the backbone so every cluster
+        // root reports. Degraded admissions stay local-only: O(1) clusters
+        // of cost and an honestly reduced coverage.
+        self.register_watch(template, self.id, ctx);
+        if !degraded {
+            let seen = self.subs.seen_watch.or_insert_with(template, FlatSet::new);
+            if seen.insert(self.id) {
+                self.flood_watch(template, self.id, None, ctx);
+            }
+        }
+        self.schedule_flush(template, ctx);
+    }
+
+    /// Ends a subscription towards its client (local clients are told
+    /// directly).
+    fn send_sub_end(&mut self, sid: u64, client: NodeId, reason: u8, ctx: &mut Ctx<'_, ServeMsg>) {
+        if client == self.id {
+            if let Some(c) = self.subs.client.get_mut(&sid) {
+                c.active = false;
+                c.end_reason = reason;
+            }
+        } else {
+            ctx.unicast_tagged(
+                client,
+                ServeMsg::SubEnd { sid, reason },
+                "wl_subctl",
+                2,
+                QID_SUB_CONTROL | sid,
+            );
+        }
+    }
+
+    /// Forwards a `SubWatch` flood to backbone peers (minus the cluster it
+    /// came from).
+    fn flood_watch(
+        &mut self,
+        template: u16,
+        coordinator: NodeId,
+        from_cluster: Option<usize>,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let peers = self.plan.backbone_peers.clone();
+        for p in peers {
+            let pc = shared.cluster_of[p];
+            if Some(pc) == from_cluster {
+                continue;
+            }
+            let addr = if shared.recovery {
+                current_root(&shared, pc, ctx)
+            } else {
+                Some(p)
+            };
+            let Some(addr) = addr else { continue };
+            ctx.unicast_tagged(
+                addr,
+                ServeMsg::SubWatch {
+                    template,
+                    coordinator,
+                },
+                "wl_subwatch",
+                2,
+                QID_SUB_CONTROL | u64::from(template),
+            );
+        }
+    }
+
+    /// Watcher root: a `SubWatch` flood arrived — register the coordinator
+    /// and forward the flood onward (deduplicated per (template,
+    /// coordinator), so concurrent floods terminate).
+    fn on_sub_watch(
+        &mut self,
+        template: u16,
+        coordinator: NodeId,
+        from: NodeId,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let seen = self.subs.seen_watch.or_insert_with(template, FlatSet::new);
+        if !seen.insert(coordinator) {
+            return;
+        }
+        self.register_watch(template, coordinator, ctx);
+        let from_cluster = self.shared.cluster_of[from];
+        self.flood_watch(template, coordinator, Some(from_cluster), ctx);
+    }
+
+    /// Watcher: a coordinator confirmed the current contribution.
+    fn on_sub_contrib_ack(&mut self, template: u16, cseq: u64, from: NodeId) {
+        if let Some(w) = self.subs.watches.get_mut(&template) {
+            if cseq == w.cseq {
+                w.unacked.retain(|&c| c != from);
+                if w.unacked.is_empty() {
+                    w.retries = 0;
+                }
+            }
+        }
+    }
+
+    /// Watcher: register a coordinator for a template. A brand-new
+    /// coordinator immediately receives the last known contribution (or
+    /// triggers the first repair if none exists yet).
+    fn register_watch(&mut self, template: u16, coord: NodeId, ctx: &mut Ctx<'_, ServeMsg>) {
+        let shared = Arc::clone(&self.shared);
+        let q = shared.qos;
+        let w = self
+            .subs
+            .watches
+            .or_insert_with(template, || WatchState::new(q.window_min, q.window_max));
+        if !w.add_coord(coord) {
+            return;
+        }
+        if let Some((matches, covered)) = w.last.clone() {
+            w.cseq += 1;
+            let cseq = w.cseq;
+            if shared.recovery && coord != self.id {
+                w.unacked.push(coord);
+                w.retries = 0;
+            }
+            let trigger = ctx.now();
+            self.send_contrib(coord, template, cseq, matches, covered, trigger, ctx);
+            self.arm_contrib_retry(template, ctx);
+        } else {
+            self.mark_watch_dirty(template, ctx);
+        }
+    }
+
+    /// Watcher: the local cluster's content (possibly) changed for every
+    /// watched template — schedule repairs through the adaptive window.
+    fn mark_all_watches_dirty(&mut self, ctx: &mut Ctx<'_, ServeMsg>) {
+        let templates: Vec<u16> = self.subs.watches.keys().copied().collect();
+        for t in templates {
+            self.mark_watch_dirty(t, ctx);
+        }
+    }
+
+    /// Marks one watch dirty and arms its repair flush timer. The window
+    /// *grows* with arrival density, so a churn storm coalesces into few
+    /// repairs while sparse drift repairs at the latency floor.
+    fn mark_watch_dirty(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let now = ctx.now();
+        let Some(w) = self.subs.watches.get_mut(&template) else {
+            return;
+        };
+        if !w.dirty {
+            w.trigger = now;
+        }
+        w.dirty = true;
+        w.window.observe(now);
+        if !w.armed && !w.repairing {
+            w.armed = true;
+            let delay = w.window.window();
+            ctx.set_timer(delay, SUB_REPAIR | u64::from(template));
+        }
+    }
+
+    /// Repair flush: start the incremental re-evaluation of this cluster's
+    /// contribution, riding the ordinary descent machinery (cache,
+    /// single-flight, batching, recovery deadlines all apply).
+    fn on_sub_repair_timer(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        {
+            let Some(w) = self.subs.watches.get_mut(&template) else {
+                return;
+            };
+            w.armed = false;
+            if w.repairing || !w.dirty {
+                return;
+            }
+            w.dirty = false;
+            w.repairing = true;
+        }
+        ctx.metrics().inc("wl.sub.repair");
+        let rider = QID_SUB_REPAIR | u64::from(template);
+        match self.local_cluster_eval(rider, template, ctx) {
+            LocalEval::Resolved(m, covered) => self.finish_repair(template, m, covered, ctx),
+            LocalEval::Pending => {}
+        }
+    }
+
+    /// A repair descent completed against a state that moved mid-flight:
+    /// suppress the (stale) contribution and go again — the climb that
+    /// bumped the epoch already re-dirtied the watch.
+    fn repair_went_stale(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        ctx.metrics().inc("wl.sub.repair.stale");
+        let Some(w) = self.subs.watches.get_mut(&template) else {
+            return;
+        };
+        w.repairing = false;
+        w.dirty = true;
+        if !w.armed {
+            w.armed = true;
+            let delay = w.window.window();
+            ctx.set_timer(delay, SUB_REPAIR | u64::from(template));
+        }
+    }
+
+    /// A repair produced this cluster's fresh contribution: report it to
+    /// every coordinator *iff it changed* (steady-state traffic stays
+    /// proportional to churn), then reschedule if more churn arrived
+    /// mid-repair.
+    fn finish_repair(
+        &mut self,
+        template: u16,
+        matches: Vec<NodeId>,
+        covered: u64,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let (coords, cseq, trigger, resched) = {
+            let Some(w) = self.subs.watches.get_mut(&template) else {
+                return;
+            };
+            w.repairing = false;
+            let fresh = (matches, covered);
+            let changed = w.last.as_ref() != Some(&fresh);
+            let resched = w.dirty;
+            if changed {
+                w.cseq += 1;
+                w.last = Some(fresh);
+                if shared.recovery {
+                    w.unacked = w.coords.iter().copied().filter(|&c| c != self.id).collect();
+                    w.retries = 0;
+                }
+                (w.coords.clone(), w.cseq, w.trigger, resched)
+            } else {
+                (Vec::new(), 0, 0, resched)
+            }
+        };
+        if cseq != 0 {
+            let (m, cov) = self
+                .subs
+                .watches
+                .get(&template)
+                .and_then(|w| w.last.clone())
+                .expect("just set");
+            for c in coords {
+                self.send_contrib(c, template, cseq, m.clone(), cov, trigger, ctx);
+            }
+            self.arm_contrib_retry(template, ctx);
+        }
+        if resched {
+            if let Some(w) = self.subs.watches.get_mut(&template) {
+                if !w.armed {
+                    w.armed = true;
+                    let delay = w.window.window();
+                    ctx.set_timer(delay, SUB_REPAIR | u64::from(template));
+                }
+            }
+        }
+    }
+
+    /// Sends one absolute contribution to a coordinator (self-delivery
+    /// short-circuits the network).
+    #[allow(clippy::too_many_arguments)]
+    fn send_contrib(
+        &mut self,
+        coord: NodeId,
+        template: u16,
+        cseq: u64,
+        matches: Vec<NodeId>,
+        covered: u64,
+        trigger: SimTime,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        ctx.metrics().inc("wl.sub.contrib");
+        let cluster = self.shared.cluster_of[self.id];
+        if coord == self.id {
+            self.on_sub_contrib(
+                template, cluster, cseq, matches, covered, trigger, self.id, ctx,
+            );
+            return;
+        }
+        let scalars = matches.len() as u64 + 2;
+        ctx.unicast_tagged(
+            coord,
+            ServeMsg::SubContrib {
+                template,
+                cluster,
+                cseq,
+                matches,
+                covered,
+                trigger,
+            },
+            "wl_subcontrib",
+            scalars,
+            QID_SUB_REPAIR | u64::from(template),
+        );
+    }
+
+    /// Arms the contribution retransmit deadline (recovery only; sized by
+    /// the backlog-aware envelope, see [`ServeNode::sub_rt_deadline`]).
+    fn arm_contrib_retry(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        if !self.shared.recovery {
+            return;
+        }
+        let dl = self.sub_rt_deadline(ctx);
+        let Some(w) = self.subs.watches.get_mut(&template) else {
+            return;
+        };
+        if !w.retry_armed && !w.unacked.is_empty() {
+            w.retry_armed = true;
+            ctx.set_timer(dl, SUB_CONTRIB_RETRY | u64::from(template));
+        }
+    }
+
+    /// Contribution retransmit deadline: one bounded retry round to the
+    /// still-unacked coordinators, then give up (a dead coordinator's
+    /// successor re-registers the watch itself).
+    fn on_contrib_retry(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let (targets, cseq, last, trigger) = {
+            let Some(w) = self.subs.watches.get_mut(&template) else {
+                return;
+            };
+            w.retry_armed = false;
+            if w.unacked.is_empty() {
+                return;
+            }
+            if w.retries >= 2 {
+                ctx.metrics().inc("wl.sub.contrib.gaveup");
+                w.unacked.clear();
+                return;
+            }
+            w.retries += 1;
+            (w.unacked.clone(), w.cseq, w.last.clone(), w.trigger)
+        };
+        let Some((m, cov)) = last else { return };
+        ctx.metrics().inc("wl.sub.contrib.retry");
+        for c in targets {
+            self.send_contrib(c, template, cseq, m.clone(), cov, trigger, ctx);
+        }
+        self.arm_contrib_retry(template, ctx);
+    }
+
+    /// Coordinator: integrate one cluster's absolute contribution and
+    /// schedule a push flush if the merged view moved.
+    #[allow(clippy::too_many_arguments)]
+    fn on_sub_contrib(
+        &mut self,
+        template: u16,
+        cluster: usize,
+        cseq: u64,
+        matches: Vec<NodeId>,
+        covered: u64,
+        trigger: SimTime,
+        from: NodeId,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        if self.shared.recovery && from != self.id {
+            ctx.unicast_tagged(
+                from,
+                ServeMsg::SubContribAck { template, cseq },
+                "wl_subctl",
+                2,
+                QID_SUB_CONTROL | u64::from(template),
+            );
+        }
+        let changed = {
+            let Some(v) = self.subs.views.get_mut(&template) else {
+                return;
+            };
+            if v.integrate(cluster, from, cseq, matches, covered) {
+                v.trigger = Some(v.trigger.map_or(trigger, |t0| t0.min(trigger)));
+                true
+            } else {
+                false
+            }
+        };
+        if changed {
+            self.schedule_flush(template, ctx);
+        }
+    }
+
+    /// Arms the push flush timer for a template through its adaptive
+    /// window.
+    fn schedule_flush(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let now = ctx.now();
+        let Some(v) = self.subs.views.get_mut(&template) else {
+            return;
+        };
+        v.window.observe(now);
+        if v.trigger.is_none() {
+            v.trigger = Some(now);
+        }
+        if !v.flush_armed {
+            v.flush_armed = true;
+            let delay = v.window.window();
+            ctx.set_timer(delay, SUB_FLUSH | u64::from(template));
+        }
+    }
+
+    /// Push flush: compose and send the pending delta (or snapshot) for
+    /// every subscription of this template.
+    fn on_sub_flush(&mut self, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
+        let (merged, covered, trigger) = {
+            let Some(v) = self.subs.views.get_mut(&template) else {
+                return;
+            };
+            v.flush_armed = false;
+            let t = v.trigger.take().unwrap_or_else(|| ctx.now());
+            (v.merged.clone(), v.covered, t)
+        };
+        let sids: Vec<u64> = self
+            .subs
+            .table
+            .iter()
+            .filter(|(_, e)| e.template == template)
+            .map(|(&s, _)| s)
+            .collect();
+        for sid in sids {
+            self.push_to(sid, &merged, covered, trigger, ctx);
+        }
+    }
+
+    /// Composes and transmits one push (self-subscribed clients are served
+    /// without touching the network).
+    fn push_to(
+        &mut self,
+        sid: u64,
+        merged: &[NodeId],
+        covered: u64,
+        trigger: SimTime,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let (client, push) = {
+            let Some(e) = self.subs.table.get_mut(&sid) else {
+                return;
+            };
+            let Some(push) = e.compose_push(merged, covered, trigger) else {
+                return;
+            };
+            let client = e.client;
+            if !shared.recovery {
+                // Fault-free transport delivers: confirm optimistically and
+                // skip the entire ack round.
+                e.confirm(push.version);
+            }
+            (client, push)
+        };
+        ctx.metrics().inc("wl.sub.push");
+        if client == self.id {
+            let version = push.version;
+            self.on_sub_push(
+                sid,
+                version,
+                push.base_version,
+                push.snapshot,
+                push.adds,
+                push.removes,
+                push.covered,
+                push.trigger,
+                self.id,
+                ctx,
+            );
+            if shared.recovery {
+                if let Some(e) = self.subs.table.get_mut(&sid) {
+                    e.confirm(version);
+                }
+            }
+            return;
+        }
+        let scalars = push.adds.len() as u64 + push.removes.len() as u64 + 3;
+        ctx.unicast_tagged(
+            client,
+            ServeMsg::SubPush {
+                sid,
+                version: push.version,
+                base_version: push.base_version,
+                snapshot: push.snapshot,
+                adds: push.adds,
+                removes: push.removes,
+                covered: push.covered,
+                trigger: push.trigger,
+            },
+            "wl_subpush",
+            scalars,
+            QID_SUB_PUSH | sid,
+        );
+        if shared.recovery {
+            let dl = self.sub_rt_deadline(ctx);
+            ctx.set_timer(dl, SUB_PUSH_RETRY | sid);
+        }
+    }
+
+    /// Push retransmit deadline: bounded retries of the identical push,
+    /// then the client is declared unreachable and the row dropped.
+    fn on_push_retry(&mut self, sid: u64, ctx: &mut Ctx<'_, ServeMsg>) {
+        let (client, resend) = {
+            let Some(e) = self.subs.table.get_mut(&sid) else {
+                return;
+            };
+            let Some(p) = e.sent.clone() else {
+                return;
+            };
+            if e.retries >= 2 {
+                (e.client, None)
+            } else {
+                e.retries += 1;
+                (e.client, Some(p))
+            }
+        };
+        match resend {
+            Some(p) => {
+                ctx.metrics().inc("wl.sub.push.retry");
+                let scalars = p.adds.len() as u64 + p.removes.len() as u64 + 3;
+                ctx.unicast_tagged(
+                    client,
+                    ServeMsg::SubPush {
+                        sid,
+                        version: p.version,
+                        base_version: p.base_version,
+                        snapshot: p.snapshot,
+                        adds: p.adds,
+                        removes: p.removes,
+                        covered: p.covered,
+                        trigger: p.trigger,
+                    },
+                    "wl_subpush",
+                    scalars,
+                    QID_SUB_PUSH | sid,
+                );
+                let dl = self.sub_rt_deadline(ctx);
+                ctx.set_timer(dl, SUB_PUSH_RETRY | sid);
+            }
+            None => {
+                self.subs.table.remove(&sid);
+                ctx.metrics().inc("wl.sub.gaveup");
+                self.send_sub_end(sid, client, end_reason::UNREACHABLE, ctx);
+            }
+        }
+    }
+
+    /// Client: apply one push under the version rules; ack under recovery,
+    /// escalate to a resync on a version gap.
+    #[allow(clippy::too_many_arguments)]
+    fn on_sub_push(
+        &mut self,
+        sid: u64,
+        version: u64,
+        base_version: u64,
+        snapshot: bool,
+        adds: Vec<NodeId>,
+        removes: Vec<NodeId>,
+        covered: u64,
+        trigger: SimTime,
+        from: NodeId,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let verdict = {
+            let Some(c) = self.subs.client.get_mut(&sid) else {
+                return;
+            };
+            c.apply_push(version, base_version, snapshot, &adds, &removes, covered)
+        };
+        match verdict {
+            PushVerdict::Applied => {
+                let lat = ctx.now().saturating_sub(trigger);
+                ctx.metrics().observe("wl.sub.push_latency", lat);
+                if let Some(c) = self.subs.client.get_mut(&sid) {
+                    c.latencies.push(lat);
+                }
+                if shared.recovery && from != self.id {
+                    ctx.unicast_tagged(
+                        from,
+                        ServeMsg::SubAck { sid, version },
+                        "wl_suback",
+                        2,
+                        QID_SUB_PUSH | sid,
+                    );
+                }
+            }
+            PushVerdict::Ignored => {}
+            PushVerdict::NeedResync => {
+                ctx.metrics().inc("wl.sub.resync");
+                if from == self.id {
+                    self.on_sub_resync(sid, ctx);
+                } else {
+                    ctx.unicast_tagged(
+                        from,
+                        ServeMsg::SubResync { sid },
+                        "wl_subctl",
+                        1,
+                        QID_SUB_CONTROL | sid,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Coordinator: a push was confirmed.
+    fn on_sub_ack(&mut self, sid: u64, version: u64, ctx: &mut Ctx<'_, ServeMsg>) {
+        let now = ctx.now();
+        if let Some(e) = self.subs.table.get_mut(&sid) {
+            e.last_active = now;
+            if e.confirm(version) {
+                e.retries = 0;
+            }
+        }
+    }
+
+    /// Coordinator: the client's view diverged — restart its stream from a
+    /// snapshot.
+    fn on_sub_resync(&mut self, sid: u64, ctx: &mut Ctx<'_, ServeMsg>) {
+        let now = ctx.now();
+        let template = {
+            let Some(e) = self.subs.table.get_mut(&sid) else {
+                return;
+            };
+            e.acked = None;
+            e.sent = None;
+            e.retries = 0;
+            e.last_active = now;
+            e.template
+        };
+        self.schedule_flush(template, ctx);
+    }
+
+    /// Forwards a `SubTakeover` flood and reacts in the coordinator and
+    /// watcher roles: the dead root's contributions become unverifiable
+    /// (drop them — honesty over completeness), its node disappears from
+    /// coordinator lists, and every global watch is re-registered with the
+    /// successor.
+    fn on_sub_takeover(
+        &mut self,
+        cluster: usize,
+        successor: NodeId,
+        from: Option<NodeId>,
+        ctx: &mut Ctx<'_, ServeMsg>,
+    ) {
+        if self.subs.seen_takeover.get(&cluster) == Some(&successor) {
+            return;
+        }
+        self.subs.seen_takeover.insert(cluster, successor);
+        // Forward the flood over the backbone.
+        let shared = Arc::clone(&self.shared);
+        let from_cluster = from.map(|f| shared.cluster_of[f]);
+        let peers = self.plan.backbone_peers.clone();
+        for p in peers {
+            let pc = shared.cluster_of[p];
+            if Some(pc) == from_cluster || pc == cluster {
+                continue;
+            }
+            if let Some(addr) = current_root(&shared, pc, ctx) {
+                ctx.unicast_tagged(
+                    addr,
+                    ServeMsg::SubTakeover { cluster, successor },
+                    "wl_subwatch",
+                    2,
+                    QID_SUB_CONTROL | cluster as u64,
+                );
+            }
+        }
+        if successor == self.id {
+            return;
+        }
+        // Watcher role: stop reporting to the dead coordinator. The
+        // successor is spared even though it sits in the same cluster — its
+        // `SubWatch` may have raced ahead of this flood, and the per-
+        // coordinator `seen_watch` dedup would block it from ever
+        // re-registering a watch this purge dropped.
+        for (_, w) in self.subs.watches.iter_mut() {
+            w.coords
+                .retain(|&c| c == successor || shared.cluster_of[c] != cluster);
+            w.unacked
+                .retain(|&c| c == successor || shared.cluster_of[c] != cluster);
+        }
+        // Coordinator role: the failed cluster's claims are unverifiable
+        // until its successor reports — drop them (views shrink honestly)
+        // and re-register every global watch with the successor.
+        let templates: Vec<u16> = self.subs.views.keys().copied().collect();
+        for t in templates {
+            let changed = self
+                .subs
+                .views
+                .get_mut(&t)
+                .is_some_and(|v| v.zero_cluster(cluster));
+            if changed {
+                self.schedule_flush(t, ctx);
+            }
+            if self.subs.wants_global(t) {
+                ctx.unicast_tagged(
+                    successor,
+                    ServeMsg::SubWatch {
+                        template: t,
+                        coordinator: self.id,
+                    },
+                    "wl_subwatch",
+                    2,
+                    QID_SUB_CONTROL | u64::from(t),
+                );
+            }
+        }
+    }
+
+    /// Client: the failover successor asked for re-registration — re-send
+    /// every active subscription (its table died with the old root).
+    fn on_sub_reregister(&mut self, from: NodeId, ctx: &mut Ctx<'_, ServeMsg>) {
+        let active: Vec<(u64, u16)> = self
+            .subs
+            .client
+            .iter()
+            .filter(|(_, c)| c.active)
+            .map(|(&sid, c)| (sid, c.template))
+            .collect();
+        for (sid, template) in active {
+            ctx.unicast_tagged(
+                from,
+                ServeMsg::SubRegister {
+                    sid,
+                    template,
+                    client: self.id,
+                },
+                "wl_subctl",
+                3,
+                QID_SUB_CONTROL | sid,
+            );
         }
     }
 }
@@ -1507,6 +2554,80 @@ impl Protocol for ServeNode {
                 }
                 self.invalidate_and_climb(ctx);
             }
+            ServeMsg::Subscribe { sid, template } => self.on_subscribe(sid, template, ctx),
+            ServeMsg::SubRegister {
+                sid,
+                template,
+                client,
+            } => {
+                if self.ensure_root(ctx) {
+                    self.on_sub_register(sid, template, client, ctx);
+                } else {
+                    ctx.metrics().inc("wl.misroute");
+                }
+            }
+            ServeMsg::SubWatch {
+                template,
+                coordinator,
+            } => {
+                if self.ensure_root(ctx) {
+                    self.on_sub_watch(template, coordinator, from, ctx);
+                } else {
+                    ctx.metrics().inc("wl.misroute");
+                }
+            }
+            ServeMsg::SubContrib {
+                template,
+                cluster,
+                cseq,
+                matches,
+                covered,
+                trigger,
+            } => {
+                if self.ensure_root(ctx) {
+                    self.on_sub_contrib(
+                        template, cluster, cseq, matches, covered, trigger, from, ctx,
+                    );
+                } else {
+                    ctx.metrics().inc("wl.misroute");
+                }
+            }
+            ServeMsg::SubContribAck { template, cseq } => {
+                self.on_sub_contrib_ack(template, cseq, from);
+            }
+            ServeMsg::SubPush {
+                sid,
+                version,
+                base_version,
+                snapshot,
+                adds,
+                removes,
+                covered,
+                trigger,
+            } => self.on_sub_push(
+                sid,
+                version,
+                base_version,
+                snapshot,
+                adds,
+                removes,
+                covered,
+                trigger,
+                from,
+                ctx,
+            ),
+            ServeMsg::SubAck { sid, version } => self.on_sub_ack(sid, version, ctx),
+            ServeMsg::SubResync { sid } => self.on_sub_resync(sid, ctx),
+            ServeMsg::SubEnd { sid, reason } => {
+                if let Some(c) = self.subs.client.get_mut(&sid) {
+                    c.active = false;
+                    c.end_reason = reason;
+                }
+            }
+            ServeMsg::SubTakeover { cluster, successor } => {
+                self.on_sub_takeover(cluster, successor, Some(from), ctx);
+            }
+            ServeMsg::SubReregister => self.on_sub_reregister(from, ctx),
         }
     }
 
@@ -1521,6 +2642,14 @@ impl Protocol for ServeNode {
             self.on_eval_deadline((timer & DEADLINE_PAYLOAD) as u16, ctx);
         } else if timer & ECHO_DEADLINE != 0 {
             self.on_echo_deadline(timer & DEADLINE_PAYLOAD, ctx);
+        } else if timer & SUB_PUSH_RETRY != 0 {
+            self.on_push_retry(timer & DEADLINE_PAYLOAD, ctx);
+        } else if timer & SUB_CONTRIB_RETRY != 0 {
+            self.on_contrib_retry((timer & DEADLINE_PAYLOAD) as u16, ctx);
+        } else if timer & SUB_REPAIR != 0 {
+            self.on_sub_repair_timer((timer & DEADLINE_PAYLOAD) as u16, ctx);
+        } else if timer & SUB_FLUSH != 0 {
+            self.on_sub_flush((timer & DEADLINE_PAYLOAD) as u16, ctx);
         } else {
             // Batch-window flush for a template descent at a cluster root.
             self.launch_descent(timer as u16, ctx);
@@ -1592,6 +2721,33 @@ impl Canonicalize for ServeNode {
         out.push_str("|cq:");
         for c in &self.completed {
             let _ = write!(out, "{c:?}");
+        }
+        // Standing-subscription state: client views, the coordinator table,
+        // merged template views, watcher state, and both flood dedup sets.
+        // All integer-keyed FlatMaps with Debug-safe (int/Vec/Option) fields.
+        out.push_str("|su:");
+        for (sid, c) in self.subs.client.iter() {
+            let _ = write!(out, "[{sid}:{c:?}]");
+        }
+        out.push_str("|st:");
+        for (sid, e) in self.subs.table.iter() {
+            let _ = write!(out, "[{sid}:{e:?}]");
+        }
+        out.push_str("|sv:");
+        for (t, v) in self.subs.views.iter() {
+            let _ = write!(out, "[{t}:{v:?}]");
+        }
+        out.push_str("|sw:");
+        for (t, w) in self.subs.watches.iter() {
+            let _ = write!(out, "[{t}:{w:?}]");
+        }
+        out.push_str("|sf:");
+        for (t, s) in self.subs.seen_watch.iter() {
+            let _ = write!(out, "[{t}:{s:?}]");
+        }
+        out.push_str("|sk:");
+        for (c, s) in self.subs.seen_takeover.iter() {
+            let _ = write!(out, "[{c}:{s}]");
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Serving QoS policy for the standing-query engine: bounded subscription
+//! tables with LRU/popularity eviction, arrival-rate-adaptive batch
+//! windows, and per-client admission control that sheds or degrades before
+//! overload.
+//!
+//! This module is *pure policy*: deterministic integer arithmetic over
+//! state the protocol hands it, no messaging and no side effects. The
+//! mechanics (who sends what when a subscription is shed, evicted, or
+//! degraded) live in [`crate::subscribe`] and `protocol.rs`; keeping the
+//! policy separate makes every decision unit-testable and keeps the
+//! protocol handlers free of tuning arithmetic.
+//!
+//! # Admission ladder
+//!
+//! A coordinator admits a new subscription through three gates, evaluated
+//! in order (DESIGN.md §14):
+//!
+//! 1. **Per-client cap** — a client already holding
+//!    [`QosConfig::max_per_client`] live subscriptions at this coordinator
+//!    is *shed* (the registration is refused with an honest
+//!    `SubEnd`); one client cannot monopolize the table.
+//! 2. **Degrade watermark** — once the table holds
+//!    [`QosConfig::degrade_watermark`] entries, new subscriptions are
+//!    admitted *degraded*: their template is watched only in the
+//!    coordinator's own cluster (no backbone fan-out), so they cost O(1)
+//!    clusters instead of O(all) and honestly report the reduced
+//!    `coverage_milli` that narrower watch implies.
+//! 3. **Capacity** — at [`QosConfig::max_subs`] entries the table evicts
+//!    its least-valuable entry (see below) to make room; the evicted
+//!    client is told via `SubEnd` rather than silently dropped.
+//!
+//! # Eviction order
+//!
+//! The victim is the minimum by `(last_active, pushes, sid)`: least
+//! recently active first (LRU), ties broken towards the less popular
+//! subscription (fewer delivered pushes), then the smaller id for
+//! determinism. Both signals matter: LRU alone would churn out a hot
+//! subscription that happens to sit on a quiet template, popularity alone
+//! would pin dead subscriptions forever.
+//!
+//! # Adaptive batch windows
+//!
+//! [`AdaptiveWindow`] tracks an EWMA of event inter-arrival gaps (integer
+//! milli-ticks) and derives a coalescing window that *grows* as arrivals
+//! densify: `window = clamp(min, max, min·max / ewma_gap)`. Sparse churn
+//! (gap ≥ `max`) pushes immediately (`min`), a churn storm (gap ≤ `min`)
+//! caps the push fan-out rate near `1/max`. The same curve paces both
+//! repair descents at watcher roots and push flushes at coordinators.
+
+use elink_netsim::SimTime;
+
+/// QoS knobs of the subscription engine. All thresholds are per
+/// coordinator (cluster root), not global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosConfig {
+    /// Hard capacity of a coordinator's subscription table; at capacity
+    /// the LRU/popularity victim is evicted to admit a newcomer.
+    pub max_subs: usize,
+    /// Occupancy at which new subscriptions are admitted *degraded*
+    /// (local-cluster watch only, honest reduced coverage). Must be ≤
+    /// `max_subs`.
+    pub degrade_watermark: usize,
+    /// Maximum live subscriptions one client may hold at one coordinator;
+    /// beyond it registrations are shed.
+    pub max_per_client: usize,
+    /// Minimum coalescing window (ticks) of the adaptive batchers — the
+    /// latency floor paid under sparse churn.
+    pub window_min: SimTime,
+    /// Maximum coalescing window (ticks) — the push-rate cap under dense
+    /// churn.
+    pub window_max: SimTime,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            max_subs: 64,
+            degrade_watermark: 48,
+            max_per_client: 8,
+            window_min: 1,
+            window_max: 32,
+        }
+    }
+}
+
+/// Outcome of the admission ladder for one registration attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit with a full (global) template watch.
+    Full,
+    /// Admit with a local-cluster-only watch (honest reduced coverage).
+    Degraded,
+    /// Refuse: the client is over its per-client cap.
+    Shed,
+}
+
+/// Runs the admission ladder: `occupancy` is the coordinator's current
+/// table size, `client_subs` how many live entries this client already
+/// holds there.
+// simlint: hot
+pub fn admit(cfg: &QosConfig, occupancy: usize, client_subs: usize) -> Admission {
+    if client_subs >= cfg.max_per_client {
+        Admission::Shed
+    } else if occupancy >= cfg.degrade_watermark {
+        Admission::Degraded
+    } else {
+        Admission::Full
+    }
+}
+
+/// Picks the eviction victim among `(sid, last_active, pushes)` rows:
+/// minimum by `(last_active, pushes, sid)`. Returns `None` on an empty
+/// iterator. Deterministic for any iteration order.
+pub fn evict_victim(rows: impl Iterator<Item = (u64, SimTime, u64)>) -> Option<u64> {
+    rows.min_by_key(|&(sid, last_active, pushes)| (last_active, pushes, sid))
+        .map(|(sid, _, _)| sid)
+}
+
+/// Arrival-rate-adaptive coalescing window (see the module docs for the
+/// curve). Deterministic integer arithmetic only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveWindow {
+    min: SimTime,
+    max: SimTime,
+    /// EWMA of the inter-arrival gap, in milli-ticks. Seeded at `max`
+    /// ticks so a cold batcher starts at the latency floor.
+    ewma_gap_milli: u64,
+    last: Option<SimTime>,
+}
+
+impl AdaptiveWindow {
+    /// A fresh window tracker over `[min, max]` ticks (`min ≥ 1` enforced;
+    /// `max` is raised to `min` if inverted).
+    pub fn new(min: SimTime, max: SimTime) -> AdaptiveWindow {
+        let min = min.max(1);
+        AdaptiveWindow {
+            min,
+            max: max.max(min),
+            ewma_gap_milli: max.max(min) * 1000,
+            last: None,
+        }
+    }
+
+    /// Records one arrival at `now`, updating the gap EWMA (weight 1/4 on
+    /// the new sample). Same-tick arrivals count as gap 0 and drive the
+    /// window towards `max`.
+    // simlint: hot
+    pub fn observe(&mut self, now: SimTime) {
+        if let Some(last) = self.last {
+            let gap_milli = now.saturating_sub(last) * 1000;
+            self.ewma_gap_milli = (3 * self.ewma_gap_milli + gap_milli) / 4;
+        }
+        self.last = Some(now);
+    }
+
+    /// The current coalescing window: `clamp(min, max, min·max/gap)` over
+    /// the EWMA gap.
+    // simlint: hot
+    pub fn window(&self) -> SimTime {
+        let gap = (self.ewma_gap_milli / 1000).max(1);
+        (self.min * self.max / gap).clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_ladder_order() {
+        let cfg = QosConfig {
+            max_subs: 8,
+            degrade_watermark: 4,
+            max_per_client: 2,
+            ..QosConfig::default()
+        };
+        assert_eq!(admit(&cfg, 0, 0), Admission::Full);
+        assert_eq!(admit(&cfg, 3, 1), Admission::Full);
+        assert_eq!(admit(&cfg, 4, 0), Admission::Degraded);
+        assert_eq!(admit(&cfg, 7, 1), Admission::Degraded);
+        // The per-client cap outranks the degrade watermark.
+        assert_eq!(admit(&cfg, 0, 2), Admission::Shed);
+        assert_eq!(admit(&cfg, 7, 5), Admission::Shed);
+    }
+
+    #[test]
+    fn eviction_is_lru_then_popularity_then_sid() {
+        let rows = [(5u64, 40u64, 9u64), (3, 10, 7), (8, 10, 2), (1, 10, 2)];
+        // last_active 10 ties → fewest pushes (2) ties → smallest sid.
+        assert_eq!(evict_victim(rows.iter().copied()), Some(1));
+        assert_eq!(evict_victim(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn adaptive_window_grows_under_dense_churn() {
+        let mut w = AdaptiveWindow::new(2, 32);
+        assert_eq!(w.window(), 2, "cold batcher sits at the latency floor");
+        // Dense arrivals (gap 1 ≪ min·max) push the window to the cap.
+        for t in 0..64 {
+            w.observe(t);
+        }
+        assert_eq!(w.window(), 32);
+        // Sparse arrivals decay it back to the floor.
+        for k in 0..64 {
+            w.observe(1000 + k * 500);
+        }
+        assert_eq!(w.window(), 2);
+    }
+
+    #[test]
+    fn adaptive_window_is_deterministic_and_clamped() {
+        let mut a = AdaptiveWindow::new(0, 0);
+        for t in [5, 5, 9, 100, 101] {
+            a.observe(t);
+            let w = a.window();
+            assert!(w >= 1, "window must stay positive");
+        }
+        let mut b = AdaptiveWindow::new(0, 0);
+        for t in [5, 5, 9, 100, 101] {
+            b.observe(t);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the standing-query subscription engine.
+//!
+//! The differential contract: a subscriber's incrementally repaired view
+//! is indistinguishable from a *fresh one-shot query* for the same
+//! template issued by the same client after the network quiesces — both
+//! answer over last-known anchors. Under drop faults alone (ARQ armed)
+//! the equivalence is exact; under a leader crash the chaos sub-cell
+//! audit applies (exact under full coverage, sound subset otherwise).
+
+use elink_datasets::TerrainDataset;
+use elink_metric::{Absolute, Metric};
+use elink_netsim::{ArqConfig, LossyLink};
+use elink_workload::{
+    expected_matches, run_sub_cell, ServeOptions, SubFaultSpec, WorkloadSim, WorkloadSpec,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random topology, random churn/subscription interleaving, random
+    /// drop rate: once quiesced, every surviving subscription's view
+    /// equals both the brute-force truth over current anchors and the
+    /// answer of a fresh one-shot query driven through the real serving
+    /// pipeline from the same client.
+    #[test]
+    fn subscriber_views_match_fresh_oneshot_queries(
+        topo_seed in 0u64..30,
+        wl_seed in 0u64..1000,
+        drop_milli in 0u64..=200,
+        n_updates in 0usize..10,
+    ) {
+        let data = TerrainDataset::generate(64, 5, 0.55, topo_seed);
+        let topo = data.topology().clone();
+        let features = data.features();
+        let metric: Arc<dyn Metric> = Arc::new(Absolute);
+        let delta = 300.0;
+        let n = topo.n() as u64;
+
+        let mut spec = WorkloadSpec::quick(wl_seed);
+        spec.n_queries = 0;
+        spec.n_updates = n_updates;
+        spec.n_subscribers = 5;
+        let mut opts = ServeOptions::for_delta(delta);
+        opts.recovery = true;
+        let mut sim = WorkloadSim::build_with_link(
+            topo,
+            features,
+            Arc::clone(&metric),
+            delta,
+            &spec,
+            opts,
+            LossyLink::new(1, 2).with_drop_prob(drop_milli as f64 / 1000.0),
+            Some(ArqConfig::default()),
+        );
+
+        // Concurrent drive: registrations and churn land at their
+        // scheduled ticks with no barrier between them — the proptest
+        // seed *is* the interleaving.
+        let subs = sim.schedule().subscriptions.clone();
+        let updates = sim.schedule().updates.clone();
+        for s in &subs {
+            sim.inject_subscribe(s.at, s.client, s.sid, s.template);
+        }
+        for u in &updates {
+            sim.inject_update(u.at, u.node, u.feature.clone());
+        }
+        sim.quiesce();
+
+        // Differential probe: one fresh one-shot query per subscription,
+        // from the same client for the same template.
+        let mut qid = 1u64;
+        let probes: Vec<(u64, usize, u16)> = subs
+            .iter()
+            .map(|s| {
+                let q = qid;
+                qid += 1;
+                (q, s.client, s.template)
+            })
+            .collect();
+        for &(q, client, template) in &probes {
+            let at = sim.sim().now();
+            sim.inject_query(at, client, q, template);
+        }
+        sim.quiesce();
+
+        let templates = sim.schedule().templates.clone();
+        let anchors = sim.anchors();
+        for (i, &(q, client, template)) in probes.iter().enumerate() {
+            let node = &sim.sim().nodes()[client];
+            let truth = expected_matches(&templates[template as usize], &anchors, metric.as_ref());
+            let oneshot = node
+                .completed()
+                .iter()
+                .find(|c| c.qid == q)
+                .expect("one-shot probe did not complete");
+            prop_assert_eq!(
+                oneshot.coverage_milli, 1000,
+                "probe {} degraded under pure loss (drop={}m)", q, drop_milli
+            );
+            prop_assert_eq!(
+                &oneshot.matches, &truth,
+                "probe {}: one-shot answer != brute truth", q
+            );
+            let sub = node
+                .client_subs()
+                .find(|(sid, _)| *sid == subs[i].sid)
+                .map(|(_, c)| c)
+                .expect("subscription state missing at client");
+            prop_assert!(sub.active, "subscription {} died under pure loss", subs[i].sid);
+            prop_assert_eq!(sub.covered, n, "subscription {} lost coverage", subs[i].sid);
+            prop_assert_eq!(
+                &sub.view, &oneshot.matches,
+                "subscription {}: incrementally repaired view != fresh one-shot answer \
+                 (drop={}m updates={})",
+                subs[i].sid, drop_milli, n_updates
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The leader-crash variant, through the chaos sub-cell: random
+    /// deployments and drop rates with the first subscription's
+    /// coordinator crashed mid-subscription must always fail over, keep
+    /// serving pushes, and never break push soundness.
+    #[test]
+    fn leader_crash_cells_stay_sound_across_random_deployments(
+        topo_seed in 0u64..30,
+        wl_seed in 0u64..1000,
+        drop_milli in 0u64..=200,
+    ) {
+        let data = TerrainDataset::generate(64, 5, 0.55, topo_seed);
+        let metric: Arc<dyn Metric> = Arc::new(Absolute);
+        let Some(cell) = run_sub_cell(
+            data.topology(),
+            &data.features(),
+            &metric,
+            300.0,
+            wl_seed,
+            SubFaultSpec { drop_milli },
+        ) else {
+            // No isolatable (non-relay) coordinator in this deployment —
+            // the cell would measure transport partition, not failover.
+            return Ok(());
+        };
+        prop_assert!(cell.failovers >= 1, "no takeover: {cell:?}");
+        prop_assert_eq!(cell.violations, 0, "push soundness broken: {:?}", cell);
+        prop_assert!(cell.active >= 1, "no subscription survived: {cell:?}");
+        prop_assert!(cell.pushes > 0, "no pushes after failover: {cell:?}");
+    }
+}
