@@ -49,6 +49,9 @@ run_bench_bin chaos_report --check --out target/BENCH_chaos.json
 echo "== contention_report --check (queueing-knee + flow-model determinism smoke)"
 run_bench_bin contention_report --check --out target/BENCH_contention.json
 
+echo "== admission_report --check (load-admission A/B knee + determinism smoke)"
+run_bench_bin admission_report --check --out target/BENCH_admission.json
+
 echo "== scale_report --check (scheduler-differential scaling smoke)"
 run_bench_bin scale_report --check --out target/BENCH_scale.json
 

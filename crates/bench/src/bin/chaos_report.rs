@@ -1,5 +1,5 @@
 //! Runs the seeded fault campaign and writes `BENCH_chaos.json` (schema
-//! `elink-chaos/v2`).
+//! `elink-chaos/v3`).
 //!
 //! ```text
 //! chaos_report [--check] [--out PATH]
@@ -24,8 +24,10 @@ use std::sync::Arc;
 
 /// The benchmark campaign: a 192-node terrain deployment, 60 queries per
 /// cell, over drop ∈ {0, 250}‰ × crash ∈ {0, 150}‰ plus one partition
-/// cell — the fault classes the recovery layer must survive, kept to five
-/// cells so the double-run `--check` stays in CI budget.
+/// cell and one composed capacity × loss × crash cell (congestion pricing,
+/// drop faults, crashed leaders and the load-admission ladder all active
+/// at once) — the fault classes the recovery layer must survive, kept to
+/// six cells so the double-run `--check` stays in CI budget.
 fn grid() -> Vec<FaultSpec> {
     vec![
         FaultSpec {
@@ -57,6 +59,12 @@ fn grid() -> Vec<FaultSpec> {
             crash_milli: 0,
             partition: Some((400, 900)),
             capacity: None,
+        },
+        FaultSpec {
+            drop_milli: 100,
+            crash_milli: 150,
+            partition: None,
+            capacity: Some(64),
         },
     ]
 }
@@ -120,15 +128,20 @@ fn main() {
     );
     for c in &report.cells {
         println!(
-            "  drop={}m crash={}m part={} | done={}/{} exact={} partial={} cov_mean={}m | retx={} timeouts={} failovers={} violations={}",
+            "  drop={}m crash={}m part={} cap={} | done={}/{} exact={} partial={} cov_mean={}m | adm={} deg={} shed={} queued={} | retx={} timeouts={} failovers={} violations={}",
             c.fault.drop_milli,
             c.fault.crash_milli,
             c.fault.partition.is_some(),
+            c.fault.capacity.unwrap_or(0),
             c.done,
             c.expected,
             c.exact,
             c.partial,
             c.coverage_mean_milli,
+            c.admitted,
+            c.degraded,
+            c.shed,
+            c.queued_ms,
             c.retx,
             c.timeouts,
             c.failovers,
@@ -137,8 +150,9 @@ fn main() {
     }
     for c in &report.sub_cells {
         println!(
-            "  sub drop={}m crash_at={} leader={} | reg={} adm={} active={} ended={} exact={} subset={} | pushes={} repairs={} resyncs={} gaveup={} failovers={} violations={}",
+            "  sub drop={}m cap={} crash_at={} leader={} | reg={} adm={} active={} ended={} exact={} subset={} | pushes={} repairs={} resyncs={} gaveup={} failovers={} queued={} violations={}",
             c.fault.drop_milli,
+            c.fault.capacity.unwrap_or(0),
             c.crash_at,
             c.crashed_leader,
             c.registered,
@@ -152,6 +166,7 @@ fn main() {
             c.resyncs,
             c.contrib_gaveup,
             c.failovers,
+            c.queued_ms,
             c.violations
         );
     }
@@ -161,7 +176,13 @@ fn main() {
         std::process::exit(1);
     }
     for c in &report.cells {
-        if c.fault.crash_milli == 0 && c.fault.partition.is_none() && c.partial > 0 {
+        // Capacity cells are exempt from the loss-invisibility gate: the
+        // load-admission ladder *intends* to degrade/shed under congestion.
+        if c.fault.crash_milli == 0
+            && c.fault.partition.is_none()
+            && c.fault.capacity.is_none()
+            && c.partial > 0
+        {
             eprintln!(
                 "ACCEPTANCE FAILURE: pure loss (drop={}m) degraded {} answers — ARQ must absorb loss completely",
                 c.fault.drop_milli, c.partial

@@ -23,7 +23,8 @@
 //! The suite is the small-topology catalog from `elink-mc`: 3-node
 //! explicit-mode growth (fault-free, then one message drop — expected to
 //! deadlock without ARQ and to replay) and the 4-node serving query
-//! (fault-free; one crash; one crash plus one drop).
+//! (fault-free; one crash; one crash plus one drop; contended over a
+//! capacity-1 fair-share link, with the flow table in the fingerprint).
 
 use std::time::Instant;
 
@@ -113,6 +114,17 @@ fn run_suite() -> Vec<CellResult> {
     let out = serving::four_node().check(&budget(1, 0, 1), &serving_preds, Strategy::Bfs);
     cells.push(CellResult::from_outcome(
         "serving-4/1-crash+1-drop",
+        false,
+        &out,
+    ));
+
+    // Contended serving over a capacity-1 fair-share link: the flow table
+    // is part of the explored state (snapshotted into fingerprints), so
+    // this cell exhausts every interleaving of queued transfers and pins
+    // that coverage honesty survives link-level backlog reordering.
+    let out = serving::four_node_contended().check(&budget(0, 0, 0), &serving_preds, Strategy::Bfs);
+    cells.push(CellResult::from_outcome(
+        "serving-4/contended-cap1",
         false,
         &out,
     ));

@@ -26,6 +26,9 @@ struct NodeRow {
     retx: u64,
     delivers: u64,
     drops: u64,
+    /// Load-admission refusals (`reason:"shed"` drops): overload made
+    /// visible per node, never folded into wire `drops`.
+    shed: u64,
     timers: u64,
 }
 
@@ -59,6 +62,9 @@ struct QueryRow {
     retx: u64,
     delivers: u64,
     drops: u64,
+    /// Load-admission refusals (`reason:"shed"` drops), kept out of wire
+    /// `drops`: a shed query never transmitted anything.
+    shed: u64,
     first_t: u64,
     last_t: u64,
 }
@@ -91,7 +97,13 @@ fn summarize_queries(text: &str) -> (BTreeMap<u64, QueryRow>, u64) {
                 }
             }
             Some("deliver") => row.delivers += 1,
-            Some("drop") => row.drops += 1,
+            Some("drop") => {
+                if field_str(line, "reason") == Some("shed") {
+                    row.shed += 1;
+                } else {
+                    row.drops += 1;
+                }
+            }
             _ => continue,
         }
         if let Some(t) = field_u64(line, "t") {
@@ -119,6 +131,7 @@ fn summarize_kinds(rows: &BTreeMap<u64, QueryRow>) -> BTreeMap<&'static str, Que
         k.retx += r.retx;
         k.delivers += r.delivers;
         k.drops += r.drops;
+        k.shed += r.shed;
         k.first_t = k.first_t.min(r.first_t);
         k.last_t = k.last_t.max(r.last_t);
     }
@@ -131,8 +144,8 @@ fn render_kinds(kinds: &BTreeMap<&'static str, QueryRow>) {
     }
     println!();
     println!(
-        "{:>8} {:>8} {:>7} {:>10} {:>7} {:>8}",
-        "kind", "sends", "retx", "delivers", "drops", "span"
+        "{:>8} {:>8} {:>7} {:>10} {:>7} {:>5} {:>8}",
+        "kind", "sends", "retx", "delivers", "drops", "shed", "span"
     );
     for (kind, r) in kinds {
         let span = if r.first_t == u64::MAX {
@@ -141,8 +154,8 @@ fn render_kinds(kinds: &BTreeMap<&'static str, QueryRow>) {
             r.last_t - r.first_t
         };
         println!(
-            "{:>8} {:>8} {:>7} {:>10} {:>7} {:>8}",
-            kind, r.sends, r.retx, r.delivers, r.drops, span
+            "{:>8} {:>8} {:>7} {:>10} {:>7} {:>5} {:>8}",
+            kind, r.sends, r.retx, r.delivers, r.drops, r.shed, span
         );
     }
 }
@@ -153,8 +166,8 @@ fn render_queries(rows: &BTreeMap<u64, QueryRow>, untagged_retx: u64) {
     }
     println!();
     println!(
-        "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
-        "query", "sends", "retx", "delivers", "drops", "span"
+        "{:>7} {:>8} {:>7} {:>10} {:>7} {:>5} {:>8}",
+        "query", "sends", "retx", "delivers", "drops", "shed", "span"
     );
     for (qid, r) in rows {
         let span = if r.first_t == u64::MAX {
@@ -163,16 +176,16 @@ fn render_queries(rows: &BTreeMap<u64, QueryRow>, untagged_retx: u64) {
             r.last_t - r.first_t
         };
         println!(
-            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
-            qid, r.sends, r.retx, r.delivers, r.drops, span
+            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>5} {:>8}",
+            qid, r.sends, r.retx, r.delivers, r.drops, r.shed, span
         );
     }
     if untagged_retx > 0 {
         // Retransmissions whose query attribution was lost: an explicit
         // row, never folded into any query's (or any kind's) sends.
         println!(
-            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>8}",
-            "retx", 0, untagged_retx, 0, 0, 0
+            "{:>7} {:>8} {:>7} {:>10} {:>7} {:>5} {:>8}",
+            "retx", 0, untagged_retx, 0, 0, 0, 0
         );
     }
     eprintln!("{} tagged queries", rows.len());
@@ -208,7 +221,14 @@ fn summarize(text: &str) -> (Vec<NodeRow>, u64, u64) {
                 .map(|t| at(&mut rows, t).delivers += 1)
                 .is_some(),
             Some("drop") => field_u64(line, "from")
-                .map(|f| at(&mut rows, f).drops += 1)
+                .map(|f| {
+                    let row = at(&mut rows, f);
+                    if field_str(line, "reason") == Some("shed") {
+                        row.shed += 1;
+                    } else {
+                        row.drops += 1;
+                    }
+                })
                 .is_some(),
             Some("timer") => field_u64(line, "node")
                 .map(|n| at(&mut rows, n).timers += 1)
@@ -224,27 +244,28 @@ fn summarize(text: &str) -> (Vec<NodeRow>, u64, u64) {
 
 fn render(rows: &[NodeRow], total: u64, bad: u64) {
     println!(
-        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
-        "node", "sends", "retx", "delivers", "drops", "timers"
+        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>5} {:>7}",
+        "node", "sends", "retx", "delivers", "drops", "shed", "timers"
     );
     let mut sum = NodeRow::default();
     for (node, r) in rows.iter().enumerate() {
-        if r.sends + r.retx + r.delivers + r.drops + r.timers == 0 {
+        if r.sends + r.retx + r.delivers + r.drops + r.shed + r.timers == 0 {
             continue;
         }
         println!(
-            "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
-            node, r.sends, r.retx, r.delivers, r.drops, r.timers
+            "{:>5} {:>8} {:>7} {:>10} {:>7} {:>5} {:>7}",
+            node, r.sends, r.retx, r.delivers, r.drops, r.shed, r.timers
         );
         sum.sends += r.sends;
         sum.retx += r.retx;
         sum.delivers += r.delivers;
         sum.drops += r.drops;
+        sum.shed += r.shed;
         sum.timers += r.timers;
     }
     println!(
-        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>7}",
-        "total", sum.sends, sum.retx, sum.delivers, sum.drops, sum.timers
+        "{:>5} {:>8} {:>7} {:>10} {:>7} {:>5} {:>7}",
+        "total", sum.sends, sum.retx, sum.delivers, sum.drops, sum.shed, sum.timers
     );
     eprintln!("{total} events ({bad} unparseable)");
 }
@@ -329,12 +350,17 @@ mod tests {
         "{\"t\":9,\"ev\":\"send\",\"from\":2,\"to\":3}\n",
         "{\"t\":11,\"ev\":\"send\",\"from\":2,\"to\":3,\"retx\":1}\n",
         "{\"t\":10,\"ev\":\"timer\",\"node\":2}\n",
+        "{\"t\":12,\"ev\":\"drop\",\"from\":3,\"to\":3,\"reason\":\"shed\",\"qid\":11}\n",
     );
 
     #[test]
     fn per_query_rows_split_first_sends_from_retransmissions() {
         let (rows, untagged_retx) = summarize_queries(SYNTHETIC);
-        assert_eq!(rows.len(), 2, "untagged lines must not create rows");
+        assert_eq!(rows.len(), 3, "untagged lines must not create rows");
+        // The shed query: one admission refusal, nothing on the wire — the
+        // overload column carries it, the drop column must not.
+        let q11 = &rows[&11];
+        assert_eq!((q11.sends, q11.drops, q11.shed), (0, 0, 1));
         let q7 = &rows[&7];
         assert_eq!(q7.sends, 1, "retransmission counted as a first send");
         assert_eq!(q7.retx, 1);
@@ -389,8 +415,10 @@ mod tests {
     #[test]
     fn node_tallies_split_retransmissions_from_first_sends() {
         let (rows, total, bad) = summarize(SYNTHETIC);
-        assert_eq!(total, 9);
+        assert_eq!(total, 10);
         assert_eq!(bad, 0);
+        // Node 3's admission refusal: overload column only, never a drop.
+        assert_eq!((rows[3].shed, rows[3].drops), (1, 0));
         // Node 0: one first attempt, one retransmission, one drop — the
         // retransmission must not inflate `sends`.
         assert_eq!(rows[0].sends, 1);

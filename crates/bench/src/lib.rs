@@ -28,11 +28,18 @@
 //! benchmark over a contention-aware `FairShareLink`, showing the queueing
 //! knee (p99 superlinear past saturation).
 //!
+//! The [`admission`] module backs `admission_report`, the load-admission
+//! A/B sweep behind `BENCH_admission.json`: the same cap-64 sweep with the
+//! load ladder off vs on, gating that admission bounds the served tail
+//! past the knee without losing work or goodput.
+//!
 //! This crate is deliberately outside simlint's protocol-crate set: it is
 //! the one place in the workspace allowed to measure host wall-clock.
 
 #![warn(missing_docs)]
 
+/// The load-admission A/B sweep behind `BENCH_admission.json`.
+pub mod admission;
 /// The offered-load × capacity contention sweep behind `BENCH_contention.json`.
 pub mod contention;
 /// Quick experiment presets behind `BENCH_elink.json` and `trace_summary`.

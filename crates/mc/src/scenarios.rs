@@ -15,7 +15,9 @@
 
 use std::fmt::Debug;
 
-use elink_netsim::{Canonicalize, LinkModel, Protocol, ScriptedLink, SimTime, Simulator};
+use elink_netsim::{
+    Canonicalize, FairShareLink, LinkModel, Protocol, ScriptedLink, SimTime, Simulator,
+};
 
 use crate::explore::{explore, ExploreReport, Strategy};
 use crate::predicates::Predicate;
@@ -30,6 +32,14 @@ pub struct Scenario<P: Protocol> {
     pub delay_bound: u64,
     /// External stimuli injected into the schedule (tick ≥ 1).
     pub externals: Vec<(SimTime, usize, P::Msg)>,
+    /// When set, the scenario is explored under a contended
+    /// [`FairShareLink`] of this capacity instead of the pristine scripted
+    /// link: transmissions are priced through the flow table, flow
+    /// completions fire as exact-class events, and the `FlowTable` snapshot
+    /// joins node state in every fingerprint. Flow scenarios must be
+    /// explored fault-free (see `McSystem::assert_explorable`) and have no
+    /// scripted-replay path.
+    pub flow_capacity: Option<u64>,
     #[allow(clippy::type_complexity)]
     build: Box<dyn Fn(Box<dyn LinkModel>) -> Simulator<P>>,
 }
@@ -61,6 +71,26 @@ where
             name,
             delay_bound,
             externals,
+            flow_capacity: None,
+            build: Box::new(build),
+        }
+    }
+
+    /// Packages a *contended* scenario: explored under a
+    /// [`FairShareLink`] of `capacity` scalars/tick (delay cap set to
+    /// `delay_bound` so timeout math matches the explored envelope).
+    pub fn new_flow(
+        name: &'static str,
+        delay_bound: u64,
+        capacity: u64,
+        externals: Vec<(SimTime, usize, P::Msg)>,
+        build: impl Fn(Box<dyn LinkModel>) -> Simulator<P> + 'static,
+    ) -> Self {
+        Scenario {
+            name,
+            delay_bound,
+            externals,
+            flow_capacity: Some(capacity),
             build: Box::new(build),
         }
     }
@@ -70,14 +100,25 @@ where
         (self.build)(link)
     }
 
-    /// A fresh checker system over the pristine capture link.
+    /// A fresh checker system over the capture link: pristine scripted for
+    /// per-message scenarios, fair-sharing at the configured capacity for
+    /// contended ones.
     pub fn system(&self) -> McSystem<P> {
-        let sim = self.build(Box::new(ScriptedLink::pristine(self.delay_bound)));
+        let link: Box<dyn LinkModel> = match self.flow_capacity {
+            Some(capacity) => {
+                Box::new(FairShareLink::new(capacity).with_delay_cap(self.delay_bound))
+            }
+            None => Box::new(ScriptedLink::pristine(self.delay_bound)),
+        };
+        let sim = self.build(link);
         McSystem::new(sim, self.externals.clone())
     }
 
     /// Explores the scenario; on a violation, compiles the counterexample
-    /// on a fresh system and replays it under the normal engine.
+    /// on a fresh system and replays it under the normal engine. Contended
+    /// scenarios skip the compile/replay leg — a contention schedule is not
+    /// expressible as a per-message link script — and report the violation
+    /// through the exploration report alone.
     pub fn check(
         &self,
         config: &McConfig,
@@ -86,16 +127,20 @@ where
     ) -> CheckOutcome<P::Msg> {
         let mut sys = self.system();
         let report = explore(&mut sys, config, predicates, strategy);
-        let counterexample = report.violation.as_ref().map(|v| {
-            let mut fresh = self.system();
-            let spec = compile(&mut fresh, &v.path, config);
-            let predicate = predicates
-                .iter()
-                .find(|p| p.name() == v.predicate)
-                .expect("violated predicate is in the catalog");
-            let outcome = replay(&spec, |link| self.build(link), predicate.as_ref());
-            (spec, outcome)
-        });
+        let counterexample = if self.flow_capacity.is_some() {
+            None
+        } else {
+            report.violation.as_ref().map(|v| {
+                let mut fresh = self.system();
+                let spec = compile(&mut fresh, &v.path, config);
+                let predicate = predicates
+                    .iter()
+                    .find(|p| p.name() == v.predicate)
+                    .expect("violated predicate is in the catalog");
+                let outcome = replay(&spec, |link| self.build(link), predicate.as_ref());
+                (spec, outcome)
+            })
+        };
         CheckOutcome {
             report,
             counterexample,
@@ -303,6 +348,40 @@ pub mod serving {
             },
         )];
         Scenario::new("serving-4", 2, externals, |link| deploy(link).into_sim())
+    }
+
+    /// The contended variant: the same 4-node deployment explored under a
+    /// [`elink_netsim::FairShareLink`] of 1 scalar/tick, with two queries
+    /// submitted back-to-back so their serving traffic shares saturated
+    /// links. Every transmission is priced through the flow table — the
+    /// `FlowTable` snapshot (generation watermarks included) joins node
+    /// state in each fingerprint, and flow completions fire as exact-class
+    /// events. Fault-free by construction (see
+    /// `McSystem::assert_explorable`): the cell checks that answer
+    /// soundness and M-tree covering survive arbitrary contention
+    /// interleavings, not crash schedules.
+    pub fn four_node_contended() -> Scenario<ServeNode> {
+        let externals = vec![
+            (
+                1,
+                0usize,
+                ServeMsg::Submit {
+                    qid: 1,
+                    template: 0,
+                },
+            ),
+            (
+                2,
+                3usize,
+                ServeMsg::Submit {
+                    qid: 2,
+                    template: 0,
+                },
+            ),
+        ];
+        Scenario::new_flow("serving-4-contended", 2, 1, externals, |link| {
+            deploy(link).into_sim()
+        })
     }
 
     /// The serving predicate catalog. Ground truth is computed over the

@@ -36,7 +36,7 @@ use std::collections::BTreeSet;
 use std::fmt::Debug;
 use std::fmt::Write as _;
 
-use elink_netsim::{fnv1a, Canonicalize, McEvent, Protocol, SimTime, Simulator};
+use elink_netsim::{fnv1a, Canonicalize, FlowsSnapshot, McEvent, Protocol, SimTime, Simulator};
 
 /// How many faults of each class the explorer may inject along one path.
 #[derive(Debug, Clone, Copy, Default)]
@@ -109,10 +109,12 @@ impl<M: Clone> Clone for Pending<M> {
 
 impl<M> Pending<M> {
     /// Exact-class events fire at `ev.time` in engine order: timers, ARQ
-    /// bookkeeping, and self/external deliveries (which never touch the
-    /// radio — the engine enqueues them at an exact tick).
+    /// bookkeeping, self/external deliveries (which never touch the radio —
+    /// the engine enqueues them at an exact tick), and flow completions
+    /// (the contention schedule is physics: a transfer finishes exactly
+    /// when the flow table predicted, never earlier or later).
     pub fn exact(&self) -> bool {
-        self.ev.is_timer() || self.ev.origin() == Some(self.ev.node())
+        self.ev.is_timer() || self.ev.is_flow() || self.ev.origin() == Some(self.ev.node())
     }
 
     /// Latest realizable delivery tick for windowed events.
@@ -155,6 +157,10 @@ pub struct McState<P: Protocol> {
     pub crashes_used: u32,
     /// Transitions from the initial state.
     pub depth: usize,
+    /// Snapshot of the engine's flow table (empty for per-message links):
+    /// under a flow-model link the shared contention state is part of the
+    /// explored state, restored into the engine before every dispatch.
+    pub(crate) flows: FlowsSnapshot<P::Msg>,
 }
 
 impl<P: Protocol + Clone> Clone for McState<P>
@@ -173,6 +179,7 @@ where
             dups_used: self.dups_used,
             crashes_used: self.crashes_used,
             depth: self.depth,
+            flows: self.flows.clone(),
         }
     }
 }
@@ -287,6 +294,7 @@ where
             next_seq += 1;
         }
         let nodes = sim.nodes().to_vec();
+        let flows = sim.flows_snapshot();
         McSystem {
             sim,
             init: McState {
@@ -300,6 +308,7 @@ where
                 dups_used: 0,
                 crashes_used: 0,
                 depth: 0,
+                flows,
             },
             log: None,
         }
@@ -328,6 +337,20 @@ where
             self.sim.arq_config().is_none(),
             "branching exploration does not support ARQ"
         );
+        if self.sim.flow_model() {
+            // Under a flow link every transmission is a flow continuation
+            // dispatched inline by the engine, so the checker's fault layer
+            // has no seam to drop, duplicate, or crash-purge individual
+            // deliveries without diverging from engine semantics. Contended
+            // cells explore contention, fault cells explore faults.
+            assert!(
+                config.faults.max_drops == 0
+                    && config.faults.max_duplicates == 0
+                    && config.faults.max_crashes == 0,
+                "flow-model exploration must be fault-free (compose faults \
+                 in the chaos grid instead)"
+            );
+        }
         assert_eq!(
             self.sim.max_hop_delay(),
             config.delay_bound,
@@ -505,6 +528,12 @@ where
         if s.crashes_used >= config.faults.max_crashes {
             return;
         }
+        // A flow completion is link bookkeeping, not a node event: the
+        // engine settles the table before any liveness gate, so crashing
+        // "before" it would strand the flow in the snapshot and diverge.
+        if p.ev.is_flow() {
+            return;
+        }
         let node = p.ev.node();
         // Crashing needs a fresh tick so the crash window covers whole
         // ticks consistently on replay; exact events cannot move.
@@ -628,8 +657,13 @@ where
         // alive during exploration (and the failover paths that replay
         // exercises through scripted link crashes would be unexplorable).
         self.sim.set_dead_override(ns.crashed.iter().copied());
+        // Branching exploration shares one engine: restore this state's
+        // contention snapshot before the dispatch mutates the flow table,
+        // then capture the successor's snapshot after.
+        self.sim.flows_restore(&ns.flows);
         let harvested = self.sim.capture_dispatch(at, &p.ev);
         ns.nodes.clone_from_slice(self.sim.nodes());
+        ns.flows = self.sim.flows_snapshot();
         ns.now = at;
         ns.last_seq = p.meta.seq;
         if let Some(log) = &mut self.log {
@@ -705,6 +739,12 @@ where
         let mut purged = Vec::new();
         ns.pending.retain(|p| {
             let keep = (|| {
+                // Flow completions are link bookkeeping, not node events:
+                // the table still holds the transfer and must settle it
+                // (the continuation's delivery is liveness-gated instead).
+                if p.ev.is_flow() {
+                    return true;
+                }
                 if p.ev.node() == node {
                     return false;
                 }
@@ -778,6 +818,10 @@ where
                 p.ev.describe(s.now)
             );
         }
+        // Flow-model links: the contention snapshot (generation watermarks
+        // included) is behavioural state — two states whose tables differ
+        // can price or invalidate future transfers differently.
+        out.push_str(&s.flows.describe(s.now));
         fnv1a(out.as_bytes())
     }
 }

@@ -70,6 +70,43 @@ fn serving_fault_free_is_exhaustive_and_clean() {
 }
 
 #[test]
+fn serving_contended_is_exhaustive_and_clean() {
+    // Two queries through a 1-scalar/tick FairShareLink: the flow table is
+    // snapshotted into every explored state, completions fire as
+    // exact-class events, and soundness must survive every contention
+    // interleaving. Must also be byte-identically repeatable.
+    let mut config = McConfig::fault_free(2);
+    config.max_depth = 512;
+    let scenario = serving::four_node_contended();
+    assert_eq!(scenario.flow_capacity, Some(1));
+    let outcome = scenario.check(&config, &serving::predicates(), Strategy::Bfs);
+    let report = &outcome.report;
+    assert!(
+        report.violation.is_none(),
+        "unexpected violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhaustive(), "exploration truncated: {report:?}");
+    assert!(report.quiescent > 0, "no quiescent state reached");
+
+    let again =
+        serving::four_node_contended().check(&config, &serving::predicates(), Strategy::Bfs);
+    assert_eq!(report.explored, again.report.explored);
+    assert_eq!(report.quiescent, again.report.quiescent);
+}
+
+#[test]
+#[should_panic(expected = "must be fault-free")]
+fn serving_contended_rejects_fault_budgets() {
+    let mut config = McConfig::fault_free(2);
+    config.faults = FaultBudget {
+        max_drops: 1,
+        ..FaultBudget::default()
+    };
+    let _ = serving::four_node_contended().check(&config, &serving::predicates(), Strategy::Bfs);
+}
+
+#[test]
 fn serving_survives_one_crash_exhaustively() {
     // The recovery layer's contract: under any single crash at any point,
     // every surviving initiator still gets a sound answer, caches stay

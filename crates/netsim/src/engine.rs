@@ -161,7 +161,9 @@ enum EventKind<M> {
 }
 
 /// Continuation stored with each in-flight flow under a flow-model link:
-/// what the engine does when the transfer's service completes.
+/// what the engine does when the transfer's service completes. Clonable
+/// (for `M: Clone`) so the model checker can snapshot in-flight flows.
+#[derive(Clone)]
 enum FlowJob<M> {
     /// A single-hop protocol message: dispatch its delivery.
     Deliver {
@@ -240,6 +242,15 @@ impl<M> McEvent<M> {
         )
     }
 
+    /// Whether this is a flow-class event (the tentative completion of an
+    /// in-flight transfer under a flow-model link). Flow events fire at
+    /// exactly [`McEvent::time`] — the completion tick the flow table
+    /// predicted — and are never dropped, duplicated or reordered by the
+    /// fault layer: the contention schedule is physics, not an adversary.
+    pub fn is_flow(&self) -> bool {
+        matches!(self.kind, EventKind::FlowDone { .. })
+    }
+
     /// Logical origin of a message-class event (`None` for timers/boot).
     pub fn origin(&self) -> Option<usize> {
         match &self.kind {
@@ -307,12 +318,45 @@ impl<M: std::fmt::Debug> McEvent<M> {
             ),
             EventKind::ArqAck { seq, .. } => format!("arqack n{} t{rel} seq{seq}", self.node),
             EventKind::ArqRetx { seq, .. } => format!("arqretx n{} t{rel} seq{seq}", self.node),
-            // Unreachable in practice: the capture seam rejects flow-model
-            // links (see `Simulator::capture_boot`).
             EventKind::FlowDone { flow, gen } => {
                 format!("flowdone n{} t{rel} f{flow} g{gen}", self.node)
             }
         }
+    }
+}
+
+/// A snapshot of the engine's flow table (all in-flight transfers and
+/// their continuations), taken with [`Simulator::flows_snapshot`] and
+/// restored with [`Simulator::flows_restore`]. Opaque — the contention
+/// state stays engine-internal; the model checker stores one per explored
+/// state so branching exploration can save and restore the shared link
+/// state alongside node state. For per-message links the snapshot is empty
+/// and restoring it is a no-op.
+pub struct FlowsSnapshot<M>(Option<FlowTable<FlowJob<M>>>);
+
+impl<M: Clone> Clone for FlowsSnapshot<M> {
+    fn clone(&self) -> Self {
+        FlowsSnapshot(self.0.clone())
+    }
+}
+
+impl<M> FlowsSnapshot<M> {
+    /// Whether the snapshot carries flow state at all (false for
+    /// per-message links — such snapshots fingerprint as empty).
+    pub fn is_flow_model(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Canonical description of the snapshotted contention state with times
+    /// expressed relative to `origin_time`, for state fingerprinting —
+    /// generation watermarks included, so two states whose queued
+    /// tentative-completion events could validate differently never merge.
+    /// Empty string for per-message links.
+    pub fn describe(&self, origin_time: SimTime) -> String {
+        self.0
+            .as_ref()
+            .map(|t| t.canonical(origin_time))
+            .unwrap_or_default()
     }
 }
 
@@ -442,6 +486,19 @@ impl<M> Core<M> {
         for (flow, gen, at, node) in resched {
             self.push(at, node, EventKind::FlowDone { flow, gen });
         }
+    }
+
+    /// Rolls the link-fault dice for one flow-model transmission: the flow
+    /// path never consults [`LinkModel::hop`] for pricing, but a composed
+    /// fault link (capacity × loss × partition) still decides *whether* the
+    /// transmission survives. Pure [`crate::FairShareLink`] always delivers
+    /// without touching the RNG, so loss-free flow runs are byte-identical
+    /// to before this check existed.
+    fn flow_hop_drops(&mut self, from: usize, to: usize) -> bool {
+        matches!(
+            self.link.hop(from, to, self.now, &mut self.rng),
+            HopOutcome::Drop
+        )
     }
 
     /// Opens a flow `from → to` carrying `job` and schedules the resulting
@@ -575,8 +632,19 @@ impl<M: Clone> Core<M> {
         // a static RTO there would retransmit into the very queue that is
         // the cause of the delay.
         let delay_estimate = if self.flows.is_some() {
-            let finish = self.flow_start(holder, next, scalars, FlowJob::Arq(data));
-            finish.saturating_sub(now).max(1)
+            if self.flow_hop_drops(holder, next) {
+                // The copy is lost before entering the queue; the RTO is
+                // sized from the contention envelope the retry will face.
+                self.metrics.inc("net.drops.loss");
+                let table = self.flows.as_ref().expect("checked above"); // simlint: allow(no-panic-in-protocol): flows.is_some() checked above, cannot fail
+                table
+                    .horizon(now)
+                    .max(table.uncontended_sojourn(scalars))
+                    .max(1)
+            } else {
+                let finish = self.flow_start(holder, next, scalars, FlowJob::Arq(data));
+                finish.saturating_sub(now).max(1)
+            }
         } else {
             match self.link.hop(holder, next, now, &mut self.rng) {
                 HopOutcome::Deliver { delay } => {
@@ -611,6 +679,10 @@ impl<M: Clone> Core<M> {
         let now = self.now;
         self.costs.record_tx(from, KIND_ACK, 1, 0);
         if self.flows.is_some() {
+            if self.flow_hop_drops(from, to) {
+                self.metrics.inc("net.drops.loss");
+                return;
+            }
             // Acks ride the shared link too (minimum one-scalar demand), so
             // reverse-path contention delays them honestly.
             self.flow_start(from, to, 0, FlowJob::Arq(EventKind::ArqAck { seq, xfer }));
@@ -689,6 +761,28 @@ impl<'a, M: Clone> Ctx<'a, M> {
         }
     }
 
+    /// The *uncontended* counterpart of [`Ctx::max_delivery_delay`]: the
+    /// worst-case ticks for one successful neighbor delivery on an **idle**
+    /// network. Under a flow-model link this is the single-scalar solo
+    /// sojourn (through the full ARQ retry envelope when reliable delivery
+    /// is on); for per-message links it equals [`Ctx::max_delivery_delay`].
+    ///
+    /// The pair forms the substrate's load signal: the integer ratio
+    /// `max_delivery_delay / nominal_delivery_delay` is 1 on an idle
+    /// network and grows with the queue backlog, letting admission layers
+    /// compare current congestion against the idle envelope without any
+    /// floating point (see `elink_workload::qos::admit_load`).
+    pub fn nominal_delivery_delay(&self) -> u64 {
+        let hop_bound = match &self.core.flows {
+            Some(table) => table.uncontended_sojourn(1),
+            None => self.core.link.max_hop_delay(),
+        };
+        match &self.core.arq {
+            Some(arq) => arq.config.worst_case_link_delivery(hop_bound),
+            None => hop_bound,
+        }
+    }
+
     /// Whether the engine is running the ARQ reliable-delivery sublayer.
     pub fn arq_enabled(&self) -> bool {
         self.core.arq.is_some()
@@ -708,6 +802,22 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// Panics if `to` is not a neighbor (protocol bug).
     pub fn send(&mut self, to: usize, msg: M, kind: &'static str, scalars: u64) {
         self.send_internal(to, msg, kind, scalars, None);
+    }
+
+    /// Records a load-admission shed decision for `query` in the trace: a
+    /// [`DropReason::Shed`] drop with `from == to`
+    /// (no transmission was ever attempted). Costs nothing on the wire and
+    /// charges no ledger — the point is that a refused query leaves a mark
+    /// in the event log instead of vanishing.
+    pub fn trace_shed(&mut self, query: QueryId) {
+        let (now, node) = (self.core.now, self.node);
+        self.core.trace(TraceEvent::Drop {
+            time: now,
+            from: node,
+            to: node,
+            reason: DropReason::Shed,
+            query: Some(query),
+        });
     }
 
     /// [`Ctx::send`] stamped with the query the message serves: the trace
@@ -762,6 +872,17 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.core.costs.record_tx(from, kind, 1, scalars);
             if let Some(qid) = query {
                 self.core.costs.attribute_query(qid, 1, scalars);
+            }
+            if self.core.flow_hop_drops(from, to) {
+                self.core.metrics.inc("net.drops.loss");
+                self.core.trace(TraceEvent::Drop {
+                    time: now,
+                    from,
+                    to,
+                    reason: DropReason::Loss,
+                    query,
+                });
+                return;
             }
             self.core
                 .flow_start(from, to, scalars, FlowJob::Deliver { from, msg, query });
@@ -886,6 +1007,17 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.core.costs.record_tx(src, kind, 1, scalars);
             if let Some(qid) = query {
                 self.core.costs.attribute_query(qid, 1, scalars);
+            }
+            if self.core.flow_hop_drops(src, first) {
+                self.core.metrics.inc("net.drops.loss");
+                self.core.trace(TraceEvent::Drop {
+                    time: now,
+                    from: src,
+                    to: dst,
+                    reason: DropReason::Loss,
+                    query,
+                });
+                return true;
             }
             self.core.flow_start(
                 src,
@@ -1209,7 +1341,7 @@ impl<P: Protocol> Simulator<P> {
             self.flow_fire(time, node, flow, gen);
             return;
         }
-        if !self.core.link.is_alive(node, time) {
+        if self.core.dead_override.contains(&node) || !self.core.link.is_alive(node, time) {
             match &event_kind {
                 // Engine-internal ARQ bookkeeping is silent: the sender-side
                 // state is simply lost with the crashed radio.
@@ -1478,6 +1610,17 @@ impl<P: Protocol> Simulator<P> {
         if let Some(qid) = query {
             self.core.costs.attribute_query(qid, 1, scalars);
         }
+        if self.core.flow_hop_drops(node, next) {
+            self.core.metrics.inc("net.drops.loss");
+            self.core.trace(TraceEvent::Drop {
+                time,
+                from: src,
+                to: dst,
+                reason: DropReason::Loss,
+                query,
+            });
+            return;
+        }
         self.core.flow_start(
             node,
             next,
@@ -1614,13 +1757,6 @@ impl<P: Protocol> Simulator<P> {
             !self.started && self.core.queue.is_empty(),
             "capture_boot on an already-started simulator"
         );
-        assert!(
-            self.core.flows.is_none(),
-            "the capture seam does not support flow-model links (FairShareLink): \
-             flow completions are shared link state that branching exploration \
-             cannot save and restore per path; model-check under a per-message \
-             deterministic link (SyncLink or ScriptedLink) instead"
-        );
         self.started = true;
         self.core.capture = Some(Vec::new());
         for node in 0..self.nodes.len() {
@@ -1638,20 +1774,18 @@ impl<P: Protocol> Simulator<P> {
     /// The caller owns scheduling: it must not dispatch into the past
     /// (`at ≥` the previous dispatch time) and is responsible for honouring
     /// delivery windows and timer exactness. State between dispatches lives
-    /// in [`Simulator::nodes_mut`], which a checker may save and restore to
-    /// branch the execution — node state is the *whole* protocol state by
-    /// the determinism discipline (no RNG draws under a deterministic link
-    /// without ARQ jitter).
+    /// in [`Simulator::nodes_mut`] — plus, under a flow-model link, in the
+    /// shared flow table, which a checker saves and restores per explored
+    /// state via [`Simulator::flows_snapshot`] / [`Simulator::flows_restore`]
+    /// (flow events fire exactly at their predicted tick; see
+    /// [`McEvent::is_flow`]). Node state plus flow snapshot is the *whole*
+    /// protocol state by the determinism discipline (no RNG draws under a
+    /// deterministic link without ARQ jitter).
     pub fn capture_dispatch(&mut self, at: SimTime, ev: &McEvent<P::Msg>) -> Vec<McEvent<P::Msg>>
     where
         P::Msg: Clone,
     {
         debug_assert!(at >= ev.time, "dispatch before the event's earliest time");
-        assert!(
-            self.core.flows.is_none(),
-            "the capture seam does not support flow-model links (FairShareLink); \
-             model-check under a per-message deterministic link instead"
-        );
         self.started = true;
         self.core.capture = Some(Vec::new());
         self.dispatch_event(at, ev.node, ev.kind.clone());
@@ -1662,6 +1796,33 @@ impl<P: Protocol> Simulator<P> {
     /// precondition for branching exploration over captured dispatches.
     pub fn link_deterministic(&self) -> bool {
         self.core.link.is_deterministic()
+    }
+
+    /// Clones the engine's flow-table state (empty for per-message links).
+    /// The model checker stores one snapshot per explored state and restores
+    /// it before each branched dispatch, making the shared contention state
+    /// part of the explored state exactly like node state.
+    pub fn flows_snapshot(&self) -> FlowsSnapshot<P::Msg>
+    where
+        P::Msg: Clone,
+    {
+        FlowsSnapshot(self.core.flows.clone())
+    }
+
+    /// Installs a previously captured flow-table snapshot (see
+    /// [`Simulator::flows_snapshot`]). Restoring an empty snapshot onto a
+    /// flow-model engine (or vice versa) is a caller bug — the snapshot must
+    /// come from this simulator's own seam.
+    pub fn flows_restore(&mut self, snap: &FlowsSnapshot<P::Msg>)
+    where
+        P::Msg: Clone,
+    {
+        debug_assert_eq!(
+            self.core.flows.is_some(),
+            snap.0.is_some(),
+            "flow snapshot does not match the installed link model"
+        );
+        self.core.flows = snap.0.clone();
     }
 
     /// Whether the engine prices transmissions through a flow table (the
@@ -1752,6 +1913,7 @@ mod tests {
 
     /// Flooding protocol: node 0 floods a token; everyone records receipt
     /// time and forwards once.
+    #[derive(Clone)]
     struct Flood {
         seen: Option<SimTime>,
     }
@@ -2680,11 +2842,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capture seam does not support flow-model links")]
-    fn capture_boot_rejects_flow_links() {
+    fn capture_seam_supports_flow_links() {
         let network = SimNetwork::new(Topology::grid(2, 2));
         let nodes = (0..4).map(|_| Flood { seen: None }).collect();
         let mut sim: Simulator<Flood> = Simulator::new(network, FairShareLink::new(4), 0, nodes);
-        let _ = sim.capture_boot();
+        let boot = sim.capture_boot();
+        assert!(!boot.is_empty(), "node 0's flood must be captured");
+        assert!(
+            boot.iter().all(|ev| ev.is_flow()),
+            "under a flow link every captured send is a tentative completion"
+        );
+        // Snapshot → dispatch → restore → dispatch: the harvest and the
+        // contention fingerprint must replay byte-identically, which is
+        // exactly the branching the model checker performs.
+        let nodes_snap = sim.nodes().to_vec();
+        let flows_snap = sim.flows_snapshot();
+        let fp = flows_snap.describe(0);
+        let first = &boot[0];
+        let h1: Vec<String> = sim
+            .capture_dispatch(first.time(), first)
+            .iter()
+            .map(|e| e.describe(0))
+            .collect();
+        sim.nodes_mut().clone_from_slice(&nodes_snap);
+        sim.flows_restore(&flows_snap);
+        assert_eq!(sim.flows_snapshot().describe(0), fp, "restore round-trips");
+        let h2: Vec<String> = sim
+            .capture_dispatch(first.time(), first)
+            .iter()
+            .map(|e| e.describe(0))
+            .collect();
+        assert_eq!(h1, h2, "restored flow state replays identically");
     }
 }

@@ -250,6 +250,7 @@ pub struct LinkUtil {
 }
 
 /// One in-flight transfer.
+#[derive(Clone)]
 struct Flow<T> {
     /// Directed link the flow occupies.
     link: (u32, u32),
@@ -268,7 +269,7 @@ struct Flow<T> {
 }
 
 /// Per-directed-link sharing state.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct LinkState {
     /// In-flight flow slots, in start order.
     flows: Vec<u32>,
@@ -281,6 +282,11 @@ struct LinkState {
 /// by directed link, with settle/recompute/reschedule bookkeeping. Owned
 /// by the `Simulator` when the installed [`LinkModel`] advertises
 /// [`FlowParams`]; generic over the engine's continuation payload `T`.
+///
+/// Clonable (for `T: Clone`) so the model checker can snapshot the whole
+/// contention state into an explored state and restore it before each
+/// branched dispatch — see `Simulator::flows_snapshot`.
+#[derive(Clone)]
 pub struct FlowTable<T> {
     params: FlowParams,
     /// Flow slots; `None` = free. Generations survive slot reuse so a
@@ -551,6 +557,53 @@ impl<T> FlowTable<T> {
     /// The installed link parameters.
     pub fn params(&self) -> FlowParams {
         self.params
+    }
+
+    /// Canonical description of the full table state with times expressed
+    /// relative to `now`, for model-checker state fingerprinting. Covers
+    /// everything that can influence future behaviour: every in-flight flow
+    /// (slot, generation, link, remaining demand, relative prediction and
+    /// age, uncontended envelope), the free-list *in pop order* and the
+    /// per-slot generation watermarks (both feed the identity of future
+    /// tentative-completion events), and the per-link settle clocks. Two
+    /// states that differ only by a uniform time shift describe identically.
+    pub fn canonical(&self, now: SimTime) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "fl[c{} b{}",
+            self.params.capacity_milli, self.params.base_delay
+        );
+        for (&(from, to), state) in &self.links {
+            if state.flows.is_empty() {
+                continue;
+            }
+            let settle = now as i128 - state.last_settle as i128;
+            let _ = write!(out, "|{from}>{to}@{settle}:");
+            for &slot in &state.flows {
+                let Some(flow) = self.flows.get(slot as usize).and_then(Option::as_ref) else {
+                    continue;
+                };
+                let fin = flow.predicted_finish as i128 - now as i128;
+                let age = now as i128 - flow.enqueued as i128;
+                let _ = write!(
+                    out,
+                    "(s{slot} g{} r{} f{fin} a{age} u{})",
+                    flow.gen, flow.remaining_milli, flow.uncontended
+                );
+            }
+        }
+        let _ = write!(out, "|free:");
+        for &slot in &self.free {
+            let _ = write!(out, "{slot}.");
+        }
+        let _ = write!(out, "|gen:");
+        for &g in &self.slot_gen {
+            let _ = write!(out, "{g}.");
+        }
+        out.push(']');
+        out
     }
 }
 

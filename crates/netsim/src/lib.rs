@@ -104,7 +104,7 @@ pub mod stats;
 pub mod trace;
 
 pub use canon::{canon_f64, fnv1a, Canonicalize};
-pub use engine::{Ctx, McEvent, Protocol, QueryId, SimNetwork, SimTime, Simulator};
+pub use engine::{Ctx, FlowsSnapshot, McEvent, Protocol, QueryId, SimNetwork, SimTime, Simulator};
 pub use flow::{FairShareLink, FlowTable, LinkUtil};
 pub use link::{
     AsyncUniformLink, DelayModel, FlowParams, HopOutcome, LinkModel, LossyLink, ScriptedLink,

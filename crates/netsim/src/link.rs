@@ -240,6 +240,11 @@ pub struct LossyLink {
     drop_prob: f64,
     crashes: Vec<Crash>,
     partition: Option<Partition>,
+    /// When set, the link also advertises [`FlowParams`]: transmissions are
+    /// priced through fair capacity sharing while loss, crash and partition
+    /// faults keep deciding *whether* each transmission survives — the
+    /// composed contention × fault model of the chaos grid.
+    capacity: Option<u64>,
 }
 
 impl LossyLink {
@@ -255,7 +260,26 @@ impl LossyLink {
             drop_prob: 0.0,
             crashes: Vec::new(),
             partition: None,
+            capacity: None,
         }
+    }
+
+    /// Shares each directed link's bandwidth max-min fairly at `capacity`
+    /// payload scalars per tick, like [`crate::FairShareLink`], while the
+    /// loss/crash/partition faults configured on this link stay in force.
+    /// The engine then prices every transmission through the flow table and
+    /// rolls the fault dice separately per transmission, so queueing
+    /// collapse and message loss compose in one run.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a zero-capacity link cannot deliver).
+    pub fn with_capacity(mut self, capacity: u64) -> Self {
+        assert!(
+            capacity >= 1,
+            "LossyLink capacity must be >= 1 scalar/tick (zero-capacity links cannot deliver)"
+        );
+        self.capacity = Some(capacity);
+        self
     }
 
     /// Independent drop probability applied to every hop.
@@ -334,6 +358,13 @@ impl LinkModel for LossyLink {
         self.crashes
             .iter()
             .any(|c| c.node == node && c.from > after && c.from <= upto)
+    }
+
+    fn flow_params(&self) -> Option<FlowParams> {
+        self.capacity.map(|capacity| FlowParams {
+            capacity_milli: capacity.saturating_mul(1000),
+            base_delay: 0,
+        })
     }
 }
 

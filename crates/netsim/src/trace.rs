@@ -40,6 +40,11 @@ pub enum DropReason {
     Loss,
     /// The destination (or a relay) was crashed.
     NodeDown,
+    /// The owning protocol refused the work under overload (load-admission
+    /// shed). Emitted via [`Ctx::trace_shed`](crate::Ctx::trace_shed) with
+    /// `from == to`: no transmission was ever attempted, but the decision
+    /// must be visible in the trace rather than silent.
+    Shed,
 }
 
 /// One engine-level event.
@@ -329,6 +334,7 @@ impl<W: Write> TraceSink for JsonlTrace<W> {
                 let reason = match reason {
                     DropReason::Loss => "loss",
                     DropReason::NodeDown => "node_down",
+                    DropReason::Shed => "shed",
                 };
                 let qid = qid_fragment(query);
                 format!(
@@ -466,6 +472,25 @@ mod tests {
              {\"t\":2,\"ev\":\"deliver\",\"from\":0,\"to\":3}\n\
              {\"t\":4,\"ev\":\"drop\",\"from\":1,\"to\":2,\"reason\":\"node_down\"}\n\
              {\"t\":5,\"ev\":\"timer\",\"node\":1,\"id\":7}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_trace_renders_shed_drops() {
+        // The exact line shape `trace_summary`'s overload column parses:
+        // a self-addressed drop with reason "shed" and the query tag.
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(TraceEvent::Drop {
+            time: 9,
+            from: 4,
+            to: 4,
+            reason: DropReason::Shed,
+            query: Some(11),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":9,\"ev\":\"drop\",\"from\":4,\"to\":4,\"reason\":\"shed\",\"qid\":11}\n"
         );
     }
 

@@ -36,8 +36,11 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Schema identifier of the `BENCH_chaos.json` document. v2 added the
-/// `sub_cells` array (standing-subscription fault cells).
-pub const CHAOS_SCHEMA: &str = "elink-chaos/v2";
+/// `sub_cells` array (standing-subscription fault cells); v3 added
+/// composed capacity × loss × crash cells, the load-admission overload
+/// columns (`admitted`/`degraded`/`shed`), and sub-cell capacity +
+/// queueing columns.
+pub const CHAOS_SCHEMA: &str = "elink-chaos/v3";
 
 /// One cell of the fault grid. All faults are active from the start of
 /// serving: deployment (clustering, index, backbone, plan distribution)
@@ -50,10 +53,12 @@ pub struct FaultSpec {
     pub crash_milli: u64,
     /// Optional half/half network partition window `[from, until)`.
     pub partition: Option<(SimTime, SimTime)>,
-    /// Optional per-link capacity (scalars per tick). `Some(c)` swaps the
-    /// `LossyLink` for a contention-aware [`FairShareLink`] — a *load*
-    /// cell rather than a *loss* cell, so the other fault knobs must stay
-    /// zero (the flow model has no drop/crash/partition machinery).
+    /// Optional per-link capacity (scalars per tick). `Some(c)` prices
+    /// every transmission through the fair-share flow model *and* arms the
+    /// load-admission ladder. With every other knob zero the cell runs the
+    /// RNG-free [`FairShareLink`] (a pure load cell); combined with
+    /// drop/crash/partition it runs a capacity-priced [`LossyLink`] — a
+    /// *composed* cell where congestion, loss and failover interact.
     pub capacity: Option<u64>,
 }
 
@@ -76,16 +81,21 @@ impl FaultSpec {
     }
 
     fn link(&self, n: usize) -> Box<dyn LinkModel> {
+        let loss_free = self.drop_milli == 0 && self.crash_milli == 0 && self.partition.is_none();
         if let Some(capacity) = self.capacity {
-            assert!(
-                self.drop_milli == 0 && self.crash_milli == 0 && self.partition.is_none(),
-                "capacity cells model load, not loss: drop/crash/partition \
-                 must be zero when `capacity` is set (FairShareLink has no \
-                 fault machinery)"
-            );
-            return FairShareLink::new(capacity).into();
+            if loss_free {
+                // Pure load cell: the RNG-free FairShareLink, so the run is
+                // byte-identical to the contention bench's transport.
+                return FairShareLink::new(capacity).into();
+            }
         }
         let mut link = LossyLink::new(1, 2).with_drop_prob(self.drop_milli as f64 / 1000.0);
+        if let Some(capacity) = self.capacity {
+            // Composed cell: every transmission is priced through the
+            // fair-share flow model while `hop()` keeps rolling the
+            // drop/partition dice and the crash windows stay in force.
+            link = link.with_capacity(capacity);
+        }
         for &victim in &self.victims(n) {
             link = link.with_crash(victim, 1, None);
         }
@@ -125,6 +135,15 @@ pub struct ChaosCell {
     /// Total excess queueing (ticks spent waiting behind other transfers);
     /// always zero for per-message cells, meaningful under `capacity`.
     pub queued_ms: u64,
+    /// Queries the load ladder admitted at full scope (every submission at
+    /// a live initiator, for cells without `capacity` — the ladder is
+    /// disarmed there).
+    pub admitted: u64,
+    /// Queries the load ladder degraded to a local-cluster answer.
+    pub degraded: u64,
+    /// Queries the load ladder shed (immediate explicit zero-coverage
+    /// answer; still counted in `done` — shedding is never silent).
+    pub shed: u64,
     /// Leader failover takeovers.
     pub failovers: u64,
     /// Soundness-contract violations (must be zero).
@@ -144,6 +163,7 @@ impl ChaosCell {
                 "\"coverage_mean_milli\":{},\"coverage_min_milli\":{},",
                 "\"gave_up\":{},\"retx\":{},\"timeouts\":{},",
                 "\"queued_ms\":{},",
+                "\"admitted\":{},\"degraded\":{},\"shed\":{},",
                 "\"failovers\":{},\"violations\":{}}}"
             ),
             self.fault.drop_milli,
@@ -163,6 +183,9 @@ impl ChaosCell {
             self.retx,
             self.timeouts,
             self.queued_ms,
+            self.admitted,
+            self.degraded,
+            self.shed,
             self.failovers,
             self.violations,
         )
@@ -180,6 +203,11 @@ impl ChaosCell {
 pub struct SubFaultSpec {
     /// Per-hop independent drop probability, milli-units.
     pub drop_milli: u64,
+    /// Optional per-link capacity (scalars per tick): prices the whole
+    /// push-repair pipeline through the fair-share flow model, so the
+    /// failover and every retransmit deadline run under sustained
+    /// congestion.
+    pub capacity: Option<u64>,
 }
 
 /// Aggregated outcome of one standing-subscription fault cell, plus its
@@ -219,6 +247,9 @@ pub struct SubChaosCell {
     pub contrib_gaveup: u64,
     /// Leader failover takeovers (must be ≥ 1: the cell crashes one).
     pub failovers: u64,
+    /// Total excess queueing (ticks spent behind other transfers); zero
+    /// without `capacity`.
+    pub queued_ms: u64,
     /// Push-soundness violations (must be zero).
     pub violations: u64,
 }
@@ -227,13 +258,17 @@ impl SubChaosCell {
     fn json(&self) -> String {
         format!(
             concat!(
-                "{{\"drop_milli\":{},\"crash_at\":{},\"crashed_leader\":{},",
+                "{{\"drop_milli\":{},\"capacity\":{},",
+                "\"crash_at\":{},\"crashed_leader\":{},",
                 "\"registered\":{},\"admitted\":{},\"active\":{},\"ended\":{},",
                 "\"exact\":{},\"subset\":{},",
                 "\"pushes\":{},\"repairs\":{},\"resyncs\":{},",
-                "\"contrib_gaveup\":{},\"failovers\":{},\"violations\":{}}}"
+                "\"contrib_gaveup\":{},\"failovers\":{},",
+                "\"queued_ms\":{},\"violations\":{}}}"
             ),
             self.fault.drop_milli,
+            // 0 = per-message cell (no capacity limit in play).
+            self.fault.capacity.unwrap_or(0),
             self.crash_at,
             self.crashed_leader,
             self.registered,
@@ -247,6 +282,7 @@ impl SubChaosCell {
             self.resyncs,
             self.contrib_gaveup,
             self.failovers,
+            self.queued_ms,
             self.violations,
         )
     }
@@ -314,6 +350,13 @@ pub fn run_cell(
     let victims: BTreeSet<NodeId> = fault.victims(n).into_iter().collect();
     let mut opts = ServeOptions::for_delta(delta);
     opts.recovery = true;
+    // Capacity cells arm the load-admission ladder: under congestion the
+    // fleet degrades or sheds work *honestly* (explicit reduced-coverage
+    // answers) instead of piling onto saturated links. The audit below
+    // holds either way — shed and degraded answers are sound subsets.
+    if fault.capacity.is_some() {
+        opts.qos.load = Some(crate::qos::LoadAdmission::default());
+    }
     let sim = WorkloadSim::build_with_link(
         topology.clone(),
         features.to_vec(),
@@ -370,6 +413,9 @@ pub fn run_cell(
         retx: run.metrics.counter("net.retx"),
         timeouts: run.metrics.counter("net.timeout"),
         queued_ms: run.metrics.counter("net.queued_ms"),
+        admitted: run.metrics.counter("serve.admitted"),
+        degraded: run.metrics.counter("serve.degraded"),
+        shed: run.metrics.counter("serve.shed"),
         failovers: run.metrics.counter("maint.failover"),
         violations,
     }
@@ -455,7 +501,13 @@ pub fn run_sub_cell(
         opts.subscriptions = true;
         opts
     };
-    let lossy = || LossyLink::new(1, 2).with_drop_prob(fault.drop_milli as f64 / 1000.0);
+    let lossy = || {
+        let mut link = LossyLink::new(1, 2).with_drop_prob(fault.drop_milli as f64 / 1000.0);
+        if let Some(capacity) = fault.capacity {
+            link = link.with_capacity(capacity);
+        }
+        link
+    };
 
     // Dry run on the same lossy (but crash-free) transport: measures when
     // the initial snapshots quiesce, including the burn-off of every
@@ -570,22 +622,37 @@ pub fn run_sub_cell(
         resyncs: m.counter("wl.sub.resync"),
         contrib_gaveup: m.counter("wl.sub.contrib.gaveup"),
         failovers: m.counter("maint.failover"),
+        queued_ms: m.counter("net.queued_ms"),
         violations,
     })
 }
 
 /// The default standing-subscription fault grid: a loss-free crash cell
-/// (pure failover semantics) and a lossy crash cell (failover under drop
-/// faults, contributions and pushes riding ARQ).
+/// (pure failover semantics), a lossy crash cell (failover under drop
+/// faults, contributions and pushes riding ARQ), and a congested lossy
+/// crash cell (the same pipeline with every transfer priced through the
+/// fair-share flow model — failover and push repair under sustained
+/// contention).
 pub fn default_sub_grid() -> Vec<SubFaultSpec> {
     vec![
-        SubFaultSpec { drop_milli: 0 },
-        SubFaultSpec { drop_milli: 150 },
+        SubFaultSpec {
+            drop_milli: 0,
+            capacity: None,
+        },
+        SubFaultSpec {
+            drop_milli: 150,
+            capacity: None,
+        },
+        SubFaultSpec {
+            drop_milli: 150,
+            capacity: Some(64),
+        },
     ]
 }
 
 /// The default campaign grid: drop ∈ {0, 100, 250}‰ × crash ∈ {0, 150}‰ ×
-/// partition ∈ {none, one mid-run window}. The partition window is short
+/// partition ∈ {none, one mid-run window}, plus one composed cell running
+/// capacity, loss and crash together. The partition window is short
 /// relative to the ARQ retry envelope, so most cross-cut transfers ride it
 /// out on retransmissions alone.
 pub fn default_grid() -> Vec<FaultSpec> {
@@ -602,6 +669,12 @@ pub fn default_grid() -> Vec<FaultSpec> {
             }
         }
     }
+    grid.push(FaultSpec {
+        drop_milli: 100,
+        crash_milli: 150,
+        partition: None,
+        capacity: Some(64),
+    });
     grid
 }
 
@@ -686,11 +759,17 @@ mod tests {
                 retx: 42,
                 timeouts: 3,
                 queued_ms: 0,
+                admitted: 9,
+                degraded: 0,
+                shed: 0,
                 failovers: 2,
                 violations: 0,
             }],
             sub_cells: vec![SubChaosCell {
-                fault: SubFaultSpec { drop_milli: 150 },
+                fault: SubFaultSpec {
+                    drop_milli: 150,
+                    capacity: Some(64),
+                },
                 crash_at: 5000,
                 crashed_leader: 3,
                 registered: 7,
@@ -704,12 +783,13 @@ mod tests {
                 resyncs: 1,
                 contrib_gaveup: 2,
                 failovers: 1,
+                queued_ms: 17,
                 violations: 0,
             }],
         };
         let json = report.deterministic_json();
-        assert!(json.contains("\"schema\":\"elink-chaos/v2\""));
-        assert!(json.contains("\"sub_cells\":[{\"drop_milli\":150"));
+        assert!(json.contains("\"schema\":\"elink-chaos/v3\""));
+        assert!(json.contains("\"sub_cells\":[{\"drop_milli\":150,\"capacity\":64"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.all_sound());
         let mut broken = report.clone();

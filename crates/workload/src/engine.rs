@@ -264,6 +264,12 @@ impl WorkloadSim {
         // metrics dump carries them (zero-valued when nothing failed).
         sim.metrics_mut().declare_counter("wl.query.partial");
         sim.metrics_mut().declare_counter("maint.failover");
+        // Load-admission counters (§15): every submission lands in exactly
+        // one bucket, so `admitted + degraded + shed` equals submissions
+        // whether or not the load ladder is armed.
+        for c in ["serve.admitted", "serve.degraded", "serve.shed"] {
+            sim.metrics_mut().declare_counter(c);
+        }
         // Subscription-engine counters likewise, so dumps are schema-stable
         // whether or not a run carries standing queries.
         for c in [

@@ -46,6 +46,6 @@ pub use engine::{expected_matches, ServeOptions, WorkloadRun, WorkloadSim};
 pub use gen::{build_schedule, Arrival, Schedule, Template, WorkloadSpec};
 pub use plan::{ChildEntry, NodePlan, ServingPlan};
 pub use protocol::{CompletedQuery, ServeMsg, ServeNode, Shared};
-pub use qos::{AdaptiveWindow, Admission, QosConfig};
+pub use qos::{AdaptiveWindow, Admission, LoadAdmission, QosConfig};
 pub use report::{LatencySummary, SloReport, SCHEMA};
 pub use subscribe::{ClientSub, PushVerdict, SubState};

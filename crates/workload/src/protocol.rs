@@ -182,6 +182,10 @@ pub enum ServeMsg {
         qid: QueryId,
         /// Template index.
         template: u16,
+        /// The initiator's load ladder degraded this query at submission:
+        /// the root answers from its own cluster only (no backbone echo)
+        /// and the answer honestly reports the reduced coverage.
+        degraded: bool,
     },
     /// Echo wave out over the leader backbone.
     Fanout {
@@ -373,6 +377,12 @@ pub struct CompletedQuery {
     /// unreachable leader, or a dead ex-root whose current anchor is
     /// unknowable — and the answer is a sound *subset* of the truth.
     pub coverage_milli: u16,
+    /// The load-admission ladder refused this query at submission: the
+    /// answer is an immediate, explicit empty result with zero coverage.
+    /// Shed queries are always *reported* — never silently dropped — so a
+    /// closed-loop client keeps its cadence and the harness can audit the
+    /// shed rate.
+    pub shed: bool,
 }
 
 /// One single-flight M-tree descent in progress at a node.
@@ -447,6 +457,10 @@ struct PendingQuery {
     submitted: SimTime,
     /// Whether the one resubmission round has been spent.
     resubmitted: bool,
+    /// Load-ladder verdict at submission time — a resubmission round
+    /// re-sends the same verdict so one query never widens its scope
+    /// mid-flight.
+    degraded: bool,
 }
 
 /// Outcome of a cluster root's local evaluation attempt.
@@ -729,17 +743,52 @@ impl ServeNode {
 
     // -- submission -------------------------------------------------------
 
+    /// The load-ladder verdict for work entering the system *now*: the
+    /// contention-aware delivery envelope against the idle one. With the
+    /// ladder disarmed (`qos.load == None`) everything is `Full` — exact
+    /// legacy behavior.
+    fn load_admission(&self, ctx: &Ctx<'_, ServeMsg>) -> Admission {
+        match &self.shared.qos.load {
+            Some(cfg) => {
+                qos::admit_load(cfg, ctx.max_delivery_delay(), ctx.nominal_delivery_delay())
+            }
+            None => Admission::Full,
+        }
+    }
+
     fn submit(&mut self, qid: QueryId, template: u16, ctx: &mut Ctx<'_, ServeMsg>) {
         debug_assert!(qid < DEADLINE_PAYLOAD, "qid collides with timer namespace");
+        // Load admission runs *before* any wire traffic: a shed query costs
+        // zero messages, a degraded one never touches the backbone. The
+        // decision is pinned here (not re-evaluated downstream) so one
+        // query sees one verdict.
+        let admission = self.load_admission(ctx);
         self.pending.insert(
             qid,
             PendingQuery {
                 template,
                 submitted: ctx.now(),
                 resubmitted: false,
+                degraded: admission == Admission::Degraded,
             },
         );
         ctx.metrics().inc("wl.query.submitted");
+        let degraded = match admission {
+            Admission::Shed => {
+                ctx.metrics().inc("serve.shed");
+                ctx.trace_shed(qid);
+                self.deliver_answer(qid, Vec::new(), 0, true, ctx);
+                return;
+            }
+            Admission::Degraded => {
+                ctx.metrics().inc("serve.degraded");
+                true
+            }
+            Admission::Full => {
+                ctx.metrics().inc("serve.admitted");
+                false
+            }
+        };
         let root = if self.shared.recovery {
             let shared = Arc::clone(&self.shared);
             current_root(&shared, shared.cluster_of[self.id], ctx).unwrap_or(self.id)
@@ -748,8 +797,18 @@ impl ServeNode {
         };
         if root == self.id {
             self.ensure_root(ctx);
-            self.start_echo(qid, template, None, self.id, ctx);
-        } else if ctx.unicast_tagged(root, ServeMsg::ToRoot { qid, template }, "wl_route", 2, qid) {
+            self.start_echo(qid, template, None, self.id, degraded, ctx);
+        } else if ctx.unicast_tagged(
+            root,
+            ServeMsg::ToRoot {
+                qid,
+                template,
+                degraded,
+            },
+            "wl_route",
+            2,
+            qid,
+        ) {
             // Routed; the root takes over as coordinator. Under recovery the
             // initiator also arms a watchdog in case the root dies on us.
             if self.shared.recovery {
@@ -774,7 +833,7 @@ impl ServeNode {
         let Some(p) = self.pending.get_mut(&qid) else {
             return;
         };
-        let template = p.template;
+        let (template, degraded) = (p.template, p.degraded);
         if !p.resubmitted {
             p.resubmitted = true;
             ctx.metrics().inc("wl.recover.resubmit");
@@ -783,16 +842,26 @@ impl ServeNode {
             if root == self.id {
                 self.ensure_root(ctx);
                 if !self.echo.contains_key(&qid) {
-                    self.start_echo(qid, template, None, self.id, ctx);
+                    self.start_echo(qid, template, None, self.id, degraded, ctx);
                 }
             } else {
-                ctx.unicast_tagged(root, ServeMsg::ToRoot { qid, template }, "wl_route", 2, qid);
+                ctx.unicast_tagged(
+                    root,
+                    ServeMsg::ToRoot {
+                        qid,
+                        template,
+                        degraded,
+                    },
+                    "wl_route",
+                    2,
+                    qid,
+                );
                 let dl = self.init_deadline_ticks(ctx);
                 ctx.set_timer(dl, INIT_DEADLINE | qid);
             }
         } else {
             ctx.metrics().inc("wl.recover.query_gaveup");
-            self.deliver_answer(qid, Vec::new(), 0, ctx);
+            self.deliver_answer(qid, Vec::new(), 0, false, ctx);
         }
     }
 
@@ -899,14 +968,22 @@ impl ServeNode {
         template: u16,
         parent: Option<NodeId>,
         initiator: NodeId,
+        local_only: bool,
         ctx: &mut Ctx<'_, ServeMsg>,
     ) {
         let shared = Arc::clone(&self.shared);
         // The echo spans the backbone tree; the parent is excluded by
         // *cluster* so a fanout from a failover successor is recognized.
+        // A load-degraded query skips the backbone entirely (`local_only`):
+        // it costs one cluster and its `covered` count honestly stops at
+        // this cluster's members.
         let parent_cluster = parent.map(|p| shared.cluster_of[p]);
         let mut outstanding = Vec::new();
-        let peers = self.plan.backbone_peers.clone();
+        let peers = if local_only {
+            Vec::new()
+        } else {
+            self.plan.backbone_peers.clone()
+        };
         for p in peers {
             let pc = shared.cluster_of[p];
             if Some(pc) == parent_cluster {
@@ -1082,7 +1159,7 @@ impl ServeNode {
                 qid,
             );
         } else if st.initiator == self.id {
-            self.deliver_answer(qid, st.acc, st.covered, ctx);
+            self.deliver_answer(qid, st.acc, st.covered, false, ctx);
         } else {
             ctx.unicast_tagged(
                 st.initiator,
@@ -1467,6 +1544,7 @@ impl ServeNode {
         qid: QueryId,
         matches: Vec<NodeId>,
         covered: u64,
+        shed: bool,
         ctx: &mut Ctx<'_, ServeMsg>,
     ) {
         let Some(p) = self.pending.remove(&qid) else {
@@ -1501,6 +1579,7 @@ impl ServeNode {
             matches,
             path,
             coverage_milli,
+            shed,
         });
         // Closed loop: schedule the next scripted query after think time.
         if let Some(e) = self.script.front() {
@@ -1571,11 +1650,17 @@ impl ServeNode {
             self.schedule_flush(template, ctx);
             return;
         }
-        match qos::admit(
+        // Two independent ladders gate a registration: the table-occupancy
+        // ladder (per-coordinator capacity, §14) and the load ladder over
+        // the substrate's congestion signal (§15). The worse verdict wins —
+        // a congested network degrades or refuses registrations even with a
+        // near-empty table, and vice versa.
+        let table_verdict = qos::admit(
             &shared.qos,
             self.subs.table.len(),
             self.subs.client_load(client),
-        ) {
+        );
+        match table_verdict.worst(self.load_admission(ctx)) {
             Admission::Shed => {
                 ctx.metrics().inc("wl.sub.shed");
                 self.send_sub_end(sid, client, end_reason::SHED, ctx);
@@ -2394,11 +2479,15 @@ impl Protocol for ServeNode {
                 self.on_invalidate(from, feature, radius, ctx)
             }
             ServeMsg::Submit { qid, template } => self.submit(qid, template, ctx),
-            ServeMsg::ToRoot { qid, template } => {
+            ServeMsg::ToRoot {
+                qid,
+                template,
+                degraded,
+            } => {
                 if self.ensure_root(ctx) {
                     // A resubmission may race the original echo: first wins.
                     if !self.echo.contains_key(&qid) {
-                        self.start_echo(qid, template, None, from, ctx);
+                        self.start_echo(qid, template, None, from, degraded, ctx);
                     }
                 } else {
                     ctx.metrics().inc("wl.misroute");
@@ -2408,7 +2497,7 @@ impl Protocol for ServeNode {
                 if self.ensure_root(ctx) {
                     // A re-issued fanout for an in-flight echo is a no-op.
                     if !self.echo.contains_key(&qid) {
-                        self.start_echo(qid, template, Some(from), from, ctx);
+                        self.start_echo(qid, template, Some(from), from, false, ctx);
                     }
                 } else {
                     ctx.metrics().inc("wl.misroute");
@@ -2474,7 +2563,7 @@ impl Protocol for ServeNode {
                 qid,
                 matches,
                 covered,
-            } => self.deliver_answer(qid, matches, covered, ctx),
+            } => self.deliver_answer(qid, matches, covered, false, ctx),
             ServeMsg::Probe { template } => {
                 let shared = Arc::clone(&self.shared);
                 let (center, r, strict) = params(&shared.templates[template as usize]);

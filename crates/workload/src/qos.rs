@@ -69,6 +69,11 @@ pub struct QosConfig {
     /// Maximum coalescing window (ticks) — the push-rate cap under dense
     /// churn.
     pub window_max: SimTime,
+    /// Load-driven admission over the substrate's congestion signal
+    /// (DESIGN.md §15). `None` disables the load ladder entirely — queries
+    /// and registrations see only the table-occupancy ladder above, which
+    /// is the exact pre-admission behavior.
+    pub load: Option<LoadAdmission>,
 }
 
 impl Default for QosConfig {
@@ -79,6 +84,7 @@ impl Default for QosConfig {
             max_per_client: 8,
             window_min: 1,
             window_max: 32,
+            load: None,
         }
     }
 }
@@ -92,6 +98,81 @@ pub enum Admission {
     Degraded,
     /// Refuse: the client is over its per-client cap.
     Shed,
+}
+
+impl Admission {
+    /// The more severe of two admission decisions (`Shed` > `Degraded` >
+    /// `Full`) — composing independent ladders (table occupancy × link
+    /// load) takes the worst verdict.
+    pub fn worst(self, other: Admission) -> Admission {
+        fn rank(a: Admission) -> u8 {
+            match a {
+                Admission::Full => 0,
+                Admission::Degraded => 1,
+                Admission::Shed => 2,
+            }
+        }
+        if rank(other) > rank(self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Load-driven admission thresholds: the backlog ratio at which incoming
+/// work is degraded or shed *before* the queueing knee.
+///
+/// The signal is the substrate's pair of delivery envelopes:
+/// `Ctx::max_delivery_delay` (the contention-aware horizon — grows with
+/// the queue backlog) over `Ctx::nominal_delivery_delay` (the idle
+/// envelope, constant per configuration). Their integer ratio is 1 on an
+/// idle network and climbs as transfers pile onto shared links; comparing
+/// it against these thresholds is deterministic integer arithmetic, so
+/// admission decisions are byte-identical across reruns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadAdmission {
+    /// Degrade incoming work once `backlog × 1000 ≥ degrade_ratio_milli ×
+    /// nominal`: queries answer from the initiator's own cluster only,
+    /// subscriptions are admitted with a local-cluster watch. 1000 = the
+    /// idle ratio, so e.g. 4000 degrades at 4× the idle envelope.
+    pub degrade_ratio_milli: u64,
+    /// Shed incoming work once `backlog × 1000 ≥ shed_ratio_milli ×
+    /// nominal`: queries get an immediate honest zero-coverage answer,
+    /// registrations an immediate refusal. Must be ≥ `degrade_ratio_milli`.
+    pub shed_ratio_milli: u64,
+}
+
+impl Default for LoadAdmission {
+    /// Degrade at 96× the idle envelope, shed at 128×. Calibrated against
+    /// the cap-64 contention sweep (`BENCH_admission.json`): a healthy
+    /// serving wave keeps tens of flows in the air, so the backlog horizon
+    /// sits well above the idle envelope even far from saturation —
+    /// thresholds this high stay quiet at light load and fire inside the
+    /// convex blow-up segment past the queueing knee.
+    fn default() -> Self {
+        LoadAdmission {
+            degrade_ratio_milli: 96_000,
+            shed_ratio_milli: 128_000,
+        }
+    }
+}
+
+/// Runs the load ladder: `backlog` is the node's current contention-aware
+/// delivery envelope (`Ctx::max_delivery_delay`), `nominal` its idle
+/// envelope (`Ctx::nominal_delivery_delay`). Pure integer arithmetic —
+/// cross-multiplied so no division ever rounds a threshold away.
+// simlint: hot
+pub fn admit_load(cfg: &LoadAdmission, backlog: u64, nominal: u64) -> Admission {
+    let nominal = nominal.max(1);
+    let scaled = u128::from(backlog) * 1000;
+    if scaled >= u128::from(cfg.shed_ratio_milli) * u128::from(nominal) {
+        Admission::Shed
+    } else if scaled >= u128::from(cfg.degrade_ratio_milli) * u128::from(nominal) {
+        Admission::Degraded
+    } else {
+        Admission::Full
+    }
 }
 
 /// Runs the admission ladder: `occupancy` is the coordinator's current
@@ -181,6 +262,37 @@ mod tests {
         // The per-client cap outranks the degrade watermark.
         assert_eq!(admit(&cfg, 0, 2), Admission::Shed);
         assert_eq!(admit(&cfg, 7, 5), Admission::Shed);
+    }
+
+    #[test]
+    fn load_ladder_thresholds_are_exact() {
+        let cfg = LoadAdmission {
+            degrade_ratio_milli: 4_000,
+            shed_ratio_milli: 16_000,
+        };
+        // Idle network: ratio exactly 1000.
+        assert_eq!(admit_load(&cfg, 7, 7), Admission::Full);
+        // One tick under the degrade threshold stays Full; at it, Degraded.
+        assert_eq!(admit_load(&cfg, 27, 7), Admission::Full);
+        assert_eq!(admit_load(&cfg, 28, 7), Admission::Degraded);
+        // At the shed threshold exactly, Shed.
+        assert_eq!(admit_load(&cfg, 111, 7), Admission::Degraded);
+        assert_eq!(admit_load(&cfg, 112, 7), Admission::Shed);
+        // A zero nominal (degenerate config) must not panic or divide.
+        assert_eq!(admit_load(&cfg, 0, 0), Admission::Full);
+        assert_eq!(admit_load(&cfg, 16, 0), Admission::Shed);
+        // Saturation-scale backlogs must not overflow.
+        assert_eq!(admit_load(&cfg, u64::MAX, 1), Admission::Shed);
+    }
+
+    #[test]
+    fn admission_worst_composes() {
+        use Admission::*;
+        assert_eq!(Full.worst(Degraded), Degraded);
+        assert_eq!(Degraded.worst(Full), Degraded);
+        assert_eq!(Degraded.worst(Shed), Shed);
+        assert_eq!(Shed.worst(Full), Shed);
+        assert_eq!(Full.worst(Full), Full);
     }
 
     #[test]

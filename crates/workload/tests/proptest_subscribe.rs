@@ -141,7 +141,10 @@ proptest! {
             &metric,
             300.0,
             wl_seed,
-            SubFaultSpec { drop_milli },
+            SubFaultSpec {
+                drop_milli,
+                capacity: None,
+            },
         ) else {
             // No isolatable (non-relay) coordinator in this deployment —
             // the cell would measure transport partition, not failover.
